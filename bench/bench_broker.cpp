@@ -1,0 +1,144 @@
+// Micro-benchmarks for the broker substrate (google-benchmark).
+//
+// Not a paper figure by itself; quantifies the broker layer that FIG2
+// stresses: append/fetch costs by record size and partition parallelism,
+// consumer-group overhead, and codec costs.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "broker/broker.h"
+#include "broker/consumer.h"
+#include "broker/producer.h"
+#include "data/codec.h"
+#include "data/generator.h"
+#include "network/fabric.h"
+
+namespace {
+
+using namespace pe;
+
+broker::Record make_record(std::size_t bytes) {
+  broker::Record r;
+  r.key = "k";
+  r.value.assign(bytes, 0x5a);
+  return r;
+}
+
+void BM_PartitionLogAppend(benchmark::State& state) {
+  broker::PartitionLog log(
+      broker::RetentionPolicy{.max_records = 10000, .max_bytes = 0});
+  const auto record = make_record(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    broker::Record copy = record;
+    benchmark::DoNotOptimize(log.append(std::move(copy)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PartitionLogAppend)->Arg(800)->Arg(32'000)->Arg(2'560'000);
+
+void BM_PartitionLogFetch(benchmark::State& state) {
+  broker::PartitionLog log;
+  for (int i = 0; i < 512; ++i) {
+    log.append(make_record(static_cast<std::size_t>(state.range(0))));
+  }
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    broker::FetchSpec spec;
+    spec.offset = offset;
+    spec.max_records = 16;
+    auto result = log.fetch(spec);
+    benchmark::DoNotOptimize(result);
+    offset = (offset + 16) % 512;
+  }
+}
+BENCHMARK(BM_PartitionLogFetch)->Arg(800)->Arg(32'000);
+
+void BM_ProducerSendLoopback(benchmark::State& state) {
+  auto fabric = std::make_shared<net::Fabric>();
+  (void)fabric->add_site({.id = "s"});
+  auto broker_ptr = std::make_shared<broker::Broker>("s");
+  (void)broker_ptr->create_topic(
+      "t", broker::TopicConfig{
+               .partitions = 1,
+               .retention = {.max_records = 4096, .max_bytes = 0}});
+  broker::Producer producer(broker_ptr, fabric, "s");
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(producer.send("t", 0, make_record(bytes)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ProducerSendLoopback)->Arg(800)->Arg(32'000)->Arg(2'560'000);
+
+void BM_ProduceConsumeRoundTrip(benchmark::State& state) {
+  auto fabric = std::make_shared<net::Fabric>();
+  (void)fabric->add_site({.id = "s"});
+  auto broker_ptr = std::make_shared<broker::Broker>("s");
+  const auto partitions = static_cast<std::uint32_t>(state.range(0));
+  (void)broker_ptr->create_topic(
+      "t", broker::TopicConfig{
+               .partitions = partitions,
+               .retention = {.max_records = 1024, .max_bytes = 0}});
+  broker::Producer producer(broker_ptr, fabric, "s");
+  broker::Consumer consumer(broker_ptr, fabric, "s", "g");
+  std::vector<broker::TopicPartition> assignment;
+  for (std::uint32_t p = 0; p < partitions; ++p) {
+    assignment.push_back({"t", p});
+  }
+  (void)consumer.assign(assignment);
+
+  std::uint32_t next = 0;
+  for (auto _ : state) {
+    (void)producer.send("t", next % partitions, make_record(32'000));
+    next += 1;
+    auto records = consumer.poll(std::chrono::milliseconds(100));
+    benchmark::DoNotOptimize(records);
+  }
+}
+BENCHMARK(BM_ProduceConsumeRoundTrip)->Arg(1)->Arg(4);
+
+void BM_CodecEncode(benchmark::State& state) {
+  data::Generator gen;
+  const auto block = gen.generate(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::Codec::encode(block));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(block.value_bytes()));
+}
+BENCHMARK(BM_CodecEncode)->Arg(25)->Arg(1000)->Arg(10000);
+
+void BM_CodecDecode(benchmark::State& state) {
+  data::Generator gen;
+  const auto encoded =
+      data::Codec::encode(gen.generate(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::Codec::decode(encoded));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(encoded.size()));
+}
+BENCHMARK(BM_CodecDecode)->Arg(25)->Arg(1000)->Arg(10000);
+
+void BM_GroupRebalance(benchmark::State& state) {
+  broker::GroupCoordinator gc([](const std::string&) { return 64u; });
+  const auto members = static_cast<int>(state.range(0));
+  for (int m = 0; m < members; ++m) {
+    (void)gc.join("g", "m" + std::to_string(m), {"t"});
+  }
+  int next = members;
+  for (auto _ : state) {
+    const std::string id = "m" + std::to_string(next++);
+    benchmark::DoNotOptimize(gc.join("g", id, {"t"}));
+    (void)gc.leave("g", id);
+  }
+}
+BENCHMARK(BM_GroupRebalance)->Arg(4)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

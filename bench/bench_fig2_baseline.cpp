@@ -1,0 +1,67 @@
+// FIG2 — reproduces Figure 2: "Throughput and Latencies by Message Size
+// and Partitions".
+//
+// Paper setup (§III-1): edge data source, broker, and processing all on
+// the LRZ cloud; one partition per simulated edge device (1 core / 4 GB,
+// RasPi-class); message sizes 25..10,000 points x 32 features (7 KB to
+// 2.6 MB); 512 messages per run, >= 3 repeats; no ML (baseline).
+//
+// Expected shape: total throughput (MB/s) grows with message size and
+// with the number of partitions/devices; at 4 partitions the processing
+// side becomes the bottleneck (broker-in rate > processing rate).
+//
+// Scaled-down defaults keep the binary CI-friendly; set PE_BENCH_FULL=1
+// (or PE_BENCH_MESSAGES=512, PE_BENCH_REPEATS=3) for paper-scale runs.
+#include "bench_util.h"
+
+int main() {
+  using namespace pe;
+  Logger::set_level(LogLevel::kError);
+
+  const std::size_t default_messages = bench::full_mode() ? 512 : 48;
+  const std::size_t messages =
+      bench::env_size("PE_BENCH_MESSAGES", default_messages);
+  const std::size_t repeats = bench::env_size(
+      "PE_BENCH_REPEATS", bench::full_mode() ? 3 : 1);
+
+  const std::vector<std::size_t> message_points = {25, 100, 1000, 10000};
+  const std::vector<std::uint32_t> partition_counts = {1, 2, 4};
+
+  std::printf(
+      "FIG2: baseline throughput/latency by message size and partitions\n"
+      "(single cloud site; 1 partition per edge device; %zu msgs/device, "
+      "%zu repeat(s))\n\n",
+      messages, repeats);
+  bench::print_row_header();
+
+  // Two processing variants: pure pass-through, and the paper's running
+  // k-means consumer ("25 clusters as previously") whose cost is what
+  // makes the processing side the 4-partition bottleneck.
+  const std::vector<ml::ModelKind> variants = {ml::ModelKind::kBaseline,
+                                               ml::ModelKind::kKMeans};
+  int run_id = 0;
+  for (ml::ModelKind variant : variants) {
+    for (std::uint32_t partitions : partition_counts) {
+      auto tb = bench::make_single_site_testbed(partitions);
+      for (std::size_t points : message_points) {
+        for (std::size_t rep = 0; rep < repeats; ++rep) {
+          core::PipelineConfig config;
+          config.edge_devices = partitions;  // one device per partition
+          config.partitions = partitions;
+          config.messages_per_device = messages / partitions;
+          config.rows_per_message = points;
+          config.run_timeout = std::chrono::minutes(10);
+          auto report = bench::run_pipeline(
+              tb, config, variant, "fig2-" + std::to_string(run_id++));
+          bench::print_row(ml::to_string(variant), points, partitions,
+                           report);
+        }
+      }
+    }
+  }
+
+  std::printf(
+      "\nBottleneck check (paper: at 4 partitions the broker outpaces the\n"
+      "consuming processing tasks): compare brok_m/s vs proc_m/s above.\n");
+  return 0;
+}

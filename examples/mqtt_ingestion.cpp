@@ -1,0 +1,134 @@
+// MQTT ingestion: constrained devices publish through the MQTT plugin.
+//
+// The paper's architecture encapsulates brokering behind a plugin
+// mechanism and names MQTT as the option "for low-performance and
+// low-power environments" (§II-B). This example runs the same
+// outlier-detection pipeline twice — once with devices producing directly
+// to the Kafka-model broker, once publishing via a lightweight MQTT
+// broker on the edge gateway with a bridge forwarding into the topic —
+// and compares the telemetry.
+//
+// It also demonstrates MQTT-side device management: a retained "status"
+// topic and a last-will that announces device death to the gateway.
+//
+// Build & run:  ./build/examples/mqtt_ingestion
+#include <cstdio>
+
+#include "pilot_edge.h"
+
+namespace {
+
+pe::core::PipelineRunReport run_with(
+    pe::core::IngestPath ingest,
+    const std::shared_ptr<pe::net::Fabric>& fabric,
+    const pe::res::PilotPtr& edge, const pe::res::PilotPtr& cloud,
+    const pe::res::PilotPtr& broker, const char* topic) {
+  using namespace pe;
+  core::PipelineConfig config;
+  config.ingest = ingest;
+  config.edge_devices = 3;
+  config.messages_per_device = 8;
+  config.rows_per_message = 200;
+  config.topic = topic;
+  config.run_timeout = std::chrono::minutes(5);
+
+  core::EdgeToCloudPipeline pipeline(config);
+  pipeline.set_fabric(fabric)
+      .set_pilot_edge(edge)
+      .set_pilot_cloud_processing(cloud)
+      .set_pilot_cloud_broker(broker)
+      .set_produce_function(core::functions::make_generator_produce({}, 200))
+      .set_process_cloud_function(
+          core::functions::make_model_process(ml::ModelKind::kKMeans));
+  auto report = pipeline.run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 report.status().to_string().c_str());
+    std::exit(1);
+  }
+  return std::move(report).value();
+}
+
+}  // namespace
+
+int main() {
+  using namespace pe;
+  Logger::set_level(LogLevel::kWarn);
+
+  auto fabric = net::Fabric::make_single_site_topology();
+  (void)fabric->add_site({.id = "plant-floor", .kind = net::SiteKind::kEdge,
+                          .region = "eu-de",
+                          .description = "sensing gateway"});
+  net::LinkSpec uplink;
+  uplink.from = "plant-floor";
+  uplink.to = "lrz-eu";
+  uplink.latency_min = std::chrono::milliseconds(3);
+  uplink.latency_max = std::chrono::milliseconds(8);
+  uplink.bandwidth_min_bps = 200e6;
+  uplink.bandwidth_max_bps = 200e6;
+  (void)fabric->add_bidirectional_link(uplink);
+
+  res::PilotManagerOptions options;
+  options.startup_delay_factor = 0.001;
+  res::PilotManager pm(fabric, options);
+  auto edge = pm.submit(res::Flavors::raspi("plant-floor", 3)).value();
+  auto cloud = pm.submit(res::Flavors::lrz_large()).value();
+  auto broker = pm.submit(res::Flavors::make(
+                              "lrz-eu", res::Backend::kBrokerService, 4, 16.0))
+                    .value();
+  if (auto s = pm.wait_all_active(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.to_string().c_str());
+    return 1;
+  }
+
+  std::printf("running with direct Kafka-model ingestion...\n");
+  const auto direct = run_with(core::IngestPath::kKafkaDirect, fabric, edge,
+                               cloud, broker, "ingest-direct");
+  std::printf("%s\n", direct.run.to_string().c_str());
+
+  std::printf("running with MQTT ingestion (QoS 1 + bridge)...\n");
+  const auto bridged = run_with(core::IngestPath::kMqttBridge, fabric, edge,
+                                cloud, broker, "ingest-mqtt");
+  std::printf("%s\n", bridged.run.to_string().c_str());
+
+  std::printf(
+      "MQTT path adds a broker hop: e2e latency %.1f ms vs %.1f ms direct "
+      "(%.2fx)\n\n",
+      bridged.run.end_to_end_ms.mean, direct.run.end_to_end_ms.mean,
+      direct.run.end_to_end_ms.mean > 0
+          ? bridged.run.end_to_end_ms.mean / direct.run.end_to_end_ms.mean
+          : 0.0);
+
+  // --- MQTT device management: retained status + last will -------------
+  auto device_broker = std::make_shared<mqtt::MqttBroker>("plant-floor");
+  mqtt::MqttClient monitor(device_broker, fabric, "lrz-eu", "monitor");
+  (void)monitor.connect();
+  (void)monitor.subscribe("devices/+/status");
+
+  mqtt::SessionOptions fragile_session;
+  mqtt::Message will;
+  will.topic = "devices/sensor-7/status";
+  will.payload = {'d', 'e', 'a', 'd'};
+  will.retain = true;
+  fragile_session.will = will;
+  {
+    mqtt::MqttClient sensor(device_broker, fabric, "plant-floor", "sensor-7");
+    (void)sensor.connect(fragile_session);
+    mqtt::Message alive;
+    alive.topic = "devices/sensor-7/status";
+    alive.payload = {'u', 'p'};
+    alive.retain = true;
+    (void)sensor.publish(std::move(alive));
+    (void)sensor.die();  // battery pulled: the will fires
+  }
+  auto notifications = monitor.poll();
+  if (notifications.ok()) {
+    for (const auto& m : notifications.value()) {
+      std::printf("monitor saw %s = %.*s%s\n", m.topic.c_str(),
+                  static_cast<int>(m.payload.size()),
+                  reinterpret_cast<const char*>(m.payload.data()),
+                  m.retained_replay ? " (retained)" : "");
+    }
+  }
+  return 0;
+}

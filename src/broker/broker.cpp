@@ -1,0 +1,155 @@
+#include "broker/broker.h"
+
+namespace pe::broker {
+
+Broker::Broker(net::SiteId site, std::string name)
+    : site_(std::move(site)),
+      name_(std::move(name)),
+      coordinator_([this](const std::string& topic) {
+        return partition_count(topic);
+      }) {}
+
+Status Broker::create_topic(const std::string& name, TopicConfig config) {
+  if (name.empty()) return Status::InvalidArgument("empty topic name");
+  if (config.partitions == 0) {
+    return Status::InvalidArgument("topic needs >= 1 partition");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (topics_.count(name) > 0) {
+    return Status::AlreadyExists("topic '" + name + "' exists");
+  }
+  topics_.emplace(name, std::make_shared<Topic>(name, config));
+  return Status::Ok();
+}
+
+Status Broker::delete_topic(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (topics_.erase(name) == 0) {
+    return Status::NotFound("topic '" + name + "' not found");
+  }
+  return Status::Ok();
+}
+
+bool Broker::has_topic(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return topics_.count(name) > 0;
+}
+
+std::uint32_t Broker::partition_count(const std::string& name) const {
+  auto topic = find_topic(name);
+  return topic ? topic->partition_count() : 0;
+}
+
+std::vector<std::string> Broker::topic_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(topics_.size());
+  for (const auto& [n, _] : topics_) out.push_back(n);
+  return out;
+}
+
+std::shared_ptr<Topic> Broker::find_topic(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = topics_.find(name);
+  return it == topics_.end() ? nullptr : it->second;
+}
+
+Result<std::uint64_t> Broker::produce(const std::string& topic,
+                                      std::uint32_t partition,
+                                      std::vector<Record> records) {
+  auto t = find_topic(topic);
+  if (!t) return Status::NotFound("topic '" + topic + "' not found");
+  PartitionLog* log = t->partition(partition);
+  if (!log) {
+    return Status::OutOfRange("partition " + std::to_string(partition) +
+                              " out of range for topic '" + topic + "'");
+  }
+  std::uint64_t bytes = 0;
+  for (const auto& r : records) bytes += r.wire_size();
+  const auto count = records.size();
+  const std::uint64_t first = log->append_batch(std::move(records));
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.produce_requests += 1;
+    stats_.records_in += count;
+    stats_.bytes_in += bytes;
+  }
+  return first;
+}
+
+Result<std::uint32_t> Broker::select_partition(const std::string& topic,
+                                               const Record& record) {
+  auto t = find_topic(topic);
+  if (!t) return Status::NotFound("topic '" + topic + "' not found");
+  return t->select_partition(record);
+}
+
+Result<std::vector<ConsumedRecord>> Broker::fetch(const std::string& topic,
+                                                  std::uint32_t partition,
+                                                  const FetchSpec& spec) {
+  auto t = find_topic(topic);
+  if (!t) return Status::NotFound("topic '" + topic + "' not found");
+  PartitionLog* log = t->partition(partition);
+  if (!log) {
+    return Status::OutOfRange("partition " + std::to_string(partition) +
+                              " out of range for topic '" + topic + "'");
+  }
+  auto result = log->fetch(spec);
+  if (!result.ok()) return result.status();
+  auto records = std::move(result).value();
+  std::uint64_t bytes = 0;
+  for (auto& r : records) {
+    r.topic = topic;
+    r.partition = partition;
+    bytes += r.record.wire_size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.fetch_requests += 1;
+    stats_.records_out += records.size();
+    stats_.bytes_out += bytes;
+  }
+  return records;
+}
+
+Result<std::uint64_t> Broker::end_offset(const std::string& topic,
+                                         std::uint32_t partition) const {
+  auto t = find_topic(topic);
+  if (!t) return Status::NotFound("topic '" + topic + "' not found");
+  const PartitionLog* log = t->partition(partition);
+  if (!log) return Status::OutOfRange("partition out of range");
+  return log->end_offset();
+}
+
+Result<std::uint64_t> Broker::log_start_offset(const std::string& topic,
+                                               std::uint32_t partition) const {
+  auto t = find_topic(topic);
+  if (!t) return Status::NotFound("topic '" + topic + "' not found");
+  const PartitionLog* log = t->partition(partition);
+  if (!log) return Status::OutOfRange("partition out of range");
+  return log->log_start_offset();
+}
+
+Result<std::uint64_t> Broker::offset_for_timestamp(
+    const std::string& topic, std::uint32_t partition,
+    std::uint64_t ts_ns) const {
+  auto t = find_topic(topic);
+  if (!t) return Status::NotFound("topic '" + topic + "' not found");
+  const PartitionLog* log = t->partition(partition);
+  if (!log) return Status::OutOfRange("partition out of range");
+  return log->offset_for_timestamp(ts_ns);
+}
+
+BrokerStats Broker::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+std::uint64_t Broker::retained_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [_, t] : topics_) total += t->total_bytes();
+  return total;
+}
+
+}  // namespace pe::broker

@@ -1,0 +1,92 @@
+// The broker service: topic registry + group coordinator + server stats.
+//
+// A Broker lives on a fabric site (typically hosted by a BrokerService
+// pilot). Clients (Producer/Consumer) talk to it through method calls but
+// charge every payload to the fabric link between their site and the
+// broker's site — that is where the paper's WAN effects come from.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "broker/group_coordinator.h"
+#include "broker/topic.h"
+#include "network/site.h"
+
+namespace pe::broker {
+
+/// Aggregate broker-side counters (exported to telemetry).
+struct BrokerStats {
+  std::uint64_t records_in = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t records_out = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t produce_requests = 0;
+  std::uint64_t fetch_requests = 0;
+};
+
+class Broker {
+ public:
+  explicit Broker(net::SiteId site, std::string name = "broker-0");
+
+  const net::SiteId& site() const { return site_; }
+  const std::string& name() const { return name_; }
+
+  // --- admin ---
+  Status create_topic(const std::string& name, TopicConfig config);
+  Status delete_topic(const std::string& name);
+  bool has_topic(const std::string& name) const;
+  /// Partition count for a topic; 0 when unknown.
+  std::uint32_t partition_count(const std::string& name) const;
+  std::vector<std::string> topic_names() const;
+
+  // --- data plane (used by Producer/Consumer clients) ---
+  /// Appends records to a specific partition; returns the first offset.
+  Result<std::uint64_t> produce(const std::string& topic,
+                                std::uint32_t partition,
+                                std::vector<Record> records);
+
+  /// Chooses a partition using the topic's partitioner.
+  Result<std::uint32_t> select_partition(const std::string& topic,
+                                         const Record& record);
+
+  Result<std::vector<ConsumedRecord>> fetch(const std::string& topic,
+                                            std::uint32_t partition,
+                                            const FetchSpec& spec);
+
+  /// Next offset to be written in a partition ("high watermark").
+  Result<std::uint64_t> end_offset(const std::string& topic,
+                                   std::uint32_t partition) const;
+  Result<std::uint64_t> log_start_offset(const std::string& topic,
+                                         std::uint32_t partition) const;
+  /// Offset of the first record at/after a broker timestamp
+  /// (offsetsForTimes).
+  Result<std::uint64_t> offset_for_timestamp(const std::string& topic,
+                                             std::uint32_t partition,
+                                             std::uint64_t ts_ns) const;
+
+  GroupCoordinator& coordinator() { return coordinator_; }
+
+  BrokerStats stats() const;
+
+  /// Total bytes currently retained across all topics.
+  std::uint64_t retained_bytes() const;
+
+ private:
+  std::shared_ptr<Topic> find_topic(const std::string& name) const;
+
+  const net::SiteId site_;
+  const std::string name_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Topic>> topics_;
+  GroupCoordinator coordinator_;
+  mutable std::mutex stats_mutex_;
+  BrokerStats stats_;
+};
+
+}  // namespace pe::broker

@@ -1,0 +1,259 @@
+#include "broker/consumer.h"
+
+#include <algorithm>
+
+#include "common/ids.h"
+#include "common/logging.h"
+
+namespace pe::broker {
+
+// Like Kafka's consumer, this class is intentionally NOT thread-safe: one
+// consumer instance belongs to one polling thread.
+
+Consumer::Consumer(std::shared_ptr<Broker> broker,
+                   std::shared_ptr<net::Fabric> fabric, net::SiteId site,
+                   std::string group, ConsumerConfig config)
+    : broker_(std::move(broker)),
+      fabric_(std::move(fabric)),
+      site_(std::move(site)),
+      group_(std::move(group)),
+      id_(next_consumer_id()),
+      config_(config) {}
+
+Consumer::~Consumer() { close(); }
+
+Status Consumer::subscribe(const std::vector<std::string>& topics) {
+  auto joined = broker_->coordinator().join(group_, id_, topics);
+  if (!joined.ok()) return joined.status();
+  subscribed_ = true;
+  subscribed_topics_ = topics;
+  generation_ = joined.value().generation;
+  assignment_ = joined.value().partitions;
+  positions_.clear();
+  for (const auto& tp : assignment_) {
+    positions_[tp] = initial_position(tp);
+  }
+  stats_.rebalances += 1;
+  return Status::Ok();
+}
+
+Status Consumer::assign(std::vector<TopicPartition> partitions) {
+  for (const auto& tp : partitions) {
+    if (broker_->partition_count(tp.topic) == 0) {
+      return Status::NotFound("unknown topic '" + tp.topic + "'");
+    }
+    if (tp.partition >= broker_->partition_count(tp.topic)) {
+      return Status::OutOfRange("partition out of range for " + tp.topic);
+    }
+  }
+  subscribed_ = false;
+  assignment_ = std::move(partitions);
+  positions_.clear();
+  for (const auto& tp : assignment_) {
+    positions_[tp] = initial_position(tp);
+  }
+  return Status::Ok();
+}
+
+std::uint64_t Consumer::initial_position(const TopicPartition& tp) const {
+  if (auto committed = broker_->coordinator().committed_offset(group_, tp)) {
+    return *committed;
+  }
+  if (config_.offset_reset == OffsetReset::kEarliest) {
+    auto start = broker_->log_start_offset(tp.topic, tp.partition);
+    return start.ok() ? start.value() : 0;
+  }
+  auto end = broker_->end_offset(tp.topic, tp.partition);
+  return end.ok() ? end.value() : 0;
+}
+
+void Consumer::maybe_rebalance() {
+  if (!subscribed_) return;
+  if (broker_->coordinator().generation(group_) == generation_) return;
+  auto assigned = broker_->coordinator().assignment(group_, id_);
+  if (!assigned.ok()) {
+    if (assigned.status().code() == StatusCode::kNotFound) {
+      // Session expired and we were evicted: rejoin (Kafka consumers do
+      // the same after missing heartbeats).
+      PE_LOG_WARN("consumer " << id_ << " evicted from group " << group_
+                              << "; rejoining");
+      assigned = broker_->coordinator().join(group_, id_,
+                                             subscribed_topics_);
+    }
+    if (!assigned.ok()) return;
+  }
+  generation_ = assigned.value().generation;
+  // Preserve positions for partitions we keep; (re)initialize new ones.
+  std::map<TopicPartition, std::uint64_t> new_positions;
+  for (const auto& tp : assigned.value().partitions) {
+    auto it = positions_.find(tp);
+    new_positions[tp] =
+        it != positions_.end() ? it->second : initial_position(tp);
+  }
+  assignment_ = assigned.value().partitions;
+  positions_ = std::move(new_positions);
+  next_partition_index_ = 0;
+  stats_.rebalances += 1;
+}
+
+std::vector<ConsumedRecord> Consumer::poll(Duration timeout) {
+  if (subscribed_) {
+    // Liveness signal; also triggers eviction of dead group members.
+    (void)broker_->coordinator().heartbeat(group_, id_);
+  }
+  maybe_rebalance();
+  stats_.polls += 1;
+  std::vector<ConsumedRecord> out;
+  if (assignment_.empty()) {
+    if (timeout > Duration::zero()) Clock::sleep_scaled(timeout);
+    return out;
+  }
+
+  const auto deadline = Clock::now() + timeout;
+  while (true) {
+    // One round-robin sweep over assigned partitions, non-blocking.
+    for (std::size_t i = 0; i < assignment_.size(); ++i) {
+      const auto& tp =
+          assignment_[(next_partition_index_ + i) % assignment_.size()];
+      if (paused_.count(tp) > 0) continue;
+      FetchSpec spec;
+      spec.offset = positions_[tp];
+      spec.max_records = config_.max_poll_records - out.size();
+      spec.max_bytes = config_.fetch_max_bytes;
+      spec.max_wait = Duration::zero();
+      auto fetched = broker_->fetch(tp.topic, tp.partition, spec);
+      if (!fetched.ok()) {
+        if (fetched.status().code() == StatusCode::kOutOfRange) {
+          // Retained away or stale position: jump to a valid offset.
+          positions_[tp] = initial_position(tp);
+        } else {
+          PE_LOG_WARN("poll fetch failed: " << fetched.status().to_string());
+        }
+        continue;
+      }
+      const auto& records = fetched.value();
+      if (records.empty()) continue;
+      std::uint64_t bytes = 0;
+      for (const auto& r : records) bytes += r.record.wire_size();
+      // Charge the fetch response to the broker->consumer link.
+      auto transfer = fabric_->transfer(broker_->site(), site_, bytes);
+      if (!transfer.ok()) {
+        PE_LOG_WARN("fetch transfer failed: " << transfer.status().to_string());
+        continue;
+      }
+      positions_[tp] = records.back().offset + 1;
+      stats_.records_received += records.size();
+      stats_.bytes_received += bytes;
+      out.insert(out.end(), records.begin(), records.end());
+      if (out.size() >= config_.max_poll_records) break;
+    }
+    next_partition_index_ =
+        (next_partition_index_ + 1) % assignment_.size();
+
+    if (!out.empty() || Clock::now() >= deadline) break;
+
+    // Nothing available anywhere: long-poll on the first assigned
+    // unpaused partition for a slice of the remaining budget, then
+    // re-sweep (data may arrive on any partition).
+    const auto remaining = deadline - Clock::now();
+    const auto slice = std::min<Duration>(
+        remaining, std::chrono::duration_cast<Duration>(
+                       std::chrono::milliseconds(5)));
+    const TopicPartition* wait_tp = nullptr;
+    for (std::size_t i = 0; i < assignment_.size(); ++i) {
+      const auto& candidate =
+          assignment_[(next_partition_index_ + i) % assignment_.size()];
+      if (paused_.count(candidate) == 0) {
+        wait_tp = &candidate;
+        break;
+      }
+    }
+    if (wait_tp == nullptr) {
+      // Everything paused: just wait out the slice.
+      Clock::sleep_exact(slice);
+      continue;
+    }
+    FetchSpec spec;
+    spec.offset = positions_[*wait_tp];
+    spec.max_records = 1;
+    spec.max_wait = slice;
+    (void)broker_->fetch(wait_tp->topic, wait_tp->partition, spec);
+    // Result intentionally ignored: the sweep at the top of the loop will
+    // re-fetch (and network-charge) anything that arrived.
+  }
+
+  if (config_.auto_commit && !out.empty()) {
+    (void)commit();
+  }
+  return out;
+}
+
+std::vector<TopicPartition> Consumer::assignment() const {
+  return assignment_;
+}
+
+Result<std::uint64_t> Consumer::position(const TopicPartition& tp) const {
+  auto it = positions_.find(tp);
+  if (it == positions_.end()) {
+    return Status::NotFound("partition not assigned");
+  }
+  return it->second;
+}
+
+Status Consumer::seek(const TopicPartition& tp, std::uint64_t offset) {
+  auto it = positions_.find(tp);
+  if (it == positions_.end()) {
+    return Status::NotFound("partition not assigned");
+  }
+  it->second = offset;
+  return Status::Ok();
+}
+
+Status Consumer::seek_to_timestamp(const TopicPartition& tp,
+                                   std::uint64_t ts_ns) {
+  auto offset = broker_->offset_for_timestamp(tp.topic, tp.partition, ts_ns);
+  if (!offset.ok()) return offset.status();
+  return seek(tp, offset.value());
+}
+
+Status Consumer::pause(const TopicPartition& tp) {
+  if (positions_.find(tp) == positions_.end()) {
+    return Status::NotFound("partition not assigned");
+  }
+  paused_.insert(tp);
+  return Status::Ok();
+}
+
+Status Consumer::resume(const TopicPartition& tp) {
+  if (paused_.erase(tp) == 0) {
+    return Status::NotFound("partition not paused");
+  }
+  return Status::Ok();
+}
+
+bool Consumer::paused(const TopicPartition& tp) const {
+  return paused_.count(tp) > 0;
+}
+
+Status Consumer::commit() {
+  for (const auto& [tp, pos] : positions_) {
+    if (auto s = broker_->coordinator().commit_offset(group_, tp, pos);
+        !s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+void Consumer::close() {
+  if (closed_) return;
+  closed_ = true;
+  if (subscribed_) {
+    (void)broker_->coordinator().leave(group_, id_);
+    subscribed_ = false;
+  }
+}
+
+ConsumerStats Consumer::stats() const { return stats_; }
+
+}  // namespace pe::broker

@@ -1,0 +1,115 @@
+// Consumer client.
+//
+// Supports Kafka-style group subscription (partitions assigned by the
+// broker's GroupCoordinator, rebalancing on membership change) or manual
+// assignment. poll() fetches from assigned partitions round-robin and
+// charges fetched bytes to the broker->consumer fabric link.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "broker/broker.h"
+#include "network/fabric.h"
+
+namespace pe::broker {
+
+/// Where to start when a partition has no committed offset.
+enum class OffsetReset {
+  kEarliest,
+  kLatest,
+};
+
+struct ConsumerConfig {
+  OffsetReset offset_reset = OffsetReset::kEarliest;
+  std::size_t max_poll_records = 512;
+  std::uint64_t fetch_max_bytes = 8ull << 20;
+  bool auto_commit = true;
+};
+
+struct ConsumerStats {
+  std::uint64_t records_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t polls = 0;
+  std::uint64_t rebalances = 0;
+};
+
+class Consumer {
+ public:
+  Consumer(std::shared_ptr<Broker> broker, std::shared_ptr<net::Fabric> fabric,
+           net::SiteId site, std::string group, ConsumerConfig config = {});
+  ~Consumer();
+
+  Consumer(const Consumer&) = delete;
+  Consumer& operator=(const Consumer&) = delete;
+
+  const std::string& id() const { return id_; }
+  const std::string& group() const { return group_; }
+
+  /// Group subscription; partitions are assigned by the coordinator.
+  Status subscribe(const std::vector<std::string>& topics);
+
+  /// Manual assignment (no group coordination).
+  Status assign(std::vector<TopicPartition> partitions);
+
+  /// Fetches up to config.max_poll_records across assigned partitions,
+  /// waiting up to `timeout` for data. Returns an empty vector on timeout.
+  std::vector<ConsumedRecord> poll(Duration timeout);
+
+  /// Current assignment (after any pending rebalance is applied on poll).
+  std::vector<TopicPartition> assignment() const;
+
+  /// Next offset this consumer will read from a partition.
+  Result<std::uint64_t> position(const TopicPartition& tp) const;
+
+  Status seek(const TopicPartition& tp, std::uint64_t offset);
+
+  /// Repositions to the first record at/after a broker timestamp
+  /// (offsetsForTimes + seek in one call).
+  Status seek_to_timestamp(const TopicPartition& tp, std::uint64_t ts_ns);
+
+  /// Backpressure: paused partitions stay assigned but are skipped by
+  /// poll() until resumed (Kafka pause/resume semantics).
+  Status pause(const TopicPartition& tp);
+  Status resume(const TopicPartition& tp);
+  bool paused(const TopicPartition& tp) const;
+
+  /// Commits current positions for all assigned partitions.
+  Status commit();
+
+  /// Leaves the group (idempotent); called by the destructor.
+  void close();
+
+  ConsumerStats stats() const;
+
+ private:
+  /// Re-reads the coordinator assignment if the generation moved.
+  void maybe_rebalance();
+  std::uint64_t initial_position(const TopicPartition& tp) const;
+
+  std::shared_ptr<Broker> broker_;
+  std::shared_ptr<net::Fabric> fabric_;
+  const net::SiteId site_;
+  const std::string group_;
+  const std::string id_;
+  const ConsumerConfig config_;
+
+  bool subscribed_ = false;
+  std::vector<std::string> subscribed_topics_;
+  bool closed_ = false;
+  std::uint64_t generation_ = 0;
+  std::vector<TopicPartition> assignment_;
+  std::map<TopicPartition, std::uint64_t> positions_;
+  std::set<TopicPartition> paused_;
+  std::size_t next_partition_index_ = 0;
+  ConsumerStats stats_;
+};
+
+}  // namespace pe::broker

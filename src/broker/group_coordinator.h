@@ -1,0 +1,100 @@
+// Consumer-group coordination: membership, partition assignment,
+// generations, and committed offsets.
+//
+// Follows Kafka's group model with a range assignor: when membership
+// changes, the generation is bumped and partitions of all subscribed
+// topics are re-assigned contiguously across members (sorted by member
+// id). Members learn about rebalances by observing the generation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace pe::broker {
+
+struct TopicPartition {
+  std::string topic;
+  std::uint32_t partition = 0;
+
+  auto operator<=>(const TopicPartition&) const = default;
+};
+
+/// A member's current view of the group after (re)joining.
+struct GroupAssignment {
+  std::uint64_t generation = 0;
+  std::vector<TopicPartition> partitions;
+};
+
+class GroupCoordinator {
+ public:
+  /// `partition_count_fn` resolves a topic name to its partition count
+  /// (0 = unknown topic).
+  using PartitionCountFn = std::function<std::uint32_t(const std::string&)>;
+
+  explicit GroupCoordinator(PartitionCountFn partition_count_fn);
+
+  /// Adds (or re-subscribes) a member; triggers a rebalance. Unknown topics
+  /// fail with NOT_FOUND and leave the group unchanged.
+  Result<GroupAssignment> join(const std::string& group,
+                               const std::string& member_id,
+                               const std::vector<std::string>& topics);
+
+  /// Removes a member; triggers a rebalance for the remaining members.
+  Status leave(const std::string& group, const std::string& member_id);
+
+  /// Liveness: members must heartbeat within the session timeout or they
+  /// are evicted at the next group operation (0 = liveness disabled,
+  /// the default). Consumers heartbeat automatically on every poll.
+  void set_session_timeout(Duration timeout);
+  Status heartbeat(const std::string& group, const std::string& member_id);
+
+  /// Current assignment for a member (NOT_FOUND if not a member).
+  Result<GroupAssignment> assignment(const std::string& group,
+                                     const std::string& member_id) const;
+
+  /// Current generation of a group (0 if the group does not exist).
+  std::uint64_t generation(const std::string& group) const;
+
+  std::vector<std::string> members(const std::string& group) const;
+
+  /// Commits a consumed position (the *next* offset to read).
+  Status commit_offset(const std::string& group, const TopicPartition& tp,
+                       std::uint64_t offset);
+
+  /// Last committed position, or nullopt if never committed.
+  std::optional<std::uint64_t> committed_offset(const std::string& group,
+                                                const TopicPartition& tp) const;
+
+ private:
+  struct Member {
+    std::vector<std::string> topics;
+    TimePoint last_heartbeat;
+  };
+  struct Group {
+    std::uint64_t generation = 0;
+    std::map<std::string, Member> members;
+    // member id -> assigned partitions
+    std::map<std::string, std::vector<TopicPartition>> assignments;
+    std::map<TopicPartition, std::uint64_t> committed;
+  };
+
+  void rebalance_locked(Group& group);
+  /// Drops members whose heartbeat expired; rebalances if any were lost.
+  void evict_expired_locked(Group& group);
+
+  PartitionCountFn partition_count_fn_;
+  mutable std::mutex mutex_;
+  Duration session_timeout_ = Duration::zero();
+  std::map<std::string, Group> groups_;
+};
+
+}  // namespace pe::broker

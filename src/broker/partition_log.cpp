@@ -1,0 +1,142 @@
+#include "broker/partition_log.h"
+
+#include <algorithm>
+
+namespace pe::broker {
+
+PartitionLog::PartitionLog(RetentionPolicy retention)
+    : retention_(retention) {}
+
+std::uint64_t PartitionLog::append(Record record) {
+  std::uint64_t offset;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    offset = next_offset_++;
+    bytes_ += record.wire_size();
+    entries_.push_back(Entry{offset, Clock::now_ns(), std::move(record)});
+    enforce_retention_locked();
+  }
+  data_available_.notify_all();
+  return offset;
+}
+
+std::uint64_t PartitionLog::append_batch(std::vector<Record> records) {
+  std::uint64_t first_offset;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    first_offset = next_offset_;
+    const std::uint64_t now_ns = Clock::now_ns();
+    for (auto& r : records) {
+      bytes_ += r.wire_size();
+      entries_.push_back(Entry{next_offset_++, now_ns, std::move(r)});
+    }
+    enforce_retention_locked();
+  }
+  data_available_.notify_all();
+  return first_offset;
+}
+
+Result<std::vector<ConsumedRecord>> PartitionLog::fetch(
+    const FetchSpec& spec) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+
+  if (spec.offset > next_offset_) {
+    return Status::OutOfRange("fetch offset " + std::to_string(spec.offset) +
+                              " beyond end offset " +
+                              std::to_string(next_offset_));
+  }
+
+  // Long-poll while the caller is at the log end.
+  if (spec.offset == next_offset_ && spec.max_wait > Duration::zero()) {
+    data_available_.wait_for(lock, spec.max_wait, [&] {
+      return next_offset_ > spec.offset;
+    });
+  }
+
+  const std::uint64_t start =
+      entries_.empty() ? next_offset_ : entries_.front().offset;
+  if (spec.offset < start) {
+    return Status::OutOfRange("fetch offset " + std::to_string(spec.offset) +
+                              " below log start " + std::to_string(start));
+  }
+
+  std::vector<ConsumedRecord> out;
+  std::uint64_t bytes = 0;
+  // Dense offsets => direct index from the deque front.
+  for (std::size_t i = spec.offset - start; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    if (out.size() >= spec.max_records) break;
+    if (!out.empty() && bytes + e.record.wire_size() > spec.max_bytes) break;
+    ConsumedRecord cr;
+    cr.offset = e.offset;
+    cr.broker_timestamp_ns = e.broker_timestamp_ns;
+    cr.record = e.record;
+    bytes += e.record.wire_size();
+    out.push_back(std::move(cr));
+  }
+  return out;
+}
+
+std::uint64_t PartitionLog::log_start_offset() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.empty() ? next_offset_ : entries_.front().offset;
+}
+
+std::uint64_t PartitionLog::end_offset() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_offset_;
+}
+
+std::uint64_t PartitionLog::record_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t PartitionLog::byte_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+void PartitionLog::enforce_retention_locked() {
+  if (retention_.max_records > 0) {
+    while (entries_.size() > retention_.max_records) {
+      bytes_ -= entries_.front().record.wire_size();
+      entries_.pop_front();
+    }
+  }
+  if (retention_.max_bytes > 0) {
+    while (entries_.size() > 1 && bytes_ > retention_.max_bytes) {
+      bytes_ -= entries_.front().record.wire_size();
+      entries_.pop_front();
+    }
+  }
+  if (retention_.max_age > Duration::zero()) {
+    const std::uint64_t cutoff_ns =
+        Clock::now_ns() -
+        static_cast<std::uint64_t>(retention_.max_age.count());
+    while (entries_.size() > 1 &&
+           entries_.front().broker_timestamp_ns < cutoff_ns) {
+      bytes_ -= entries_.front().record.wire_size();
+      entries_.pop_front();
+    }
+  }
+}
+
+std::uint64_t PartitionLog::offset_for_timestamp(std::uint64_t ts_ns) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Broker timestamps are monotone in offset: binary search.
+  std::size_t lo = 0, hi = entries_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (entries_[mid].broker_timestamp_ns < ts_ns) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo == entries_.size()
+             ? next_offset_
+             : entries_[lo].offset;
+}
+
+}  // namespace pe::broker

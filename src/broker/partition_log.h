@@ -1,0 +1,86 @@
+// Append-only partition log: the core broker data structure.
+//
+// Semantics follow Kafka's partition model:
+//  - append assigns dense, monotonically increasing offsets;
+//  - fetch(offset) returns records at >= offset, bounded by count/bytes,
+//    optionally long-polling until data arrives;
+//  - retention trims the head; log_start_offset() moves forward, offsets
+//    are never reused.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "broker/record.h"
+
+namespace pe::broker {
+
+/// Retention policy for a partition log. Zero means unlimited.
+struct RetentionPolicy {
+  std::uint64_t max_records = 0;
+  std::uint64_t max_bytes = 0;
+  /// Records older than this (by broker timestamp) are trimmed on append.
+  Duration max_age = Duration::zero();
+};
+
+/// Bounds for a fetch call.
+struct FetchSpec {
+  std::uint64_t offset = 0;
+  std::size_t max_records = 512;
+  std::uint64_t max_bytes = 8ull << 20;  // 8 MiB
+  Duration max_wait = Duration::zero();  // 0 => non-blocking
+};
+
+class PartitionLog {
+ public:
+  explicit PartitionLog(RetentionPolicy retention = {});
+
+  /// Appends a record, stamping the broker timestamp; returns its offset.
+  std::uint64_t append(Record record);
+
+  /// Appends a batch atomically; returns the offset of the first record.
+  std::uint64_t append_batch(std::vector<Record> records);
+
+  /// Returns records with offset >= spec.offset. Blocks up to spec.max_wait
+  /// if the requested offset is at the end of the log. Fetching below
+  /// log_start_offset fails with OUT_OF_RANGE (the data was retained away);
+  /// fetching above end_offset fails with OUT_OF_RANGE too.
+  Result<std::vector<ConsumedRecord>> fetch(const FetchSpec& spec) const;
+
+  /// First offset still held (advances under retention).
+  std::uint64_t log_start_offset() const;
+
+  /// Offset of the first record with broker timestamp >= ts_ns, or
+  /// end_offset() when everything retained is older (Kafka's
+  /// offsetsForTimes semantics; timestamps are append-monotonic).
+  std::uint64_t offset_for_timestamp(std::uint64_t ts_ns) const;
+
+  /// Offset that the *next* appended record will receive.
+  std::uint64_t end_offset() const;
+
+  std::uint64_t record_count() const;
+  std::uint64_t byte_size() const;
+
+ private:
+  struct Entry {
+    std::uint64_t offset;
+    std::uint64_t broker_timestamp_ns;
+    Record record;
+  };
+
+  void enforce_retention_locked();
+
+  const RetentionPolicy retention_;
+  mutable std::mutex mutex_;
+  mutable std::condition_variable data_available_;
+  std::deque<Entry> entries_;
+  std::uint64_t next_offset_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace pe::broker

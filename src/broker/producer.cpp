@@ -1,0 +1,73 @@
+#include "broker/producer.h"
+
+namespace pe::broker {
+
+Producer::Producer(std::shared_ptr<Broker> broker,
+                   std::shared_ptr<net::Fabric> fabric, net::SiteId site)
+    : broker_(std::move(broker)),
+      fabric_(std::move(fabric)),
+      site_(std::move(site)) {}
+
+Result<RecordMetadata> Producer::send(const std::string& topic,
+                                      Record record) {
+  auto partition = broker_->select_partition(topic, record);
+  if (!partition.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.send_errors += 1;
+    return partition.status();
+  }
+  return send(topic, partition.value(), std::move(record));
+}
+
+Result<RecordMetadata> Producer::send(const std::string& topic,
+                                      std::uint32_t partition, Record record) {
+  std::vector<Record> batch;
+  batch.push_back(std::move(record));
+  auto meta = send_batch(topic, partition, std::move(batch));
+  return meta;
+}
+
+Result<RecordMetadata> Producer::send_batch(const std::string& topic,
+                                            std::uint32_t partition,
+                                            std::vector<Record> records) {
+  if (records.empty()) {
+    return Status::InvalidArgument("empty batch");
+  }
+  std::uint64_t bytes = 0;
+  for (const auto& r : records) bytes += r.wire_size();
+
+  auto transfer = fabric_->transfer(site_, broker_->site(), bytes);
+  if (!transfer.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.send_errors += 1;
+    return transfer.status();
+  }
+
+  const auto count = records.size();
+  auto offset = broker_->produce(topic, partition, std::move(records));
+  if (!offset.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.send_errors += 1;
+    return offset.status();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.records_sent += count;
+    stats_.bytes_sent += bytes;
+  }
+
+  RecordMetadata meta;
+  meta.topic = topic;
+  meta.partition = partition;
+  meta.offset = offset.value();
+  meta.transfer = transfer.value();
+  return meta;
+}
+
+ProducerStats Producer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace pe::broker

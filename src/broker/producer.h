@@ -1,0 +1,64 @@
+// Producer client.
+//
+// Attached to a fabric site; every send charges the serialized payload to
+// the link between the producer's site and the broker's site before the
+// records are appended. send_batch models Kafka producer batching: the
+// whole batch crosses the network as one transfer (one propagation delay),
+// which is what makes batching pay off over the WAN.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "broker/broker.h"
+#include "network/fabric.h"
+
+namespace pe::broker {
+
+/// Where a sent record landed, plus what the network charged for it.
+struct RecordMetadata {
+  std::string topic;
+  std::uint32_t partition = 0;
+  std::uint64_t offset = 0;
+  net::TransferResult transfer;
+};
+
+struct ProducerStats {
+  std::uint64_t records_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t send_errors = 0;
+};
+
+class Producer {
+ public:
+  Producer(std::shared_ptr<Broker> broker, std::shared_ptr<net::Fabric> fabric,
+           net::SiteId site);
+
+  /// Sends one record; partition chosen by the topic's partitioner.
+  Result<RecordMetadata> send(const std::string& topic, Record record);
+
+  /// Sends one record to an explicit partition.
+  Result<RecordMetadata> send(const std::string& topic,
+                              std::uint32_t partition, Record record);
+
+  /// Sends a batch to an explicit partition as a single network transfer.
+  /// Returns metadata of the *first* record in the batch.
+  Result<RecordMetadata> send_batch(const std::string& topic,
+                                    std::uint32_t partition,
+                                    std::vector<Record> records);
+
+  const net::SiteId& site() const { return site_; }
+  ProducerStats stats() const;
+
+ private:
+  std::shared_ptr<Broker> broker_;
+  std::shared_ptr<net::Fabric> fabric_;
+  const net::SiteId site_;
+  mutable std::mutex mutex_;
+  ProducerStats stats_;
+};
+
+}  // namespace pe::broker

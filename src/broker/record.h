@@ -1,0 +1,38 @@
+// Broker record types.
+//
+// A Record is what producers send: an optional key (used for partitioning),
+// an opaque byte payload, and a client timestamp. A ConsumedRecord is what
+// consumers receive back: the record plus its log coordinates
+// (topic/partition/offset) and the broker append timestamp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/serialize.h"
+
+namespace pe::broker {
+
+/// Per-record framing overhead charged on the wire (key/value lengths,
+/// offsets, timestamps, CRC) — approximates Kafka's record header cost.
+inline constexpr std::uint64_t kRecordWireOverheadBytes = 64;
+
+struct Record {
+  std::string key;
+  Bytes value;
+  std::uint64_t client_timestamp_ns = 0;
+
+  std::uint64_t wire_size() const {
+    return key.size() + value.size() + kRecordWireOverheadBytes;
+  }
+};
+
+struct ConsumedRecord {
+  std::string topic;
+  std::uint32_t partition = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t broker_timestamp_ns = 0;
+  Record record;
+};
+
+}  // namespace pe::broker

@@ -1,0 +1,49 @@
+#include "broker/topic.h"
+
+#include <functional>
+
+namespace pe::broker {
+
+Topic::Topic(std::string name, TopicConfig config)
+    : name_(std::move(name)), config_(config) {
+  const std::uint32_t n = config_.partitions == 0 ? 1 : config_.partitions;
+  partitions_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    partitions_.push_back(std::make_unique<PartitionLog>(config_.retention));
+  }
+}
+
+std::uint32_t Topic::select_partition(const Record& record) {
+  const auto n = static_cast<std::uint64_t>(partitions_.size());
+  if (config_.partitioner == PartitionerKind::kKeyHash &&
+      !record.key.empty()) {
+    return static_cast<std::uint32_t>(std::hash<std::string>{}(record.key) %
+                                      n);
+  }
+  return static_cast<std::uint32_t>(
+      round_robin_.fetch_add(1, std::memory_order_relaxed) % n);
+}
+
+PartitionLog* Topic::partition(std::uint32_t p) {
+  if (p >= partitions_.size()) return nullptr;
+  return partitions_[p].get();
+}
+
+const PartitionLog* Topic::partition(std::uint32_t p) const {
+  if (p >= partitions_.size()) return nullptr;
+  return partitions_[p].get();
+}
+
+std::uint64_t Topic::total_records() const {
+  std::uint64_t total = 0;
+  for (const auto& p : partitions_) total += p->record_count();
+  return total;
+}
+
+std::uint64_t Topic::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& p : partitions_) total += p->byte_size();
+  return total;
+}
+
+}  // namespace pe::broker

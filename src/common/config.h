@@ -1,0 +1,93 @@
+// Typed string-keyed configuration map.
+//
+// Backs pe::FunctionContext (the paper's `context: dict`) and component
+// configuration. Values are stored as strings with typed accessors.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+namespace pe {
+
+class ConfigMap {
+ public:
+  ConfigMap() = default;
+  ConfigMap(std::initializer_list<std::pair<const std::string, std::string>> init)
+      : values_(init) {}
+
+  void set(const std::string& key, const std::string& value) {
+    values_[key] = value;
+  }
+  void set_int(const std::string& key, std::int64_t value) {
+    values_[key] = std::to_string(value);
+  }
+  void set_double(const std::string& key, double value) {
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << value;
+    values_[key] = oss.str();
+  }
+  void set_bool(const std::string& key, bool value) {
+    values_[key] = value ? "true" : "false";
+  }
+
+  bool contains(const std::string& key) const {
+    return values_.count(key) > 0;
+  }
+
+  std::optional<std::string> get(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::string get_or(const std::string& key, const std::string& fallback) const {
+    auto v = get(key);
+    return v ? *v : fallback;
+  }
+
+  std::int64_t get_int_or(const std::string& key, std::int64_t fallback) const {
+    auto v = get(key);
+    if (!v) return fallback;
+    try {
+      return std::stoll(*v);
+    } catch (...) {
+      return fallback;
+    }
+  }
+
+  double get_double_or(const std::string& key, double fallback) const {
+    auto v = get(key);
+    if (!v) return fallback;
+    try {
+      return std::stod(*v);
+    } catch (...) {
+      return fallback;
+    }
+  }
+
+  bool get_bool_or(const std::string& key, bool fallback) const {
+    auto v = get(key);
+    if (!v) return fallback;
+    return *v == "true" || *v == "1" || *v == "yes";
+  }
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  auto begin() const { return values_.begin(); }
+  auto end() const { return values_.end(); }
+
+  /// Right-biased merge: other's entries overwrite this map's.
+  void merge_from(const ConfigMap& other) {
+    for (const auto& [k, v] : other.values_) values_[k] = v;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace pe

@@ -1,0 +1,114 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace pe {
+
+std::string SummaryStats::to_string() const {
+  std::ostringstream oss;
+  oss << "count=" << count << " mean=" << mean << " sd=" << stddev
+      << " min=" << min << " p50=" << p50 << " p90=" << p90 << " p99=" << p99
+      << " max=" << max;
+  return oss.str();
+}
+
+void Histogram::record(double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.empty()) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  samples_.push_back(value);
+  sum_ += value;
+  sum_sq_ += value * value;
+}
+
+void Histogram::record_many(const std::vector<double>& values) {
+  for (double v : values) record(v);
+}
+
+std::size_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_.size();
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.empty()) return 0.0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::stddev() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto n = static_cast<double>(samples_.size());
+  if (n < 2) return 0.0;
+  const double mean = sum_ / n;
+  const double var = std::max(0.0, sum_sq_ / n - mean * mean);
+  return std::sqrt(var * n / (n - 1));
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_;
+}
+
+double Histogram::percentile_locked(double q) const {
+  if (samples_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Histogram::percentile(double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return percentile_locked(q);
+}
+
+SummaryStats Histogram::summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SummaryStats s;
+  s.count = samples_.size();
+  if (s.count == 0) return s;
+  const auto n = static_cast<double>(s.count);
+  s.mean = sum_ / n;
+  const double var = std::max(0.0, sum_sq_ / n - s.mean * s.mean);
+  s.stddev = s.count > 1 ? std::sqrt(var * n / (n - 1)) : 0.0;
+  s.min = min_;
+  s.max = max_;
+  s.p50 = percentile_locked(0.50);
+  s.p90 = percentile_locked(0.90);
+  s.p99 = percentile_locked(0.99);
+  return s;
+}
+
+std::vector<double> Histogram::samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+void Histogram::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.clear();
+  sum_ = sum_sq_ = min_ = max_ = 0.0;
+}
+
+void Histogram::merge(const Histogram& other) {
+  const std::vector<double> theirs = other.samples();
+  for (double v : theirs) record(v);
+}
+
+}  // namespace pe

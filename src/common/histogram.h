@@ -1,0 +1,64 @@
+// Streaming summary statistics and percentile estimation.
+//
+// Histogram keeps raw samples (doubles) and computes count/mean/stddev/
+// min/max and arbitrary percentiles by sorting on demand; fine for the
+// sample volumes in this library (<= a few million per run).
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pe {
+
+/// Point-in-time summary of a Histogram.
+struct SummaryStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+
+  std::string to_string() const;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void record(double value);
+  void record_many(const std::vector<double>& values);
+
+  std::size_t count() const;
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// q in [0,1]; linear interpolation between order statistics.
+  double percentile(double q) const;
+  SummaryStats summary() const;
+
+  /// Copy of all recorded samples (unsorted, insertion order).
+  std::vector<double> samples() const;
+
+  void clear();
+
+  /// Merge another histogram's samples into this one.
+  void merge(const Histogram& other);
+
+ private:
+  double percentile_locked(double q) const;
+
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace pe

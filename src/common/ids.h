@@ -1,0 +1,33 @@
+// Process-unique identifier generation for pilots, tasks, messages, spans.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace pe {
+
+/// Monotonically increasing process-wide sequence, one counter per tag type.
+/// Used to build ids like "pilot-3" or "task-17".
+template <typename Tag>
+class IdSequence {
+ public:
+  static std::uint64_t next() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+struct PilotIdTag {};
+struct TaskIdTag {};
+struct MessageIdTag {};
+struct PipelineIdTag {};
+struct ConsumerIdTag {};
+
+inline std::string next_pilot_id() { return "pilot-" + std::to_string(IdSequence<PilotIdTag>::next()); }
+inline std::string next_task_id() { return "task-" + std::to_string(IdSequence<TaskIdTag>::next()); }
+inline std::uint64_t next_message_id() { return IdSequence<MessageIdTag>::next(); }
+inline std::string next_pipeline_id() { return "pipeline-" + std::to_string(IdSequence<PipelineIdTag>::next()); }
+inline std::string next_consumer_id() { return "consumer-" + std::to_string(IdSequence<ConsumerIdTag>::next()); }
+
+}  // namespace pe

@@ -1,0 +1,49 @@
+#include "common/logging.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+namespace pe {
+namespace {
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+void Logger::write(LogLevel level, const char* file, int line,
+                   const std::string& message) {
+  const auto now = std::chrono::system_clock::now();
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      now.time_since_epoch())
+                      .count();
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::fprintf(stderr, "[%lld.%06lld] %s %s:%d %s\n",
+               static_cast<long long>(us / 1000000),
+               static_cast<long long>(us % 1000000), level_name(level),
+               basename_of(file), line, message.c_str());
+}
+
+}  // namespace pe

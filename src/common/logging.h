@@ -1,0 +1,61 @@
+// Minimal leveled logger.
+//
+// Thread-safe, writes to stderr. Level is a process-wide atomic so tests
+// and benchmarks can silence chatter. Usage:
+//   PE_LOG_INFO("pilot " << id << " started");
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace pe {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+class Logger {
+ public:
+  static void set_level(LogLevel level) {
+    level_().store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  static LogLevel level() {
+    return static_cast<LogLevel>(level_().load(std::memory_order_relaxed));
+  }
+  static bool enabled(LogLevel l) {
+    return static_cast<int>(l) >= level_().load(std::memory_order_relaxed);
+  }
+
+  /// Emits one formatted line; used by the PE_LOG_* macros.
+  static void write(LogLevel level, const char* file, int line,
+                    const std::string& message);
+
+ private:
+  static std::atomic<int>& level_() {
+    static std::atomic<int> level{static_cast<int>(LogLevel::kWarn)};
+    return level;
+  }
+};
+
+}  // namespace pe
+
+#define PE_LOG_IMPL(level, expr)                                       \
+  do {                                                                 \
+    if (::pe::Logger::enabled(level)) {                                \
+      std::ostringstream pe_log_oss_;                                  \
+      pe_log_oss_ << expr; /* NOLINT */                                \
+      ::pe::Logger::write(level, __FILE__, __LINE__, pe_log_oss_.str()); \
+    }                                                                  \
+  } while (0)
+
+#define PE_LOG_TRACE(expr) PE_LOG_IMPL(::pe::LogLevel::kTrace, expr)
+#define PE_LOG_DEBUG(expr) PE_LOG_IMPL(::pe::LogLevel::kDebug, expr)
+#define PE_LOG_INFO(expr) PE_LOG_IMPL(::pe::LogLevel::kInfo, expr)
+#define PE_LOG_WARN(expr) PE_LOG_IMPL(::pe::LogLevel::kWarn, expr)
+#define PE_LOG_ERROR(expr) PE_LOG_IMPL(::pe::LogLevel::kError, expr)

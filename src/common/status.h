@@ -1,0 +1,125 @@
+// Lightweight Status / Result<T> error-handling primitives.
+//
+// The library avoids exceptions on hot paths (broker produce/fetch, task
+// dispatch); fallible operations return Status or Result<T> instead.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace pe {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kTimeout,
+  kCancelled,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode ("OK", "NOT_FOUND", ...).
+constexpr std::string_view to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kTimeout: return "TIMEOUT";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// Outcome of an operation that produces no value.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+  static Status InvalidArgument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status NotFound(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+  static Status ResourceExhausted(std::string m) { return {StatusCode::kResourceExhausted, std::move(m)}; }
+  static Status FailedPrecondition(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
+  static Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status Timeout(std::string m) { return {StatusCode::kTimeout, std::move(m)}; }
+  static Status Cancelled(std::string m) { return {StatusCode::kCancelled, std::move(m)}; }
+  static Status OutOfRange(std::string m) { return {StatusCode::kOutOfRange, std::move(m)}; }
+  static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    if (ok()) return "OK";
+    return std::string(pe::to_string(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Outcome of an operation that produces a T on success.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : value_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(value_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  /// The contained value. Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+  /// The error status, or OK when the result holds a value.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(value_);
+  }
+
+  const T& value_or(const T& fallback) const {
+    return ok() ? std::get<T>(value_) : fallback;
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace pe

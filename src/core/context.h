@@ -1,0 +1,72 @@
+// FunctionContext: what Pilot-Edge passes into every user function.
+//
+// The C++ rendering of the paper's `context: dict` parameter (Listing 1):
+// application configuration, identity of the executing task/device, and a
+// handle to the shared parameter service for cross-continuum state
+// ("Further information on the resource topology and shared state are via
+// a context object").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/config.h"
+#include "network/site.h"
+#include "paramserver/client.h"
+
+namespace pe::core {
+
+class FunctionContext {
+ public:
+  FunctionContext() = default;
+
+  /// Application-supplied configuration (Listing 2: function_context).
+  ConfigMap& params() { return params_; }
+  const ConfigMap& params() const { return params_; }
+
+  /// Pipeline this invocation belongs to (the "unique job identifier" the
+  /// paper uses to track progress across components).
+  const std::string& pipeline_id() const { return pipeline_id_; }
+  /// Stable id of the producing device or processing task.
+  const std::string& task_id() const { return task_id_; }
+  /// Site the function is executing on.
+  const net::SiteId& site() const { return site_; }
+  /// Sequence number of the current invocation on this task (0-based).
+  std::uint64_t invocation() const { return invocation_; }
+
+  /// Shared-state client (null when the pipeline runs without a parameter
+  /// service).
+  ps::ParameterClient* parameter_client() const {
+    return parameter_client_.get();
+  }
+
+  /// Cooperative stop flag of the surrounding streaming task.
+  bool stop_requested() const {
+    return stop_ && stop_->load(std::memory_order_acquire);
+  }
+
+  // --- wiring (used by the pipeline runtime) ---
+  void bind(std::string pipeline_id, std::string task_id, net::SiteId site,
+            std::shared_ptr<ps::ParameterClient> parameter_client,
+            std::shared_ptr<std::atomic<bool>> stop) {
+    pipeline_id_ = std::move(pipeline_id);
+    task_id_ = std::move(task_id);
+    site_ = std::move(site);
+    parameter_client_ = std::move(parameter_client);
+    stop_ = std::move(stop);
+  }
+  void set_invocation(std::uint64_t n) { invocation_ = n; }
+
+ private:
+  ConfigMap params_;
+  std::string pipeline_id_;
+  std::string task_id_;
+  net::SiteId site_;
+  std::uint64_t invocation_ = 0;
+  std::shared_ptr<ps::ParameterClient> parameter_client_;
+  std::shared_ptr<std::atomic<bool>> stop_;
+};
+
+}  // namespace pe::core

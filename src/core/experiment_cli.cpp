@@ -1,0 +1,244 @@
+#include "core/experiment_cli.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "common/logging.h"
+#include "core/functions.h"
+#include "resource/pilot_manager.h"
+#include "telemetry/json.h"
+
+namespace pe::core::cli {
+
+std::string usage() {
+  return R"(pilot_edge_run — run one Pilot-Edge experiment from flags
+
+  --devices N              simulated edge devices            (default 2)
+  --messages N             messages per device               (default 16)
+  --points N               points per message (x32 features) (default 1000)
+  --partitions N           topic partitions (0 = per device) (default 0)
+  --processing-tasks N     cloud tasks (0 = per partition)   (default 0)
+  --model NAME             baseline|kmeans|iforest|ae        (default kmeans)
+  --mode MODE              cloud|hybrid|edge                 (default cloud)
+  --aggregate W            hybrid edge aggregation window    (default 8)
+  --topology T             single|geo                        (default single)
+  --ingest I               direct|mqtt                       (default direct)
+  --time-scale X           WAN emulation speed-up            (default 1.0)
+  --produce-interval-ms N  pacing between messages           (default 0)
+  --json PATH              write the run report as JSON
+  --csv PATH               append a CSV row
+  --verbose                info-level logging
+  --help                   this text
+)";
+}
+
+Result<Options> parse(int argc, const char* const* argv) {
+  Options options;
+  auto need_value = [&](int& i) -> Result<std::string> {
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument(std::string(argv[i]) +
+                                     " requires a value");
+    }
+    return std::string(argv[++i]);
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      options.help = true;
+      return options;
+    }
+    if (arg == "--verbose") {
+      options.verbose = true;
+      continue;
+    }
+    auto value = need_value(i);
+    if (!value.ok()) return value.status();
+    const std::string& v = value.value();
+    auto as_size = [&]() -> Result<std::size_t> {
+      try {
+        return static_cast<std::size_t>(std::stoull(v));
+      } catch (...) {
+        return Status::InvalidArgument("bad number for " + arg + ": " + v);
+      }
+    };
+    if (arg == "--devices") {
+      auto n = as_size();
+      if (!n.ok()) return n.status();
+      options.devices = n.value();
+    } else if (arg == "--messages") {
+      auto n = as_size();
+      if (!n.ok()) return n.status();
+      options.messages_per_device = n.value();
+    } else if (arg == "--points") {
+      auto n = as_size();
+      if (!n.ok()) return n.status();
+      options.points = n.value();
+    } else if (arg == "--partitions") {
+      auto n = as_size();
+      if (!n.ok()) return n.status();
+      options.partitions = static_cast<std::uint32_t>(n.value());
+    } else if (arg == "--processing-tasks") {
+      auto n = as_size();
+      if (!n.ok()) return n.status();
+      options.processing_tasks = n.value();
+    } else if (arg == "--aggregate") {
+      auto n = as_size();
+      if (!n.ok()) return n.status();
+      options.aggregate_window = n.value();
+    } else if (arg == "--produce-interval-ms") {
+      auto n = as_size();
+      if (!n.ok()) return n.status();
+      options.produce_interval_ms = n.value();
+    } else if (arg == "--model") {
+      options.model = v;
+    } else if (arg == "--mode") {
+      if (v != "cloud" && v != "hybrid" && v != "edge") {
+        return Status::InvalidArgument("unknown mode '" + v + "'");
+      }
+      options.mode = v;
+    } else if (arg == "--topology") {
+      if (v != "single" && v != "geo") {
+        return Status::InvalidArgument("unknown topology '" + v + "'");
+      }
+      options.topology = v;
+    } else if (arg == "--ingest") {
+      if (v != "direct" && v != "mqtt") {
+        return Status::InvalidArgument("unknown ingest '" + v + "'");
+      }
+      options.ingest = v;
+    } else if (arg == "--time-scale") {
+      try {
+        options.time_scale = std::stod(v);
+      } catch (...) {
+        return Status::InvalidArgument("bad time scale: " + v);
+      }
+      if (options.time_scale <= 0.0) {
+        return Status::InvalidArgument("time scale must be > 0");
+      }
+    } else if (arg == "--json") {
+      options.json_path = v;
+    } else if (arg == "--csv") {
+      options.csv_path = v;
+    } else {
+      return Status::InvalidArgument("unknown flag '" + arg + "'");
+    }
+  }
+  if (options.devices == 0) {
+    return Status::InvalidArgument("--devices must be >= 1");
+  }
+  if (auto kind = ml::parse_model_kind(options.model); !kind.ok()) {
+    return kind.status();
+  }
+  return options;
+}
+
+int run(const Options& options) {
+  if (options.help) {
+    std::fputs(usage().c_str(), stdout);
+    return 0;
+  }
+  Logger::set_level(options.verbose ? LogLevel::kInfo : LogLevel::kWarn);
+  Clock::set_time_scale(options.time_scale);
+
+  // Topology + pilots.
+  const bool geo = options.topology == "geo";
+  auto fabric = geo ? net::Fabric::make_paper_topology()
+                    : net::Fabric::make_single_site_topology();
+  const net::SiteId edge_site = geo ? "edge-us" : "lrz-eu";
+  const net::SiteId cloud_site = "lrz-eu";
+
+  res::PilotManagerOptions pm_options;
+  pm_options.startup_delay_factor = 0.001;
+  res::PilotManager pm(fabric, pm_options);
+  auto edge = pm.submit(res::Flavors::make(
+      edge_site, res::Backend::kCloudVm,
+      static_cast<std::uint32_t>(options.devices),
+      4.0 * static_cast<double>(options.devices)));
+  auto cloud = pm.submit(res::Flavors::lrz_large(cloud_site));
+  auto broker = pm.submit(res::Flavors::make(
+      cloud_site, res::Backend::kBrokerService, 4, 16.0));
+  if (!edge.ok() || !cloud.ok() || !broker.ok()) {
+    std::fprintf(stderr, "pilot submission failed\n");
+    return 1;
+  }
+  if (auto s = pm.wait_all_active(); !s.ok()) {
+    std::fprintf(stderr, "pilot acquisition failed: %s\n",
+                 s.to_string().c_str());
+    return 1;
+  }
+
+  // Pipeline.
+  PipelineConfig config;
+  config.edge_devices = options.devices;
+  config.messages_per_device = options.messages_per_device;
+  config.rows_per_message = options.points;
+  config.partitions = options.partitions;
+  config.processing_tasks = options.processing_tasks;
+  config.produce_interval =
+      std::chrono::milliseconds(options.produce_interval_ms);
+  config.run_timeout = std::chrono::hours(2);
+  if (options.ingest == "mqtt") config.ingest = IngestPath::kMqttBridge;
+  if (options.mode == "hybrid") config.mode = DeploymentMode::kHybrid;
+  if (options.mode == "edge") config.mode = DeploymentMode::kEdgeCentric;
+
+  const auto kind = ml::parse_model_kind(options.model).value();
+  EdgeToCloudPipeline pipeline(config);
+  pipeline.set_fabric(fabric)
+      .set_pilot_edge(edge.value())
+      .set_pilot_cloud_processing(cloud.value())
+      .set_pilot_cloud_broker(broker.value())
+      .set_produce_function(
+          functions::make_generator_produce({}, options.points));
+  if (config.mode != DeploymentMode::kCloudCentric) {
+    pipeline.set_process_edge_function(
+        functions::make_aggregate_edge(options.aggregate_window));
+  }
+  pipeline.set_process_cloud_function(
+      kind == ml::ModelKind::kBaseline
+          ? functions::make_passthrough_process()
+          : functions::make_model_process(kind));
+
+  std::printf("running: %zu device(s) x %zu msg x %zu points, model %s, "
+              "%s topology, %s ingest, mode %s\n",
+              options.devices, options.messages_per_device, options.points,
+              options.model.c_str(), options.topology.c_str(),
+              options.ingest.c_str(), options.mode.c_str());
+  auto report = pipeline.run();
+  Clock::set_time_scale(1.0);
+  if (!report.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 report.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("\n%s", report.value().run.to_string().c_str());
+  std::printf("outliers: %llu | errors: %llu | duplicates skipped: %llu\n",
+              static_cast<unsigned long long>(report.value().outliers_detected),
+              static_cast<unsigned long long>(report.value().processing_errors),
+              static_cast<unsigned long long>(report.value().duplicates_skipped));
+
+  if (!options.json_path.empty()) {
+    std::ofstream out(options.json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", options.json_path.c_str());
+      return 1;
+    }
+    out << tel::to_json(report.value().run) << "\n";
+    std::printf("report written to %s\n", options.json_path.c_str());
+  }
+  if (!options.csv_path.empty()) {
+    const bool fresh = !std::ifstream(options.csv_path).good();
+    std::ofstream out(options.csv_path, std::ios::app);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", options.csv_path.c_str());
+      return 1;
+    }
+    if (fresh) out << tel::RunReport::csv_header() << "\n";
+    out << report.value().run.to_csv_row() << "\n";
+    std::printf("csv row appended to %s\n", options.csv_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace pe::core::cli

@@ -1,0 +1,53 @@
+// Command-line experiment runner.
+//
+// Lets a user drive any single-pipeline experiment from flags — the
+// "characterization" workflow of the paper without writing C++:
+//
+//   pilot_edge_run --devices 4 --messages 64 --points 1000 \
+//       --model kmeans --topology geo --mode hybrid --aggregate 8 \
+//       --json out.json
+//
+// The parser is exposed separately so it is unit-testable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/pipeline.h"
+
+namespace pe::core::cli {
+
+struct Options {
+  std::size_t devices = 2;
+  std::size_t messages_per_device = 16;
+  std::size_t points = 1000;
+  std::uint32_t partitions = 0;  // 0 = one per device
+  std::size_t processing_tasks = 0;
+  std::string model = "kmeans";
+  /// "cloud" | "hybrid" | "edge"
+  std::string mode = "cloud";
+  std::size_t aggregate_window = 8;  // hybrid edge aggregation factor
+  /// "single" (all on LRZ) | "geo" (paper's US->EU WAN)
+  std::string topology = "single";
+  /// "direct" | "mqtt"
+  std::string ingest = "direct";
+  double time_scale = 1.0;
+  std::uint64_t produce_interval_ms = 0;
+  std::string json_path;  // write the run report as JSON here
+  std::string csv_path;   // append a CSV row here
+  bool verbose = false;
+  bool help = false;
+};
+
+/// Parses argv; returns INVALID_ARGUMENT with a message on bad flags.
+Result<Options> parse(int argc, const char* const* argv);
+
+/// Usage text for --help / parse errors.
+std::string usage();
+
+/// Builds the testbed, runs the experiment, prints/writes reports.
+/// Returns the process exit code.
+int run(const Options& options);
+
+}  // namespace pe::core::cli

@@ -1,0 +1,65 @@
+// The Pilot-Edge FaaS API (paper Listing 1).
+//
+//   def produce_edge(context)                      -> ProduceFn
+//   def process_edge(context, data)                -> ProcessFn
+//   def process_cloud(context, data)               -> ProcessFn
+//
+// Data flows as DataBlocks: produce functions create them, process
+// functions transform them (edge: pre-aggregation / compression; cloud:
+// training + inference). A ProcessResult can carry per-row anomaly scores
+// in addition to the forwarded block.
+//
+// Because processing tasks are long-running and stateful (each keeps its
+// own model replica), cloud/edge handlers are supplied as *factories*:
+// the pipeline calls the factory once per processing task to get that
+// task's private ProcessFn. A convenience adapter turns a plain stateless
+// ProcessFn into a factory.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/context.h"
+#include "data/block.h"
+
+namespace pe::core {
+
+/// Output of a process function.
+struct ProcessResult {
+  /// Block to forward downstream (or final block for the last stage).
+  data::DataBlock block;
+  /// Optional per-row anomaly scores (size == block.rows when present).
+  std::vector<double> scores;
+  /// Number of rows flagged anomalous by the function's own threshold.
+  std::size_t outliers = 0;
+};
+
+/// Sensing/data-generation function deployed on the edge. Returns one
+/// block per invocation (message_id/producer/timestamp stamped by the
+/// runtime). Returning CANCELLED ends the producer early.
+using ProduceFn = std::function<Result<data::DataBlock>(FunctionContext&)>;
+
+/// Processing function (edge or cloud).
+using ProcessFn =
+    std::function<Result<ProcessResult>(FunctionContext&, data::DataBlock)>;
+
+/// Factory invoked once per processing task (stateful handlers).
+using ProcessFnFactory = std::function<ProcessFn()>;
+
+/// Factory invoked once per edge device; the index distinguishes devices
+/// (e.g. to seed independent data generators).
+using ProduceFnFactory = std::function<ProduceFn(std::size_t device_index)>;
+
+/// Adapts a stateless/shared ProcessFn into a factory.
+inline ProcessFnFactory shared_process_fn(ProcessFn fn) {
+  return [fn = std::move(fn)]() { return fn; };
+}
+
+/// Adapts a device-agnostic ProduceFn into a factory.
+inline ProduceFnFactory shared_produce_fn(ProduceFn fn) {
+  return [fn = std::move(fn)](std::size_t) { return fn; };
+}
+
+}  // namespace pe::core

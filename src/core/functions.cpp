@@ -1,0 +1,160 @@
+#include "core/functions.h"
+
+#include <memory>
+
+#include "common/logging.h"
+#include "ml/outlier.h"
+
+namespace pe::core::functions {
+
+ProduceFnFactory make_generator_produce(data::GeneratorConfig config,
+                                        std::size_t rows_per_message) {
+  return [config, rows_per_message](std::size_t device_index) -> ProduceFn {
+    data::GeneratorConfig device_config = config;
+    device_config.seed = config.seed + device_index;
+    auto generator = std::make_shared<data::Generator>(device_config);
+    return [generator, rows_per_message](FunctionContext&)
+               -> Result<data::DataBlock> {
+      return generator->generate(rows_per_message);
+    };
+  };
+}
+
+ProduceFnFactory make_seasonal_produce(data::SeasonalConfig config,
+                                       std::size_t rows_per_message) {
+  return [config, rows_per_message](std::size_t device_index) -> ProduceFn {
+    data::SeasonalConfig device_config = config;
+    device_config.seed = config.seed + device_index * 131;
+    auto generator =
+        std::make_shared<data::SeasonalGenerator>(device_config);
+    return [generator, rows_per_message](FunctionContext&)
+               -> Result<data::DataBlock> {
+      return generator->generate(rows_per_message);
+    };
+  };
+}
+
+ProcessFnFactory make_passthrough_process() {
+  return []() -> ProcessFn {
+    return [](FunctionContext&, data::DataBlock block)
+               -> Result<ProcessResult> {
+      ProcessResult result;
+      result.block = std::move(block);
+      return result;
+    };
+  };
+}
+
+ProcessFnFactory make_aggregate_edge(std::size_t window) {
+  if (window == 0) window = 1;
+  return [window]() -> ProcessFn {
+    return [window](FunctionContext&, data::DataBlock block)
+               -> Result<ProcessResult> {
+      if (!block.valid()) return Status::InvalidArgument("invalid block");
+      ProcessResult result;
+      if (window == 1 || block.rows == 0) {
+        result.block = std::move(block);
+        return result;
+      }
+      data::DataBlock out;
+      out.message_id = block.message_id;
+      out.producer_id = block.producer_id;
+      out.produced_ns = block.produced_ns;
+      out.cols = block.cols;
+      out.rows = (block.rows + window - 1) / window;
+      out.values.assign(out.rows * out.cols, 0.0);
+      const bool labels = block.has_labels();
+      if (labels) out.labels.assign(out.rows, 0);
+      for (std::size_t r = 0; r < block.rows; ++r) {
+        const std::size_t g = r / window;
+        const auto src = block.row(r);
+        double* dst = out.values.data() + g * out.cols;
+        for (std::size_t f = 0; f < out.cols; ++f) dst[f] += src[f];
+        if (labels && block.labels[r] != 0) out.labels[g] = 1;
+      }
+      for (std::size_t g = 0; g < out.rows; ++g) {
+        const std::size_t members =
+            std::min(window, block.rows - g * window);
+        double* dst = out.values.data() + g * out.cols;
+        for (std::size_t f = 0; f < out.cols; ++f) {
+          dst[f] /= static_cast<double>(members);
+        }
+      }
+      result.block = std::move(out);
+      return result;
+    };
+  };
+}
+
+ProcessFnFactory make_model_process(ml::ModelKind kind, ConfigMap model_config,
+                                    ModelProcessOptions options) {
+  return [kind, model_config, options]() -> ProcessFn {
+    auto model = std::shared_ptr<ml::OutlierModel>(
+        ml::make_model(kind, model_config));
+    // Sliding training window (rows of recent blocks), when enabled.
+    auto window = std::make_shared<data::DataBlock>();
+    return [model, options, window](FunctionContext& ctx,
+                                    data::DataBlock block)
+               -> Result<ProcessResult> {
+      if (!block.valid()) return Status::InvalidArgument("invalid block");
+
+      // Optionally adopt the latest shared model before local training.
+      if (!options.pull_key.empty() && ctx.parameter_client() != nullptr) {
+        if (auto latest = ctx.parameter_client()->get(options.pull_key);
+            latest.ok()) {
+          if (auto s = model->load(latest.value().value); !s.ok()) {
+            PE_LOG_WARN("model pull failed to load: " << s.to_string());
+          }
+        }
+      }
+
+      // Streaming training (paper: "the model is updated based on the
+      // incoming data"), then inference on the same block. With a window,
+      // training covers the most recent window_rows rows instead.
+      if (options.window_rows > 0) {
+        window->cols = block.cols;
+        window->values.insert(window->values.end(), block.values.begin(),
+                              block.values.end());
+        window->rows += block.rows;
+        if (window->rows > options.window_rows) {
+          const std::size_t drop = window->rows - options.window_rows;
+          window->values.erase(
+              window->values.begin(),
+              window->values.begin() +
+                  static_cast<std::ptrdiff_t>(drop * window->cols));
+          window->rows = options.window_rows;
+        }
+        if (auto s = model->partial_fit(*window); !s.ok()) return s;
+      } else if (auto s = model->partial_fit(block); !s.ok()) {
+        return s;
+      }
+      auto scores = model->score(block);
+      if (!scores.ok()) return scores.status();
+
+      ProcessResult result;
+      result.scores = std::move(scores).value();
+      const double threshold =
+          ml::score_quantile(result.scores, 1.0 - options.contamination);
+      for (double s : result.scores) {
+        if (s >= threshold && s > 0.0) result.outliers += 1;
+      }
+
+      // Model exchange through the parameter service.
+      if (options.publish_interval > 0 && ctx.parameter_client() != nullptr &&
+          (ctx.invocation() + 1) % options.publish_interval == 0) {
+        const std::string key = options.pull_key.empty()
+                                    ? "model/" + ctx.task_id()
+                                    : options.pull_key;
+        if (auto s = ctx.parameter_client()->set(key, model->save());
+            !s.ok()) {
+          PE_LOG_WARN("model publish failed: " << s.status().to_string());
+        }
+      }
+
+      result.block = std::move(block);
+      return result;
+    };
+  };
+}
+
+}  // namespace pe::core::functions

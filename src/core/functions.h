@@ -1,0 +1,63 @@
+// Built-in Pilot-Edge function library.
+//
+// The paper's common patterns (§II-D) as ready-made handlers:
+//  - sensing/data generation on the edge (synthetic Mini-App generator),
+//  - edge pre-aggregation / compression,
+//  - cloud ML processing (streaming train + outlier inference with model
+//    sharing through the parameter service).
+#pragma once
+
+#include <cstdint>
+
+#include "core/faas.h"
+#include "data/generator.h"
+#include "data/seasonal.h"
+#include "ml/factory.h"
+
+namespace pe::core::functions {
+
+/// produce_edge: emits blocks of `rows_per_message` synthetic points per
+/// invocation. Each device gets an independent generator (seeded by
+/// base config seed + device index).
+ProduceFnFactory make_generator_produce(data::GeneratorConfig config,
+                                        std::size_t rows_per_message);
+
+/// produce_edge: periodic sensor time series with injected spikes/level
+/// shifts (the paper's "seasonal" IoT motif). Per-device independent
+/// phase/seed.
+ProduceFnFactory make_seasonal_produce(data::SeasonalConfig config,
+                                       std::size_t rows_per_message);
+
+/// process_edge / process_cloud: no-op forwarding (baseline runs).
+ProcessFnFactory make_passthrough_process();
+
+/// process_edge: mean-aggregates every `window` consecutive rows into one,
+/// shrinking the payload by ~window (the paper's "data pre-aggregation
+/// ... data compression to ensure that the amount of data movement is
+/// minimal"). Ground-truth labels are max-pooled over the window.
+ProcessFnFactory make_aggregate_edge(std::size_t window);
+
+struct ModelProcessOptions {
+  /// Share of highest scores flagged as outliers (PyOD contamination).
+  double contamination = 0.05;
+  /// Publish model weights to the parameter service every N invocations
+  /// (0 = never). Key: "model/<task_id>".
+  std::size_t publish_interval = 8;
+  /// Also re-load the latest published weights under `pull_key` before
+  /// each publish (simple cross-task model exchange). Empty = off.
+  std::string pull_key;
+  /// Sliding training window: keep the most recent N rows across blocks
+  /// and train on the window instead of only the newest block (0 = train
+  /// per block). PyOD-style batch training over recent history.
+  std::size_t window_rows = 0;
+};
+
+/// process_cloud: streaming ML. Per task: its own model replica; per
+/// invocation: partial_fit on the block, score all rows, threshold by
+/// contamination quantile, optionally exchange weights via the parameter
+/// service.
+ProcessFnFactory make_model_process(ml::ModelKind kind,
+                                    ConfigMap model_config = {},
+                                    ModelProcessOptions options = {});
+
+}  // namespace pe::core::functions

@@ -1,0 +1,341 @@
+#include "core/multistage.h"
+
+#include <sstream>
+
+#include "broker/consumer.h"
+#include "broker/producer.h"
+#include "common/ids.h"
+#include "common/logging.h"
+#include "data/codec.h"
+
+namespace pe::core {
+
+MultiStagePipeline::MultiStagePipeline(MultiStageConfig config)
+    : id_(next_pipeline_id()), config_(std::move(config)) {}
+
+MultiStagePipeline::~MultiStagePipeline() { stop_all(); }
+
+MultiStagePipeline& MultiStagePipeline::set_fabric(
+    std::shared_ptr<net::Fabric> fabric) {
+  fabric_ = std::move(fabric);
+  return *this;
+}
+MultiStagePipeline& MultiStagePipeline::set_pilot_broker(res::PilotPtr p) {
+  broker_pilot_ = std::move(p);
+  return *this;
+}
+MultiStagePipeline& MultiStagePipeline::set_pilot_edge(res::PilotPtr p) {
+  edge_pilot_ = std::move(p);
+  return *this;
+}
+MultiStagePipeline& MultiStagePipeline::set_produce_function(
+    ProduceFnFactory f) {
+  produce_factory_ = std::move(f);
+  return *this;
+}
+MultiStagePipeline& MultiStagePipeline::add_stage(StageSpec stage) {
+  stages_.push_back(std::move(stage));
+  return *this;
+}
+
+Status MultiStagePipeline::validate() const {
+  if (!fabric_) return Status::InvalidArgument("no fabric");
+  if (!broker_pilot_) return Status::InvalidArgument("no broker pilot");
+  if (!edge_pilot_) return Status::InvalidArgument("no edge pilot");
+  if (!produce_factory_) return Status::InvalidArgument("no produce fn");
+  if (stages_.empty()) return Status::InvalidArgument("no stages");
+  for (const auto& stage : stages_) {
+    if (!stage.pilot) {
+      return Status::InvalidArgument("stage '" + stage.name + "' has no pilot");
+    }
+    if (!stage.process) {
+      return Status::InvalidArgument("stage '" + stage.name +
+                                     "' has no process function");
+    }
+  }
+  if (config_.edge_devices == 0) {
+    return Status::InvalidArgument("need >= 1 device");
+  }
+  return Status::Ok();
+}
+
+std::string MultiStagePipeline::topic_name(std::size_t stage) const {
+  return config_.topic_prefix + "-" + id_ + "-" + std::to_string(stage);
+}
+
+Status MultiStagePipeline::producer_body(exec::TaskContext& tctx,
+                                         std::size_t device_index) {
+  const std::string device_id = "device-" + std::to_string(device_index);
+  ProduceFn produce = produce_factory_(device_index);
+  broker::Producer producer(broker_, fabric_, edge_pilot_->site());
+  FunctionContext fctx;
+  fctx.params().merge_from(config_.function_context);
+  fctx.bind(id_, device_id, edge_pilot_->site(), nullptr, tctx.stop_flag());
+  const auto partition =
+      static_cast<std::uint32_t>(device_index % effective_partitions_);
+
+  for (std::size_t m = 0; m < config_.messages_per_device; ++m) {
+    if (tctx.stop_requested()) return Status::Cancelled("stopped");
+    fctx.set_invocation(m);
+    auto block_result = produce(fctx);
+    if (!block_result.ok()) {
+      if (block_result.status().code() == StatusCode::kCancelled) break;
+      return block_result.status();
+    }
+    data::DataBlock block = std::move(block_result).value();
+    block.message_id = next_message_id();
+    block.producer_id = device_id;
+    block.produced_ns = Clock::now_ns();
+    collector_->on_produced(block.message_id, device_id, partition,
+                            block.value_bytes(), block.rows,
+                            block.produced_ns);
+    broker::Record record;
+    record.key = device_id;
+    record.client_timestamp_ns = block.produced_ns;
+    record.value = data::Codec::encode(block);
+    auto meta = producer.send(topic_name(0), partition, std::move(record));
+    if (!meta.ok()) return meta.status();
+    produced_.fetch_add(1);
+    if (config_.produce_interval > Duration::zero()) {
+      Clock::sleep_scaled(config_.produce_interval);
+    }
+  }
+  return Status::Ok();
+}
+
+Status MultiStagePipeline::stage_body(exec::TaskContext& tctx,
+                                      std::size_t stage_index,
+                                      std::size_t task_index) {
+  StageState& state = *stage_states_[stage_index];
+  const StageSpec& spec = stages_[stage_index];
+  const net::SiteId site = spec.pilot->site();
+  const bool last_stage = stage_index + 1 == stages_.size();
+
+  ProcessFn process = spec.process();
+  broker::ConsumerConfig consumer_config;
+  consumer_config.max_poll_records = 16;
+  broker::Consumer consumer(broker_, fabric_, site,
+                            "g-" + id_ + "-" + std::to_string(stage_index),
+                            consumer_config);
+  if (auto s = consumer.subscribe({topic_name(stage_index)}); !s.ok()) {
+    state.running.fetch_sub(1);
+    return s;
+  }
+  broker::Producer producer(broker_, fabric_, site);
+
+  FunctionContext fctx;
+  fctx.params().merge_from(config_.function_context);
+  fctx.bind(id_, spec.name + "-" + std::to_string(task_index), site, nullptr,
+            tctx.stop_flag());
+
+  auto upstream_total = [&]() -> std::uint64_t {
+    return stage_index == 0 ? produced_.load()
+                            : stage_states_[stage_index - 1]->out.load();
+  };
+  auto finished = [&]() {
+    return state.upstream_done.load(std::memory_order_acquire) &&
+           state.in.load() >= upstream_total();
+  };
+
+  std::uint64_t invocation = 0;
+  while (!tctx.stop_requested() && !finished()) {
+    auto records = consumer.poll(config_.poll_timeout);
+    for (auto& record : records) {
+      auto decoded = data::Codec::decode(record.record.value);
+      if (!decoded.ok()) {
+        state.errors.fetch_add(1);
+        state.in.fetch_add(1);
+        continue;
+      }
+      data::DataBlock block = std::move(decoded).value();
+      {
+        std::lock_guard<std::mutex> lock(state.seen_mutex);
+        if (!state.seen.insert(block.message_id).second) continue;
+      }
+      state.in.fetch_add(1);
+
+      fctx.set_invocation(invocation++);
+      const std::uint64_t message_id = block.message_id;
+      const Stopwatch sw;
+      auto result = process(fctx, std::move(block));
+      state.processing_ms.record(sw.elapsed_ms());
+      if (!result.ok()) {
+        state.errors.fetch_add(1);
+        continue;
+      }
+      if (last_stage) {
+        // produced_ns + process_end_ns complete the span; the chain's
+        // end-to-end latency is all the report needs.
+        collector_->on_process_end(message_id, Clock::now_ns());
+        state.out.fetch_add(1);
+      } else {
+        data::DataBlock forward = std::move(result.value().block);
+        forward.message_id = message_id;  // identity survives the chain
+        broker::Record record_out;
+        record_out.key = forward.producer_id;
+        record_out.client_timestamp_ns = forward.produced_ns;
+        record_out.value = data::Codec::encode(forward);
+        auto partition = broker_->select_partition(
+            topic_name(stage_index + 1), record_out);
+        if (!partition.ok()) {
+          state.errors.fetch_add(1);
+          continue;
+        }
+        auto meta = producer.send(topic_name(stage_index + 1),
+                                  partition.value(), std::move(record_out));
+        if (!meta.ok()) {
+          state.errors.fetch_add(1);
+          continue;
+        }
+        state.out.fetch_add(1);
+      }
+      if (tctx.stop_requested()) break;
+    }
+  }
+
+  // Last task out closes the door for the next stage.
+  if (state.running.fetch_sub(1) == 1 && !last_stage) {
+    stage_states_[stage_index + 1]->upstream_done.store(
+        true, std::memory_order_release);
+  }
+  return Status::Ok();
+}
+
+Result<MultiStageReport> MultiStagePipeline::run() {
+  if (started_) return Status::FailedPrecondition("already ran");
+  if (auto s = validate(); !s.ok()) return s;
+  started_ = true;
+
+  if (auto s = broker_pilot_->wait_active(); !s.ok()) return s;
+  if (auto s = edge_pilot_->wait_active(); !s.ok()) return s;
+  for (const auto& stage : stages_) {
+    if (auto s = stage.pilot->wait_active(); !s.ok()) return s;
+  }
+  broker_ = broker_pilot_->broker();
+  if (!broker_) return Status::InvalidArgument("broker pilot has no broker");
+
+  effective_partitions_ =
+      config_.partitions != 0
+          ? config_.partitions
+          : static_cast<std::uint32_t>(config_.edge_devices);
+  for (std::size_t t = 0; t < stages_.size(); ++t) {
+    broker::TopicConfig topic_config;
+    topic_config.partitions = effective_partitions_;
+    if (auto s = broker_->create_topic(topic_name(t), topic_config);
+        !s.ok() && s.code() != StatusCode::kAlreadyExists) {
+      return s;
+    }
+  }
+
+  collector_ = std::make_shared<tel::SpanCollector>();
+  stage_states_.clear();
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    stage_states_.push_back(std::make_unique<StageState>());
+  }
+
+  // Start stage tasks from the last stage backwards so every consumer is
+  // polling before data arrives.
+  for (std::size_t i = stages_.size(); i-- > 0;) {
+    const std::size_t tasks =
+        stages_[i].tasks != 0 ? stages_[i].tasks : effective_partitions_;
+    stage_states_[i]->running.store(tasks);
+    auto cluster = stages_[i].pilot->cluster();
+    if (!cluster) return Status::Internal("stage pilot without cluster");
+    for (std::size_t t = 0; t < tasks; ++t) {
+      exec::TaskSpec spec;
+      spec.name = id_ + "-" + stages_[i].name + "-" + std::to_string(t);
+      spec.cores = 1;
+      spec.fn = [this, i, t](exec::TaskContext& tctx) {
+        return stage_body(tctx, i, t);
+      };
+      auto handle = cluster->submit(std::move(spec));
+      if (!handle.ok()) {
+        stop_all();
+        return handle.status();
+      }
+      handles_.push_back(std::move(handle).value());
+    }
+  }
+
+  // Producers.
+  producers_running_.store(config_.edge_devices);
+  auto edge_cluster = edge_pilot_->cluster();
+  if (!edge_cluster) return Status::Internal("edge pilot without cluster");
+  for (std::size_t d = 0; d < config_.edge_devices; ++d) {
+    exec::TaskSpec spec;
+    spec.name = id_ + "-device-" + std::to_string(d);
+    spec.cores = 1;
+    spec.fn = [this, d](exec::TaskContext& tctx) {
+      auto status = producer_body(tctx, d);
+      if (producers_running_.fetch_sub(1) == 1) {
+        stage_states_[0]->upstream_done.store(true,
+                                              std::memory_order_release);
+      }
+      return status;
+    };
+    auto handle = edge_cluster->submit(std::move(spec));
+    if (!handle.ok()) {
+      stop_all();
+      return handle.status();
+    }
+    handles_.push_back(std::move(handle).value());
+  }
+
+  // Wait for everything, bounded by the run timeout.
+  const auto deadline = Clock::now() + config_.run_timeout;
+  Status run_status = Status::Ok();
+  for (auto& handle : handles_) {
+    const auto remaining = deadline - Clock::now();
+    if (remaining <= Duration::zero() ||
+        !handle.wait_for(std::chrono::duration_cast<Duration>(remaining))) {
+      run_status = Status::Timeout("multi-stage run exceeded timeout");
+      stop_all();
+      break;
+    }
+  }
+
+  MultiStageReport report;
+  report.status = run_status;
+  report.messages_produced = produced_.load();
+  report.messages_completed = stage_states_.back()->out.load();
+  Histogram e2e;
+  for (const auto& span : collector_->completed()) {
+    e2e.record(span.end_to_end_ms());
+  }
+  report.end_to_end_ms = e2e.summary();
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    StageReport stage;
+    stage.name = stages_[i].name;
+    stage.messages_in = stage_states_[i]->in.load();
+    stage.messages_out = stage_states_[i]->out.load();
+    stage.errors = stage_states_[i]->errors.load();
+    stage.processing_ms = stage_states_[i]->processing_ms.summary();
+    report.stages.push_back(std::move(stage));
+  }
+  return report;
+}
+
+void MultiStagePipeline::stop_all() {
+  for (auto& handle : handles_) handle.request_stop();
+  for (auto& handle : handles_) {
+    (void)handle.wait_for(std::chrono::seconds(30));
+  }
+}
+
+std::string MultiStageReport::to_string() const {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(2);
+  oss << "multi-stage run: " << messages_produced << " produced, "
+      << messages_completed << " completed chain; e2e "
+      << end_to_end_ms.mean << " ms mean (p99 " << end_to_end_ms.p99
+      << ")\n";
+  for (const auto& stage : stages) {
+    oss << "  stage " << stage.name << ": in " << stage.messages_in
+        << ", out " << stage.messages_out << ", errors " << stage.errors
+        << ", proc " << stage.processing_ms.mean << " ms\n";
+  }
+  return oss.str();
+}
+
+}  // namespace pe::core

@@ -1,0 +1,139 @@
+// MultiStagePipeline: N-layer continuum topologies.
+//
+// The paper's future work (§V): "we will generalize the abstraction to
+// arbitrary architectures and topologies of resources — currently, it is
+// limited to two layers: edge and cloud." This pipeline chains an
+// arbitrary number of processing stages, each bound to its own pilot
+// (edge gateway, fog/regional cloud, central cloud, ...) and connected by
+// per-stage broker topics:
+//
+//   devices --produce--> [topic 0] --stage 0--> [topic 1] --stage 1--> ...
+//
+// Each stage consumes its input topic with a consumer group sized to the
+// topic's partitions, applies its ProcessFn, and produces the transformed
+// block to the next topic (the final stage only consumes). Every hop
+// charges the fabric link between the stages' sites, so a fog layer that
+// reduces data before the WAN shows up exactly like the paper's hybrid
+// deployment — but with as many layers as the application wants.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "broker/broker.h"
+#include "common/histogram.h"
+#include "common/status.h"
+#include "core/faas.h"
+#include "mqtt/mqtt_bridge.h"
+#include "resource/pilot.h"
+#include "telemetry/collector.h"
+
+namespace pe::core {
+
+/// One processing layer of the chain.
+struct StageSpec {
+  std::string name;
+  res::PilotPtr pilot;
+  ProcessFnFactory process;
+  /// Parallel tasks for this stage; 0 = one per input-topic partition.
+  std::size_t tasks = 0;
+};
+
+struct MultiStageConfig {
+  std::string topic_prefix = "stage";
+  std::size_t edge_devices = 1;
+  /// Partitions for every chained topic; 0 = one per device.
+  std::uint32_t partitions = 0;
+  std::size_t messages_per_device = 16;
+  std::size_t rows_per_message = 100;
+  Duration produce_interval = Duration::zero();
+  Duration poll_timeout = std::chrono::milliseconds(50);
+  Duration run_timeout = std::chrono::minutes(10);
+  ConfigMap function_context;
+};
+
+struct StageReport {
+  std::string name;
+  std::uint64_t messages_in = 0;
+  std::uint64_t messages_out = 0;
+  std::uint64_t errors = 0;
+  SummaryStats processing_ms;
+};
+
+struct MultiStageReport {
+  Status status = Status::Ok();
+  std::uint64_t messages_produced = 0;
+  /// Messages that completed the full chain.
+  std::uint64_t messages_completed = 0;
+  SummaryStats end_to_end_ms;
+  std::vector<StageReport> stages;
+  std::string to_string() const;
+};
+
+class MultiStagePipeline {
+ public:
+  explicit MultiStagePipeline(MultiStageConfig config);
+  ~MultiStagePipeline();
+
+  MultiStagePipeline(const MultiStagePipeline&) = delete;
+  MultiStagePipeline& operator=(const MultiStagePipeline&) = delete;
+
+  MultiStagePipeline& set_fabric(std::shared_ptr<net::Fabric> fabric);
+  /// Pilot hosting the broker for all chained topics.
+  MultiStagePipeline& set_pilot_broker(res::PilotPtr pilot);
+  /// Pilot(s) hosting the produce (device) tasks.
+  MultiStagePipeline& set_pilot_edge(res::PilotPtr pilot);
+  MultiStagePipeline& set_produce_function(ProduceFnFactory factory);
+  /// Appends a stage; stages execute in insertion order.
+  MultiStagePipeline& add_stage(StageSpec stage);
+
+  const std::string& id() const { return id_; }
+  std::size_t stage_count() const { return stages_.size(); }
+
+  Result<MultiStageReport> run();
+
+ private:
+  struct StageState {
+    std::atomic<std::uint64_t> in{0};
+    std::atomic<std::uint64_t> out{0};
+    std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> running{0};  // live tasks of this stage
+    Histogram processing_ms;
+    /// Set once every task of the *previous* layer is done, so this
+    /// stage can drain and exit.
+    std::atomic<bool> upstream_done{false};
+    // Effectively-once per stage (broker is at-least-once).
+    std::mutex seen_mutex;
+    std::unordered_set<std::uint64_t> seen;
+  };
+
+  Status validate() const;
+  std::string topic_name(std::size_t stage) const;
+  Status producer_body(exec::TaskContext& tctx, std::size_t device_index);
+  Status stage_body(exec::TaskContext& tctx, std::size_t stage_index,
+                    std::size_t task_index);
+  void stop_all();
+
+  const std::string id_;
+  MultiStageConfig config_;
+  std::shared_ptr<net::Fabric> fabric_;
+  res::PilotPtr broker_pilot_;
+  res::PilotPtr edge_pilot_;
+  ProduceFnFactory produce_factory_;
+  std::vector<StageSpec> stages_;
+
+  std::shared_ptr<broker::Broker> broker_;
+  std::shared_ptr<tel::SpanCollector> collector_;
+  std::uint32_t effective_partitions_ = 0;
+  std::atomic<std::uint64_t> produced_{0};
+  std::atomic<std::uint64_t> producers_running_{0};
+  std::vector<std::unique_ptr<StageState>> stage_states_;
+  std::vector<exec::TaskHandle> handles_;
+  bool started_ = false;
+};
+
+}  // namespace pe::core

@@ -1,0 +1,549 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "broker/consumer.h"
+#include "broker/producer.h"
+#include "common/ids.h"
+#include "common/logging.h"
+#include "core/results.h"
+#include "data/codec.h"
+
+namespace pe::core {
+
+EdgeToCloudPipeline::EdgeToCloudPipeline(PipelineConfig config)
+    : id_(next_pipeline_id()), config_(std::move(config)) {}
+
+EdgeToCloudPipeline::~EdgeToCloudPipeline() { stop(); }
+
+EdgeToCloudPipeline& EdgeToCloudPipeline::set_pilot_edge(res::PilotPtr p) {
+  edge_pilots_.clear();
+  edge_pilots_.push_back(std::move(p));
+  return *this;
+}
+EdgeToCloudPipeline& EdgeToCloudPipeline::add_pilot_edge(res::PilotPtr p) {
+  edge_pilots_.push_back(std::move(p));
+  return *this;
+}
+EdgeToCloudPipeline& EdgeToCloudPipeline::set_pilot_cloud_processing(
+    res::PilotPtr p) {
+  cloud_pilot_ = std::move(p);
+  return *this;
+}
+EdgeToCloudPipeline& EdgeToCloudPipeline::set_pilot_cloud_broker(
+    res::PilotPtr p) {
+  broker_pilot_ = std::move(p);
+  return *this;
+}
+EdgeToCloudPipeline& EdgeToCloudPipeline::set_produce_function(
+    ProduceFnFactory f) {
+  produce_factory_ = std::move(f);
+  return *this;
+}
+EdgeToCloudPipeline& EdgeToCloudPipeline::set_process_edge_function(
+    ProcessFnFactory f) {
+  edge_factory_ = std::move(f);
+  return *this;
+}
+EdgeToCloudPipeline& EdgeToCloudPipeline::set_process_cloud_function(
+    ProcessFnFactory f) {
+  std::lock_guard<std::mutex> lock(factory_mutex_);
+  cloud_factory_ = std::move(f);
+  return *this;
+}
+EdgeToCloudPipeline& EdgeToCloudPipeline::set_fabric(
+    std::shared_ptr<net::Fabric> fabric) {
+  fabric_ = std::move(fabric);
+  return *this;
+}
+
+Status EdgeToCloudPipeline::validate() const {
+  if (!fabric_) return Status::InvalidArgument("no fabric set");
+  if (edge_pilots_.empty()) return Status::InvalidArgument("no edge pilot");
+  if (!cloud_pilot_) {
+    return Status::InvalidArgument("no cloud processing pilot");
+  }
+  if (!broker_pilot_) return Status::InvalidArgument("no broker pilot");
+  if (!produce_factory_) {
+    return Status::InvalidArgument("no produce function");
+  }
+  {
+    std::lock_guard<std::mutex> lock(factory_mutex_);
+    if (!cloud_factory_) {
+      return Status::InvalidArgument("no cloud processing function");
+    }
+  }
+  if (config_.edge_devices == 0) {
+    return Status::InvalidArgument("need >= 1 edge device");
+  }
+  if ((config_.mode == DeploymentMode::kHybrid ||
+       config_.mode == DeploymentMode::kEdgeCentric) &&
+      !edge_factory_) {
+    return Status::InvalidArgument(
+        std::string(to_string(config_.mode)) +
+        " deployment needs a process_edge function");
+  }
+  return Status::Ok();
+}
+
+Status EdgeToCloudPipeline::start() {
+  if (running_.load()) return Status::FailedPrecondition("already running");
+  if (auto s = validate(); !s.ok()) return s;
+
+  for (const auto& p : edge_pilots_) {
+    if (auto s = p->wait_active(); !s.ok()) return s;
+  }
+  if (auto s = cloud_pilot_->wait_active(); !s.ok()) return s;
+  if (auto s = broker_pilot_->wait_active(); !s.ok()) return s;
+
+  broker_ = broker_pilot_->broker();
+  if (!broker_) {
+    return Status::InvalidArgument(
+        "broker pilot has no broker (use Backend::kBrokerService)");
+  }
+
+  effective_partitions_ =
+      config_.partitions != 0
+          ? config_.partitions
+          : static_cast<std::uint32_t>(config_.edge_devices);
+  broker::TopicConfig topic_config;
+  topic_config.partitions = effective_partitions_;
+  if (auto s = broker_->create_topic(config_.topic, topic_config);
+      !s.ok() && s.code() != StatusCode::kAlreadyExists) {
+    return s;
+  }
+
+  if (config_.emit_results) {
+    broker::TopicConfig results_config;
+    results_config.partitions = effective_partitions_;
+    if (auto s = broker_->create_topic(results_topic(), results_config);
+        !s.ok() && s.code() != StatusCode::kAlreadyExists) {
+      return s;
+    }
+  }
+
+  if (config_.ingest == IngestPath::kMqttBridge) {
+    // Lightweight MQTT broker co-located with the (first) edge pilot; the
+    // bridge runs on the same edge gateway and forwards into the
+    // Kafka-model topic across the fabric.
+    const net::SiteId edge_site = edge_pilots_.front()->site();
+    mqtt_broker_ = std::make_shared<mqtt::MqttBroker>(edge_site);
+    mqtt::BridgeConfig bridge_config;
+    bridge_config.mqtt_filter = "pe/" + id_ + "/#";
+    bridge_config.kafka_topic = config_.topic;
+    mqtt_bridge_ = std::make_unique<mqtt::MqttKafkaBridge>(
+        mqtt_broker_, broker_, fabric_, edge_site, bridge_config);
+    if (auto s = mqtt_bridge_->start(); !s.ok()) return s;
+  }
+
+  if (config_.enable_parameter_server) {
+    param_server_ = std::make_shared<ps::ParameterServer>(broker_->site());
+  }
+  collector_ = std::make_shared<tel::SpanCollector>();
+  produced_.store(0);
+  processed_.store(0);
+  outliers_.store(0);
+  errors_.store(0);
+  duplicates_.store(0);
+  producers_done_.store(false);
+  producer_handles_.clear();
+  processing_handles_.clear();
+  {
+    std::lock_guard<std::mutex> lock(processed_ids_mutex_);
+    processed_ids_.clear();
+  }
+
+  // Capacity sanity: warn when tasks will queue on cores (would distort
+  // throughput experiments).
+  std::uint32_t edge_cores = 0;
+  for (const auto& p : edge_pilots_) edge_cores += p->granted_cores();
+  if (edge_cores < config_.edge_devices) {
+    PE_LOG_WARN("pipeline " << id_ << ": " << config_.edge_devices
+                            << " devices on " << edge_cores
+                            << " edge cores — devices will queue");
+  }
+
+  const std::size_t n_processing = config_.processing_tasks != 0
+                                       ? config_.processing_tasks
+                                       : effective_partitions_;
+  if (cloud_pilot_->granted_cores() < n_processing) {
+    PE_LOG_WARN("pipeline " << id_ << ": " << n_processing
+                            << " processing tasks on "
+                            << cloud_pilot_->granted_cores()
+                            << " cloud cores — tasks will queue");
+  }
+
+  running_.store(true);
+
+  // Processing tasks first so consumers are polling when data arrives.
+  next_processing_index_ = 0;
+  for (std::size_t t = 0; t < n_processing; ++t) {
+    if (auto s = scale_processing(1); !s.ok()) {
+      stop();
+      return s;
+    }
+  }
+
+  // Producer (edge device) tasks, round-robin across edge pilots.
+  producers_running_.store(config_.edge_devices);
+  for (std::size_t d = 0; d < config_.edge_devices; ++d) {
+    const auto& pilot = edge_pilots_[d % edge_pilots_.size()];
+    auto cluster = pilot->cluster();
+    if (!cluster) {
+      stop();
+      return Status::Internal("edge pilot without cluster");
+    }
+    exec::TaskSpec spec;
+    spec.name = id_ + "-device-" + std::to_string(d);
+    spec.cores = 1;
+    spec.memory_gb = 1.0;
+    const net::SiteId site = pilot->site();
+    spec.fn = [this, d, site](exec::TaskContext& tctx) {
+      auto status = producer_body(tctx, d, site);
+      if (producers_running_.fetch_sub(1) == 1) {
+        producers_done_.store(true, std::memory_order_release);
+      }
+      return status;
+    };
+    auto handle = cluster->submit(std::move(spec));
+    if (!handle.ok()) {
+      stop();
+      return handle.status();
+    }
+    producer_handles_.push_back(std::move(handle).value());
+  }
+  PE_LOG_INFO("pipeline " << id_ << " started: " << config_.edge_devices
+                          << " devices, " << effective_partitions_
+                          << " partitions, " << n_processing
+                          << " processing tasks, mode "
+                          << to_string(config_.mode));
+  return Status::Ok();
+}
+
+exec::TaskSpec EdgeToCloudPipeline::make_processing_task(
+    std::size_t task_index) {
+  exec::TaskSpec spec;
+  spec.name = id_ + "-proc-" + std::to_string(task_index);
+  spec.cores = 1;
+  spec.memory_gb = 2.0;
+  const net::SiteId site = cloud_pilot_->site();
+  spec.fn = [this, task_index, site](exec::TaskContext& tctx) {
+    return processing_body(tctx, task_index, site);
+  };
+  return spec;
+}
+
+Status EdgeToCloudPipeline::scale_processing(std::size_t count) {
+  if (!running_.load()) {
+    return Status::FailedPrecondition("pipeline not running");
+  }
+  auto cluster = cloud_pilot_->cluster();
+  if (!cluster) return Status::Internal("cloud pilot without cluster");
+  for (std::size_t i = 0; i < count; ++i) {
+    auto handle = cluster->submit(make_processing_task(next_processing_index_++));
+    if (!handle.ok()) return handle.status();
+    processing_handles_.push_back(std::move(handle).value());
+  }
+  return Status::Ok();
+}
+
+void EdgeToCloudPipeline::replace_process_cloud_function(
+    ProcessFnFactory factory) {
+  {
+    std::lock_guard<std::mutex> lock(factory_mutex_);
+    cloud_factory_ = std::move(factory);
+  }
+  cloud_factory_generation_.fetch_add(1, std::memory_order_release);
+  PE_LOG_INFO("pipeline " << id_ << ": cloud processing function replaced");
+}
+
+Status EdgeToCloudPipeline::producer_body(exec::TaskContext& tctx,
+                                          std::size_t device_index,
+                                          const net::SiteId& site) {
+  const std::string device_id = "device-" + std::to_string(device_index);
+  ProduceFn produce = produce_factory_(device_index);
+  ProcessFn edge_process;
+  if (edge_factory_ && config_.mode != DeploymentMode::kCloudCentric) {
+    edge_process = edge_factory_();
+  }
+  broker::Producer producer(broker_, fabric_, site);
+  std::unique_ptr<mqtt::MqttClient> mqtt_client;
+  if (config_.ingest == IngestPath::kMqttBridge) {
+    mqtt_client = std::make_unique<mqtt::MqttClient>(
+        mqtt_broker_, fabric_, site, id_ + "-" + device_id);
+    if (auto c = mqtt_client->connect(); !c.ok()) return c.status();
+  }
+
+  std::shared_ptr<ps::ParameterClient> param_client;
+  if (param_server_) {
+    param_client =
+        std::make_shared<ps::ParameterClient>(param_server_, fabric_, site);
+  }
+  FunctionContext fctx;
+  fctx.params().merge_from(config_.function_context);
+  fctx.bind(id_, device_id, site, param_client, tctx.stop_flag());
+
+  const std::uint32_t partition = static_cast<std::uint32_t>(
+      device_index % effective_partitions_);
+
+  for (std::size_t m = 0; m < config_.messages_per_device; ++m) {
+    if (tctx.stop_requested()) {
+      return Status::Cancelled("producer stopped");
+    }
+    fctx.set_invocation(m);
+    auto block_result = produce(fctx);
+    if (!block_result.ok()) {
+      if (block_result.status().code() == StatusCode::kCancelled) break;
+      errors_.fetch_add(1);
+      return block_result.status();
+    }
+    data::DataBlock block = std::move(block_result).value();
+    block.message_id = next_message_id();
+    block.producer_id = device_id;
+    block.produced_ns = Clock::now_ns();
+    collector_->on_produced(block.message_id, device_id, partition,
+                            block.value_bytes(), block.rows,
+                            block.produced_ns);
+
+    if (edge_process) {
+      auto processed = edge_process(fctx, std::move(block));
+      if (!processed.ok()) {
+        errors_.fetch_add(1);
+        return processed.status();
+      }
+      block = std::move(processed.value().block);
+      outliers_.fetch_add(processed.value().outliers);
+      collector_->on_edge_processed(block.message_id, Clock::now_ns());
+    }
+
+    const std::uint64_t message_id = block.message_id;
+    if (mqtt_client) {
+      mqtt::Message m;
+      m.topic = "pe/" + id_ + "/" + device_id;
+      m.payload = data::Codec::encode(block);
+      m.qos = mqtt::QoS::kAtLeastOnce;
+      m.publish_ns = block.produced_ns;
+      if (auto s = mqtt_client->publish(std::move(m)); !s.ok()) {
+        errors_.fetch_add(1);
+        return s;
+      }
+    } else {
+      broker::Record record;
+      record.key = device_id;
+      record.client_timestamp_ns = block.produced_ns;
+      record.value = data::Codec::encode(block);
+      auto meta = producer.send(config_.topic, partition, std::move(record));
+      if (!meta.ok()) {
+        errors_.fetch_add(1);
+        return meta.status();
+      }
+    }
+    collector_->on_sent(message_id, Clock::now_ns());
+    produced_.fetch_add(1);
+
+    if (config_.produce_interval > Duration::zero()) {
+      Clock::sleep_scaled(config_.produce_interval);
+    }
+  }
+  return Status::Ok();
+}
+
+Status EdgeToCloudPipeline::processing_body(exec::TaskContext& tctx,
+                                            std::size_t task_index,
+                                            const net::SiteId& site) {
+  const std::string task_id = "proc-" + std::to_string(task_index);
+
+  ProcessFn process;
+  std::uint64_t local_generation;
+  {
+    std::lock_guard<std::mutex> lock(factory_mutex_);
+    process = cloud_factory_();
+    local_generation = cloud_factory_generation_.load();
+  }
+
+  broker::ConsumerConfig consumer_config;
+  consumer_config.max_poll_records = 16;
+  broker::Consumer consumer(broker_, fabric_, site, "group-" + id_,
+                            consumer_config);
+  if (auto s = consumer.subscribe({config_.topic}); !s.ok()) return s;
+  std::unique_ptr<broker::Producer> results_producer;
+  if (config_.emit_results) {
+    results_producer =
+        std::make_unique<broker::Producer>(broker_, fabric_, site);
+  }
+
+  std::shared_ptr<ps::ParameterClient> param_client;
+  if (param_server_) {
+    param_client =
+        std::make_shared<ps::ParameterClient>(param_server_, fabric_, site);
+  }
+  FunctionContext fctx;
+  fctx.params().merge_from(config_.function_context);
+  fctx.bind(id_, task_id, site, param_client, tctx.stop_flag());
+
+  std::uint64_t invocation = 0;
+  while (!tctx.stop_requested() && !work_finished()) {
+    // Hot-swap: pick up a replaced processing function (paper: functions
+    // can be exchanged at runtime without a new pilot).
+    if (cloud_factory_generation_.load(std::memory_order_acquire) !=
+        local_generation) {
+      std::lock_guard<std::mutex> lock(factory_mutex_);
+      process = cloud_factory_();
+      local_generation = cloud_factory_generation_.load();
+    }
+
+    auto records = consumer.poll(config_.poll_timeout);
+    for (auto& record : records) {
+      const std::uint64_t now = Clock::now_ns();
+      auto decoded = data::Codec::decode(record.record.value);
+      if (!decoded.ok()) {
+        errors_.fetch_add(1);
+        processed_.fetch_add(1);  // count it as handled so the run drains
+        PE_LOG_WARN("decode failed: " << decoded.status().to_string());
+        continue;
+      }
+      data::DataBlock block = std::move(decoded).value();
+      {
+        // Effectively-once: skip broker redeliveries (rebalances can
+        // redeliver records consumed but not yet committed).
+        std::lock_guard<std::mutex> lock(processed_ids_mutex_);
+        if (!processed_ids_.insert(block.message_id).second) {
+          duplicates_.fetch_add(1);
+          continue;
+        }
+      }
+      collector_->on_broker(block.message_id, record.broker_timestamp_ns);
+      collector_->on_consumed(block.message_id, now);
+
+      fctx.set_invocation(invocation++);
+      const std::uint64_t message_id = block.message_id;
+      collector_->on_process_start(message_id, Clock::now_ns());
+      auto result = process(fctx, std::move(block));
+      collector_->on_process_end(message_id, Clock::now_ns());
+      if (!result.ok()) {
+        errors_.fetch_add(1);
+      } else {
+        outliers_.fetch_add(result.value().outliers);
+        if (results_producer) {
+          ResultRecord summary;
+          summary.message_id = message_id;
+          summary.rows = result.value().block.rows;
+          summary.outliers = result.value().outliers;
+          summary.processed_ns = Clock::now_ns();
+          if (!result.value().scores.empty()) {
+            double sum = 0.0, max = result.value().scores.front();
+            for (double s : result.value().scores) {
+              sum += s;
+              if (s > max) max = s;
+            }
+            summary.score_mean =
+                sum / static_cast<double>(result.value().scores.size());
+            summary.score_max = max;
+          }
+          broker::Record out;
+          out.key = result.value().block.producer_id;
+          out.value = summary.encode();
+          if (auto meta = results_producer->send(results_topic(), record.partition,
+                                                 std::move(out));
+              !meta.ok()) {
+            PE_LOG_WARN("result emit failed: "
+                        << meta.status().to_string());
+          }
+        }
+      }
+      processed_.fetch_add(1);
+      if (tctx.stop_requested()) break;
+    }
+  }
+  return Status::Ok();
+}
+
+bool EdgeToCloudPipeline::work_finished() const {
+  return producers_done_.load(std::memory_order_acquire) &&
+         processed_.load() >= produced_.load();
+}
+
+Status EdgeToCloudPipeline::wait() {
+  if (!running_.load()) return Status::FailedPrecondition("not running");
+  const auto deadline = Clock::now() + config_.run_timeout;
+  // Wait for producers.
+  for (auto& handle : producer_handles_) {
+    const auto remaining = deadline - Clock::now();
+    if (remaining <= Duration::zero() ||
+        !handle.wait_for(std::chrono::duration_cast<Duration>(remaining))) {
+      return Status::Timeout("producers did not finish in time");
+    }
+  }
+  // Wait for the consumers to drain.
+  while (!work_finished()) {
+    if (Clock::now() >= deadline) {
+      return Status::Timeout("processing did not drain in time");
+    }
+    Clock::sleep_exact(std::chrono::milliseconds(2));
+  }
+  // Consumers exit on their own once work_finished() holds.
+  for (auto& handle : processing_handles_) {
+    handle.request_stop();
+  }
+  for (auto& handle : processing_handles_) {
+    const auto remaining = deadline - Clock::now();
+    if (remaining <= Duration::zero() ||
+        !handle.wait_for(std::chrono::duration_cast<Duration>(remaining))) {
+      return Status::Timeout("processing tasks did not stop in time");
+    }
+  }
+  return Status::Ok();
+}
+
+void EdgeToCloudPipeline::stop() {
+  if (!running_.exchange(false)) return;
+  for (auto& handle : producer_handles_) handle.request_stop();
+  for (auto& handle : processing_handles_) handle.request_stop();
+  for (auto& handle : producer_handles_) {
+    (void)handle.wait_for(std::chrono::seconds(30));
+  }
+  for (auto& handle : processing_handles_) {
+    (void)handle.wait_for(std::chrono::seconds(30));
+  }
+  if (mqtt_bridge_) {
+    mqtt_bridge_->shutdown();
+    mqtt_bridge_.reset();
+  }
+  mqtt_broker_.reset();
+}
+
+PipelineRunReport EdgeToCloudPipeline::report(const std::string& label) const {
+  PipelineRunReport out;
+  if (collector_) {
+    out.run = tel::build_report(collector_->completed(),
+                                label.empty() ? id_ : label);
+  }
+  out.messages_produced = produced_.load();
+  out.messages_processed = processed_.load();
+  out.outliers_detected = outliers_.load();
+  out.processing_errors = errors_.load();
+  out.duplicates_skipped = duplicates_.load();
+  if (broker_) out.broker = broker_->stats();
+  if (param_server_) out.parameter_server = param_server_->stats();
+  return out;
+}
+
+Result<PipelineRunReport> EdgeToCloudPipeline::run() {
+  if (auto s = start(); !s.ok()) return s;
+  const Status wait_status = wait();
+  stop();
+  PipelineRunReport out = report();
+  out.status = wait_status;
+  if (!wait_status.ok() &&
+      wait_status.code() != StatusCode::kTimeout) {
+    return wait_status;
+  }
+  return out;
+}
+
+std::shared_ptr<ps::ParameterServer> EdgeToCloudPipeline::parameter_server()
+    const {
+  return param_server_;
+}
+
+}  // namespace pe::core

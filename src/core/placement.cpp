@@ -1,0 +1,80 @@
+#include "core/placement.h"
+
+#include <sstream>
+
+namespace pe::core {
+namespace {
+
+/// Transfer time of `bytes` across the edge->cloud path, in ms.
+Result<double> transfer_ms(const net::Fabric& fabric,
+                           const net::SiteId& from, const net::SiteId& to,
+                           double bytes) {
+  auto latency = fabric.estimated_latency(from, to);
+  if (!latency.ok()) return latency.status();
+  auto bandwidth = fabric.estimated_bandwidth_bps(from, to);
+  if (!bandwidth.ok()) return bandwidth.status();
+  const double lat_ms =
+      std::chrono::duration<double, std::milli>(latency.value()).count();
+  const double tx_ms = bytes * 8.0 / bandwidth.value() * 1e3;
+  return lat_ms + tx_ms;
+}
+
+}  // namespace
+
+Result<PlacementRecommendation> recommend_placement(
+    const net::Fabric& fabric, const PlacementFactors& f) {
+  PlacementRecommendation rec;
+  const auto bytes = static_cast<double>(f.message_bytes);
+
+  // Cloud-centric: full message over the WAN, full compute on cloud.
+  auto full = transfer_ms(fabric, f.edge_site, f.cloud_site, bytes);
+  if (!full.ok()) return full.status();
+  rec.cloud_centric = {DeploymentMode::kCloudCentric, full.value(),
+                       f.cloud_compute_ms};
+
+  // Edge-centric: compute on the device (slower), ship a tiny result
+  // summary (1% of the payload, floor 256 bytes).
+  const double result_bytes = std::max(256.0, bytes * 0.01);
+  auto summary = transfer_ms(fabric, f.edge_site, f.cloud_site, result_bytes);
+  if (!summary.ok()) return summary.status();
+  rec.edge_centric = {DeploymentMode::kEdgeCentric, summary.value(),
+                      f.cloud_compute_ms * f.edge_slowdown};
+
+  // Hybrid: cheap reduction on the edge, reduced payload over the WAN,
+  // full compute on the (reduced) data in the cloud. Compute shrinks with
+  // the data reduction for the per-row models used here.
+  auto reduced = transfer_ms(fabric, f.edge_site, f.cloud_site,
+                             bytes * f.reduction_ratio);
+  if (!reduced.ok()) return reduced.status();
+  rec.hybrid = {DeploymentMode::kHybrid, reduced.value(),
+                f.reduction_ms + f.cloud_compute_ms * f.reduction_ratio};
+
+  rec.best = DeploymentMode::kCloudCentric;
+  double best = rec.cloud_centric.total_ms();
+  if (rec.hybrid.total_ms() < best) {
+    best = rec.hybrid.total_ms();
+    rec.best = DeploymentMode::kHybrid;
+  }
+  if (rec.edge_centric.total_ms() < best) {
+    rec.best = DeploymentMode::kEdgeCentric;
+  }
+  return rec;
+}
+
+std::string PlacementRecommendation::to_string() const {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(2);
+  auto line = [&](const PlacementEstimate& e) {
+    oss << "  " << core::to_string(e.mode) << ": transfer " << e.transfer_ms
+        << " ms + compute " << e.compute_ms << " ms = " << e.total_ms()
+        << " ms\n";
+  };
+  oss << "placement recommendation: " << core::to_string(best) << "\n";
+  line(cloud_centric);
+  line(edge_centric);
+  line(hybrid);
+  return oss.str();
+}
+
+}  // namespace pe::core

@@ -1,0 +1,71 @@
+// Deployment modes and the task-placement advisor.
+//
+// The paper (§II-D, §III-2, and its companion emulation study [8])
+// distinguishes cloud-centric, edge-centric, and hybrid deployments. The
+// advisor estimates per-message cost of each mode from the factors the
+// paper names — message size, model complexity, and link quality — and
+// recommends a placement. Applications stay free to override.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "network/fabric.h"
+
+namespace pe::core {
+
+enum class DeploymentMode {
+  kCloudCentric,  // raw data to the cloud; all processing there
+  kEdgeCentric,   // score on the device; ship only results
+  kHybrid,        // reduce/compress on the edge, heavy processing in cloud
+};
+
+constexpr const char* to_string(DeploymentMode m) {
+  switch (m) {
+    case DeploymentMode::kCloudCentric: return "cloud-centric";
+    case DeploymentMode::kEdgeCentric: return "edge-centric";
+    case DeploymentMode::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+/// Inputs to the placement estimate.
+struct PlacementFactors {
+  std::uint64_t message_bytes = 0;
+  /// Estimated model compute per message on a cloud core (ms).
+  double cloud_compute_ms = 0.0;
+  /// Slowdown of the edge device vs a cloud core for the same model
+  /// (RasPi-class vs server core; >= 1).
+  double edge_slowdown = 4.0;
+  /// Bytes remaining after edge reduction, as a fraction (hybrid mode).
+  double reduction_ratio = 0.25;
+  /// Extra edge compute for the reduction step (ms).
+  double reduction_ms = 1.0;
+  net::SiteId edge_site;
+  net::SiteId cloud_site;
+};
+
+/// Estimated per-message cost of one mode.
+struct PlacementEstimate {
+  DeploymentMode mode = DeploymentMode::kCloudCentric;
+  double transfer_ms = 0.0;
+  double compute_ms = 0.0;
+  double total_ms() const { return transfer_ms + compute_ms; }
+};
+
+struct PlacementRecommendation {
+  DeploymentMode best = DeploymentMode::kCloudCentric;
+  PlacementEstimate cloud_centric;
+  PlacementEstimate edge_centric;
+  PlacementEstimate hybrid;
+
+  std::string to_string() const;
+};
+
+/// Scores all three modes against the fabric's link estimates.
+Result<PlacementRecommendation> recommend_placement(
+    const net::Fabric& fabric, const PlacementFactors& factors);
+
+}  // namespace pe::core

@@ -1,0 +1,47 @@
+// ResultRecord: the compact per-message outcome a processing task emits
+// to the pipeline's results topic (paper §II-B: "the output is captured
+// with a return parameter"). Downstream applications (dashboards,
+// alerting) consume these instead of the raw data stream.
+#pragma once
+
+#include <cstdint>
+
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace pe::core {
+
+struct ResultRecord {
+  std::uint64_t message_id = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t outliers = 0;
+  double score_mean = 0.0;
+  double score_max = 0.0;
+  std::uint64_t processed_ns = 0;
+
+  Bytes encode() const {
+    Bytes out;
+    ByteWriter w(out);
+    w.put_u64(message_id);
+    w.put_u64(rows);
+    w.put_u64(outliers);
+    w.put_f64(score_mean);
+    w.put_f64(score_max);
+    w.put_u64(processed_ns);
+    return out;
+  }
+
+  static Result<ResultRecord> decode(const Bytes& bytes) {
+    ByteReader r(bytes);
+    ResultRecord record;
+    if (auto s = r.get_u64(record.message_id); !s.ok()) return s;
+    if (auto s = r.get_u64(record.rows); !s.ok()) return s;
+    if (auto s = r.get_u64(record.outliers); !s.ok()) return s;
+    if (auto s = r.get_f64(record.score_mean); !s.ok()) return s;
+    if (auto s = r.get_f64(record.score_max); !s.ok()) return s;
+    if (auto s = r.get_u64(record.processed_ns); !s.ok()) return s;
+    return record;
+  }
+};
+
+}  // namespace pe::core

@@ -1,0 +1,70 @@
+#include "core/scaling.h"
+
+#include "common/logging.h"
+
+namespace pe::core {
+
+BacklogAutoScaler::BacklogAutoScaler(AutoScalerConfig config)
+    : config_(config) {}
+
+BacklogAutoScaler::~BacklogAutoScaler() { stop(); }
+
+Status BacklogAutoScaler::start(EdgeToCloudPipeline& pipeline) {
+  if (running_.exchange(true)) {
+    return Status::FailedPrecondition("scaler already running");
+  }
+  if (!pipeline.running()) {
+    running_.store(false);
+    return Status::FailedPrecondition("pipeline not running");
+  }
+  thread_ = std::thread([this, &pipeline] { run(&pipeline); });
+  return Status::Ok();
+}
+
+void BacklogAutoScaler::stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+void BacklogAutoScaler::run(EdgeToCloudPipeline* pipeline) {
+  std::size_t breaches = 0;
+  while (running_.load(std::memory_order_acquire) && pipeline->running()) {
+    const std::uint64_t produced = pipeline->messages_produced();
+    const std::uint64_t processed = pipeline->messages_processed();
+    const std::uint64_t backlog =
+        produced > processed ? produced - processed : 0;
+
+    if (backlog >= config_.backlog_high_watermark) {
+      breaches += 1;
+    } else {
+      breaches = 0;
+    }
+
+    if (breaches >= config_.consecutive_breaches &&
+        added_.load() < config_.max_added_tasks) {
+      const std::size_t step = std::min(
+          config_.step, config_.max_added_tasks - added_.load());
+      if (auto s = pipeline->scale_processing(step); s.ok()) {
+        added_.fetch_add(step);
+        {
+          std::lock_guard<std::mutex> lock(events_mutex_);
+          events_.push_back(ScaleEvent{Clock::now_ns(), backlog, step});
+        }
+        PE_LOG_INFO("auto-scaler: backlog " << backlog << " -> added "
+                                            << step << " processing task(s)");
+      } else {
+        PE_LOG_WARN("auto-scaler: scale_processing failed: "
+                    << s.to_string());
+      }
+      breaches = 0;
+    }
+    Clock::sleep_scaled(config_.check_interval);
+  }
+}
+
+std::vector<ScaleEvent> BacklogAutoScaler::events() const {
+  std::lock_guard<std::mutex> lock(events_mutex_);
+  return events_;
+}
+
+}  // namespace pe::core

@@ -1,0 +1,50 @@
+// DataBlock: the unit of data flowing through a pipeline.
+//
+// A block is one "message" in the paper's sense: N points with F features
+// (paper: 25..10,000 points x 32 features, 8 bytes per value, i.e. 7 KB to
+// 2.6 MB serialized). Blocks carry identity and the produce timestamp so
+// telemetry can join spans across components, plus optional ground-truth
+// outlier labels from the synthetic generator for accuracy checks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pe::data {
+
+struct DataBlock {
+  std::uint64_t message_id = 0;
+  std::string producer_id;
+  std::uint64_t produced_ns = 0;
+
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  /// Row-major rows*cols matrix of feature values.
+  std::vector<double> values;
+  /// Optional ground truth: 1 = injected outlier. Empty or size rows.
+  std::vector<std::uint8_t> labels;
+
+  /// Row view (span of cols doubles).
+  std::span<const double> row(std::size_t r) const {
+    return {values.data() + r * cols, cols};
+  }
+  std::span<double> row(std::size_t r) {
+    return {values.data() + r * cols, cols};
+  }
+
+  bool has_labels() const { return labels.size() == rows; }
+
+  /// Payload size of the raw feature values (the paper's "message size").
+  std::uint64_t value_bytes() const {
+    return static_cast<std::uint64_t>(rows * cols * sizeof(double));
+  }
+
+  bool valid() const {
+    return values.size() == rows * cols &&
+           (labels.empty() || labels.size() == rows);
+  }
+};
+
+}  // namespace pe::data

@@ -1,0 +1,71 @@
+#include "data/codec.h"
+
+namespace pe::data {
+namespace {
+constexpr char kMagic[4] = {'P', 'E', 'B', '1'};
+}
+
+Bytes Codec::encode(const DataBlock& block) {
+  Bytes out;
+  out.reserve(encoded_size(block));
+  ByteWriter w(out);
+  for (char c : kMagic) w.put_u8(static_cast<std::uint8_t>(c));
+  w.put_u64(block.message_id);
+  w.put_u64(block.produced_ns);
+  w.put_u64(block.rows);
+  w.put_u64(block.cols);
+  w.put_string(block.producer_id);
+  const bool has_labels = block.has_labels();
+  w.put_u8(has_labels ? 1 : 0);
+  w.put_f64_array(block.values.data(), block.values.size());
+  if (has_labels) {
+    for (std::uint8_t l : block.labels) w.put_u8(l);
+  }
+  return out;
+}
+
+Result<DataBlock> Codec::decode(const Bytes& bytes) {
+  ByteReader r(bytes);
+  for (char expected : kMagic) {
+    std::uint8_t c = 0;
+    if (auto s = r.get_u8(c); !s.ok()) return s;
+    if (c != static_cast<std::uint8_t>(expected)) {
+      return Status::InvalidArgument("bad magic: not a PEB1 block");
+    }
+  }
+  DataBlock block;
+  std::uint64_t rows = 0, cols = 0;
+  if (auto s = r.get_u64(block.message_id); !s.ok()) return s;
+  if (auto s = r.get_u64(block.produced_ns); !s.ok()) return s;
+  if (auto s = r.get_u64(rows); !s.ok()) return s;
+  if (auto s = r.get_u64(cols); !s.ok()) return s;
+  if (auto s = r.get_string(block.producer_id); !s.ok()) return s;
+  std::uint8_t has_labels = 0;
+  if (auto s = r.get_u8(has_labels); !s.ok()) return s;
+
+  if (cols != 0 && rows > (1ull << 40) / cols) {
+    return Status::InvalidArgument("implausible block dimensions");
+  }
+  block.rows = rows;
+  block.cols = cols;
+  block.values.resize(rows * cols);
+  if (auto s = r.get_f64_array(block.values.data(), block.values.size());
+      !s.ok()) {
+    return s;
+  }
+  if (has_labels != 0) {
+    block.labels.resize(rows);
+    for (auto& l : block.labels) {
+      if (auto s = r.get_u8(l); !s.ok()) return s;
+    }
+  }
+  return block;
+}
+
+std::uint64_t Codec::encoded_size(const DataBlock& block) {
+  return 4 + 8 * 4 + 4 + block.producer_id.size() + 1 +
+         block.values.size() * sizeof(double) +
+         (block.has_labels() ? block.rows : 0);
+}
+
+}  // namespace pe::data

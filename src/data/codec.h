@@ -1,0 +1,24 @@
+// Codec: DataBlock <-> bytes.
+//
+// Binary layout (little endian):
+//   magic "PEB1" | message_id u64 | produced_ns u64 | rows u64 | cols u64 |
+//   producer_id (len-prefixed) | has_labels u8 | values raw f64[rows*cols] |
+//   labels u8[rows] (if has_labels)
+#pragma once
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "data/block.h"
+
+namespace pe::data {
+
+class Codec {
+ public:
+  static Bytes encode(const DataBlock& block);
+  static Result<DataBlock> decode(const Bytes& bytes);
+
+  /// Serialized size without encoding (for capacity planning / tests).
+  static std::uint64_t encoded_size(const DataBlock& block);
+};
+
+}  // namespace pe::data

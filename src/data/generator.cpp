@@ -1,0 +1,49 @@
+#include "data/generator.h"
+
+namespace pe::data {
+
+Generator::Generator(GeneratorConfig config)
+    : config_(config), rng_(config.seed) {
+  if (config_.features == 0) config_.features = 1;
+  if (config_.clusters == 0) config_.clusters = 1;
+  centers_.resize(config_.clusters * config_.features);
+  for (auto& c : centers_) {
+    c = rng_.uniform(-config_.center_range, config_.center_range);
+  }
+}
+
+DataBlock Generator::generate(std::size_t rows) {
+  DataBlock block;
+  block.rows = rows;
+  block.cols = config_.features;
+  block.values.resize(rows * config_.features);
+  block.labels.resize(rows);
+
+  if (config_.drift_per_block > 0.0 && generated_blocks_ > 0) {
+    for (auto& c : centers_) {
+      c += rng_.gaussian(0.0, config_.drift_per_block);
+    }
+  }
+  generated_blocks_ += 1;
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    const bool outlier = rng_.bernoulli(config_.outlier_fraction);
+    block.labels[r] = outlier ? 1 : 0;
+    double* row = block.values.data() + r * config_.features;
+    if (outlier) {
+      for (std::size_t f = 0; f < config_.features; ++f) {
+        row[f] = rng_.uniform(-config_.outlier_range, config_.outlier_range);
+      }
+    } else {
+      const auto k = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(config_.clusters) - 1));
+      const double* center = centers_.data() + k * config_.features;
+      for (std::size_t f = 0; f < config_.features; ++f) {
+        row[f] = center[f] + rng_.gaussian(0.0, config_.cluster_std);
+      }
+    }
+  }
+  return block;
+}
+
+}  // namespace pe::data

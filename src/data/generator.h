@@ -1,0 +1,53 @@
+// Synthetic data generator (stand-in for the paper's Mini-App generator).
+//
+// Emits blocks of Gaussian cluster samples with a configurable fraction of
+// injected outliers (uniform points far outside the cluster region), the
+// standard workload for the paper's three outlier-detection models.
+// Deterministic per seed; per-block generation is thread-compatible when
+// each producer owns its generator instance.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "data/block.h"
+
+namespace pe::data {
+
+struct GeneratorConfig {
+  std::size_t features = 32;   // paper: 32 features per point
+  std::size_t clusters = 25;   // matches the k-means cluster count
+  double cluster_std = 1.0;
+  double center_range = 10.0;  // cluster centers uniform in [-r, r]^d
+  double outlier_fraction = 0.05;
+  double outlier_range = 40.0;  // outliers uniform in [-r, r]^d
+  /// Concept drift: after every generated block, each cluster center
+  /// takes a Gaussian step with this standard deviation (0 = stationary).
+  /// Models the environment dynamism (seasonal load, sensor aging) that
+  /// the paper's runtime adaptation responds to.
+  double drift_per_block = 0.0;
+  std::uint64_t seed = 42;
+};
+
+class Generator {
+ public:
+  explicit Generator(GeneratorConfig config = {});
+
+  /// Generates one block of `rows` points. message_id/producer_id/
+  /// produced_ns are left for the caller (the produce function) to stamp.
+  DataBlock generate(std::size_t rows);
+
+  const GeneratorConfig& config() const { return config_; }
+
+  /// The generator's cluster centers, row-major clusters x features
+  /// (exposed so tests can verify recovery by k-means).
+  const std::vector<double>& centers() const { return centers_; }
+
+ private:
+  GeneratorConfig config_;
+  Rng rng_;
+  std::vector<double> centers_;
+  std::uint64_t generated_blocks_ = 0;
+};
+
+}  // namespace pe::data

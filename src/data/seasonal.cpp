@@ -1,0 +1,65 @@
+#include "data/seasonal.h"
+
+#include <cmath>
+
+namespace pe::data {
+
+SeasonalGenerator::SeasonalGenerator(SeasonalConfig config)
+    : config_(config), rng_(config.seed) {
+  if (config_.features == 0) config_.features = 1;
+  if (config_.period == 0) config_.period = 1;
+  phase_.resize(config_.features);
+  frequency_.resize(config_.features);
+  for (std::size_t f = 0; f < config_.features; ++f) {
+    phase_[f] = rng_.uniform(0.0, 2.0 * M_PI);
+    // Each sensor cycles 1-3 times per period (harmonics).
+    frequency_[f] = static_cast<double>(rng_.uniform_int(1, 3));
+  }
+}
+
+DataBlock SeasonalGenerator::generate(std::size_t rows) {
+  DataBlock block;
+  block.rows = rows;
+  block.cols = config_.features;
+  block.values.resize(rows * config_.features);
+  block.labels.assign(rows, 0);
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double cycle = 2.0 * M_PI * static_cast<double>(t_) /
+                         static_cast<double>(config_.period);
+    t_ += 1;
+
+    bool anomalous = false;
+    double spike = 0.0;
+    if (shift_remaining_ > 0) {
+      shift_remaining_ -= 1;
+      anomalous = true;
+    } else if (rng_.bernoulli(config_.anomaly_fraction)) {
+      anomalous = true;
+      if (rng_.bernoulli(0.5)) {
+        // Point spike on this sample only.
+        spike = config_.spike_scale * config_.amplitude *
+                (rng_.bernoulli(0.5) ? 1.0 : -1.0);
+      } else {
+        // Level shift for the next shift_duration samples.
+        shift_offset_ = config_.shift_magnitude * config_.amplitude *
+                        (rng_.bernoulli(0.5) ? 1.0 : -1.0);
+        shift_remaining_ = config_.shift_duration;
+      }
+    }
+    const double offset = shift_remaining_ > 0 || anomalous
+                              ? (spike != 0.0 ? spike : shift_offset_)
+                              : 0.0;
+    block.labels[r] = anomalous ? 1 : 0;
+
+    double* row = block.values.data() + r * config_.features;
+    for (std::size_t f = 0; f < config_.features; ++f) {
+      row[f] = config_.amplitude *
+                   std::sin(frequency_[f] * cycle + phase_[f]) +
+               rng_.gaussian(0.0, config_.noise_std) + offset;
+    }
+  }
+  return block;
+}
+
+}  // namespace pe::data

@@ -1,0 +1,57 @@
+// SeasonalGenerator: periodic sensor-style time series with injected
+// anomalies.
+//
+// The paper motivates Pilot-Edge with IoT sensing workloads subject to
+// "seasonal peak loads" and external events. This generator produces a
+// multivariate signal where each feature follows its own sinusoid (daily
+// cycle analogue) plus Gaussian noise, and anomalies are injected as
+// point spikes or temporary level shifts — the classic telemetry anomaly
+// types (cf. Aggarwal, "Outlier Analysis"). Ground-truth labels mark the
+// anomalous rows, like the cluster generator does.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "data/block.h"
+
+namespace pe::data {
+
+struct SeasonalConfig {
+  std::size_t features = 32;
+  /// Samples per full period of the underlying cycle.
+  std::size_t period = 288;  // e.g. 5-minute samples over a day
+  double amplitude = 5.0;
+  double noise_std = 0.5;
+  /// Fraction of rows turned into anomalies.
+  double anomaly_fraction = 0.03;
+  /// Spike magnitude in multiples of the amplitude.
+  double spike_scale = 3.0;
+  /// A level shift lasts this many samples once triggered.
+  std::size_t shift_duration = 16;
+  double shift_magnitude = 4.0;
+  std::uint64_t seed = 2718;
+};
+
+class SeasonalGenerator {
+ public:
+  explicit SeasonalGenerator(SeasonalConfig config = {});
+
+  /// Next `rows` samples of the stream (time advances across calls).
+  DataBlock generate(std::size_t rows);
+
+  const SeasonalConfig& config() const { return config_; }
+  /// Total samples emitted so far (the stream clock).
+  std::uint64_t position() const { return t_; }
+
+ private:
+  SeasonalConfig config_;
+  Rng rng_;
+  std::vector<double> phase_;      // per-feature phase offset
+  std::vector<double> frequency_;  // per-feature cycles per period
+  std::uint64_t t_ = 0;
+  std::uint64_t shift_remaining_ = 0;
+  double shift_offset_ = 0.0;
+};
+
+}  // namespace pe::data

@@ -1,0 +1,336 @@
+#include "ml/autoencoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pe::ml {
+namespace {
+
+Matrix block_to_matrix(const data::DataBlock& block) {
+  return Matrix(block.rows, block.cols, block.values);
+}
+
+}  // namespace
+
+AutoEncoder::AutoEncoder(AutoEncoderConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  if (config_.batch_size == 0) config_.batch_size = 1;
+  if (config_.epochs_per_fit == 0) config_.epochs_per_fit = 1;
+}
+
+void AutoEncoder::initialize(std::size_t features) {
+  features_ = features;
+  dims_.clear();
+  dims_.push_back(features);
+  if (config_.extra_input_layer) dims_.push_back(features);
+  for (std::size_t h : config_.hidden_layers) dims_.push_back(h);
+  dims_.push_back(features);
+
+  const std::size_t layers = dims_.size() - 1;
+  weights_.clear();
+  biases_.clear();
+  m_w_.clear();
+  v_w_.clear();
+  m_b_.clear();
+  v_b_.clear();
+  for (std::size_t l = 0; l < layers; ++l) {
+    const std::size_t in = dims_[l], out = dims_[l + 1];
+    Matrix w(in, out);
+    // He initialization (ReLU hidden layers).
+    const double scale = std::sqrt(2.0 / static_cast<double>(in));
+    for (auto& v : w.storage()) v = rng_.gaussian(0.0, scale);
+    weights_.push_back(std::move(w));
+    biases_.emplace_back(out, 0.0);
+    m_w_.emplace_back(in, out);
+    v_w_.emplace_back(in, out);
+    m_b_.emplace_back(out, 0.0);
+    v_b_.emplace_back(out, 0.0);
+  }
+  adam_step_ = 0;
+  initialized_ = true;
+}
+
+void AutoEncoder::forward(const Matrix& x,
+                          std::vector<Matrix>& activations) const {
+  const std::size_t layers = weights_.size();
+  activations.resize(layers + 1);
+  activations[0] = x;
+  for (std::size_t l = 0; l < layers; ++l) {
+    Matrix& out = activations[l + 1];
+    matmul(activations[l], weights_[l], out);
+    const auto& bias = biases_[l];
+    const bool is_last = l + 1 == layers;
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+      double* row = out.data() + r * out.cols();
+      for (std::size_t c = 0; c < out.cols(); ++c) {
+        row[c] += bias[c];
+        if (!is_last && row[c] < 0.0) row[c] = 0.0;  // ReLU
+      }
+    }
+  }
+}
+
+double AutoEncoder::train_epoch(const Matrix& x) {
+  const std::size_t n = x.rows();
+  const std::size_t layers = weights_.size();
+  // Shuffled mini-batches.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::shuffle(order.begin(), order.end(), rng_.engine());
+
+  double epoch_loss = 0.0;
+  std::size_t batches = 0;
+  std::vector<Matrix> acts;
+  std::vector<Matrix> grad_w(layers);
+  std::vector<std::vector<double>> grad_b(layers);
+  Matrix delta, delta_prev;
+
+  for (std::size_t start = 0; start < n; start += config_.batch_size) {
+    const std::size_t end = std::min(n, start + config_.batch_size);
+    const std::size_t bs = end - start;
+    Matrix batch(bs, features_);
+    for (std::size_t i = 0; i < bs; ++i) {
+      const auto src = x.row(order[start + i]);
+      std::copy(src.begin(), src.end(), batch.row(i).begin());
+    }
+
+    forward(batch, acts);
+    const Matrix& yhat = acts[layers];
+
+    // MSE loss and output delta: dL/dZ_last = 2 (yhat - y) / (bs * d).
+    delta = Matrix(bs, features_);
+    double loss = 0.0;
+    const double inv = 1.0 / static_cast<double>(bs * features_);
+    for (std::size_t i = 0; i < bs * features_; ++i) {
+      const double diff = yhat.data()[i] - batch.data()[i];
+      loss += diff * diff;
+      delta.storage()[i] = 2.0 * diff * inv;
+    }
+    epoch_loss += loss * inv;
+    batches += 1;
+
+    // Backward pass.
+    for (std::size_t l = layers; l-- > 0;) {
+      matmul_at(acts[l], delta, grad_w[l]);  // dL/dW = A_l^T delta
+      grad_b[l].assign(dims_[l + 1], 0.0);
+      for (std::size_t r = 0; r < delta.rows(); ++r) {
+        const double* row = delta.data() + r * delta.cols();
+        for (std::size_t c = 0; c < delta.cols(); ++c) grad_b[l][c] += row[c];
+      }
+      if (l > 0) {
+        matmul_bt(delta, weights_[l], delta_prev);  // delta W^T
+        // ReLU gate of the previous layer's activation.
+        for (std::size_t i = 0; i < delta_prev.size(); ++i) {
+          if (acts[l].storage()[i] <= 0.0) delta_prev.storage()[i] = 0.0;
+        }
+        std::swap(delta, delta_prev);
+      }
+    }
+
+    // Adam update.
+    adam_step_ += 1;
+    const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+    const double bc1 = 1.0 - std::pow(beta1, static_cast<double>(adam_step_));
+    const double bc2 = 1.0 - std::pow(beta2, static_cast<double>(adam_step_));
+    const double lr = config_.learning_rate;
+    for (std::size_t l = 0; l < layers; ++l) {
+      auto& w = weights_[l].storage();
+      auto& g = grad_w[l].storage();
+      auto& m = m_w_[l].storage();
+      auto& v = v_w_[l].storage();
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        m[i] = beta1 * m[i] + (1.0 - beta1) * g[i];
+        v[i] = beta2 * v[i] + (1.0 - beta2) * g[i] * g[i];
+        w[i] -= lr * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + eps);
+      }
+      auto& b = biases_[l];
+      auto& gb = grad_b[l];
+      auto& mb = m_b_[l];
+      auto& vb = v_b_[l];
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        mb[i] = beta1 * mb[i] + (1.0 - beta1) * gb[i];
+        vb[i] = beta2 * vb[i] + (1.0 - beta2) * gb[i] * gb[i];
+        b[i] -= lr * (mb[i] / bc1) / (std::sqrt(vb[i] / bc2) + eps);
+      }
+    }
+  }
+  return batches > 0 ? epoch_loss / static_cast<double>(batches) : 0.0;
+}
+
+Status AutoEncoder::fit(const data::DataBlock& block) {
+  if (!block.valid() || block.rows == 0) {
+    return Status::InvalidArgument("invalid or empty block");
+  }
+  scaler_ = StandardScaler(block.cols);
+  initialize(block.cols);
+  return partial_fit(block);
+}
+
+Status AutoEncoder::partial_fit(const data::DataBlock& block) {
+  if (!block.valid() || block.rows == 0) {
+    return Status::InvalidArgument("invalid or empty block");
+  }
+  if (!initialized_) {
+    scaler_ = StandardScaler(block.cols);
+    initialize(block.cols);
+  }
+  if (block.cols != features_) {
+    return Status::InvalidArgument("feature count mismatch");
+  }
+  if (auto s = scaler_.partial_fit(block); !s.ok()) return s;
+
+  data::DataBlock scaled = block;
+  if (config_.max_training_rows > 0 &&
+      block.rows > config_.max_training_rows) {
+    // Train on a uniform sample of the block (PyOD-style bounded epoch
+    // cost); scoring still covers every row.
+    const auto sample = rng_.sample_without_replacement(
+        block.rows, config_.max_training_rows);
+    scaled.rows = sample.size();
+    scaled.values.resize(sample.size() * block.cols);
+    scaled.labels.clear();
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      const auto src = block.row(sample[i]);
+      std::copy(src.begin(), src.end(),
+                scaled.values.begin() +
+                    static_cast<std::ptrdiff_t>(i * block.cols));
+    }
+  }
+  if (auto s = scaler_.transform(scaled); !s.ok()) return s;
+  const Matrix x = block_to_matrix(scaled);
+  for (std::size_t e = 0; e < config_.epochs_per_fit; ++e) {
+    last_loss_ = train_epoch(x);
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<double>> AutoEncoder::score(
+    const data::DataBlock& block) const {
+  if (!fitted()) return Status::FailedPrecondition("model not fitted");
+  if (!block.valid()) return Status::InvalidArgument("invalid block");
+  if (block.cols != features_) {
+    return Status::InvalidArgument("feature count mismatch");
+  }
+  data::DataBlock scaled = block;
+  if (auto s = scaler_.transform(scaled); !s.ok()) return s;
+  const Matrix x = block_to_matrix(scaled);
+  std::vector<Matrix> acts;
+  forward(x, acts);
+  const Matrix& yhat = acts.back();
+  std::vector<double> scores(block.rows);
+  for (std::size_t r = 0; r < block.rows; ++r) {
+    double err = 0.0;
+    const double* a = x.data() + r * features_;
+    const double* b = yhat.data() + r * features_;
+    for (std::size_t f = 0; f < features_; ++f) {
+      const double d = a[f] - b[f];
+      err += d * d;
+    }
+    scores[r] = std::sqrt(err / static_cast<double>(features_));
+  }
+  return scores;
+}
+
+Status AutoEncoder::set_parameters(std::vector<Matrix> weights,
+                                   std::vector<std::vector<double>> biases,
+                                   StandardScaler scaler) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("initialize via fit/load first");
+  }
+  if (weights.size() != weights_.size() || biases.size() != biases_.size()) {
+    return Status::InvalidArgument("layer count mismatch");
+  }
+  for (std::size_t l = 0; l < weights.size(); ++l) {
+    if (weights[l].rows() != weights_[l].rows() ||
+        weights[l].cols() != weights_[l].cols() ||
+        biases[l].size() != biases_[l].size()) {
+      return Status::InvalidArgument("layer shape mismatch at layer " +
+                                     std::to_string(l));
+    }
+  }
+  if (scaler.features() != features_) {
+    return Status::InvalidArgument("scaler feature mismatch");
+  }
+  weights_ = std::move(weights);
+  biases_ = std::move(biases);
+  scaler_ = std::move(scaler);
+  return Status::Ok();
+}
+
+std::size_t AutoEncoder::parameter_count() const {
+  std::size_t total = 0;
+  for (const auto& w : weights_) total += w.size();
+  for (const auto& b : biases_) total += b.size();
+  return total;
+}
+
+Bytes AutoEncoder::save() const {
+  Bytes out;
+  ByteWriter w(out);
+  w.put_u64(features_);
+  w.put_u64(dims_.size());
+  for (std::size_t d : dims_) w.put_u64(d);
+  for (const auto& weight : weights_) {
+    w.put_f64_array(weight.data(), weight.size());
+  }
+  for (const auto& bias : biases_) {
+    w.put_f64_array(bias.data(), bias.size());
+  }
+  scaler_.save(w);
+  return out;
+}
+
+Status AutoEncoder::load(const Bytes& bytes) {
+  ByteReader r(bytes);
+  std::uint64_t features = 0, ndims = 0;
+  if (auto s = r.get_u64(features); !s.ok()) return s;
+  if (auto s = r.get_u64(ndims); !s.ok()) return s;
+  if (ndims < 2 || ndims > 64 || features > (1u << 20)) {
+    return Status::InvalidArgument("implausible autoencoder shape");
+  }
+  std::vector<std::size_t> dims(ndims);
+  for (std::size_t i = 0; i < ndims; ++i) {
+    std::uint64_t v = 0;
+    if (auto s = r.get_u64(v); !s.ok()) return s;
+    if (v == 0 || v > (1u << 20)) {
+      return Status::InvalidArgument("implausible layer width");
+    }
+    dims[i] = v;
+  }
+  std::vector<Matrix> weights;
+  for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+    Matrix w(dims[l], dims[l + 1]);
+    if (auto s = r.get_f64_array(w.data(), w.size()); !s.ok()) return s;
+    weights.push_back(std::move(w));
+  }
+  std::vector<std::vector<double>> biases;
+  for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+    std::vector<double> b(dims[l + 1]);
+    if (auto s = r.get_f64_array(b.data(), b.size()); !s.ok()) return s;
+    biases.push_back(std::move(b));
+  }
+  StandardScaler scaler;
+  if (auto s = scaler.load(r); !s.ok()) return s;
+
+  features_ = features;
+  dims_ = std::move(dims);
+  weights_ = std::move(weights);
+  biases_ = std::move(biases);
+  scaler_ = std::move(scaler);
+  // Reset optimizer state: a loaded model resumes training fresh.
+  m_w_.clear();
+  v_w_.clear();
+  m_b_.clear();
+  v_b_.clear();
+  for (std::size_t l = 0; l + 1 < dims_.size(); ++l) {
+    m_w_.emplace_back(dims_[l], dims_[l + 1]);
+    v_w_.emplace_back(dims_[l], dims_[l + 1]);
+    m_b_.emplace_back(dims_[l + 1], 0.0);
+    v_b_.emplace_back(dims_[l + 1], 0.0);
+  }
+  adam_step_ = 0;
+  initialized_ = true;
+  return Status::Ok();
+}
+
+}  // namespace pe::ml

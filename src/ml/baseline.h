@@ -1,0 +1,34 @@
+// Baseline "model": no machine learning at all.
+//
+// Used for the paper's baseline rows (Fig. 2 and the baseline series of
+// Fig. 3), where the processing stage only receives and acknowledges data.
+// score() returns zeros so the rest of the pipeline is shape-compatible.
+#pragma once
+
+#include "ml/model.h"
+
+namespace pe::ml {
+
+class Baseline final : public OutlierModel {
+ public:
+  ModelKind kind() const override { return ModelKind::kBaseline; }
+  bool fitted() const override { return true; }
+
+  Status fit(const data::DataBlock& block) override {
+    return block.valid() ? Status::Ok()
+                         : Status::InvalidArgument("invalid block");
+  }
+  Status partial_fit(const data::DataBlock& block) override {
+    return fit(block);
+  }
+  Result<std::vector<double>> score(
+      const data::DataBlock& block) const override {
+    if (!block.valid()) return Status::InvalidArgument("invalid block");
+    return std::vector<double>(block.rows, 0.0);
+  }
+  Bytes save() const override { return {}; }
+  Status load(const Bytes&) override { return Status::Ok(); }
+  std::size_t parameter_count() const override { return 0; }
+};
+
+}  // namespace pe::ml

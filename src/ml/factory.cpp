@@ -1,0 +1,66 @@
+#include "ml/factory.h"
+
+#include "ml/autoencoder.h"
+#include "ml/baseline.h"
+#include "ml/isolation_forest.h"
+#include "ml/kmeans.h"
+
+namespace pe::ml {
+
+ModelPtr make_model(ModelKind kind, const ConfigMap& config) {
+  const auto seed =
+      static_cast<std::uint64_t>(config.get_int_or("seed", 17));
+  switch (kind) {
+    case ModelKind::kBaseline:
+      return std::make_unique<Baseline>();
+    case ModelKind::kKMeans: {
+      KMeansConfig c;
+      c.clusters = static_cast<std::size_t>(
+          config.get_int_or("kmeans.clusters", 25));
+      c.max_iterations = static_cast<std::size_t>(
+          config.get_int_or("kmeans.max_iterations", 20));
+      c.max_center_weight = static_cast<std::uint64_t>(
+          config.get_int_or("kmeans.max_center_weight", 0));
+      c.seed = seed;
+      return std::make_unique<KMeans>(c);
+    }
+    case ModelKind::kIsolationForest: {
+      IsolationForestConfig c;
+      c.trees =
+          static_cast<std::size_t>(config.get_int_or("iforest.trees", 100));
+      c.subsample = static_cast<std::size_t>(
+          config.get_int_or("iforest.subsample", 256));
+      c.refresh_fraction =
+          config.get_double_or("iforest.refresh_fraction", 0.1);
+      c.seed = seed;
+      return std::make_unique<IsolationForest>(c);
+    }
+    case ModelKind::kAutoEncoder: {
+      AutoEncoderConfig c;
+      c.epochs_per_fit =
+          static_cast<std::size_t>(config.get_int_or("ae.epochs", 20));
+      c.batch_size =
+          static_cast<std::size_t>(config.get_int_or("ae.batch_size", 32));
+      c.max_training_rows = static_cast<std::size_t>(
+          config.get_int_or("ae.max_training_rows", 1024));
+      c.learning_rate = config.get_double_or("ae.learning_rate", 1e-3);
+      c.seed = seed;
+      return std::make_unique<AutoEncoder>(c);
+    }
+  }
+  return nullptr;
+}
+
+Result<ModelKind> parse_model_kind(const std::string& name) {
+  if (name == "baseline") return ModelKind::kBaseline;
+  if (name == "kmeans" || name == "k-means") return ModelKind::kKMeans;
+  if (name == "isolation-forest" || name == "iforest") {
+    return ModelKind::kIsolationForest;
+  }
+  if (name == "auto-encoder" || name == "autoencoder" || name == "ae") {
+    return ModelKind::kAutoEncoder;
+  }
+  return Status::InvalidArgument("unknown model kind '" + name + "'");
+}
+
+}  // namespace pe::ml

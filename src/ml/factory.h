@@ -1,0 +1,20 @@
+// Model factory keyed by ModelKind, with optional ConfigMap overrides.
+#pragma once
+
+#include "common/config.h"
+#include "ml/model.h"
+
+namespace pe::ml {
+
+/// Creates a model with defaults tuned to the paper's setup. Recognized
+/// ConfigMap keys (all optional):
+///   kmeans.clusters, kmeans.max_iterations,
+///   iforest.trees, iforest.subsample, iforest.refresh_fraction,
+///   ae.epochs, ae.batch_size, ae.learning_rate,
+///   seed (applies to every model kind)
+ModelPtr make_model(ModelKind kind, const ConfigMap& config = {});
+
+/// Parses "baseline" / "kmeans" / "isolation-forest" / "auto-encoder".
+Result<ModelKind> parse_model_kind(const std::string& name);
+
+}  // namespace pe::ml

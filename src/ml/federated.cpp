@@ -1,0 +1,122 @@
+#include "ml/federated.h"
+
+#include "ml/autoencoder.h"
+#include "ml/kmeans.h"
+
+namespace pe::ml::fed {
+namespace {
+
+Result<std::vector<double>> normalize_weights(std::size_t n,
+                                              std::vector<double> weights) {
+  if (weights.empty()) weights.assign(n, 1.0);
+  if (weights.size() != n) {
+    return Status::InvalidArgument("weight count != model count");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) return Status::InvalidArgument("negative weight");
+    total += w;
+  }
+  if (total <= 0.0) return Status::InvalidArgument("weights sum to zero");
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+}  // namespace
+
+Result<Bytes> average_autoencoders(const std::vector<Bytes>& models,
+                                   std::vector<double> weights) {
+  if (models.empty()) return Status::InvalidArgument("no models");
+  auto norm = normalize_weights(models.size(), std::move(weights));
+  if (!norm.ok()) return norm.status();
+
+  std::vector<AutoEncoder> parties(models.size());
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    if (auto s = parties[i].load(models[i]); !s.ok()) return s;
+    if (parties[i].layer_dims() != parties[0].layer_dims()) {
+      return Status::InvalidArgument(
+          "architecture mismatch between parties");
+    }
+  }
+
+  // Weighted average of every weight matrix and bias vector.
+  std::vector<Matrix> avg_weights = parties[0].layer_weights();
+  std::vector<std::vector<double>> avg_biases = parties[0].layer_biases();
+  for (auto& w : avg_weights) {
+    for (auto& v : w.storage()) v *= norm.value()[0];
+  }
+  for (auto& b : avg_biases) {
+    for (auto& v : b) v *= norm.value()[0];
+  }
+  for (std::size_t p = 1; p < parties.size(); ++p) {
+    const double wp = norm.value()[p];
+    const auto& pw = parties[p].layer_weights();
+    const auto& pb = parties[p].layer_biases();
+    for (std::size_t l = 0; l < avg_weights.size(); ++l) {
+      auto& acc = avg_weights[l].storage();
+      const auto& src = pw[l].storage();
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += wp * src[i];
+      for (std::size_t i = 0; i < avg_biases[l].size(); ++i) {
+        avg_biases[l][i] += wp * pb[l][i];
+      }
+    }
+  }
+
+  // Pool the scalers so the global model standardizes over all parties'
+  // data distributions.
+  StandardScaler pooled = parties[0].input_scaler();
+  for (std::size_t p = 1; p < parties.size(); ++p) {
+    if (auto s = pooled.merge(parties[p].input_scaler()); !s.ok()) return s;
+  }
+
+  AutoEncoder result;
+  if (auto s = result.load(models[0]); !s.ok()) return s;
+  if (auto s = result.set_parameters(std::move(avg_weights),
+                                     std::move(avg_biases),
+                                     std::move(pooled));
+      !s.ok()) {
+    return s;
+  }
+  return result.save();
+}
+
+Result<Bytes> average_kmeans(const std::vector<Bytes>& models,
+                             std::vector<double> weights) {
+  if (models.empty()) return Status::InvalidArgument("no models");
+  auto norm = normalize_weights(models.size(), std::move(weights));
+  if (!norm.ok()) return norm.status();
+
+  std::vector<KMeans> parties(models.size());
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    if (auto s = parties[i].load(models[i]); !s.ok()) return s;
+    if (parties[i].centers().size() != parties[0].centers().size() ||
+        parties[i].features() != parties[0].features()) {
+      return Status::InvalidArgument("cluster shape mismatch");
+    }
+  }
+
+  const std::size_t features = parties[0].features();
+  const std::size_t clusters = parties[0].center_counts().size();
+  std::vector<double> centers(clusters * features, 0.0);
+  std::vector<std::uint64_t> counts(clusters, 0);
+  for (std::size_t p = 0; p < parties.size(); ++p) {
+    const double wp = norm.value()[p];
+    const auto& pc = parties[p].centers();
+    for (std::size_t i = 0; i < centers.size(); ++i) {
+      centers[i] += wp * pc[i];
+    }
+    for (std::size_t c = 0; c < clusters; ++c) {
+      counts[c] += parties[p].center_counts()[c];
+    }
+  }
+
+  KMeans result;
+  if (auto s = result.set_centers(std::move(centers), std::move(counts),
+                                  features);
+      !s.ok()) {
+    return s;
+  }
+  return result.save();
+}
+
+}  // namespace pe::ml::fed

@@ -1,0 +1,33 @@
+// Federated averaging across the continuum (paper §V future work:
+// "we will explore novel edge-to-cloud scenarios, e.g., federated
+// learning").
+//
+// Each edge site trains a local model on local data; the serialized
+// models are shipped to the parameter service and combined by weighted
+// averaging (FedAvg, McMahan et al. 2017):
+//   - auto-encoders: element-wise weighted average of all weights and
+//     biases (requires identical architectures), scalers pooled;
+//   - k-means: per-index weighted centroid average (requires a common
+//     initialization across parties, the standard one-shot federated
+//     k-means setup).
+//
+// Weights are typically the parties' sample counts.
+#pragma once
+
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace pe::ml::fed {
+
+/// FedAvg over serialized AutoEncoder models (from OutlierModel::save()).
+/// `weights` empty = uniform. Returns the averaged model's serialization.
+Result<Bytes> average_autoencoders(const std::vector<Bytes>& models,
+                                   std::vector<double> weights = {});
+
+/// FedAvg over serialized KMeans models.
+Result<Bytes> average_kmeans(const std::vector<Bytes>& models,
+                             std::vector<double> weights = {});
+
+}  // namespace pe::ml::fed

@@ -1,0 +1,230 @@
+#include "ml/isolation_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pe::ml {
+namespace {
+constexpr double kEulerMascheroni = 0.5772156649015329;
+}
+
+IsolationForest::IsolationForest(IsolationForestConfig config)
+    : config_(config), rng_(config.seed) {
+  if (config_.trees == 0) config_.trees = 1;
+  if (config_.subsample < 2) config_.subsample = 2;
+}
+
+double IsolationForest::average_path_length(std::size_t n) {
+  if (n <= 1) return 0.0;
+  if (n == 2) return 1.0;
+  const auto nd = static_cast<double>(n);
+  // c(n) = 2 H(n-1) - 2 (n-1)/n, H(i) ~ ln(i) + gamma.
+  return 2.0 * (std::log(nd - 1.0) + kEulerMascheroni) -
+         2.0 * (nd - 1.0) / nd;
+}
+
+std::int32_t IsolationForest::build_node(Tree& tree,
+                                         const data::DataBlock& block,
+                                         std::vector<std::size_t>& rows,
+                                         std::size_t begin, std::size_t end,
+                                         std::size_t depth,
+                                         std::size_t max_depth) {
+  const std::size_t count = end - begin;
+  const auto index = static_cast<std::int32_t>(tree.nodes.size());
+  tree.nodes.emplace_back();
+
+  if (count <= 1 || depth >= max_depth) {
+    tree.nodes[static_cast<std::size_t>(index)].size =
+        static_cast<std::uint32_t>(count);
+    return index;
+  }
+
+  // Random feature with spread; random threshold within its range.
+  std::uint32_t feature = 0;
+  double lo = 0.0, hi = 0.0;
+  bool found = false;
+  for (std::size_t attempt = 0; attempt < features_; ++attempt) {
+    feature = static_cast<std::uint32_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(features_) - 1));
+    lo = hi = block.values[rows[begin] * features_ + feature];
+    for (std::size_t i = begin + 1; i < end; ++i) {
+      const double v = block.values[rows[i] * features_ + feature];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi > lo) {
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    // All candidate features constant: external node.
+    tree.nodes[static_cast<std::size_t>(index)].size =
+        static_cast<std::uint32_t>(count);
+    return index;
+  }
+
+  const double threshold = rng_.uniform(lo, hi);
+  auto mid_it = std::partition(
+      rows.begin() + static_cast<std::ptrdiff_t>(begin),
+      rows.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t r) {
+        return block.values[r * features_ + feature] < threshold;
+      });
+  const auto mid =
+      static_cast<std::size_t>(mid_it - rows.begin());
+  // Degenerate partition cannot occur (threshold strictly inside (lo,hi)),
+  // but guard anyway to avoid infinite recursion on pathological floats.
+  if (mid == begin || mid == end) {
+    tree.nodes[static_cast<std::size_t>(index)].size =
+        static_cast<std::uint32_t>(count);
+    return index;
+  }
+
+  tree.nodes[static_cast<std::size_t>(index)].feature = feature;
+  tree.nodes[static_cast<std::size_t>(index)].threshold = threshold;
+  const std::int32_t left =
+      build_node(tree, block, rows, begin, mid, depth + 1, max_depth);
+  const std::int32_t right =
+      build_node(tree, block, rows, mid, end, depth + 1, max_depth);
+  tree.nodes[static_cast<std::size_t>(index)].left = left;
+  tree.nodes[static_cast<std::size_t>(index)].right = right;
+  return index;
+}
+
+IsolationForest::Tree IsolationForest::build_tree(
+    const data::DataBlock& block, const std::vector<std::size_t>& sample) {
+  Tree tree;
+  tree.nodes.reserve(2 * sample.size());
+  std::vector<std::size_t> rows = sample;
+  const auto max_depth = static_cast<std::size_t>(
+      std::ceil(std::log2(std::max<std::size_t>(2, rows.size()))));
+  build_node(tree, block, rows, 0, rows.size(), 0, max_depth);
+  return tree;
+}
+
+Status IsolationForest::fit(const data::DataBlock& block) {
+  if (!block.valid() || block.rows == 0) {
+    return Status::InvalidArgument("invalid or empty block");
+  }
+  features_ = block.cols;
+  forest_.clear();
+  for (std::size_t t = 0; t < config_.trees; ++t) {
+    const auto sample = rng_.sample_without_replacement(
+        block.rows, std::min(config_.subsample, block.rows));
+    forest_.push_back(build_tree(block, sample));
+  }
+  return Status::Ok();
+}
+
+Status IsolationForest::partial_fit(const data::DataBlock& block) {
+  if (!block.valid() || block.rows == 0) {
+    return Status::InvalidArgument("invalid or empty block");
+  }
+  if (!fitted()) return fit(block);
+  if (block.cols != features_) {
+    return Status::InvalidArgument("feature count mismatch");
+  }
+  const auto refresh = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(config_.trees) *
+                                  config_.refresh_fraction));
+  for (std::size_t t = 0; t < refresh; ++t) {
+    if (!forest_.empty()) forest_.pop_front();
+    const auto sample = rng_.sample_without_replacement(
+        block.rows, std::min(config_.subsample, block.rows));
+    forest_.push_back(build_tree(block, sample));
+  }
+  return Status::Ok();
+}
+
+double IsolationForest::path_length(const Tree& tree,
+                                    const double* row) const {
+  std::size_t depth = 0;
+  std::int32_t node = 0;
+  while (true) {
+    const Node& n = tree.nodes[static_cast<std::size_t>(node)];
+    if (n.left < 0) {
+      return static_cast<double>(depth) + average_path_length(n.size);
+    }
+    node = row[n.feature] < n.threshold ? n.left : n.right;
+    depth += 1;
+  }
+}
+
+Result<std::vector<double>> IsolationForest::score(
+    const data::DataBlock& block) const {
+  if (!fitted()) return Status::FailedPrecondition("model not fitted");
+  if (!block.valid()) return Status::InvalidArgument("invalid block");
+  if (block.cols != features_) {
+    return Status::InvalidArgument("feature count mismatch");
+  }
+  const double c = average_path_length(config_.subsample);
+  std::vector<double> scores(block.rows);
+  for (std::size_t r = 0; r < block.rows; ++r) {
+    const double* row = block.values.data() + r * features_;
+    double mean_path = 0.0;
+    for (const Tree& tree : forest_) mean_path += path_length(tree, row);
+    mean_path /= static_cast<double>(forest_.size());
+    scores[r] = std::pow(2.0, -mean_path / c);
+  }
+  return scores;
+}
+
+std::size_t IsolationForest::parameter_count() const {
+  std::size_t nodes = 0;
+  for (const Tree& t : forest_) nodes += t.nodes.size();
+  return nodes * 2;  // feature + threshold per node
+}
+
+Bytes IsolationForest::save() const {
+  Bytes out;
+  ByteWriter w(out);
+  w.put_u64(features_);
+  w.put_u64(forest_.size());
+  for (const Tree& tree : forest_) {
+    w.put_u64(tree.nodes.size());
+    for (const Node& n : tree.nodes) {
+      w.put_u32(static_cast<std::uint32_t>(n.left));
+      w.put_u32(static_cast<std::uint32_t>(n.right));
+      w.put_u32(n.feature);
+      w.put_f64(n.threshold);
+      w.put_u32(n.size);
+    }
+  }
+  return out;
+}
+
+Status IsolationForest::load(const Bytes& bytes) {
+  ByteReader r(bytes);
+  std::uint64_t features = 0, trees = 0;
+  if (auto s = r.get_u64(features); !s.ok()) return s;
+  if (auto s = r.get_u64(trees); !s.ok()) return s;
+  if (features > (1u << 20) || trees > (1u << 20)) {
+    return Status::InvalidArgument("implausible forest dimensions");
+  }
+  std::deque<Tree> forest;
+  for (std::uint64_t t = 0; t < trees; ++t) {
+    std::uint64_t node_count = 0;
+    if (auto s = r.get_u64(node_count); !s.ok()) return s;
+    if (node_count > (1u << 26)) {
+      return Status::InvalidArgument("implausible tree size");
+    }
+    Tree tree;
+    tree.nodes.resize(node_count);
+    for (Node& n : tree.nodes) {
+      std::uint32_t left = 0, right = 0;
+      if (auto s = r.get_u32(left); !s.ok()) return s;
+      if (auto s = r.get_u32(right); !s.ok()) return s;
+      if (auto s = r.get_u32(n.feature); !s.ok()) return s;
+      if (auto s = r.get_f64(n.threshold); !s.ok()) return s;
+      if (auto s = r.get_u32(n.size); !s.ok()) return s;
+      n.left = static_cast<std::int32_t>(left);
+      n.right = static_cast<std::int32_t>(right);
+    }
+    forest.push_back(std::move(tree));
+  }
+  features_ = features;
+  forest_ = std::move(forest);
+  return Status::Ok();
+}
+
+}  // namespace pe::ml

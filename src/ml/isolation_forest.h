@@ -1,0 +1,78 @@
+// Isolation forest outlier detector (paper model 2; Liu et al. 2008).
+//
+// 100 randomized trees over subsamples of 256 points (the PyOD defaults
+// the paper uses). The anomaly score follows the original formulation:
+// s(x) = 2^(-E[h(x)] / c(psi)). Streaming behaviour: partial_fit replaces
+// the oldest fraction of trees with trees grown on the new block, so the
+// ensemble tracks the stream while older structure ages out.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/rng.h"
+#include "ml/model.h"
+
+namespace pe::ml {
+
+struct IsolationForestConfig {
+  std::size_t trees = 100;      // paper: "a default of 100 ensemble tasks"
+  std::size_t subsample = 256;  // psi, PyOD/sklearn default
+  /// Fraction of trees rebuilt per partial_fit (streaming refresh).
+  double refresh_fraction = 0.1;
+  std::uint64_t seed = 29;
+};
+
+class IsolationForest final : public OutlierModel {
+ public:
+  explicit IsolationForest(IsolationForestConfig config = {});
+
+  ModelKind kind() const override { return ModelKind::kIsolationForest; }
+  bool fitted() const override { return !forest_.empty(); }
+
+  Status fit(const data::DataBlock& block) override;
+  Status partial_fit(const data::DataBlock& block) override;
+  Result<std::vector<double>> score(
+      const data::DataBlock& block) const override;
+
+  Bytes save() const override;
+  Status load(const Bytes& bytes) override;
+  std::size_t parameter_count() const override;
+
+  const IsolationForestConfig& config() const { return config_; }
+  std::size_t features() const { return features_; }
+  std::size_t tree_count() const { return forest_.size(); }
+
+  /// Average path length of a random point in a tree of n samples
+  /// (the c(n) normalizer from the paper).
+  static double average_path_length(std::size_t n);
+
+ private:
+  struct Node {
+    // Internal node: split on feature < threshold; children index into the
+    // tree's node vector. External node: left == -1, `size` samples.
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::uint32_t feature = 0;
+    double threshold = 0.0;
+    std::uint32_t size = 0;
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  Tree build_tree(const data::DataBlock& block,
+                  const std::vector<std::size_t>& sample);
+  std::int32_t build_node(Tree& tree, const data::DataBlock& block,
+                          std::vector<std::size_t>& rows, std::size_t begin,
+                          std::size_t end, std::size_t depth,
+                          std::size_t max_depth);
+  double path_length(const Tree& tree, const double* row) const;
+
+  IsolationForestConfig config_;
+  Rng rng_;
+  std::size_t features_ = 0;
+  std::deque<Tree> forest_;  // front = oldest (replaced first)
+};
+
+}  // namespace pe::ml

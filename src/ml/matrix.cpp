@@ -1,0 +1,64 @@
+#include "ml/matrix.h"
+
+namespace pe::ml {
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.rows());
+  if (out.rows() != a.rows() || out.cols() != b.cols()) {
+    out = Matrix(a.rows(), b.cols());
+  } else {
+    out.fill(0.0);
+  }
+  const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
+  // ikj loop order: streams through b and out rows (cache friendly).
+  for (std::size_t i = 0; i < n; ++i) {
+    double* out_row = out.data() + i * m;
+    const double* a_row = a.data() + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av = a_row[p];
+      if (av == 0.0) continue;
+      const double* b_row = b.data() + p * m;
+      for (std::size_t j = 0; j < m; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void matmul_bt(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.cols());
+  if (out.rows() != a.rows() || out.cols() != b.rows()) {
+    out = Matrix(a.rows(), b.rows());
+  }
+  const std::size_t n = a.rows(), k = a.cols(), m = b.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* a_row = a.data() + i * k;
+    double* out_row = out.data() + i * m;
+    for (std::size_t j = 0; j < m; ++j) {
+      const double* b_row = b.data() + j * k;
+      double sum = 0.0;
+      for (std::size_t p = 0; p < k; ++p) sum += a_row[p] * b_row[p];
+      out_row[j] = sum;
+    }
+  }
+}
+
+void matmul_at(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.rows() == b.rows());
+  if (out.rows() != a.cols() || out.cols() != b.cols()) {
+    out = Matrix(a.cols(), b.cols());
+  } else {
+    out.fill(0.0);
+  }
+  const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
+  for (std::size_t p = 0; p < n; ++p) {
+    const double* a_row = a.data() + p * k;
+    const double* b_row = b.data() + p * m;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double av = a_row[i];
+      if (av == 0.0) continue;
+      double* out_row = out.data() + i * m;
+      for (std::size_t j = 0; j < m; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+}  // namespace pe::ml

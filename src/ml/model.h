@@ -1,0 +1,69 @@
+// OutlierModel: the interface shared by all three paper models.
+//
+// Models are streaming: partial_fit() updates the model with the incoming
+// block (the paper updates each model as data arrives, with parameters
+// shared via the parameter service), score() returns one anomaly score per
+// row (higher = more anomalous), and save/load serialize the parameters so
+// they can be shipped through the ParameterServer.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "data/block.h"
+
+namespace pe::ml {
+
+enum class ModelKind {
+  kBaseline,  // no ML: pass-through (paper's "baseline" rows)
+  kKMeans,
+  kIsolationForest,
+  kAutoEncoder,
+};
+
+constexpr const char* to_string(ModelKind k) {
+  switch (k) {
+    case ModelKind::kBaseline: return "baseline";
+    case ModelKind::kKMeans: return "kmeans";
+    case ModelKind::kIsolationForest: return "isolation-forest";
+    case ModelKind::kAutoEncoder: return "auto-encoder";
+  }
+  return "?";
+}
+
+class OutlierModel {
+ public:
+  virtual ~OutlierModel() = default;
+
+  virtual ModelKind kind() const = 0;
+  virtual std::string name() const { return to_string(kind()); }
+
+  /// True once the model can score (some models need a first fit).
+  virtual bool fitted() const = 0;
+
+  /// Full (re)fit on a block.
+  virtual Status fit(const data::DataBlock& block) = 0;
+
+  /// Incremental update with a new block (streaming training).
+  virtual Status partial_fit(const data::DataBlock& block) = 0;
+
+  /// Per-row anomaly scores, higher = more anomalous. Models must be
+  /// fitted() first (FAILED_PRECONDITION otherwise).
+  virtual Result<std::vector<double>> score(
+      const data::DataBlock& block) const = 0;
+
+  /// Serializes parameters for the parameter server.
+  virtual Bytes save() const = 0;
+  virtual Status load(const Bytes& bytes) = 0;
+
+  /// Number of learned parameters (reported in experiment logs; the paper
+  /// quotes 11,552 for its auto-encoder).
+  virtual std::size_t parameter_count() const = 0;
+};
+
+using ModelPtr = std::unique_ptr<OutlierModel>;
+
+}  // namespace pe::ml

@@ -1,0 +1,99 @@
+// Outlier-detection quality metrics.
+//
+// Given anomaly scores and ground-truth labels (from the synthetic
+// generator), computes threshold metrics and ROC-AUC. Used by tests to
+// assert the models actually detect the injected outliers, not just burn
+// CPU.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace pe::ml {
+
+struct ClassificationMetrics {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t true_negatives = 0;
+  std::size_t false_negatives = 0;
+
+  double precision() const {
+    const auto d = true_positives + false_positives;
+    return d == 0 ? 0.0 : static_cast<double>(true_positives) / d;
+  }
+  double recall() const {
+    const auto d = true_positives + false_negatives;
+    return d == 0 ? 0.0 : static_cast<double>(true_positives) / d;
+  }
+  double f1() const {
+    const double p = precision(), r = recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// Threshold classification: score >= threshold => predicted outlier.
+inline ClassificationMetrics evaluate_threshold(
+    const std::vector<double>& scores, const std::vector<std::uint8_t>& labels,
+    double threshold) {
+  ClassificationMetrics m;
+  for (std::size_t i = 0; i < scores.size() && i < labels.size(); ++i) {
+    const bool predicted = scores[i] >= threshold;
+    const bool actual = labels[i] != 0;
+    if (predicted && actual) m.true_positives += 1;
+    else if (predicted && !actual) m.false_positives += 1;
+    else if (!predicted && actual) m.false_negatives += 1;
+    else m.true_negatives += 1;
+  }
+  return m;
+}
+
+/// The q-th quantile of the scores (used to derive contamination-based
+/// thresholds like PyOD does).
+inline double score_quantile(std::vector<double> scores, double q) {
+  if (scores.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(scores.begin(), scores.end());
+  const double pos = q * static_cast<double>(scores.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, scores.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return scores[lo] * (1.0 - frac) + scores[hi] * frac;
+}
+
+/// Area under the ROC curve via the rank-sum (Mann-Whitney) formulation.
+inline double roc_auc(const std::vector<double>& scores,
+                      const std::vector<std::uint8_t>& labels) {
+  const std::size_t n = std::min(scores.size(), labels.size());
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+
+  double rank_sum_pos = 0.0;
+  std::size_t positives = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    // Average ranks over score ties.
+    std::size_t j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i + 1) +
+                             static_cast<double>(j)) / 2.0;
+    for (std::size_t k = i; k < j; ++k) {
+      if (labels[order[k]] != 0) {
+        rank_sum_pos += avg_rank;
+        positives += 1;
+      }
+    }
+    i = j;
+  }
+  const std::size_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  const double u = rank_sum_pos -
+                   static_cast<double>(positives) *
+                       (static_cast<double>(positives) + 1.0) / 2.0;
+  return u / (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+}  // namespace pe::ml

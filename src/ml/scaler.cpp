@@ -1,0 +1,119 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+
+namespace pe::ml {
+
+StandardScaler::StandardScaler(std::size_t features)
+    : mean_(features, 0.0), m2_(features, 0.0) {}
+
+Status StandardScaler::partial_fit(const data::DataBlock& block) {
+  if (!block.valid()) return Status::InvalidArgument("invalid block");
+  if (mean_.empty()) {
+    mean_.assign(block.cols, 0.0);
+    m2_.assign(block.cols, 0.0);
+  }
+  if (block.cols != mean_.size()) {
+    return Status::InvalidArgument("feature count mismatch: scaler has " +
+                                   std::to_string(mean_.size()) + ", block " +
+                                   std::to_string(block.cols));
+  }
+  for (std::size_t r = 0; r < block.rows; ++r) {
+    count_ += 1;
+    const auto row = block.row(r);
+    const double inv_n = 1.0 / static_cast<double>(count_);
+    for (std::size_t f = 0; f < block.cols; ++f) {
+      const double delta = row[f] - mean_[f];
+      mean_[f] += delta * inv_n;
+      m2_[f] += delta * (row[f] - mean_[f]);
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<double> StandardScaler::stddev() const {
+  std::vector<double> out(mean_.size(), 0.0);
+  if (count_ < 2) return out;
+  for (std::size_t f = 0; f < out.size(); ++f) {
+    out[f] = std::sqrt(m2_[f] / static_cast<double>(count_ - 1));
+  }
+  return out;
+}
+
+Status StandardScaler::transform(data::DataBlock& block) const {
+  if (!fitted()) return Status::FailedPrecondition("scaler not fitted");
+  if (block.cols != mean_.size()) {
+    return Status::InvalidArgument("feature count mismatch");
+  }
+  const std::vector<double> sd = stddev();
+  for (std::size_t r = 0; r < block.rows; ++r) {
+    auto row = block.row(r);
+    for (std::size_t f = 0; f < block.cols; ++f) {
+      const double s = sd[f] > 1e-9 ? sd[f] : 1.0;
+      row[f] = (row[f] - mean_[f]) / s;
+    }
+  }
+  return Status::Ok();
+}
+
+Status StandardScaler::inverse_transform(data::DataBlock& block) const {
+  if (!fitted()) return Status::FailedPrecondition("scaler not fitted");
+  if (block.cols != mean_.size()) {
+    return Status::InvalidArgument("feature count mismatch");
+  }
+  const std::vector<double> sd = stddev();
+  for (std::size_t r = 0; r < block.rows; ++r) {
+    auto row = block.row(r);
+    for (std::size_t f = 0; f < block.cols; ++f) {
+      const double s = sd[f] > 1e-9 ? sd[f] : 1.0;
+      row[f] = row[f] * s + mean_[f];
+    }
+  }
+  return Status::Ok();
+}
+
+Status StandardScaler::merge(const StandardScaler& other) {
+  if (other.count_ == 0) return Status::Ok();
+  if (count_ == 0) {
+    *this = other;
+    return Status::Ok();
+  }
+  if (mean_.size() != other.mean_.size()) {
+    return Status::InvalidArgument("feature count mismatch in merge");
+  }
+  const auto c1 = static_cast<double>(count_);
+  const auto c2 = static_cast<double>(other.count_);
+  const double total = c1 + c2;
+  for (std::size_t f = 0; f < mean_.size(); ++f) {
+    const double delta = other.mean_[f] - mean_[f];
+    mean_[f] += delta * c2 / total;
+    m2_[f] += other.m2_[f] + delta * delta * c1 * c2 / total;
+  }
+  count_ += other.count_;
+  return Status::Ok();
+}
+
+void StandardScaler::save(ByteWriter& w) const {
+  w.put_u64(count_);
+  w.put_u64(mean_.size());
+  w.put_f64_array(mean_.data(), mean_.size());
+  w.put_f64_array(m2_.data(), m2_.size());
+}
+
+Status StandardScaler::load(ByteReader& r) {
+  std::uint64_t count = 0, features = 0;
+  if (auto s = r.get_u64(count); !s.ok()) return s;
+  if (auto s = r.get_u64(features); !s.ok()) return s;
+  if (features > (1u << 20)) {
+    return Status::InvalidArgument("implausible feature count");
+  }
+  std::vector<double> mean(features), m2(features);
+  if (auto s = r.get_f64_array(mean.data(), features); !s.ok()) return s;
+  if (auto s = r.get_f64_array(m2.data(), features); !s.ok()) return s;
+  count_ = count;
+  mean_ = std::move(mean);
+  m2_ = std::move(m2);
+  return Status::Ok();
+}
+
+}  // namespace pe::ml

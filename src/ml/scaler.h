@@ -1,0 +1,50 @@
+// StandardScaler: per-feature standardization with streaming updates.
+//
+// Keeps running count/mean/M2 (Welford) so it can be updated block by
+// block — used in front of the auto-encoder, matching PyOD's
+// preprocessing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "data/block.h"
+
+namespace pe::ml {
+
+class StandardScaler {
+ public:
+  explicit StandardScaler(std::size_t features = 0);
+
+  std::size_t features() const { return mean_.size(); }
+  std::size_t samples_seen() const { return count_; }
+  bool fitted() const { return count_ > 0; }
+
+  /// Streaming update with all rows of a block.
+  Status partial_fit(const data::DataBlock& block);
+
+  /// Standardizes in place: x <- (x - mean) / std (std floor 1e-9).
+  Status transform(data::DataBlock& block) const;
+
+  /// Inverse operation (used by tests to round-trip).
+  Status inverse_transform(data::DataBlock& block) const;
+
+  std::vector<double> mean() const { return mean_; }
+  std::vector<double> stddev() const;
+
+  /// Pooled merge of another scaler's statistics (parallel Welford),
+  /// as if this scaler had also seen the other's samples.
+  Status merge(const StandardScaler& other);
+
+  void save(ByteWriter& w) const;
+  Status load(ByteReader& r);
+
+ private:
+  std::size_t count_ = 0;
+  std::vector<double> mean_;
+  std::vector<double> m2_;  // sum of squared deviations (Welford)
+};
+
+}  // namespace pe::ml

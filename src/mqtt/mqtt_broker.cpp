@@ -1,0 +1,313 @@
+#include "mqtt/mqtt_broker.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pe::mqtt {
+namespace {
+
+std::vector<std::string> split_levels(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t slash = s.find('/', start);
+    if (slash == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, slash - start));
+    start = slash + 1;
+  }
+}
+
+}  // namespace
+
+bool topic_matches(const std::string& filter, const std::string& topic) {
+  const auto f = split_levels(filter);
+  const auto t = split_levels(topic);
+  std::size_t i = 0;
+  for (; i < f.size(); ++i) {
+    if (f[i] == "#") return true;  // matches remaining levels (incl. none)
+    if (i >= t.size()) return false;
+    if (f[i] == "+") continue;
+    if (f[i] != t[i]) return false;
+  }
+  return i == t.size();
+}
+
+bool valid_filter(const std::string& filter) {
+  if (filter.empty()) return false;
+  const auto levels = split_levels(filter);
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const auto& level = levels[i];
+    if (level == "#") {
+      if (i + 1 != levels.size()) return false;  // '#' must be last
+      continue;
+    }
+    if (level == "+") continue;
+    if (level.find('#') != std::string::npos ||
+        level.find('+') != std::string::npos) {
+      return false;  // wildcards must occupy a whole level
+    }
+  }
+  return true;
+}
+
+bool valid_topic(const std::string& topic) {
+  return !topic.empty() && topic.find('#') == std::string::npos &&
+         topic.find('+') == std::string::npos;
+}
+
+MqttBroker::MqttBroker(net::SiteId site) : site_(std::move(site)) {}
+
+Result<bool> MqttBroker::connect(const std::string& client_id,
+                                 SessionOptions options) {
+  if (client_id.empty()) {
+    return Status::InvalidArgument("empty client id");
+  }
+  if (options.will && !valid_topic(options.will->topic)) {
+    return Status::InvalidArgument("invalid will topic");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(client_id);
+  bool resumed = false;
+  if (it != sessions_.end()) {
+    if (it->second.connected) {
+      return Status::AlreadyExists("client '" + client_id +
+                                   "' already connected");
+    }
+    if (options.clean_session) {
+      sessions_.erase(it);
+    } else {
+      resumed = true;
+    }
+  }
+  Session& session = sessions_[client_id];
+  session.connected = true;
+  session.options = std::move(options);
+  return resumed;
+}
+
+Status MqttBroker::disconnect(const std::string& client_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(client_id);
+  if (it == sessions_.end() || !it->second.connected) {
+    return Status::NotFound("client '" + client_id + "' not connected");
+  }
+  if (it->second.options.clean_session) {
+    sessions_.erase(it);
+  } else {
+    it->second.connected = false;
+  }
+  return Status::Ok();
+}
+
+Status MqttBroker::drop(const std::string& client_id) {
+  std::optional<Message> will;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(client_id);
+    if (it == sessions_.end() || !it->second.connected) {
+      return Status::NotFound("client '" + client_id + "' not connected");
+    }
+    will = it->second.options.will;
+    if (it->second.options.clean_session) {
+      sessions_.erase(it);
+    } else {
+      it->second.connected = false;
+    }
+    if (will) counters_.wills_fired += 1;
+  }
+  if (will) {
+    will->publish_ns = Clock::now_ns();
+    return publish(std::move(*will));
+  }
+  return Status::Ok();
+}
+
+bool MqttBroker::connected(const std::string& client_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(client_id);
+  return it != sessions_.end() && it->second.connected;
+}
+
+Status MqttBroker::subscribe(const std::string& client_id,
+                             const std::string& filter, QoS max_qos) {
+  if (!valid_filter(filter)) {
+    return Status::InvalidArgument("invalid topic filter '" + filter + "'");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(client_id);
+  if (it == sessions_.end() || !it->second.connected) {
+    return Status::FailedPrecondition("client '" + client_id +
+                                      "' not connected");
+  }
+  Session& session = it->second;
+  auto existing = std::find_if(
+      session.subscriptions.begin(), session.subscriptions.end(),
+      [&](const Subscription& s) { return s.filter == filter; });
+  if (existing != session.subscriptions.end()) {
+    existing->max_qos = max_qos;  // re-subscribe updates QoS
+  } else {
+    session.subscriptions.push_back(Subscription{filter, max_qos});
+    existing = std::prev(session.subscriptions.end());
+  }
+  // Retained messages matching the new filter are replayed immediately.
+  for (const auto& [topic, retained] : retained_) {
+    if (topic_matches(filter, topic)) {
+      Message replay = retained;
+      replay.retained_replay = true;
+      deliver_locked(session, *existing, std::move(replay));
+    }
+  }
+  return Status::Ok();
+}
+
+Status MqttBroker::unsubscribe(const std::string& client_id,
+                               const std::string& filter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(client_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("unknown client '" + client_id + "'");
+  }
+  auto& subs = it->second.subscriptions;
+  const auto before = subs.size();
+  subs.erase(std::remove_if(subs.begin(), subs.end(),
+                            [&](const Subscription& s) {
+                              return s.filter == filter;
+                            }),
+             subs.end());
+  if (subs.size() == before) {
+    return Status::NotFound("not subscribed to '" + filter + "'");
+  }
+  return Status::Ok();
+}
+
+void MqttBroker::deliver_locked(Session& session, const Subscription& sub,
+                                Message message) {
+  // Effective QoS = min(publish QoS, subscription max QoS).
+  if (static_cast<int>(message.qos) > static_cast<int>(sub.max_qos)) {
+    message.qos = sub.max_qos;
+  }
+  message.packet_id = next_packet_id_++;
+  if (!session.connected) {
+    if (session.inbox.size() >= session.options.offline_queue_limit) {
+      counters_.dropped_offline += 1;
+      return;
+    }
+  }
+  session.inbox.push_back(std::move(message));
+}
+
+void MqttBroker::route_locked(const Message& message) {
+  for (auto& [id, session] : sessions_) {
+    // Each matching subscription delivers once; MQTT delivers per
+    // overlapping subscription (we use the highest-QoS match once,
+    // matching common broker behaviour).
+    const Subscription* best = nullptr;
+    for (const auto& sub : session.subscriptions) {
+      if (!topic_matches(sub.filter, message.topic)) continue;
+      if (best == nullptr ||
+          static_cast<int>(sub.max_qos) > static_cast<int>(best->max_qos)) {
+        best = &sub;
+      }
+    }
+    if (best != nullptr) {
+      counters_.delivered += 1;
+      deliver_locked(session, *best, message);
+    }
+  }
+}
+
+Status MqttBroker::publish(Message message) {
+  if (!valid_topic(message.topic)) {
+    return Status::InvalidArgument("invalid publish topic '" +
+                                   message.topic + "'");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.published += 1;
+  if (message.publish_ns == 0) message.publish_ns = Clock::now_ns();
+  if (message.retain) {
+    if (message.payload.empty()) {
+      retained_.erase(message.topic);  // empty retained payload clears
+    } else {
+      retained_[message.topic] = message;
+    }
+  }
+  route_locked(message);
+  return Status::Ok();
+}
+
+Result<std::vector<Message>> MqttBroker::poll(const std::string& client_id,
+                                              std::size_t max) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(client_id);
+  if (it == sessions_.end() || !it->second.connected) {
+    return Status::FailedPrecondition("client '" + client_id +
+                                      "' not connected");
+  }
+  Session& session = it->second;
+  std::vector<Message> out;
+  const auto now = Clock::now();
+
+  // Redeliver QoS-1 messages whose ack timed out (DUP flag set).
+  for (auto& [packet_id, pending] : session.awaiting_ack) {
+    if (out.size() >= max) break;
+    if (now - pending.sent_at >=
+        session.options.ack_timeout / Clock::time_scale()) {
+      pending.sent_at = now;
+      Message dup = pending.message;
+      dup.duplicate = true;
+      counters_.redelivered += 1;
+      out.push_back(std::move(dup));
+    }
+  }
+
+  while (out.size() < max && !session.inbox.empty()) {
+    Message m = std::move(session.inbox.front());
+    session.inbox.pop_front();
+    if (m.qos == QoS::kAtLeastOnce) {
+      session.awaiting_ack[m.packet_id] = PendingAck{m, now};
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+Status MqttBroker::ack(const std::string& client_id,
+                       std::uint64_t packet_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(client_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("unknown client '" + client_id + "'");
+  }
+  if (it->second.awaiting_ack.erase(packet_id) == 0) {
+    return Status::NotFound("no pending packet " + std::to_string(packet_id));
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> MqttBroker::subscriptions(
+    const std::string& client_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  auto it = sessions_.find(client_id);
+  if (it == sessions_.end()) return out;
+  for (const auto& sub : it->second.subscriptions) {
+    out.push_back(sub.filter);
+  }
+  return out;
+}
+
+std::size_t MqttBroker::retained_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retained_.size();
+}
+
+BrokerCounters MqttBroker::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace pe::mqtt

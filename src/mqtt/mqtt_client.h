@@ -1,0 +1,119 @@
+// Site-attached MQTT client: charges every payload to the fabric link
+// between the client's site and the broker's site, like the Kafka-model
+// clients do. Intended for constrained edge devices (QoS 0/1, tiny
+// per-message state, no offsets).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mqtt/mqtt_broker.h"
+#include "network/fabric.h"
+
+namespace pe::mqtt {
+
+class MqttClient {
+ public:
+  MqttClient(std::shared_ptr<MqttBroker> broker,
+             std::shared_ptr<net::Fabric> fabric, net::SiteId site,
+             std::string client_id)
+      : broker_(std::move(broker)),
+        fabric_(std::move(fabric)),
+        site_(std::move(site)),
+        client_id_(std::move(client_id)) {}
+
+  ~MqttClient() {
+    if (connected_) (void)disconnect();
+  }
+
+  MqttClient(const MqttClient&) = delete;
+  MqttClient& operator=(const MqttClient&) = delete;
+
+  const std::string& client_id() const { return client_id_; }
+
+  Result<bool> connect(SessionOptions options = {}) {
+    // CONNECT control packet: small fixed cost on the wire.
+    if (auto t = fabric_->transfer(site_, broker_->site(), 64); !t.ok()) {
+      return t.status();
+    }
+    auto resumed = broker_->connect(client_id_, std::move(options));
+    if (resumed.ok()) connected_ = true;
+    return resumed;
+  }
+
+  Status disconnect() {
+    connected_ = false;
+    (void)fabric_->transfer(site_, broker_->site(), 16);
+    return broker_->disconnect(client_id_);
+  }
+
+  /// Simulates an unclean death (network loss / battery): fires the will.
+  Status die() {
+    connected_ = false;
+    return broker_->drop(client_id_);
+  }
+
+  Status subscribe(const std::string& filter,
+                   QoS max_qos = QoS::kAtLeastOnce) {
+    if (auto t = fabric_->transfer(site_, broker_->site(),
+                                   filter.size() + 8);
+        !t.ok()) {
+      return t.status();
+    }
+    return broker_->subscribe(client_id_, filter, max_qos);
+  }
+
+  Status unsubscribe(const std::string& filter) {
+    return broker_->unsubscribe(client_id_, filter);
+  }
+
+  Status publish(Message message) {
+    const std::uint64_t bytes =
+        message.topic.size() + message.payload.size() + 8;
+    if (auto t = fabric_->transfer(site_, broker_->site(), bytes); !t.ok()) {
+      return t.status();
+    }
+    return broker_->publish(std::move(message));
+  }
+
+  /// Receives pending deliveries; QoS-1 messages are acknowledged
+  /// automatically after this call returns them (auto_ack true) or must
+  /// be acked manually.
+  Result<std::vector<Message>> poll(std::size_t max = 64,
+                                    bool auto_ack = true) {
+    auto messages = broker_->poll(client_id_, max);
+    if (!messages.ok()) return messages;
+    std::uint64_t bytes = 0;
+    for (const auto& m : messages.value()) {
+      bytes += m.topic.size() + m.payload.size() + 8;
+    }
+    if (bytes > 0) {
+      if (auto t = fabric_->transfer(broker_->site(), site_, bytes);
+          !t.ok()) {
+        return t.status();
+      }
+    }
+    if (auto_ack) {
+      for (const auto& m : messages.value()) {
+        if (m.qos == QoS::kAtLeastOnce) {
+          (void)broker_->ack(client_id_, m.packet_id);
+        }
+      }
+    }
+    return messages;
+  }
+
+  Status ack(std::uint64_t packet_id) {
+    (void)fabric_->transfer(site_, broker_->site(), 8);
+    return broker_->ack(client_id_, packet_id);
+  }
+
+ private:
+  std::shared_ptr<MqttBroker> broker_;
+  std::shared_ptr<net::Fabric> fabric_;
+  const net::SiteId site_;
+  const std::string client_id_;
+  bool connected_ = false;
+};
+
+}  // namespace pe::mqtt

@@ -1,0 +1,38 @@
+// Sites: named locations in the edge-to-cloud continuum.
+//
+// A site is one administrative/geographic location (e.g. "lrz-eu" cloud,
+// "jetstream-us" cloud, "factory-floor" edge). Pilots are placed on sites;
+// all traffic between different sites is charged to the fabric link that
+// connects them.
+#pragma once
+
+#include <string>
+
+namespace pe::net {
+
+using SiteId = std::string;
+
+/// Coarse continuum layer a site belongs to; used by placement policies.
+enum class SiteKind {
+  kEdge,
+  kCloud,
+  kHpc,
+};
+
+constexpr const char* to_string(SiteKind k) {
+  switch (k) {
+    case SiteKind::kEdge: return "edge";
+    case SiteKind::kCloud: return "cloud";
+    case SiteKind::kHpc: return "hpc";
+  }
+  return "?";
+}
+
+struct Site {
+  SiteId id;
+  SiteKind kind = SiteKind::kCloud;
+  std::string region;       // e.g. "eu-de", "us-east"
+  std::string description;  // free-form, for reports
+};
+
+}  // namespace pe::net

@@ -1,0 +1,76 @@
+// ParameterClient: site-attached client for the ParameterServer.
+//
+// Charges every payload to the fabric link between the client's site and
+// the server's site, so cross-continuum model sharing pays WAN costs just
+// like broker traffic does.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "network/fabric.h"
+#include "paramserver/server.h"
+
+namespace pe::ps {
+
+class ParameterClient {
+ public:
+  ParameterClient(std::shared_ptr<ParameterServer> server,
+                  std::shared_ptr<net::Fabric> fabric, net::SiteId site)
+      : server_(std::move(server)),
+        fabric_(std::move(fabric)),
+        site_(std::move(site)) {}
+
+  const net::SiteId& site() const { return site_; }
+
+  Result<std::uint64_t> set(const std::string& key, Bytes value) {
+    if (auto t = fabric_->transfer(site_, server_->site(),
+                                   value.size() + key.size());
+        !t.ok()) {
+      return t.status();
+    }
+    return server_->set(key, std::move(value));
+  }
+
+  Result<VersionedValue> get(const std::string& key) {
+    auto entry = server_->get(key);
+    if (!entry.ok()) return entry;
+    if (auto t = fabric_->transfer(server_->site(), site_,
+                                   entry.value().value.size());
+        !t.ok()) {
+      return t.status();
+    }
+    return entry;
+  }
+
+  Result<std::uint64_t> compare_and_set(const std::string& key,
+                                        std::uint64_t expected_version,
+                                        Bytes value) {
+    if (auto t = fabric_->transfer(site_, server_->site(),
+                                   value.size() + key.size());
+        !t.ok()) {
+      return t.status();
+    }
+    return server_->compare_and_set(key, expected_version, std::move(value));
+  }
+
+  /// Blocking watch; the fresh value's bytes are charged on return.
+  Result<VersionedValue> watch(const std::string& key, std::uint64_t last_seen,
+                               Duration timeout) {
+    auto entry = server_->watch(key, last_seen, timeout);
+    if (!entry.ok()) return entry;
+    if (auto t = fabric_->transfer(server_->site(), site_,
+                                   entry.value().value.size());
+        !t.ok()) {
+      return t.status();
+    }
+    return entry;
+  }
+
+ private:
+  std::shared_ptr<ParameterServer> server_;
+  std::shared_ptr<net::Fabric> fabric_;
+  const net::SiteId site_;
+};
+
+}  // namespace pe::ps

@@ -1,0 +1,45 @@
+// Umbrella header: the full Pilot-Edge public API.
+//
+// Typical application flow (mirrors the paper's Fig. 1):
+//
+//   auto fabric = pe::net::Fabric::make_paper_topology();
+//   pe::res::PilotManager pm(fabric);
+//   auto edge   = pm.submit(pe::res::Flavors::raspi("edge-us")).value();
+//   auto cloud  = pm.submit(pe::res::Flavors::lrz_large()).value();
+//   auto broker = pm.submit(pe::res::Flavors::make(
+//       "lrz-eu", pe::res::Backend::kBrokerService, 4, 16.0)).value();
+//
+//   pe::core::EdgeToCloudPipeline pipeline(config);
+//   pipeline.set_fabric(fabric)
+//       .set_pilot_edge(edge)
+//       .set_pilot_cloud_processing(cloud)
+//       .set_pilot_cloud_broker(broker)
+//       .set_produce_function(...)
+//       .set_process_cloud_function(...);
+//   auto report = pipeline.run();
+#pragma once
+
+#include "common/clock.h"
+#include "common/config.h"
+#include "common/histogram.h"
+#include "common/logging.h"
+#include "common/status.h"
+#include "network/fabric.h"
+#include "broker/broker.h"
+#include "broker/consumer.h"
+#include "broker/producer.h"
+#include "taskexec/cluster.h"
+#include "resource/pilot_manager.h"
+#include "paramserver/client.h"
+#include "data/codec.h"
+#include "data/generator.h"
+#include "ml/autoencoder.h"
+#include "ml/factory.h"
+#include "ml/isolation_forest.h"
+#include "ml/kmeans.h"
+#include "ml/outlier.h"
+#include "telemetry/metrics.h"
+#include "telemetry/report.h"
+#include "core/functions.h"
+#include "core/pipeline.h"
+#include "core/placement.h"

@@ -1,0 +1,40 @@
+// ResourceBackend: the provisioning plugin interface.
+//
+// A backend validates a PilotDescription against what its resource class
+// can offer and reports the emulated provisioning delay (VM boot, SSH
+// connect, batch queue wait). The PilotManager sleeps that delay (scaled)
+// before flipping the pilot to ACTIVE — so experiments see realistic
+// startup ordering without hard-coding sleeps in application code.
+#pragma once
+
+#include <memory>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "resource/pilot_description.h"
+
+namespace pe::res {
+
+struct ProvisionOutcome {
+  /// Emulated delay before the resource is usable.
+  Duration startup_delay = Duration::zero();
+  /// Capacity actually granted (backends may clamp requests).
+  std::uint32_t cores = 0;
+  double memory_gb = 0.0;
+};
+
+class ResourceBackend {
+ public:
+  virtual ~ResourceBackend() = default;
+
+  virtual Backend kind() const = 0;
+
+  /// Validates the request and computes the provisioning outcome.
+  virtual Result<ProvisionOutcome> provision(
+      const PilotDescription& description) = 0;
+};
+
+/// Factory for the built-in plugin set.
+std::unique_ptr<ResourceBackend> make_backend(Backend kind);
+
+}  // namespace pe::res

@@ -1,0 +1,103 @@
+// Built-in resource backends (plugins).
+//
+// Startup delays are coarse emulations of real provisioning behaviour:
+// cloud VMs boot in tens of seconds, SSH connects in well under a second,
+// HPC batch jobs wait in a queue. Delays are emulated time, so benchmarks
+// running at time_scale > 1 provision quickly while keeping ordering
+// realistic. Each backend also enforces class-specific capacity limits.
+#include "resource/backend.h"
+
+namespace pe::res {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+class CloudVmBackend final : public ResourceBackend {
+ public:
+  Backend kind() const override { return Backend::kCloudVm; }
+
+  Result<ProvisionOutcome> provision(
+      const PilotDescription& d) override {
+    if (d.cores == 0) return Status::InvalidArgument("VM needs >= 1 core");
+    if (d.cores > 96) {
+      return Status::ResourceExhausted("no VM flavor with " +
+                                       std::to_string(d.cores) + " cores");
+    }
+    ProvisionOutcome out;
+    // VM boot: base plus a per-core component (larger flavors take longer
+    // to schedule on the cloud side).
+    out.startup_delay = seconds(20) + milliseconds(250) * d.cores;
+    out.cores = d.cores;
+    out.memory_gb = d.memory_gb;
+    return out;
+  }
+};
+
+class EdgeSshBackend final : public ResourceBackend {
+ public:
+  Backend kind() const override { return Backend::kEdgeSsh; }
+
+  Result<ProvisionOutcome> provision(
+      const PilotDescription& d) override {
+    if (d.cores == 0) return Status::InvalidArgument("device needs >= 1 core");
+    if (d.cores > 4 || d.memory_gb > 8.0) {
+      return Status::ResourceExhausted(
+          "edge devices are RasPi-class (<= 4 cores, <= 8 GB); requested " +
+          d.to_string());
+    }
+    ProvisionOutcome out;
+    out.startup_delay = milliseconds(800);  // SSH connect + agent bootstrap
+    out.cores = d.cores;
+    out.memory_gb = d.memory_gb;
+    return out;
+  }
+};
+
+class HpcBatchBackend final : public ResourceBackend {
+ public:
+  Backend kind() const override { return Backend::kHpcBatch; }
+
+  Result<ProvisionOutcome> provision(
+      const PilotDescription& d) override {
+    if (d.cores == 0) return Status::InvalidArgument("job needs >= 1 core");
+    ProvisionOutcome out;
+    // Batch queue wait dominates; model it as proportional to request size
+    // (bigger partitions wait longer), floor of one minute.
+    out.startup_delay = seconds(60) + seconds(2) * d.cores;
+    out.cores = d.cores;
+    out.memory_gb = d.memory_gb;
+    return out;
+  }
+};
+
+class BrokerServiceBackend final : public ResourceBackend {
+ public:
+  Backend kind() const override { return Backend::kBrokerService; }
+
+  Result<ProvisionOutcome> provision(
+      const PilotDescription& d) override {
+    if (d.cores == 0) return Status::InvalidArgument("broker needs >= 1 core");
+    ProvisionOutcome out;
+    // VM boot plus broker bring-up.
+    out.startup_delay = seconds(25);
+    out.cores = d.cores;
+    out.memory_gb = d.memory_gb;
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ResourceBackend> make_backend(Backend kind) {
+  switch (kind) {
+    case Backend::kCloudVm: return std::make_unique<CloudVmBackend>();
+    case Backend::kEdgeSsh: return std::make_unique<EdgeSshBackend>();
+    case Backend::kHpcBatch: return std::make_unique<HpcBatchBackend>();
+    case Backend::kBrokerService:
+      return std::make_unique<BrokerServiceBackend>();
+  }
+  return nullptr;
+}
+
+}  // namespace pe::res

@@ -1,0 +1,135 @@
+#include "resource/pilot.h"
+
+#include "common/logging.h"
+
+namespace pe::res {
+
+Pilot::Pilot(std::string id, PilotDescription description)
+    : id_(std::move(id)), description_(std::move(description)) {}
+
+Pilot::~Pilot() { cancel(); }
+
+PilotState Pilot::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+Status Pilot::wait_active() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  state_cv_.wait(lock, [this] {
+    return state_ != PilotState::kNew && state_ != PilotState::kSubmitted;
+  });
+  if (state_ == PilotState::kActive) return Status::Ok();
+  if (state_ == PilotState::kFailed) return failure_;
+  return Status::Cancelled("pilot " + id_ + " canceled");
+}
+
+Status Pilot::wait_active_for(Duration timeout) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const bool done = state_cv_.wait_for(lock, timeout, [this] {
+    return state_ != PilotState::kNew && state_ != PilotState::kSubmitted;
+  });
+  if (!done) return Status::Timeout("pilot " + id_ + " still provisioning");
+  if (state_ == PilotState::kActive) return Status::Ok();
+  if (state_ == PilotState::kFailed) return failure_;
+  return Status::Cancelled("pilot " + id_ + " canceled");
+}
+
+std::shared_ptr<exec::Cluster> Pilot::cluster() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cluster_;
+}
+
+std::shared_ptr<broker::Broker> Pilot::broker() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return broker_;
+}
+
+std::uint32_t Pilot::granted_cores() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return granted_.cores;
+}
+
+double Pilot::granted_memory_gb() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return granted_.memory_gb;
+}
+
+void Pilot::cancel() {
+  std::shared_ptr<exec::Cluster> cluster;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ == PilotState::kDone || state_ == PilotState::kFailed ||
+        state_ == PilotState::kCanceled) {
+      return;
+    }
+    state_ = PilotState::kCanceled;
+    cluster = std::move(cluster_);
+    broker_.reset();
+  }
+  state_cv_.notify_all();
+  if (cluster) cluster->shutdown();
+  PE_LOG_INFO("pilot " << id_ << " canceled");
+}
+
+Status Pilot::inject_failure(std::string reason) {
+  std::shared_ptr<exec::Cluster> cluster;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ != PilotState::kActive) {
+      return Status::FailedPrecondition("pilot " + id_ + " not active");
+    }
+    state_ = PilotState::kFailed;
+    failure_ = Status::Unavailable("pilot " + id_ + " lost: " + reason);
+    cluster = std::move(cluster_);
+    broker_.reset();
+  }
+  state_cv_.notify_all();
+  if (cluster) cluster->shutdown();
+  PE_LOG_WARN("pilot " << id_ << " failure injected: " << reason);
+  return Status::Ok();
+}
+
+void Pilot::mark_submitted() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ != PilotState::kNew) return;
+    state_ = PilotState::kSubmitted;
+  }
+  state_cv_.notify_all();
+}
+
+void Pilot::mark_active(const ProvisionOutcome& outcome,
+                        std::shared_ptr<exec::Cluster> cluster,
+                        std::shared_ptr<broker::Broker> broker) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ != PilotState::kSubmitted) return;  // canceled meanwhile
+    state_ = PilotState::kActive;
+    granted_ = outcome;
+    cluster_ = std::move(cluster);
+    broker_ = std::move(broker);
+  }
+  state_cv_.notify_all();
+  PE_LOG_INFO("pilot " << id_ << " active: " << description_.to_string());
+}
+
+void Pilot::mark_failed(Status reason) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ != PilotState::kSubmitted && state_ != PilotState::kNew) {
+      return;
+    }
+    state_ = PilotState::kFailed;
+    failure_ = std::move(reason);
+  }
+  state_cv_.notify_all();
+  PE_LOG_WARN("pilot " << id_ << " failed: " << failure_.to_string());
+}
+
+Status Pilot::failure_reason() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failure_;
+}
+
+}  // namespace pe::res

@@ -1,0 +1,85 @@
+// PilotDescription: what an application asks the pilot system for.
+//
+// Mirrors the paper's step 1 ("allocating resources using the pilot
+// abstraction"): a pilot can stand for a cloud VM, a small edge device
+// reached via SSH, an HPC partition, or a managed broker service. The
+// backend determines provisioning behaviour and capacity limits.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/config.h"
+#include "network/site.h"
+
+namespace pe::res {
+
+/// Which plugin provisions the pilot (paper: plugin-based architecture).
+enum class Backend {
+  kCloudVm,        // OpenStack/AWS-style VM
+  kEdgeSsh,        // small IoT device (RasPi class) via SSH
+  kHpcBatch,       // job partition in an HPC queueing system
+  kBrokerService,  // pilot-managed Kafka-like broker
+};
+
+constexpr const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::kCloudVm: return "cloud-vm";
+    case Backend::kEdgeSsh: return "edge-ssh";
+    case Backend::kHpcBatch: return "hpc-batch";
+    case Backend::kBrokerService: return "broker-service";
+  }
+  return "?";
+}
+
+struct PilotDescription {
+  net::SiteId site;
+  Backend backend = Backend::kCloudVm;
+  std::uint32_t cores = 1;
+  double memory_gb = 4.0;
+  /// HPC only: queue/partition name.
+  std::string queue;
+  /// Requested walltime (informational; pilots here run until cancelled).
+  std::chrono::seconds walltime = std::chrono::hours(1);
+  /// Free-form labels (e.g. "gpu=true"); surfaced via Pilot::description().
+  ConfigMap labels;
+
+  std::string to_string() const {
+    return std::string(res::to_string(backend)) + "@" + site + " (" +
+           std::to_string(cores) + "c/" + std::to_string(memory_gb) + "GB)";
+  }
+};
+
+/// Convenience VM flavors used throughout the paper's evaluation (§III).
+struct Flavors {
+  static PilotDescription make(net::SiteId site, Backend backend,
+                               std::uint32_t cores, double memory_gb) {
+    PilotDescription d;
+    d.site = std::move(site);
+    d.backend = backend;
+    d.cores = cores;
+    d.memory_gb = memory_gb;
+    return d;
+  }
+
+  /// LRZ "medium": 4 cores / 18 GB.
+  static PilotDescription lrz_medium(net::SiteId site = "lrz-eu") {
+    return make(std::move(site), Backend::kCloudVm, 4, 18.0);
+  }
+  /// LRZ "large": 10 cores / 44 GB (used for all processing tasks).
+  static PilotDescription lrz_large(net::SiteId site = "lrz-eu") {
+    return make(std::move(site), Backend::kCloudVm, 10, 44.0);
+  }
+  /// Jetstream "medium": 6 cores / 16 GB.
+  static PilotDescription jetstream_medium(net::SiteId site = "jetstream-us") {
+    return make(std::move(site), Backend::kCloudVm, 6, 16.0);
+  }
+  /// Simulated edge device: 1 core / 4 GB, "comparable to a current
+  /// Raspberry Pi" (paper §III-1).
+  static PilotDescription raspi(net::SiteId site, std::uint32_t cores = 1) {
+    return make(std::move(site), Backend::kEdgeSsh, cores, 4.0);
+  }
+};
+
+}  // namespace pe::res

@@ -1,0 +1,113 @@
+#include "resource/pilot_manager.h"
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/logging.h"
+
+namespace pe::res {
+
+PilotManager::PilotManager(std::shared_ptr<net::Fabric> fabric,
+                           PilotManagerOptions options)
+    : fabric_(std::move(fabric)), options_(options) {}
+
+PilotManager::~PilotManager() { shutdown(); }
+
+Result<PilotPtr> PilotManager::submit(PilotDescription description) {
+  if (!fabric_->has_site(description.site)) {
+    return Status::NotFound("unknown site '" + description.site +
+                            "' — register it on the fabric first");
+  }
+  if (make_backend(description.backend) == nullptr) {
+    return Status::InvalidArgument("unknown backend");
+  }
+  auto pilot = std::make_shared<Pilot>(next_pilot_id(), std::move(description));
+  pilot->mark_submitted();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return Status::FailedPrecondition("manager shut down");
+    pilots_[pilot->id()] = pilot;
+    provisioners_.emplace_back([this, pilot] { provision(pilot); });
+  }
+  return pilot;
+}
+
+void PilotManager::provision(PilotPtr pilot) {
+  auto backend = make_backend(pilot->description().backend);
+  auto outcome = backend->provision(pilot->description());
+  if (!outcome.ok()) {
+    pilot->mark_failed(outcome.status());
+    return;
+  }
+  // Sleep out the provisioning delay in slices so cancellation (or
+  // manager shutdown) interrupts promptly instead of blocking for the
+  // whole emulated boot time.
+  const auto delay = std::chrono::duration_cast<Duration>(
+      outcome.value().startup_delay * options_.startup_delay_factor);
+  const auto scaled_deadline =
+      Clock::now() + std::chrono::duration_cast<Duration>(
+                         delay / Clock::time_scale());
+  while (Clock::now() < scaled_deadline) {
+    if (pilot->state() != PilotState::kSubmitted) return;  // canceled
+    const auto remaining = scaled_deadline - Clock::now();
+    Clock::sleep_exact(std::min<Duration>(
+        remaining, std::chrono::milliseconds(10)));
+  }
+
+  if (pilot->state() != PilotState::kSubmitted) return;  // canceled
+
+  std::shared_ptr<exec::Cluster> cluster;
+  std::shared_ptr<broker::Broker> broker;
+  if (pilot->description().backend == Backend::kBrokerService) {
+    broker = std::make_shared<broker::Broker>(pilot->site(),
+                                              pilot->id() + "-broker");
+  } else {
+    cluster = std::make_shared<exec::Cluster>(
+        pilot->site(), outcome.value().cores, outcome.value().memory_gb,
+        pilot->id());
+  }
+  pilot->mark_active(outcome.value(), std::move(cluster), std::move(broker));
+}
+
+Status PilotManager::wait_all_active() {
+  std::vector<PilotPtr> snapshot = pilots();
+  Status first_failure = Status::Ok();
+  for (const auto& p : snapshot) {
+    if (auto s = p->wait_active(); !s.ok() && first_failure.ok()) {
+      first_failure = s;
+    }
+  }
+  return first_failure;
+}
+
+Result<PilotPtr> PilotManager::pilot(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = pilots_.find(id);
+  if (it == pilots_.end()) return Status::NotFound("unknown pilot " + id);
+  return it->second;
+}
+
+std::vector<PilotPtr> PilotManager::pilots() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PilotPtr> out;
+  out.reserve(pilots_.size());
+  for (const auto& [_, p] : pilots_) out.push_back(p);
+  return out;
+}
+
+void PilotManager::shutdown() {
+  std::vector<std::thread> provisioners;
+  std::vector<PilotPtr> pilots_snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    provisioners = std::move(provisioners_);
+    for (const auto& [_, p] : pilots_) pilots_snapshot.push_back(p);
+  }
+  for (const auto& p : pilots_snapshot) p->cancel();
+  for (auto& t : provisioners) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace pe::res

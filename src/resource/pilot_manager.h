@@ -1,0 +1,65 @@
+// PilotManager: submits pilot descriptions against the fabric and drives
+// provisioning asynchronously through the backend plugins.
+//
+// This is the entry point of the pilot framework (paper Fig. 1, step 1):
+//   auto pilot = pm.submit(Flavors::lrz_large());
+//   pilot->wait_active();
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "network/fabric.h"
+#include "resource/pilot.h"
+
+namespace pe::res {
+
+struct PilotManagerOptions {
+  /// Multiplier applied to backend startup delays. 1.0 emulates realistic
+  /// provisioning (cloud VM ~20 s); the default keeps interactive runs and
+  /// CI fast while preserving relative ordering between backends.
+  double startup_delay_factor = 0.01;
+};
+
+class PilotManager {
+ public:
+  explicit PilotManager(std::shared_ptr<net::Fabric> fabric,
+                        PilotManagerOptions options = {});
+  ~PilotManager();
+
+  PilotManager(const PilotManager&) = delete;
+  PilotManager& operator=(const PilotManager&) = delete;
+
+  /// Validates the description (site must exist on the fabric, backend
+  /// must be known) and starts asynchronous provisioning. The returned
+  /// pilot is in SUBMITTED state.
+  Result<PilotPtr> submit(PilotDescription description);
+
+  /// Blocks until every submitted pilot reached ACTIVE or a terminal
+  /// state; returns the first failure (if any).
+  Status wait_all_active();
+
+  Result<PilotPtr> pilot(const std::string& id) const;
+  std::vector<PilotPtr> pilots() const;
+
+  /// Cancels all pilots and joins provisioning threads.
+  void shutdown();
+
+  const std::shared_ptr<net::Fabric>& fabric() const { return fabric_; }
+
+ private:
+  void provision(PilotPtr pilot);
+
+  std::shared_ptr<net::Fabric> fabric_;
+  const PilotManagerOptions options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, PilotPtr> pilots_;
+  std::vector<std::thread> provisioners_;
+  bool shutdown_ = false;
+};
+
+}  // namespace pe::res

@@ -1,0 +1,38 @@
+#include "taskexec/cluster.h"
+
+namespace pe::exec {
+
+Cluster::Cluster(net::SiteId site, std::uint32_t cores, double memory_gb,
+                 std::string name)
+    : site_(std::move(site)), name_(std::move(name)) {
+  if (cores > 0) {
+    (void)add_worker(cores, memory_gb);
+  }
+}
+
+Cluster::~Cluster() { shutdown(); }
+
+Result<std::string> Cluster::add_worker(std::uint32_t cores,
+                                        double memory_gb) {
+  if (cores == 0) return Status::InvalidArgument("worker needs >= 1 core");
+  WorkerSpec spec;
+  spec.id = name_ + "-w" + std::to_string(next_worker_++);
+  spec.site = site_;
+  spec.cores = cores;
+  spec.memory_gb = memory_gb;
+  auto worker = std::make_shared<Worker>(spec);
+  if (auto s = scheduler_.add_worker(worker); !s.ok()) return s;
+  return spec.id;
+}
+
+Status Cluster::remove_worker(const std::string& worker_id) {
+  return scheduler_.remove_worker(worker_id);
+}
+
+Result<TaskHandle> Cluster::submit(TaskSpec spec) {
+  return scheduler_.submit(std::move(spec));
+}
+
+void Cluster::shutdown() { scheduler_.shutdown(); }
+
+}  // namespace pe::exec

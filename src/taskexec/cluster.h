@@ -1,0 +1,50 @@
+// Cluster: a scheduler plus the workers of one resource allocation.
+//
+// Each running pilot owns a Cluster sized to the pilot's cores/memory —
+// the analogue of the "managed Dask cluster" Pilot-Edge starts inside each
+// pilot (paper step 2.2). Workers can be added at runtime to model
+// scale-out.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "taskexec/scheduler.h"
+
+namespace pe::exec {
+
+class Cluster {
+ public:
+  /// Creates a cluster on `site` with one initial worker of the given
+  /// capacity (pass cores=0 to start empty).
+  Cluster(net::SiteId site, std::uint32_t cores, double memory_gb,
+          std::string name = "cluster");
+  ~Cluster();
+
+  const net::SiteId& site() const { return site_; }
+  const std::string& name() const { return name_; }
+
+  /// Adds a worker with the given capacity; returns its id.
+  Result<std::string> add_worker(std::uint32_t cores, double memory_gb);
+
+  Status remove_worker(const std::string& worker_id);
+
+  Result<TaskHandle> submit(TaskSpec spec);
+
+  Scheduler& scheduler() { return scheduler_; }
+  const Scheduler& scheduler() const { return scheduler_; }
+
+  std::uint32_t total_cores() const { return scheduler_.stats().total_cores; }
+
+  void shutdown();
+
+ private:
+  const net::SiteId site_;
+  const std::string name_;
+  Scheduler scheduler_;
+  std::uint64_t next_worker_ = 0;
+};
+
+}  // namespace pe::exec

@@ -1,0 +1,350 @@
+#include "taskexec/scheduler.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/logging.h"
+
+namespace pe::exec {
+
+Scheduler::Scheduler() = default;
+
+Scheduler::~Scheduler() { shutdown(); }
+
+Status Scheduler::add_worker(std::shared_ptr<Worker> worker) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shutdown_) return Status::FailedPrecondition("scheduler shut down");
+  const std::string& id = worker->id();
+  if (workers_.count(id) > 0) {
+    return Status::AlreadyExists("worker '" + id + "' already registered");
+  }
+  WorkerSlot slot;
+  slot.cores_free = worker->cores();
+  slot.memory_free_gb = worker->memory_gb();
+  slot.worker = std::move(worker);
+  workers_.emplace(id, std::move(slot));
+  dispatch_locked();
+  return Status::Ok();
+}
+
+Status Scheduler::remove_worker(const std::string& worker_id) {
+  std::shared_ptr<Worker> to_shutdown;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = workers_.find(worker_id);
+    if (it == workers_.end()) {
+      return Status::NotFound("worker '" + worker_id + "' not found");
+    }
+    if (it->second.running > 0) {
+      return Status::FailedPrecondition("worker '" + worker_id +
+                                        "' still runs tasks");
+    }
+    to_shutdown = it->second.worker;
+    workers_.erase(it);
+  }
+  to_shutdown->shutdown();
+  return Status::Ok();
+}
+
+bool Scheduler::can_ever_host_locked(const TaskSpec& spec) const {
+  if (!spec.pinned_worker.empty()) {
+    auto it = workers_.find(spec.pinned_worker);
+    if (it == workers_.end()) return false;
+    return it->second.worker->cores() >= spec.cores &&
+           it->second.worker->memory_gb() >= spec.memory_gb;
+  }
+  return std::any_of(workers_.begin(), workers_.end(), [&](const auto& kv) {
+    return kv.second.worker->cores() >= spec.cores &&
+           kv.second.worker->memory_gb() >= spec.memory_gb;
+  });
+}
+
+Scheduler::WorkerSlot* Scheduler::pick_worker_locked(const TaskSpec& spec) {
+  if (!spec.pinned_worker.empty()) {
+    auto it = workers_.find(spec.pinned_worker);
+    if (it == workers_.end()) return nullptr;
+    WorkerSlot& slot = it->second;
+    return (slot.cores_free >= spec.cores &&
+            slot.memory_free_gb >= spec.memory_gb)
+               ? &slot
+               : nullptr;
+  }
+  // First fit with the most free cores (spreads load across workers).
+  WorkerSlot* best = nullptr;
+  for (auto& [_, slot] : workers_) {
+    if (slot.cores_free >= spec.cores &&
+        slot.memory_free_gb >= spec.memory_gb) {
+      if (best == nullptr || slot.cores_free > best->cores_free) {
+        best = &slot;
+      }
+    }
+  }
+  return best;
+}
+
+Result<TaskHandle> Scheduler::submit(TaskSpec spec) {
+  if (!spec.fn) return Status::InvalidArgument("task has no body");
+  if (spec.cores == 0) return Status::InvalidArgument("task needs >= 1 core");
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shutdown_) return Status::FailedPrecondition("scheduler shut down");
+  if (!can_ever_host_locked(spec)) {
+    return Status::InvalidArgument(
+        "no registered worker can host task '" + spec.name + "' (cores=" +
+        std::to_string(spec.cores) + ", pinned='" + spec.pinned_worker + "')");
+  }
+
+  PendingTask task;
+  task.id = next_task_id();
+  task.spec = std::move(spec);
+  task.done = std::make_shared<std::promise<Status>>();
+  task.stop = std::make_shared<std::atomic<bool>>(false);
+
+  TaskInfo info;
+  info.id = task.id;
+  info.name = task.spec.name;
+  info.submit_ns = Clock::now_ns();
+  tasks_[task.id] = info;
+
+  TaskHandle handle(task.id, task.done->get_future().share(), task.stop);
+  enqueue_pending_locked(std::move(task));
+  dispatch_locked();
+  return handle;
+}
+
+void Scheduler::enqueue_pending_locked(PendingTask task) {
+  // Insert behind the last task of >= priority: higher priority first,
+  // FIFO within a level.
+  auto insert_at = pending_.end();
+  while (insert_at != pending_.begin()) {
+    auto prev = std::prev(insert_at);
+    if (prev->spec.priority >= task.spec.priority) break;
+    insert_at = prev;
+  }
+  pending_.insert(insert_at, std::move(task));
+}
+
+void Scheduler::dispatch_locked() {
+  // In-order dispatch; stop at the first task we cannot place (FIFO
+  // fairness — a large task at the head blocks smaller ones behind it,
+  // matching Dask's default queueing).
+  while (!pending_.empty()) {
+    PendingTask& head = pending_.front();
+    WorkerSlot* slot = pick_worker_locked(head.spec);
+    if (slot == nullptr) break;
+
+    PendingTask task = std::move(head);
+    pending_.pop_front();
+
+    slot->cores_free -= task.spec.cores;
+    slot->memory_free_gb -= task.spec.memory_gb;
+    slot->running += 1;
+
+    const std::string worker_id = slot->worker->id();
+    TaskInfo& info = tasks_[task.id];
+    info.state = TaskState::kRunning;
+    info.worker_id = worker_id;
+    info.start_ns = Clock::now_ns();
+    info.attempts = task.attempts;
+
+    const std::uint32_t cores = task.spec.cores;
+    const double memory_gb = task.spec.memory_gb;
+    // The body is *copied* into the execution lambda so a failed attempt
+    // can be resubmitted from the retained spec in running_.
+    auto fn = task.spec.fn;
+    auto done = task.done;
+    auto stop = task.stop;
+    const std::string task_id = task.id;
+    running_[task_id] = std::move(task);
+
+    const bool accepted = slot->worker->execute([this, fn = std::move(fn),
+                                                 done, stop, task_id,
+                                                 worker_id, cores,
+                                                 memory_gb]() mutable {
+      // The context shares the scheduler-side stop flag, so cancel()
+      // after dispatch reaches the running body.
+      TaskContext ctx(task_id, worker_id, stop);
+      Status status;
+      if (ctx.stop_requested()) {
+        status = Status::Cancelled("cancelled before start");
+      } else {
+        try {
+          status = fn(ctx);
+        } catch (const std::exception& e) {
+          status = Status::Internal(std::string("task threw: ") + e.what());
+        } catch (...) {
+          status = Status::Internal("task threw unknown exception");
+        }
+      }
+      const bool retried =
+          finish_task(task_id, cores, memory_gb, status);
+      if (!retried) done->set_value(status);
+    });
+    if (!accepted) {
+      // Worker was shut down underneath us; fail the task inline (we
+      // already hold the lock, finish_task would deadlock).
+      const Status status = Status::Unavailable("worker shut down");
+      info.state = TaskState::kFailed;
+      info.end_ns = Clock::now_ns();
+      info.result = status;
+      failed_ += 1;
+      slot->cores_free += cores;
+      slot->memory_free_gb += memory_gb;
+      slot->running -= 1;
+      running_.erase(task_id);
+      done->set_value(status);
+    }
+  }
+}
+
+Status Scheduler::cancel(const std::string& task_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) return Status::NotFound("unknown task " + task_id);
+
+  if (it->second.state == TaskState::kPending) {
+    auto pit = std::find_if(pending_.begin(), pending_.end(),
+                            [&](const PendingTask& t) { return t.id == task_id; });
+    if (pit != pending_.end()) {
+      it->second.state = TaskState::kCancelled;
+      it->second.end_ns = Clock::now_ns();
+      it->second.result = Status::Cancelled("cancelled while pending");
+      pit->done->set_value(it->second.result);
+      pending_.erase(pit);
+      idle_cv_.notify_all();
+      return Status::Ok();
+    }
+  }
+  auto sit = running_.find(task_id);
+  if (sit != running_.end()) {
+    sit->second.stop->store(true, std::memory_order_release);
+    // Cancellation wins over retry: zero the budget so a body that fails
+    // instead of observing the stop flag is not resubmitted.
+    sit->second.spec.max_retries = 0;
+    return Status::Ok();
+  }
+  return Status::FailedPrecondition("task already terminal");
+}
+
+Result<TaskInfo> Scheduler::task_info(const std::string& task_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) return Status::NotFound("unknown task " + task_id);
+  return it->second;
+}
+
+bool Scheduler::finish_task(const std::string& task_id, std::uint32_t cores,
+                            double memory_gb, Status status) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool retried = false;
+  auto it = tasks_.find(task_id);
+  if (it != tasks_.end()) {
+    // Free the worker's capacity first.
+    auto wit = workers_.find(it->second.worker_id);
+    if (wit != workers_.end()) {
+      wit->second.cores_free += cores;
+      wit->second.memory_free_gb += memory_gb;
+      wit->second.running -= 1;
+    }
+
+    auto rit = running_.find(task_id);
+    const bool failure = !status.ok() &&
+                         status.code() != StatusCode::kCancelled;
+    if (failure && !shutdown_ && rit != running_.end() &&
+        rit->second.attempts < rit->second.spec.max_retries) {
+      // Resubmit for another attempt; the completion promise stays open.
+      PendingTask task = std::move(rit->second);
+      running_.erase(rit);
+      task.attempts += 1;
+      it->second.state = TaskState::kPending;
+      it->second.attempts = task.attempts;
+      PE_LOG_INFO("task " << task_id << " failed ("
+                          << status.to_string() << "), retry "
+                          << task.attempts << "/"
+                          << task.spec.max_retries);
+      enqueue_pending_locked(std::move(task));
+      retried = true;
+    } else {
+      it->second.end_ns = Clock::now_ns();
+      it->second.result = status;
+      if (status.ok()) {
+        it->second.state = TaskState::kSucceeded;
+        completed_ += 1;
+      } else if (status.code() == StatusCode::kCancelled) {
+        it->second.state = TaskState::kCancelled;
+        completed_ += 1;
+      } else {
+        it->second.state = TaskState::kFailed;
+        failed_ += 1;
+      }
+      if (rit != running_.end()) running_.erase(rit);
+    }
+  }
+  dispatch_locked();
+  idle_cv_.notify_all();
+  return retried;
+}
+
+void Scheduler::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] {
+    if (!pending_.empty()) return false;
+    return std::all_of(workers_.begin(), workers_.end(), [](const auto& kv) {
+      return kv.second.running == 0;
+    });
+  });
+}
+
+SchedulerStats Scheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SchedulerStats s;
+  s.workers = workers_.size();
+  for (const auto& [_, slot] : workers_) {
+    s.total_cores += slot.worker->cores();
+    s.cores_in_use += slot.worker->cores() - slot.cores_free;
+    s.running_tasks += slot.running;
+  }
+  s.pending_tasks = pending_.size();
+  s.completed_tasks = completed_;
+  s.failed_tasks = failed_;
+  return s;
+}
+
+std::vector<std::string> Scheduler::worker_ids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(workers_.size());
+  for (const auto& [id, _] : workers_) out.push_back(id);
+  return out;
+}
+
+void Scheduler::shutdown() {
+  std::vector<std::shared_ptr<Worker>> workers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    // Cancel all pending tasks.
+    for (auto& t : pending_) {
+      auto it = tasks_.find(t.id);
+      if (it != tasks_.end()) {
+        it->second.state = TaskState::kCancelled;
+        it->second.end_ns = Clock::now_ns();
+        it->second.result = Status::Cancelled("scheduler shutdown");
+      }
+      t.done->set_value(Status::Cancelled("scheduler shutdown"));
+    }
+    pending_.clear();
+    // Signal running tasks to stop.
+    for (auto& [_, task] : running_) {
+      task.stop->store(true, std::memory_order_release);
+    }
+    for (auto& [_, slot] : workers_) workers.push_back(slot.worker);
+  }
+  // Join outside the lock: worker pools drain their queues, and each task
+  // completion calls finish_task() which re-takes the lock.
+  for (auto& w : workers) w->shutdown();
+}
+
+}  // namespace pe::exec

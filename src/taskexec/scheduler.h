@@ -1,0 +1,137 @@
+// Capacity-aware FIFO task scheduler.
+//
+// Tracks per-worker core/memory headroom, queues tasks while no worker can
+// host them, and dispatches in submission order (first-fit over workers,
+// honoring pinning). Completion events free capacity and trigger another
+// dispatch round. Mirrors the Dask scheduler role in the paper at the
+// granularity Pilot-Edge uses it: task in, placed task out.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "taskexec/task.h"
+#include "taskexec/worker.h"
+
+namespace pe::exec {
+
+/// Handle the submitter keeps: id + completion future + stop control.
+class TaskHandle {
+ public:
+  TaskHandle() = default;
+  TaskHandle(std::string id, std::shared_future<Status> done,
+             std::shared_ptr<std::atomic<bool>> stop)
+      : id_(std::move(id)), done_(std::move(done)), stop_(std::move(stop)) {}
+
+  const std::string& id() const { return id_; }
+  bool valid() const { return done_.valid(); }
+
+  /// Blocks until the task finishes; returns its final status.
+  Status wait() const { return done_.get(); }
+
+  bool wait_for(Duration timeout) const {
+    return done_.wait_for(timeout) == std::future_status::ready;
+  }
+
+  /// Requests cooperative cancellation (streaming tasks observe the flag).
+  void request_stop() {
+    if (stop_) stop_->store(true, std::memory_order_release);
+  }
+
+ private:
+  std::string id_;
+  std::shared_future<Status> done_;
+  std::shared_ptr<std::atomic<bool>> stop_;
+};
+
+/// Point-in-time scheduler utilization.
+struct SchedulerStats {
+  std::size_t workers = 0;
+  std::uint32_t total_cores = 0;
+  std::uint32_t cores_in_use = 0;
+  std::size_t pending_tasks = 0;
+  std::size_t running_tasks = 0;
+  std::uint64_t completed_tasks = 0;
+  std::uint64_t failed_tasks = 0;
+};
+
+class Scheduler {
+ public:
+  Scheduler();
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Registers a worker (takes shared ownership).
+  Status add_worker(std::shared_ptr<Worker> worker);
+
+  /// Removes a worker; fails with FAILED_PRECONDITION while it runs tasks.
+  Status remove_worker(const std::string& worker_id);
+
+  /// Submits a task. INVALID_ARGUMENT if no worker could *ever* host it
+  /// (unknown pinned worker, or cores exceed every worker's total).
+  Result<TaskHandle> submit(TaskSpec spec);
+
+  /// Cooperative cancel. Pending tasks are dropped immediately; running
+  /// tasks get their stop flag set and finish as kCancelled when the body
+  /// returns Cancelled, or their natural state otherwise.
+  Status cancel(const std::string& task_id);
+
+  /// Snapshot of a task's lifecycle record.
+  Result<TaskInfo> task_info(const std::string& task_id) const;
+
+  /// Blocks until all currently known tasks reached a terminal state.
+  void wait_idle();
+
+  SchedulerStats stats() const;
+  std::vector<std::string> worker_ids() const;
+
+  /// Stops dispatching, cancels pending tasks, waits for running tasks.
+  void shutdown();
+
+ private:
+  struct WorkerSlot {
+    std::shared_ptr<Worker> worker;
+    std::uint32_t cores_free = 0;
+    double memory_free_gb = 0.0;
+    std::size_t running = 0;
+  };
+
+  struct PendingTask {
+    std::string id;
+    TaskSpec spec;
+    std::uint32_t attempts = 0;
+    std::shared_ptr<std::promise<Status>> done;
+    std::shared_ptr<std::atomic<bool>> stop;
+  };
+
+  void dispatch_locked();
+  void enqueue_pending_locked(PendingTask task);
+  bool can_ever_host_locked(const TaskSpec& spec) const;
+  WorkerSlot* pick_worker_locked(const TaskSpec& spec);
+  /// Returns true when the task was resubmitted for a retry (the caller
+  /// must then NOT resolve the completion promise).
+  bool finish_task(const std::string& task_id, std::uint32_t cores,
+                   double memory_gb, Status status);
+
+  mutable std::mutex mutex_;
+  std::condition_variable idle_cv_;
+  std::map<std::string, WorkerSlot> workers_;
+  std::deque<PendingTask> pending_;
+  std::map<std::string, TaskInfo> tasks_;
+  // Dispatched tasks, retained for cancellation and retry resubmission.
+  std::map<std::string, PendingTask> running_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace pe::exec

@@ -1,0 +1,101 @@
+// Task model for the executor.
+//
+// A task is a unit of work bound to resource requirements (cores, memory).
+// Long-running (streaming) tasks cooperate with cancellation through the
+// TaskContext stop flag — mirroring how Pilot-Edge keeps Dask tasks alive
+// for the lifetime of a pipeline and tears them down on shutdown.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace pe::exec {
+
+enum class TaskState {
+  kPending,    // submitted, waiting for capacity
+  kRunning,
+  kSucceeded,
+  kFailed,
+  kCancelled,
+};
+
+constexpr const char* to_string(TaskState s) {
+  switch (s) {
+    case TaskState::kPending: return "pending";
+    case TaskState::kRunning: return "running";
+    case TaskState::kSucceeded: return "succeeded";
+    case TaskState::kFailed: return "failed";
+    case TaskState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+/// Passed to the task body; carries identity and the cancellation flag.
+/// The flag is shared with the scheduler's TaskHandle, so cancel /
+/// request_stop on the handle is visible inside the running body.
+class TaskContext {
+ public:
+  TaskContext(std::string task_id, std::string worker_id,
+              std::shared_ptr<std::atomic<bool>> stop = nullptr)
+      : task_id_(std::move(task_id)),
+        worker_id_(std::move(worker_id)),
+        stop_(stop ? std::move(stop)
+                   : std::make_shared<std::atomic<bool>>(false)) {}
+
+  const std::string& task_id() const { return task_id_; }
+  const std::string& worker_id() const { return worker_id_; }
+
+  bool stop_requested() const {
+    return stop_->load(std::memory_order_acquire);
+  }
+  void request_stop() { stop_->store(true, std::memory_order_release); }
+
+  /// Shared handle so the scheduler can signal stop after dispatch.
+  std::shared_ptr<std::atomic<bool>> stop_flag() { return stop_; }
+
+ private:
+  std::string task_id_;
+  std::string worker_id_;
+  std::shared_ptr<std::atomic<bool>> stop_;
+};
+
+using TaskFn = std::function<Status(TaskContext&)>;
+
+/// What the caller submits.
+struct TaskSpec {
+  std::string name = "task";
+  TaskFn fn;
+  std::uint32_t cores = 1;
+  double memory_gb = 1.0;
+  /// Optional placement constraint: run only on this worker id.
+  std::string pinned_worker;
+  /// Automatic resubmission on failure (not on cancellation). The body is
+  /// re-executed from scratch up to this many additional times.
+  std::uint32_t max_retries = 0;
+  /// Dispatch priority: higher runs first among queued tasks (FIFO within
+  /// a priority level). The paper's IoT mix of "real-time tasks for
+  /// control and steering and long-running tasks" motivates this: a
+  /// latency-critical control task must not sit behind a training job.
+  std::int32_t priority = 0;
+};
+
+/// Observable lifecycle record, updated by the scheduler.
+struct TaskInfo {
+  std::string id;
+  std::string name;
+  TaskState state = TaskState::kPending;
+  std::string worker_id;
+  std::uint64_t submit_ns = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  /// Number of retry attempts consumed (0 = first execution).
+  std::uint32_t attempts = 0;
+  Status result;
+};
+
+}  // namespace pe::exec

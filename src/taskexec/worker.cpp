@@ -1,0 +1,14 @@
+#include "taskexec/worker.h"
+
+namespace pe::exec {
+
+Worker::Worker(WorkerSpec spec)
+    : spec_(std::move(spec)), pool_(spec_.cores, spec_.id) {}
+
+bool Worker::execute(std::function<void()> job) {
+  return pool_.submit(std::move(job));
+}
+
+void Worker::shutdown() { pool_.shutdown(); }
+
+}  // namespace pe::exec

@@ -1,0 +1,45 @@
+// Worker: an execution endpoint with a fixed core and memory capacity.
+//
+// A worker belongs to a fabric site (the site of the pilot that owns it).
+// It runs task bodies on a thread pool with one thread per core; the
+// scheduler tracks core/memory headroom and never over-commits.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "network/site.h"
+#include "taskexec/task.h"
+
+namespace pe::exec {
+
+struct WorkerSpec {
+  std::string id;
+  net::SiteId site;
+  std::uint32_t cores = 1;
+  double memory_gb = 4.0;
+};
+
+class Worker {
+ public:
+  explicit Worker(WorkerSpec spec);
+
+  const std::string& id() const { return spec_.id; }
+  const net::SiteId& site() const { return spec_.site; }
+  std::uint32_t cores() const { return spec_.cores; }
+  double memory_gb() const { return spec_.memory_gb; }
+
+  /// Runs `job` on the worker's pool; returns false after shutdown.
+  bool execute(std::function<void()> job);
+
+  /// Stops accepting work and joins worker threads.
+  void shutdown();
+
+ private:
+  const WorkerSpec spec_;
+  ThreadPool pool_;
+};
+
+}  // namespace pe::exec

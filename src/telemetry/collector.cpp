@@ -1,0 +1,76 @@
+#include "telemetry/collector.h"
+
+namespace pe::tel {
+
+void SpanCollector::on_produced(std::uint64_t message_id,
+                                const std::string& producer_id,
+                                std::uint32_t partition,
+                                std::uint64_t payload_bytes,
+                                std::uint64_t rows,
+                                std::uint64_t produced_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MessageSpan& span = spans_[message_id];
+  span.message_id = message_id;
+  span.producer_id = producer_id;
+  span.partition = partition;
+  span.payload_bytes = payload_bytes;
+  span.rows = rows;
+  span.produced_ns = produced_ns;
+}
+
+void SpanCollector::on_edge_processed(std::uint64_t id, std::uint64_t ts) {
+  update(id, [ts](MessageSpan& s) { s.edge_processed_ns = ts; });
+}
+void SpanCollector::on_sent(std::uint64_t id, std::uint64_t ts) {
+  update(id, [ts](MessageSpan& s) { s.sent_ns = ts; });
+}
+void SpanCollector::on_broker(std::uint64_t id, std::uint64_t ts) {
+  update(id, [ts](MessageSpan& s) { s.broker_ns = ts; });
+}
+void SpanCollector::on_consumed(std::uint64_t id, std::uint64_t ts) {
+  update(id, [ts](MessageSpan& s) { s.consumed_ns = ts; });
+}
+void SpanCollector::on_process_start(std::uint64_t id, std::uint64_t ts) {
+  update(id, [ts](MessageSpan& s) { s.process_start_ns = ts; });
+}
+void SpanCollector::on_process_end(std::uint64_t id, std::uint64_t ts) {
+  update(id, [ts](MessageSpan& s) { s.process_end_ns = ts; });
+}
+
+std::size_t SpanCollector::completed_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [_, s] : spans_) {
+    if (s.complete()) n += 1;
+  }
+  return n;
+}
+
+std::size_t SpanCollector::total_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+std::vector<MessageSpan> SpanCollector::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MessageSpan> out;
+  out.reserve(spans_.size());
+  for (const auto& [_, s] : spans_) out.push_back(s);
+  return out;
+}
+
+std::vector<MessageSpan> SpanCollector::completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MessageSpan> out;
+  for (const auto& [_, s] : spans_) {
+    if (s.complete()) out.push_back(s);
+  }
+  return out;
+}
+
+void SpanCollector::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+}
+
+}  // namespace pe::tel

@@ -1,0 +1,63 @@
+#include "telemetry/energy.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pe::tel {
+
+EnergyModel::EnergyModel(EnergyModelConfig config) : config_(config) {}
+
+EnergyBreakdown EnergyModel::estimate(const EnergyInputs& in) const {
+  EnergyBreakdown out;
+  const double window = std::max(0.0, in.window_seconds);
+
+  out.edge_idle_j = config_.edge_device.idle_watts *
+                    static_cast<double>(in.edge_devices) * window;
+  out.edge_active_j =
+      config_.edge_device.busy_watts * std::max(0.0, in.edge_busy_seconds);
+
+  out.cloud_idle_j = config_.cloud_core.idle_watts *
+                     static_cast<double>(in.cloud_cores) * window;
+  out.cloud_active_j =
+      config_.cloud_core.busy_watts * std::max(0.0, in.cloud_busy_seconds);
+
+  out.wan_transfer_j =
+      config_.wan_joules_per_byte * static_cast<double>(in.wan_bytes);
+  out.lan_transfer_j =
+      config_.lan_joules_per_byte * static_cast<double>(in.lan_bytes);
+  return out;
+}
+
+EnergyInputs EnergyModel::inputs_from_run(const RunReport& report,
+                                          std::size_t edge_devices,
+                                          std::size_t cloud_cores,
+                                          std::uint64_t wan_bytes,
+                                          std::uint64_t lan_bytes) const {
+  EnergyInputs in;
+  in.window_seconds = report.window_seconds;
+  // Edge devices are busy while producing; approximate busy time by the
+  // produce window (each device streams continuously during it).
+  in.edge_busy_seconds =
+      report.produce_window_seconds * static_cast<double>(edge_devices);
+  // Cloud busy time: sum of per-message processing times.
+  in.cloud_busy_seconds = report.processing_ms.mean / 1e3 *
+                          static_cast<double>(report.messages);
+  in.edge_devices = edge_devices;
+  in.cloud_cores = cloud_cores;
+  in.wan_bytes = wan_bytes;
+  in.lan_bytes = lan_bytes;
+  return in;
+}
+
+std::string EnergyBreakdown::to_string() const {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(1);
+  oss << "energy [J]: total " << total_j() << " (edge " << edge_idle_j
+      << "+" << edge_active_j << ", cloud " << cloud_idle_j << "+"
+      << cloud_active_j << ", wan " << wan_transfer_j << ", lan "
+      << lan_transfer_j << ")";
+  return oss.str();
+}
+
+}  // namespace pe::tel

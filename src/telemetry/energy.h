@@ -1,0 +1,86 @@
+// Energy accounting for edge-to-cloud runs (paper §V future work:
+// "investigate further scheduling and approaches, e.g., energy
+// consumption").
+//
+// First-order model: a device class draws idle power for the whole run
+// window, additional active power for the seconds its cores are busy, and
+// the network charges an energy-per-byte toll per traffic class. The
+// numbers are configurable; defaults follow commonly cited figures
+// (RasPi-class device ~2.7 W idle / ~6.4 W busy; one server core ~4 W
+// idle share / ~14 W busy; WAN ~40 nJ/byte, LAN ~5 nJ/byte).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "telemetry/report.h"
+
+namespace pe::tel {
+
+/// Power draw of one device of a class.
+struct PowerSpec {
+  double idle_watts = 0.0;
+  double busy_watts = 0.0;  // additional draw at full utilization
+};
+
+struct EnergyModelConfig {
+  PowerSpec edge_device{2.7, 3.7};   // RasPi 4 class
+  PowerSpec cloud_core{4.0, 10.0};   // per-core share of a server
+  double wan_joules_per_byte = 40e-9;
+  double lan_joules_per_byte = 5e-9;
+};
+
+/// What one run consumed, by component, in joules.
+struct EnergyBreakdown {
+  double edge_idle_j = 0.0;
+  double edge_active_j = 0.0;
+  double cloud_idle_j = 0.0;
+  double cloud_active_j = 0.0;
+  double wan_transfer_j = 0.0;
+  double lan_transfer_j = 0.0;
+
+  double total_j() const {
+    return edge_idle_j + edge_active_j + cloud_idle_j + cloud_active_j +
+           wan_transfer_j + lan_transfer_j;
+  }
+  /// Joules per payload megabyte moved end to end.
+  double joules_per_mb(double payload_mb) const {
+    return payload_mb > 0.0 ? total_j() / payload_mb : 0.0;
+  }
+  std::string to_string() const;
+};
+
+/// Inputs extracted from a run.
+struct EnergyInputs {
+  double window_seconds = 0.0;
+  /// Seconds of busy edge-device compute (sum over devices).
+  double edge_busy_seconds = 0.0;
+  /// Seconds of busy cloud-core compute (sum over processing tasks).
+  double cloud_busy_seconds = 0.0;
+  std::size_t edge_devices = 0;
+  std::size_t cloud_cores = 0;
+  std::uint64_t wan_bytes = 0;
+  std::uint64_t lan_bytes = 0;
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(EnergyModelConfig config = {});
+
+  const EnergyModelConfig& config() const { return config_; }
+
+  EnergyBreakdown estimate(const EnergyInputs& inputs) const;
+
+  /// Convenience: derives busy seconds from a run report (processing time
+  /// from spans; edge busy time approximated by the produce window share).
+  EnergyInputs inputs_from_run(const RunReport& report,
+                               std::size_t edge_devices,
+                               std::size_t cloud_cores,
+                               std::uint64_t wan_bytes,
+                               std::uint64_t lan_bytes) const;
+
+ private:
+  EnergyModelConfig config_;
+};
+
+}  // namespace pe::tel

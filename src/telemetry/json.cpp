@@ -1,0 +1,52 @@
+#include "telemetry/json.h"
+
+#include <cmath>
+
+namespace pe::tel {
+
+void write_summary(JsonWriter& w, const SummaryStats& stats) {
+  w.begin_object();
+  w.key("count").value(static_cast<std::uint64_t>(stats.count));
+  w.key("mean").value(stats.mean);
+  w.key("stddev").value(stats.stddev);
+  w.key("min").value(stats.min);
+  w.key("p50").value(stats.p50);
+  w.key("p90").value(stats.p90);
+  w.key("p99").value(stats.p99);
+  w.key("max").value(stats.max);
+  w.end_object();
+}
+
+std::string to_json(const RunReport& report) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("label").value(report.label);
+  w.key("messages").value(static_cast<std::uint64_t>(report.messages));
+  w.key("payload_bytes").value(report.payload_bytes);
+  w.key("rows").value(report.rows);
+  w.key("window_seconds").value(report.window_seconds);
+  w.key("messages_per_second").value(report.messages_per_second);
+  w.key("mbytes_per_second").value(report.mbytes_per_second);
+  w.key("component_rates");
+  w.begin_object();
+  w.key("producer_msgs_per_second").value(report.producer_msgs_per_second);
+  w.key("broker_in_msgs_per_second").value(report.broker_in_msgs_per_second);
+  w.key("processing_msgs_per_second")
+      .value(report.processing_msgs_per_second);
+  w.end_object();
+  w.key("latency_ms");
+  w.begin_object();
+  w.key("end_to_end");
+  write_summary(w, report.end_to_end_ms);
+  w.key("ingress");
+  write_summary(w, report.ingress_ms);
+  w.key("broker_residency");
+  write_summary(w, report.broker_residency_ms);
+  w.key("processing");
+  write_summary(w, report.processing_ms);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace pe::tel

@@ -1,0 +1,149 @@
+// Minimal JSON writer + JSON serialization of run reports.
+//
+// Experiment results need to leave the process in a machine-readable form
+// (the paper's monitoring step feeds dashboards); this avoids an external
+// JSON dependency for the one direction we need (writing).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "telemetry/report.h"
+
+namespace pe::tel {
+
+/// Streaming JSON object/array writer with correct string escaping.
+/// Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name").value("run-1");
+///   w.key("count").value(42);
+///   w.end_object();
+///   std::string json = w.str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    separator();
+    out_ << '{';
+    stack_.push_back(kFirstInContainer);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    out_ << '}';
+    pop();
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    separator();
+    out_ << '[';
+    stack_.push_back(kFirstInContainer);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    out_ << ']';
+    pop();
+    return *this;
+  }
+
+  JsonWriter& key(const std::string& name) {
+    separator();
+    write_string(name);
+    out_ << ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(const std::string& v) {
+    separator();
+    write_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v) {
+    separator();
+    if (std::isfinite(v)) {
+      std::ostringstream oss;
+      oss.precision(12);
+      oss << v;
+      out_ << oss.str();
+    } else {
+      out_ << "null";  // JSON has no inf/nan
+    }
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    separator();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    separator();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v) {
+    separator();
+    out_ << (v ? "true" : "false");
+    return *this;
+  }
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  static constexpr int kFirstInContainer = 0;
+  static constexpr int kHasItems = 1;
+
+  void separator() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;  // directly after a key: no comma
+    }
+    if (!stack_.empty()) {
+      if (stack_.back() == kHasItems) out_ << ',';
+      stack_.back() = kHasItems;
+    }
+  }
+  void pop() {
+    if (!stack_.empty()) stack_.pop_back();
+  }
+  void write_string(const std::string& s) {
+    out_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ << "\\\""; break;
+        case '\\': out_ << "\\\\"; break;
+        case '\n': out_ << "\\n"; break;
+        case '\r': out_ << "\\r"; break;
+        case '\t': out_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ << buf;
+          } else {
+            out_ << c;
+          }
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostringstream out_;
+  std::vector<int> stack_;
+  bool pending_value_ = false;
+};
+
+/// Serializes summary stats as a JSON object.
+void write_summary(JsonWriter& w, const SummaryStats& stats);
+
+/// Full run report as a JSON document.
+std::string to_json(const RunReport& report);
+
+}  // namespace pe::tel

@@ -1,0 +1,119 @@
+#include "telemetry/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pe::tel {
+namespace {
+
+double rate(std::size_t count, double seconds) {
+  return seconds > 0.0 ? static_cast<double>(count) / seconds : 0.0;
+}
+
+double window_seconds(std::uint64_t first_ns, std::uint64_t last_ns) {
+  return last_ns > first_ns
+             ? static_cast<double>(last_ns - first_ns) / 1e9
+             : 0.0;
+}
+
+}  // namespace
+
+RunReport build_report(const std::vector<MessageSpan>& spans,
+                       std::string label) {
+  RunReport report;
+  report.label = std::move(label);
+
+  Histogram e2e, ingress, residency, processing;
+  std::uint64_t first_produce = 0, last_produce = 0;
+  std::uint64_t first_broker = 0, last_broker = 0;
+  std::uint64_t first_pstart = 0, last_pend = 0;
+
+  for (const MessageSpan& s : spans) {
+    if (!s.complete()) continue;
+    report.messages += 1;
+    report.payload_bytes += s.payload_bytes;
+    report.rows += s.rows;
+    e2e.record(s.end_to_end_ms());
+    ingress.record(s.ingress_ms());
+    residency.record(s.broker_residency_ms());
+    processing.record(s.processing_ms());
+
+    auto track = [](std::uint64_t v, std::uint64_t& lo, std::uint64_t& hi) {
+      if (v == 0) return;
+      if (lo == 0 || v < lo) lo = v;
+      if (v > hi) hi = v;
+    };
+    track(s.produced_ns, first_produce, last_produce);
+    track(s.broker_ns, first_broker, last_broker);
+    track(s.process_start_ns, first_pstart, last_pend);
+    track(s.process_end_ns, first_pstart, last_pend);
+  }
+
+  report.window_seconds = window_seconds(first_produce, last_pend);
+  report.produce_window_seconds = window_seconds(first_produce, last_produce);
+  report.broker_window_seconds = window_seconds(first_broker, last_broker);
+  report.process_window_seconds = window_seconds(first_pstart, last_pend);
+
+  report.messages_per_second = rate(report.messages, report.window_seconds);
+  report.mbytes_per_second =
+      report.window_seconds > 0.0
+          ? static_cast<double>(report.payload_bytes) / 1e6 /
+                report.window_seconds
+          : 0.0;
+  report.producer_msgs_per_second =
+      rate(report.messages, report.produce_window_seconds);
+  report.broker_in_msgs_per_second =
+      rate(report.messages, report.broker_window_seconds);
+  report.processing_msgs_per_second =
+      rate(report.messages, report.process_window_seconds);
+
+  report.end_to_end_ms = e2e.summary();
+  report.ingress_ms = ingress.summary();
+  report.broker_residency_ms = residency.summary();
+  report.processing_ms = processing.summary();
+  return report;
+}
+
+std::string RunReport::to_string() const {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(2);
+  oss << "=== " << label << " ===\n"
+      << "messages:          " << messages << " (" << rows << " rows, "
+      << static_cast<double>(payload_bytes) / 1e6 << " MB)\n"
+      << "window:            " << window_seconds << " s\n"
+      << "throughput:        " << messages_per_second << " msg/s, "
+      << mbytes_per_second << " MB/s\n"
+      << "component rates:   producer " << producer_msgs_per_second
+      << " msg/s | broker-in " << broker_in_msgs_per_second
+      << " msg/s | processing " << processing_msgs_per_second << " msg/s\n"
+      << "latency e2e [ms]:  " << end_to_end_ms.to_string() << "\n"
+      << "  ingress:         " << ingress_ms.to_string() << "\n"
+      << "  broker resid.:   " << broker_residency_ms.to_string() << "\n"
+      << "  processing:      " << processing_ms.to_string() << "\n";
+  return oss.str();
+}
+
+std::string RunReport::csv_header() {
+  return "label,messages,payload_mb,window_s,msgs_per_s,mb_per_s,"
+         "producer_msgs_s,broker_msgs_s,processing_msgs_s,"
+         "e2e_ms_mean,e2e_ms_p50,e2e_ms_p99,"
+         "ingress_ms_mean,broker_residency_ms_mean,processing_ms_mean";
+}
+
+std::string RunReport::to_csv_row() const {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(3);
+  oss << label << ',' << messages << ','
+      << static_cast<double>(payload_bytes) / 1e6 << ',' << window_seconds
+      << ',' << messages_per_second << ',' << mbytes_per_second << ','
+      << producer_msgs_per_second << ',' << broker_in_msgs_per_second << ','
+      << processing_msgs_per_second << ',' << end_to_end_ms.mean << ','
+      << end_to_end_ms.p50 << ',' << end_to_end_ms.p99 << ','
+      << ingress_ms.mean << ',' << broker_residency_ms.mean << ','
+      << processing_ms.mean;
+  return oss.str();
+}
+
+}  // namespace pe::tel

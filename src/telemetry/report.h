@@ -1,0 +1,57 @@
+// RunReport: aggregates completed spans into the numbers the paper plots.
+//
+// For each run the report carries message/byte throughput per component
+// window (producer, broker, processing) and latency distributions per
+// stage — the exact quantities of Fig. 2 and Fig. 3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "telemetry/span.h"
+
+namespace pe::tel {
+
+struct RunReport {
+  std::string label;
+  std::size_t messages = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t rows = 0;
+
+  /// Wall-clock seconds from first produce to last processing end.
+  double window_seconds = 0.0;
+  /// Producer-side window: first to last produce.
+  double produce_window_seconds = 0.0;
+  /// Broker ingest window: first to last broker append.
+  double broker_window_seconds = 0.0;
+  /// Processing window: first process start to last process end.
+  double process_window_seconds = 0.0;
+
+  // Throughput, end-to-end window based.
+  double messages_per_second = 0.0;
+  double mbytes_per_second = 0.0;
+  // Component rates (paper: used to find the bottleneck component).
+  double producer_msgs_per_second = 0.0;
+  double broker_in_msgs_per_second = 0.0;
+  double processing_msgs_per_second = 0.0;
+
+  // Stage latency distributions (milliseconds).
+  SummaryStats end_to_end_ms;
+  SummaryStats ingress_ms;
+  SummaryStats broker_residency_ms;
+  SummaryStats processing_ms;
+
+  /// Multi-line human-readable block.
+  std::string to_string() const;
+  /// Single CSV row (see csv_header()).
+  std::string to_csv_row() const;
+  static std::string csv_header();
+};
+
+/// Builds a report from completed spans. Incomplete spans are ignored.
+RunReport build_report(const std::vector<MessageSpan>& spans,
+                       std::string label = "");
+
+}  // namespace pe::tel

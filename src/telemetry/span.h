@@ -1,0 +1,52 @@
+// MessageSpan: the per-message record linking timestamps across components.
+//
+// The paper stresses that Pilot-Edge "captures and links comprehensive
+// metrics across all involved components ... allowing easy identification
+// of bottlenecks" (§III-1, used to spot that the broker outpaces the
+// consumers at 4 partitions). A span carries one timestamp per pipeline
+// stage, joined by the unique message id.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pe::tel {
+
+struct MessageSpan {
+  std::uint64_t message_id = 0;
+  std::string producer_id;
+  std::uint32_t partition = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t rows = 0;
+
+  // Stage timestamps (Clock::now_ns); 0 = stage not reached.
+  std::uint64_t produced_ns = 0;       // data generated on the edge
+  std::uint64_t edge_processed_ns = 0; // edge processing done (hybrid mode)
+  std::uint64_t sent_ns = 0;           // producer send acknowledged
+  std::uint64_t broker_ns = 0;         // broker append
+  std::uint64_t consumed_ns = 0;       // consumer received
+  std::uint64_t process_start_ns = 0;  // cloud processing began
+  std::uint64_t process_end_ns = 0;    // cloud processing finished
+
+  bool complete() const { return produced_ns != 0 && process_end_ns != 0; }
+
+  // --- derived stage latencies in milliseconds (0 if stage missing) ---
+  static double ms_between(std::uint64_t a, std::uint64_t b) {
+    if (a == 0 || b == 0 || b < a) return 0.0;
+    return static_cast<double>(b - a) / 1e6;
+  }
+
+  /// Produce -> processing done: the paper's end-to-end latency.
+  double end_to_end_ms() const { return ms_between(produced_ns, process_end_ns); }
+  /// Produce -> broker append (edge side + uplink).
+  double ingress_ms() const { return ms_between(produced_ns, broker_ns); }
+  /// Broker append -> consumer receipt (broker residency + downlink);
+  /// grows when the processing side is the bottleneck.
+  double broker_residency_ms() const { return ms_between(broker_ns, consumed_ns); }
+  /// Consumer receipt -> processing start (consumer-side queueing).
+  double consumer_queue_ms() const { return ms_between(consumed_ns, process_start_ns); }
+  /// Pure model compute time.
+  double processing_ms() const { return ms_between(process_start_ns, process_end_ns); }
+};
+
+}  // namespace pe::tel

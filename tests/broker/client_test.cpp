@@ -1,0 +1,216 @@
+// End-to-end producer/consumer client tests over a fabric.
+#include <gtest/gtest.h>
+
+#include "broker/consumer.h"
+#include "broker/producer.h"
+#include "network/fabric.h"
+
+namespace pe::broker {
+namespace {
+
+class ClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fabric_ = std::make_shared<net::Fabric>();
+    ASSERT_TRUE(fabric_->add_site({.id = "cloud"}).ok());
+    ASSERT_TRUE(fabric_->add_site({.id = "edge"}).ok());
+    net::LinkSpec spec;
+    spec.from = "edge";
+    spec.to = "cloud";
+    spec.latency_min = spec.latency_max = std::chrono::microseconds(200);
+    spec.bandwidth_min_bps = spec.bandwidth_max_bps = 1e9;
+    ASSERT_TRUE(fabric_->add_bidirectional_link(spec).ok());
+
+    broker_ = std::make_shared<Broker>("cloud");
+    ASSERT_TRUE(broker_->create_topic("t", TopicConfig{.partitions = 2}).ok());
+  }
+
+  Record make_record(const std::string& key, std::size_t size = 16) {
+    Record r;
+    r.key = key;
+    r.value.assign(size, 0x7);
+    return r;
+  }
+
+  std::shared_ptr<net::Fabric> fabric_;
+  std::shared_ptr<Broker> broker_;
+};
+
+TEST_F(ClientTest, ProduceConsumeRoundTrip) {
+  Producer producer(broker_, fabric_, "edge");
+  auto meta = producer.send("t", 0, make_record("hello"));
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta.value().offset, 0u);
+  EXPECT_GT(meta.value().transfer.propagation, Duration::zero());
+
+  Consumer consumer(broker_, fabric_, "cloud", "g");
+  ASSERT_TRUE(consumer.assign({{"t", 0}}).ok());
+  auto records = consumer.poll(std::chrono::milliseconds(100));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].record.key, "hello");
+  EXPECT_EQ(consumer.stats().records_received, 1u);
+}
+
+TEST_F(ClientTest, KeyedSendIsStablePartition) {
+  Producer producer(broker_, fabric_, "edge");
+  auto m1 = producer.send("t", make_record("device-1"));
+  auto m2 = producer.send("t", make_record("device-1"));
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  EXPECT_EQ(m1.value().partition, m2.value().partition);
+  EXPECT_EQ(m2.value().offset, m1.value().offset + 1);
+}
+
+TEST_F(ClientTest, SendBatchIsOneTransfer) {
+  Producer producer(broker_, fabric_, "edge");
+  std::vector<Record> batch;
+  for (int i = 0; i < 10; ++i) batch.push_back(make_record("k"));
+  auto meta = producer.send_batch("t", 1, std::move(batch));
+  ASSERT_TRUE(meta.ok());
+  const auto stats = fabric_->link_stats();
+  EXPECT_EQ(stats.at("edge->cloud").transfers, 1u);
+  EXPECT_EQ(producer.stats().records_sent, 10u);
+}
+
+TEST_F(ClientTest, EmptyBatchRejected) {
+  Producer producer(broker_, fabric_, "edge");
+  EXPECT_EQ(producer.send_batch("t", 0, {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ClientTest, SendToUnknownTopicCountsError) {
+  Producer producer(broker_, fabric_, "edge");
+  EXPECT_FALSE(producer.send("nope", make_record("k")).ok());
+  EXPECT_EQ(producer.stats().send_errors, 1u);
+}
+
+TEST_F(ClientTest, SubscribeSpreadsPartitionsAcrossConsumers) {
+  Consumer c1(broker_, fabric_, "cloud", "g");
+  Consumer c2(broker_, fabric_, "cloud", "g");
+  ASSERT_TRUE(c1.subscribe({"t"}).ok());
+  ASSERT_TRUE(c2.subscribe({"t"}).ok());
+  // Trigger rebalance pickup.
+  (void)c1.poll(std::chrono::milliseconds(10));
+  (void)c2.poll(std::chrono::milliseconds(10));
+  EXPECT_EQ(c1.assignment().size() + c2.assignment().size(), 2u);
+}
+
+TEST_F(ClientTest, PollDrainsAllPartitions) {
+  Producer producer(broker_, fabric_, "edge");
+  ASSERT_TRUE(producer.send("t", 0, make_record("a")).ok());
+  ASSERT_TRUE(producer.send("t", 1, make_record("b")).ok());
+
+  Consumer consumer(broker_, fabric_, "cloud", "g");
+  ASSERT_TRUE(consumer.subscribe({"t"}).ok());
+  std::size_t total = 0;
+  for (int i = 0; i < 10 && total < 2; ++i) {
+    total += consumer.poll(std::chrono::milliseconds(50)).size();
+  }
+  EXPECT_EQ(total, 2u);
+}
+
+TEST_F(ClientTest, OffsetResetLatestSkipsOldData) {
+  Producer producer(broker_, fabric_, "edge");
+  ASSERT_TRUE(producer.send("t", 0, make_record("old")).ok());
+
+  ConsumerConfig config;
+  config.offset_reset = OffsetReset::kLatest;
+  Consumer consumer(broker_, fabric_, "cloud", "g-latest", config);
+  ASSERT_TRUE(consumer.assign({{"t", 0}}).ok());
+  EXPECT_TRUE(consumer.poll(std::chrono::milliseconds(20)).empty());
+
+  ASSERT_TRUE(producer.send("t", 0, make_record("new")).ok());
+  auto records = consumer.poll(std::chrono::milliseconds(100));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].record.key, "new");
+}
+
+TEST_F(ClientTest, CommittedOffsetsResumeAfterRestart) {
+  Producer producer(broker_, fabric_, "edge");
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(producer.send("t", 0, make_record(std::to_string(i))).ok());
+  }
+  {
+    Consumer consumer(broker_, fabric_, "cloud", "g-resume");
+    ASSERT_TRUE(consumer.assign({{"t", 0}}).ok());
+    ConsumerConfig config;
+    auto records = consumer.poll(std::chrono::milliseconds(100));
+    ASSERT_GE(records.size(), 1u);  // auto-commit on poll
+  }
+  Consumer resumed(broker_, fabric_, "cloud", "g-resume");
+  ASSERT_TRUE(resumed.assign({{"t", 0}}).ok());
+  // All four were fetched and committed by the first consumer.
+  EXPECT_TRUE(resumed.poll(std::chrono::milliseconds(20)).empty());
+}
+
+TEST_F(ClientTest, SeekRewindsPosition) {
+  Producer producer(broker_, fabric_, "edge");
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(producer.send("t", 0, make_record(std::to_string(i))).ok());
+  }
+  ConsumerConfig config;
+  config.auto_commit = false;
+  Consumer consumer(broker_, fabric_, "cloud", "g-seek", config);
+  ASSERT_TRUE(consumer.assign({{"t", 0}}).ok());
+  ASSERT_EQ(consumer.poll(std::chrono::milliseconds(100)).size(), 3u);
+
+  ASSERT_TRUE(consumer.seek({"t", 0}, 1).ok());
+  auto again = consumer.poll(std::chrono::milliseconds(100));
+  ASSERT_EQ(again.size(), 2u);
+  EXPECT_EQ(again[0].offset, 1u);
+}
+
+TEST_F(ClientTest, SeekUnassignedPartitionFails) {
+  Consumer consumer(broker_, fabric_, "cloud", "g");
+  EXPECT_EQ(consumer.seek({"t", 0}, 0).code(), StatusCode::kNotFound);
+}
+
+TEST_F(ClientTest, AssignValidatesTopicAndPartition) {
+  Consumer consumer(broker_, fabric_, "cloud", "g");
+  EXPECT_EQ(consumer.assign({{"nope", 0}}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(consumer.assign({{"t", 7}}).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(ClientTest, PositionTracksConsumption) {
+  Producer producer(broker_, fabric_, "edge");
+  ASSERT_TRUE(producer.send("t", 0, make_record("a")).ok());
+  Consumer consumer(broker_, fabric_, "cloud", "g");
+  ASSERT_TRUE(consumer.assign({{"t", 0}}).ok());
+  EXPECT_EQ(consumer.position({"t", 0}).value(), 0u);
+  ASSERT_EQ(consumer.poll(std::chrono::milliseconds(100)).size(), 1u);
+  EXPECT_EQ(consumer.position({"t", 0}).value(), 1u);
+  EXPECT_EQ(consumer.position({"t", 1}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ClientTest, CloseLeavesGroupAndRebalances) {
+  auto c1 = std::make_unique<Consumer>(broker_, fabric_, "cloud", "g");
+  Consumer c2(broker_, fabric_, "cloud", "g");
+  ASSERT_TRUE(c1->subscribe({"t"}).ok());
+  ASSERT_TRUE(c2.subscribe({"t"}).ok());
+  c1.reset();  // destructor leaves the group
+  (void)c2.poll(std::chrono::milliseconds(20));
+  EXPECT_EQ(c2.assignment().size(), 2u);
+}
+
+TEST_F(ClientTest, PollTimeoutWithNoDataReturnsEmpty) {
+  Consumer consumer(broker_, fabric_, "cloud", "g");
+  ASSERT_TRUE(consumer.subscribe({"t"}).ok());
+  Stopwatch sw;
+  EXPECT_TRUE(consumer.poll(std::chrono::milliseconds(30)).empty());
+  EXPECT_GE(sw.elapsed_ms(), 25.0);
+}
+
+TEST_F(ClientTest, FetchChargesDownlink) {
+  Producer producer(broker_, fabric_, "edge");
+  ASSERT_TRUE(producer.send("t", 0, make_record("k", 1000)).ok());
+  Consumer consumer(broker_, fabric_, "edge", "g");  // consumer on edge
+  ASSERT_TRUE(consumer.assign({{"t", 0}}).ok());
+  ASSERT_EQ(consumer.poll(std::chrono::milliseconds(100)).size(), 1u);
+  const auto stats = fabric_->link_stats();
+  EXPECT_EQ(stats.at("cloud->edge").transfers, 1u);
+  EXPECT_GT(stats.at("cloud->edge").bytes, 1000u);
+}
+
+}  // namespace
+}  // namespace pe::broker

@@ -1,0 +1,144 @@
+#include "broker/group_coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace pe::broker {
+namespace {
+
+GroupCoordinator make_coordinator(std::uint32_t partitions = 6) {
+  return GroupCoordinator([partitions](const std::string& topic) {
+    return topic == "t" ? partitions : 0u;
+  });
+}
+
+TEST(GroupCoordinatorTest, SingleMemberGetsAllPartitions) {
+  auto gc = make_coordinator(4);
+  auto a = gc.join("g", "m1", {"t"});
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().partitions.size(), 4u);
+  EXPECT_EQ(a.value().generation, 1u);
+}
+
+TEST(GroupCoordinatorTest, UnknownTopicRejected) {
+  auto gc = make_coordinator();
+  EXPECT_EQ(gc.join("g", "m1", {"nope"}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(gc.members("g").empty());
+}
+
+TEST(GroupCoordinatorTest, EmptySubscriptionRejected) {
+  auto gc = make_coordinator();
+  EXPECT_EQ(gc.join("g", "m1", {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GroupCoordinatorTest, RangeAssignmentSplitsEvenly) {
+  auto gc = make_coordinator(6);
+  ASSERT_TRUE(gc.join("g", "m1", {"t"}).ok());
+  ASSERT_TRUE(gc.join("g", "m2", {"t"}).ok());
+  ASSERT_TRUE(gc.join("g", "m3", {"t"}).ok());
+  std::size_t total = 0;
+  std::set<std::uint32_t> seen;
+  for (const auto& m : {"m1", "m2", "m3"}) {
+    auto a = gc.assignment("g", m);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(a.value().partitions.size(), 2u);
+    for (const auto& tp : a.value().partitions) {
+      EXPECT_EQ(tp.topic, "t");
+      seen.insert(tp.partition);
+      total += 1;
+    }
+  }
+  EXPECT_EQ(total, 6u);
+  EXPECT_EQ(seen.size(), 6u);  // disjoint cover
+}
+
+TEST(GroupCoordinatorTest, UnevenSplitGivesExtrasToFirstMembers) {
+  auto gc = make_coordinator(5);
+  ASSERT_TRUE(gc.join("g", "a", {"t"}).ok());
+  ASSERT_TRUE(gc.join("g", "b", {"t"}).ok());
+  EXPECT_EQ(gc.assignment("g", "a").value().partitions.size(), 3u);
+  EXPECT_EQ(gc.assignment("g", "b").value().partitions.size(), 2u);
+}
+
+TEST(GroupCoordinatorTest, MoreMembersThanPartitionsLeavesSomeIdle) {
+  auto gc = make_coordinator(2);
+  ASSERT_TRUE(gc.join("g", "a", {"t"}).ok());
+  ASSERT_TRUE(gc.join("g", "b", {"t"}).ok());
+  ASSERT_TRUE(gc.join("g", "c", {"t"}).ok());
+  std::size_t total = 0;
+  for (const auto& m : {"a", "b", "c"}) {
+    auto a = gc.assignment("g", m);
+    ASSERT_TRUE(a.ok());  // idle members still have an (empty) assignment
+    total += a.value().partitions.size();
+  }
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(GroupCoordinatorTest, JoinBumpsGeneration) {
+  auto gc = make_coordinator();
+  ASSERT_TRUE(gc.join("g", "a", {"t"}).ok());
+  EXPECT_EQ(gc.generation("g"), 1u);
+  ASSERT_TRUE(gc.join("g", "b", {"t"}).ok());
+  EXPECT_EQ(gc.generation("g"), 2u);
+}
+
+TEST(GroupCoordinatorTest, LeaveRebalancesRemaining) {
+  auto gc = make_coordinator(4);
+  ASSERT_TRUE(gc.join("g", "a", {"t"}).ok());
+  ASSERT_TRUE(gc.join("g", "b", {"t"}).ok());
+  ASSERT_TRUE(gc.leave("g", "a").ok());
+  auto b = gc.assignment("g", "b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value().partitions.size(), 4u);
+  EXPECT_EQ(gc.assignment("g", "a").status().code(), StatusCode::kNotFound);
+}
+
+TEST(GroupCoordinatorTest, LeaveUnknownMemberFails) {
+  auto gc = make_coordinator();
+  ASSERT_TRUE(gc.join("g", "a", {"t"}).ok());
+  EXPECT_EQ(gc.leave("g", "zz").code(), StatusCode::kNotFound);
+  EXPECT_EQ(gc.leave("nope", "a").code(), StatusCode::kNotFound);
+}
+
+TEST(GroupCoordinatorTest, CommitAndFetchOffsets) {
+  auto gc = make_coordinator();
+  const TopicPartition tp{"t", 1};
+  EXPECT_FALSE(gc.committed_offset("g", tp).has_value());
+  ASSERT_TRUE(gc.commit_offset("g", tp, 42).ok());
+  EXPECT_EQ(gc.committed_offset("g", tp).value(), 42u);
+  ASSERT_TRUE(gc.commit_offset("g", tp, 43).ok());
+  EXPECT_EQ(gc.committed_offset("g", tp).value(), 43u);
+}
+
+TEST(GroupCoordinatorTest, CommitsSurviveRebalance) {
+  auto gc = make_coordinator(2);
+  ASSERT_TRUE(gc.join("g", "a", {"t"}).ok());
+  ASSERT_TRUE(gc.commit_offset("g", {"t", 0}, 10).ok());
+  ASSERT_TRUE(gc.join("g", "b", {"t"}).ok());  // rebalance
+  EXPECT_EQ(gc.committed_offset("g", {"t", 0}).value(), 10u);
+}
+
+TEST(GroupCoordinatorTest, MembersListsSortedIds) {
+  auto gc = make_coordinator();
+  ASSERT_TRUE(gc.join("g", "zed", {"t"}).ok());
+  ASSERT_TRUE(gc.join("g", "ann", {"t"}).ok());
+  const auto members = gc.members("g");
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0], "ann");
+  EXPECT_EQ(members[1], "zed");
+}
+
+TEST(GroupCoordinatorTest, IndependentGroupsDoNotInterfere) {
+  auto gc = make_coordinator(4);
+  ASSERT_TRUE(gc.join("g1", "a", {"t"}).ok());
+  ASSERT_TRUE(gc.join("g2", "a", {"t"}).ok());
+  EXPECT_EQ(gc.assignment("g1", "a").value().partitions.size(), 4u);
+  EXPECT_EQ(gc.assignment("g2", "a").value().partitions.size(), 4u);
+  EXPECT_EQ(gc.generation("g1"), 1u);
+}
+
+}  // namespace
+}  // namespace pe::broker

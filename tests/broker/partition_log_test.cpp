@@ -1,0 +1,161 @@
+#include "broker/partition_log.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace pe::broker {
+namespace {
+
+Record make_record(const std::string& key, std::size_t value_size = 10) {
+  Record r;
+  r.key = key;
+  r.value.assign(value_size, 0x42);
+  return r;
+}
+
+TEST(PartitionLogTest, AppendAssignsDenseOffsets) {
+  PartitionLog log;
+  EXPECT_EQ(log.append(make_record("a")), 0u);
+  EXPECT_EQ(log.append(make_record("b")), 1u);
+  EXPECT_EQ(log.append(make_record("c")), 2u);
+  EXPECT_EQ(log.end_offset(), 3u);
+  EXPECT_EQ(log.log_start_offset(), 0u);
+  EXPECT_EQ(log.record_count(), 3u);
+}
+
+TEST(PartitionLogTest, AppendBatchReturnsFirstOffset) {
+  PartitionLog log;
+  log.append(make_record("x"));
+  std::vector<Record> batch = {make_record("a"), make_record("b")};
+  EXPECT_EQ(log.append_batch(std::move(batch)), 1u);
+  EXPECT_EQ(log.end_offset(), 3u);
+}
+
+TEST(PartitionLogTest, FetchReturnsFromOffset) {
+  PartitionLog log;
+  for (int i = 0; i < 5; ++i) log.append(make_record(std::to_string(i)));
+  FetchSpec spec;
+  spec.offset = 2;
+  auto result = log.fetch(spec);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 3u);
+  EXPECT_EQ(result.value()[0].offset, 2u);
+  EXPECT_EQ(result.value()[0].record.key, "2");
+  EXPECT_GT(result.value()[0].broker_timestamp_ns, 0u);
+}
+
+TEST(PartitionLogTest, FetchRespectsMaxRecords) {
+  PartitionLog log;
+  for (int i = 0; i < 10; ++i) log.append(make_record("k"));
+  FetchSpec spec;
+  spec.max_records = 4;
+  auto result = log.fetch(spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 4u);
+}
+
+TEST(PartitionLogTest, FetchRespectsMaxBytesButReturnsAtLeastOne) {
+  PartitionLog log;
+  log.append(make_record("a", 1000));
+  log.append(make_record("b", 1000));
+  FetchSpec spec;
+  spec.max_bytes = 10;  // smaller than a single record
+  auto result = log.fetch(spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 1u);  // never starves
+}
+
+TEST(PartitionLogTest, FetchAtEndReturnsEmptyNonBlocking) {
+  PartitionLog log;
+  log.append(make_record("a"));
+  FetchSpec spec;
+  spec.offset = 1;
+  auto result = log.fetch(spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+}
+
+TEST(PartitionLogTest, FetchBeyondEndIsOutOfRange) {
+  PartitionLog log;
+  FetchSpec spec;
+  spec.offset = 5;
+  EXPECT_EQ(log.fetch(spec).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(PartitionLogTest, LongPollWakesOnAppend) {
+  PartitionLog log;
+  FetchSpec spec;
+  spec.offset = 0;
+  spec.max_wait = std::chrono::seconds(5);
+
+  std::thread appender([&log] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    log.append(make_record("late"));
+  });
+  Stopwatch sw;
+  auto result = log.fetch(spec);
+  appender.join();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 1u);
+  EXPECT_LT(sw.elapsed_ms(), 4000.0);  // woke well before the deadline
+}
+
+TEST(PartitionLogTest, LongPollTimesOutEmpty) {
+  PartitionLog log;
+  FetchSpec spec;
+  spec.max_wait = std::chrono::milliseconds(30);
+  Stopwatch sw;
+  auto result = log.fetch(spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+  EXPECT_GE(sw.elapsed_ms(), 25.0);
+}
+
+TEST(PartitionLogTest, RetentionByRecordsTrimsHead) {
+  PartitionLog log(RetentionPolicy{.max_records = 3, .max_bytes = 0});
+  for (int i = 0; i < 5; ++i) log.append(make_record(std::to_string(i)));
+  EXPECT_EQ(log.record_count(), 3u);
+  EXPECT_EQ(log.log_start_offset(), 2u);
+  EXPECT_EQ(log.end_offset(), 5u);
+
+  FetchSpec spec;
+  spec.offset = 0;
+  EXPECT_EQ(log.fetch(spec).status().code(), StatusCode::kOutOfRange);
+  spec.offset = 2;
+  auto result = log.fetch(spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().front().record.key, "2");
+}
+
+TEST(PartitionLogTest, RetentionByBytesKeepsAtLeastOneRecord) {
+  PartitionLog log(RetentionPolicy{.max_records = 0, .max_bytes = 50});
+  log.append(make_record("big", 500));
+  EXPECT_EQ(log.record_count(), 1u);  // single record always retained
+  log.append(make_record("big2", 500));
+  EXPECT_EQ(log.record_count(), 1u);
+  EXPECT_EQ(log.log_start_offset(), 1u);
+}
+
+TEST(PartitionLogTest, ByteSizeTracksWireSize) {
+  PartitionLog log;
+  log.append(make_record("ab", 100));  // 2 + 100 + overhead
+  EXPECT_EQ(log.byte_size(), 102u + kRecordWireOverheadBytes);
+}
+
+TEST(PartitionLogTest, ConcurrentAppendsKeepOffsetsUnique) {
+  PartitionLog log;
+  constexpr int kThreads = 4, kPer = 250;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log] {
+      for (int i = 0; i < kPer; ++i) log.append(make_record("k"));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(log.end_offset(), static_cast<std::uint64_t>(kThreads * kPer));
+  EXPECT_EQ(log.record_count(), static_cast<std::uint64_t>(kThreads * kPer));
+}
+
+}  // namespace
+}  // namespace pe::broker

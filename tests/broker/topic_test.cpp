@@ -1,0 +1,76 @@
+#include "broker/topic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pe::broker {
+namespace {
+
+TEST(TopicTest, CreatesRequestedPartitions) {
+  Topic topic("t", TopicConfig{.partitions = 4});
+  EXPECT_EQ(topic.partition_count(), 4u);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    EXPECT_NE(topic.partition(p), nullptr);
+  }
+  EXPECT_EQ(topic.partition(4), nullptr);
+}
+
+TEST(TopicTest, ZeroPartitionsClampedToOne) {
+  Topic topic("t", TopicConfig{.partitions = 0});
+  EXPECT_EQ(topic.partition_count(), 1u);
+}
+
+TEST(TopicTest, KeyHashPartitionerIsStablePerKey) {
+  Topic topic("t", TopicConfig{.partitions = 8});
+  Record r;
+  r.key = "device-3";
+  const auto p0 = topic.select_partition(r);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(topic.select_partition(r), p0);
+  }
+}
+
+TEST(TopicTest, KeyHashSpreadsDistinctKeys) {
+  Topic topic("t", TopicConfig{.partitions = 8});
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 64; ++i) {
+    Record r;
+    r.key = "device-" + std::to_string(i);
+    seen.insert(topic.select_partition(r));
+  }
+  EXPECT_GE(seen.size(), 4u);  // hash spreads over most partitions
+}
+
+TEST(TopicTest, EmptyKeyFallsBackToRoundRobin) {
+  Topic topic("t", TopicConfig{.partitions = 3});
+  Record r;  // empty key
+  std::vector<std::uint32_t> order;
+  for (int i = 0; i < 6; ++i) order.push_back(topic.select_partition(r));
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(TopicTest, RoundRobinPartitionerIgnoresKey) {
+  TopicConfig config{.partitions = 2};
+  config.partitioner = PartitionerKind::kRoundRobin;
+  Topic topic("t", config);
+  Record r;
+  r.key = "same-key";
+  EXPECT_EQ(topic.select_partition(r), 0u);
+  EXPECT_EQ(topic.select_partition(r), 1u);
+  EXPECT_EQ(topic.select_partition(r), 0u);
+}
+
+TEST(TopicTest, TotalsAggregateAcrossPartitions) {
+  Topic topic("t", TopicConfig{.partitions = 2});
+  Record r;
+  r.value.assign(10, 1);
+  topic.partition(0)->append(r);
+  topic.partition(1)->append(r);
+  topic.partition(1)->append(r);
+  EXPECT_EQ(topic.total_records(), 3u);
+  EXPECT_EQ(topic.total_bytes(), 3 * (10 + kRecordWireOverheadBytes));
+}
+
+}  // namespace
+}  // namespace pe::broker

@@ -1,0 +1,53 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace pe {
+namespace {
+
+TEST(ClockTest, NowIsMonotonic) {
+  const auto a = Clock::now_ns();
+  const auto b = Clock::now_ns();
+  EXPECT_LE(a, b);
+}
+
+TEST(ClockTest, SleepExactWaitsAtLeastRequested) {
+  Stopwatch sw;
+  Clock::sleep_exact(std::chrono::milliseconds(10));
+  EXPECT_GE(sw.elapsed_ms(), 9.5);
+}
+
+TEST(ClockTest, ScaledSleepIsShorterAtHigherScale) {
+  ScopedTimeScale scale(10.0);
+  Stopwatch sw;
+  Clock::sleep_scaled(std::chrono::milliseconds(100));
+  const double ms = sw.elapsed_ms();
+  EXPECT_GE(ms, 8.0);
+  EXPECT_LT(ms, 60.0);  // nominal 100 ms shrunk ~10x
+}
+
+TEST(ClockTest, ScopedTimeScaleRestores) {
+  const double before = Clock::time_scale();
+  {
+    ScopedTimeScale scale(25.0);
+    EXPECT_DOUBLE_EQ(Clock::time_scale(), 25.0);
+  }
+  EXPECT_DOUBLE_EQ(Clock::time_scale(), before);
+}
+
+TEST(ClockTest, ZeroOrNegativeSleepReturnsImmediately) {
+  Stopwatch sw;
+  Clock::sleep_exact(Duration::zero());
+  Clock::sleep_scaled(Duration(-5));
+  EXPECT_LT(sw.elapsed_ms(), 5.0);
+}
+
+TEST(StopwatchTest, ResetRestarts) {
+  Stopwatch sw;
+  Clock::sleep_exact(std::chrono::milliseconds(5));
+  sw.reset();
+  EXPECT_LT(sw.elapsed_ms(), 4.0);
+}
+
+}  // namespace
+}  // namespace pe

@@ -1,0 +1,71 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+namespace pe {
+namespace {
+
+TEST(ConfigMapTest, SetAndGetString) {
+  ConfigMap c;
+  c.set("model", "kmeans");
+  EXPECT_TRUE(c.contains("model"));
+  EXPECT_EQ(c.get("model").value(), "kmeans");
+  EXPECT_FALSE(c.get("missing").has_value());
+  EXPECT_EQ(c.get_or("missing", "fallback"), "fallback");
+}
+
+TEST(ConfigMapTest, TypedAccessors) {
+  ConfigMap c;
+  c.set_int("partitions", 4);
+  c.set_double("rate", 2.5);
+  c.set_bool("enabled", true);
+  EXPECT_EQ(c.get_int_or("partitions", 0), 4);
+  EXPECT_DOUBLE_EQ(c.get_double_or("rate", 0.0), 2.5);
+  EXPECT_TRUE(c.get_bool_or("enabled", false));
+}
+
+TEST(ConfigMapTest, MalformedNumbersFallBack) {
+  ConfigMap c;
+  c.set("n", "not-a-number");
+  EXPECT_EQ(c.get_int_or("n", 7), 7);
+  EXPECT_DOUBLE_EQ(c.get_double_or("n", 1.5), 1.5);
+}
+
+TEST(ConfigMapTest, BoolParsingVariants) {
+  ConfigMap c;
+  c.set("a", "true");
+  c.set("b", "1");
+  c.set("c", "yes");
+  c.set("d", "false");
+  EXPECT_TRUE(c.get_bool_or("a", false));
+  EXPECT_TRUE(c.get_bool_or("b", false));
+  EXPECT_TRUE(c.get_bool_or("c", false));
+  EXPECT_FALSE(c.get_bool_or("d", true));
+}
+
+TEST(ConfigMapTest, MergeIsRightBiased) {
+  ConfigMap a{{"x", "1"}, {"y", "2"}};
+  ConfigMap b{{"y", "20"}, {"z", "30"}};
+  a.merge_from(b);
+  EXPECT_EQ(a.get_or("x", ""), "1");
+  EXPECT_EQ(a.get_or("y", ""), "20");
+  EXPECT_EQ(a.get_or("z", ""), "30");
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(ConfigMapTest, IterationIsSortedByKey) {
+  ConfigMap c{{"b", "2"}, {"a", "1"}};
+  auto it = c.begin();
+  EXPECT_EQ(it->first, "a");
+  ++it;
+  EXPECT_EQ(it->first, "b");
+}
+
+TEST(ConfigMapTest, IntRoundTripThroughDouble) {
+  ConfigMap c;
+  c.set_double("v", 42.0);
+  EXPECT_DOUBLE_EQ(c.get_double_or("v", 0.0), 42.0);
+}
+
+}  // namespace
+}  // namespace pe

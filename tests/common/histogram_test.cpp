@@ -1,0 +1,100 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace pe {
+namespace {
+
+TEST(HistogramTest, EmptySummaryIsZero) {
+  Histogram h;
+  const auto s = h.summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.record(5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.mean(), 5.0);
+  EXPECT_EQ(h.min(), 5.0);
+  EXPECT_EQ(h.max(), 5.0);
+  EXPECT_EQ(h.stddev(), 0.0);
+  EXPECT_EQ(h.percentile(0.99), 5.0);
+}
+
+TEST(HistogramTest, MeanAndStddevMatchClosedForm) {
+  Histogram h;
+  for (int i = 1; i <= 10; ++i) h.record(i);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.5);
+  // Sample stddev of 1..10 is sqrt(55/6).
+  EXPECT_NEAR(h.stddev(), std::sqrt(55.0 / 6.0), 1e-9);
+}
+
+TEST(HistogramTest, PercentilesInterpolate) {
+  Histogram h;
+  for (int i = 0; i <= 100; ++i) h.record(i);
+  EXPECT_NEAR(h.percentile(0.5), 50.0, 1e-9);
+  EXPECT_NEAR(h.percentile(0.9), 90.0, 1e-9);
+  EXPECT_NEAR(h.percentile(0.0), 0.0, 1e-9);
+  EXPECT_NEAR(h.percentile(1.0), 100.0, 1e-9);
+}
+
+TEST(HistogramTest, PercentileClampsQ) {
+  Histogram h;
+  h.record(1.0);
+  h.record(2.0);
+  EXPECT_EQ(h.percentile(-0.5), 1.0);
+  EXPECT_EQ(h.percentile(1.5), 2.0);
+}
+
+TEST(HistogramTest, RecordManyAndMerge) {
+  Histogram a, b;
+  a.record_many({1.0, 2.0, 3.0});
+  b.record_many({4.0, 5.0});
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_EQ(a.max(), 5.0);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.record(10.0);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  h.record(-3.0);
+  EXPECT_EQ(h.min(), -3.0);
+  EXPECT_EQ(h.max(), -3.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAreAllCounted) {
+  Histogram h;
+  constexpr int kThreads = 4, kPer = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPer; ++i) h.record(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::size_t>(kThreads * kPer));
+  EXPECT_DOUBLE_EQ(h.mean(), 1.0);
+}
+
+TEST(HistogramTest, SummaryStatsToStringContainsFields) {
+  Histogram h;
+  h.record(1.0);
+  const std::string s = h.summary().to_string();
+  EXPECT_NE(s.find("count=1"), std::string::npos);
+  EXPECT_NE(s.find("p99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pe

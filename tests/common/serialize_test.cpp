@@ -1,0 +1,115 @@
+#include "common/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace pe {
+namespace {
+
+TEST(SerializeTest, RoundTripScalars) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.put_u8(0xAB);
+  w.put_u32(0xDEADBEEF);
+  w.put_u64(0x0123456789ABCDEFull);
+  w.put_f64(3.14159);
+
+  ByteReader r(buf);
+  std::uint8_t u8;
+  std::uint32_t u32;
+  std::uint64_t u64;
+  double f64;
+  ASSERT_TRUE(r.get_u8(u8).ok());
+  ASSERT_TRUE(r.get_u32(u32).ok());
+  ASSERT_TRUE(r.get_u64(u64).ok());
+  ASSERT_TRUE(r.get_f64(f64).ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(f64, 3.14159);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(SerializeTest, RoundTripStringsAndBytes) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.put_string("hello world");
+  w.put_string("");
+  w.put_bytes({1, 2, 3});
+
+  ByteReader r(buf);
+  std::string a, b;
+  Bytes c;
+  ASSERT_TRUE(r.get_string(a).ok());
+  ASSERT_TRUE(r.get_string(b).ok());
+  ASSERT_TRUE(r.get_bytes(c).ok());
+  EXPECT_EQ(a, "hello world");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c, (Bytes{1, 2, 3}));
+}
+
+TEST(SerializeTest, RoundTripDoubleArray) {
+  const std::vector<double> values = {0.0, -1.5, 1e300,
+                                      std::numeric_limits<double>::infinity()};
+  Bytes buf;
+  ByteWriter w(buf);
+  w.put_f64_array(values.data(), values.size());
+
+  ByteReader r(buf);
+  std::vector<double> out(values.size());
+  ASSERT_TRUE(r.get_f64_array(out.data(), out.size()).ok());
+  EXPECT_EQ(out, values);
+}
+
+TEST(SerializeTest, TruncatedReadsFailWithOutOfRange) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.put_u32(7);
+
+  ByteReader r(buf);
+  std::uint64_t v = 0;
+  const Status s = r.get_u64(v);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerializeTest, StringLengthBeyondBufferFails) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.put_u32(1000);  // claims 1000 bytes follow; none do
+  ByteReader r(buf);
+  std::string s;
+  EXPECT_EQ(r.get_string(s).code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerializeTest, ReaderTracksPosition) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.put_u32(1);
+  w.put_u32(2);
+  ByteReader r(buf);
+  EXPECT_EQ(r.position(), 0u);
+  std::uint32_t v;
+  ASSERT_TRUE(r.get_u32(v).ok());
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+TEST(SerializeTest, NegativeAndDenormalDoublesSurvive) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.put_f64(-0.0);
+  w.put_f64(std::numeric_limits<double>::denorm_min());
+  ByteReader r(buf);
+  double a, b;
+  ASSERT_TRUE(r.get_f64(a).ok());
+  ASSERT_TRUE(r.get_f64(b).ok());
+  EXPECT_EQ(a, -0.0);
+  EXPECT_TRUE(std::signbit(a));
+  EXPECT_EQ(b, std::numeric_limits<double>::denorm_min());
+}
+
+}  // namespace
+}  // namespace pe

@@ -1,0 +1,99 @@
+#include "core/experiment_cli.h"
+
+#include <gtest/gtest.h>
+
+namespace pe::core::cli {
+namespace {
+
+Result<Options> parse_args(std::vector<const char*> args) {
+  args.insert(args.begin(), "pilot_edge_run");
+  return parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(CliParseTest, DefaultsWithNoFlags) {
+  auto options = parse_args({});
+  ASSERT_TRUE(options.ok());
+  EXPECT_EQ(options.value().devices, 2u);
+  EXPECT_EQ(options.value().model, "kmeans");
+  EXPECT_EQ(options.value().topology, "single");
+  EXPECT_FALSE(options.value().help);
+}
+
+TEST(CliParseTest, AllFlagsParse) {
+  auto options = parse_args(
+      {"--devices", "4", "--messages", "64", "--points", "10000",
+       "--partitions", "8", "--processing-tasks", "3", "--model", "ae",
+       "--mode", "hybrid", "--aggregate", "16", "--topology", "geo",
+       "--ingest", "mqtt", "--time-scale", "25", "--produce-interval-ms",
+       "5", "--json", "/tmp/x.json", "--csv", "/tmp/x.csv", "--verbose"});
+  ASSERT_TRUE(options.ok());
+  const Options& o = options.value();
+  EXPECT_EQ(o.devices, 4u);
+  EXPECT_EQ(o.messages_per_device, 64u);
+  EXPECT_EQ(o.points, 10000u);
+  EXPECT_EQ(o.partitions, 8u);
+  EXPECT_EQ(o.processing_tasks, 3u);
+  EXPECT_EQ(o.model, "ae");
+  EXPECT_EQ(o.mode, "hybrid");
+  EXPECT_EQ(o.aggregate_window, 16u);
+  EXPECT_EQ(o.topology, "geo");
+  EXPECT_EQ(o.ingest, "mqtt");
+  EXPECT_DOUBLE_EQ(o.time_scale, 25.0);
+  EXPECT_EQ(o.produce_interval_ms, 5u);
+  EXPECT_EQ(o.json_path, "/tmp/x.json");
+  EXPECT_EQ(o.csv_path, "/tmp/x.csv");
+  EXPECT_TRUE(o.verbose);
+}
+
+TEST(CliParseTest, HelpShortCircuits) {
+  auto options = parse_args({"--help"});
+  ASSERT_TRUE(options.ok());
+  EXPECT_TRUE(options.value().help);
+  EXPECT_TRUE(parse_args({"-h"}).value().help);
+}
+
+TEST(CliParseTest, RejectsUnknownFlag) {
+  EXPECT_EQ(parse_args({"--bogus", "1"}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CliParseTest, RejectsMissingValue) {
+  EXPECT_EQ(parse_args({"--devices"}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CliParseTest, RejectsBadNumbers) {
+  EXPECT_FALSE(parse_args({"--devices", "zero"}).ok());
+  EXPECT_FALSE(parse_args({"--time-scale", "-2"}).ok());
+  EXPECT_FALSE(parse_args({"--time-scale", "abc"}).ok());
+}
+
+TEST(CliParseTest, RejectsBadEnums) {
+  EXPECT_FALSE(parse_args({"--mode", "everywhere"}).ok());
+  EXPECT_FALSE(parse_args({"--topology", "mars"}).ok());
+  EXPECT_FALSE(parse_args({"--ingest", "carrier-pigeon"}).ok());
+  EXPECT_FALSE(parse_args({"--model", "svm"}).ok());
+}
+
+TEST(CliParseTest, RejectsZeroDevices) {
+  EXPECT_FALSE(parse_args({"--devices", "0"}).ok());
+}
+
+TEST(CliParseTest, ModelAliasesAccepted) {
+  for (const char* model : {"baseline", "kmeans", "iforest", "ae"}) {
+    EXPECT_TRUE(parse_args({"--model", model}).ok()) << model;
+  }
+}
+
+TEST(CliUsageTest, MentionsEveryFlag) {
+  const std::string u = usage();
+  for (const char* flag :
+       {"--devices", "--messages", "--points", "--partitions", "--model",
+        "--mode", "--aggregate", "--topology", "--ingest", "--time-scale",
+        "--json", "--csv", "--help"}) {
+    EXPECT_NE(u.find(flag), std::string::npos) << flag;
+  }
+}
+
+}  // namespace
+}  // namespace pe::core::cli

@@ -1,0 +1,225 @@
+#include "core/functions.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/kmeans.h"
+#include "ml/outlier.h"
+
+namespace pe::core::functions {
+namespace {
+
+FunctionContext make_context() {
+  FunctionContext ctx;
+  ctx.bind("pipe-0", "task-0", "cloud", nullptr, nullptr);
+  return ctx;
+}
+
+TEST(GeneratorProduceTest, EmitsConfiguredBlocks) {
+  data::GeneratorConfig config;
+  config.seed = 5;
+  auto factory = make_generator_produce(config, 100);
+  auto produce = factory(0);
+  auto ctx = make_context();
+  auto block = produce(ctx);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block.value().rows, 100u);
+  EXPECT_EQ(block.value().cols, 32u);
+}
+
+TEST(GeneratorProduceTest, DevicesGetIndependentStreams) {
+  auto factory = make_generator_produce({}, 50);
+  auto p0 = factory(0);
+  auto p1 = factory(1);
+  auto ctx = make_context();
+  EXPECT_NE(p0(ctx).value().values, p1(ctx).value().values);
+}
+
+TEST(GeneratorProduceTest, SameDeviceAdvancesStream) {
+  auto factory = make_generator_produce({}, 50);
+  auto produce = factory(0);
+  auto ctx = make_context();
+  const auto first = produce(ctx).value().values;
+  const auto second = produce(ctx).value().values;
+  EXPECT_NE(first, second);
+}
+
+TEST(PassthroughTest, ForwardsBlockUnchanged) {
+  auto process = make_passthrough_process()();
+  auto ctx = make_context();
+  data::Generator gen;
+  auto block = gen.generate(20);
+  const auto original = block.values;
+  auto result = process(ctx, std::move(block));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().block.values, original);
+  EXPECT_EQ(result.value().outliers, 0u);
+  EXPECT_TRUE(result.value().scores.empty());
+}
+
+TEST(AggregateEdgeTest, ReducesRowsByWindow) {
+  auto process = make_aggregate_edge(4)();
+  auto ctx = make_context();
+  data::Generator gen;
+  auto block = gen.generate(100);
+  auto result = process(ctx, std::move(block));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().block.rows, 25u);
+  EXPECT_EQ(result.value().block.cols, 32u);
+}
+
+TEST(AggregateEdgeTest, AveragesValuesWithinWindow) {
+  auto process = make_aggregate_edge(2)();
+  auto ctx = make_context();
+  data::DataBlock block;
+  block.rows = 4;
+  block.cols = 1;
+  block.values = {1.0, 3.0, 10.0, 20.0};
+  auto result = process(ctx, std::move(block));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().block.rows, 2u);
+  EXPECT_DOUBLE_EQ(result.value().block.values[0], 2.0);
+  EXPECT_DOUBLE_EQ(result.value().block.values[1], 15.0);
+}
+
+TEST(AggregateEdgeTest, RemainderWindowAveragesPartial) {
+  auto process = make_aggregate_edge(4)();
+  auto ctx = make_context();
+  data::DataBlock block;
+  block.rows = 5;
+  block.cols = 1;
+  block.values = {4.0, 4.0, 4.0, 4.0, 9.0};
+  auto result = process(ctx, std::move(block));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().block.rows, 2u);
+  EXPECT_DOUBLE_EQ(result.value().block.values[1], 9.0);
+}
+
+TEST(AggregateEdgeTest, LabelsMaxPooled) {
+  auto process = make_aggregate_edge(2)();
+  auto ctx = make_context();
+  data::DataBlock block;
+  block.rows = 4;
+  block.cols = 1;
+  block.values = {0, 0, 0, 0};
+  block.labels = {0, 1, 0, 0};
+  auto result = process(ctx, std::move(block));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().block.labels, (std::vector<std::uint8_t>{1, 0}));
+}
+
+TEST(AggregateEdgeTest, WindowOneIsPassthrough) {
+  auto process = make_aggregate_edge(1)();
+  auto ctx = make_context();
+  data::Generator gen;
+  auto block = gen.generate(10);
+  const auto original = block.values;
+  auto result = process(ctx, std::move(block));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().block.values, original);
+}
+
+TEST(AggregateEdgeTest, PreservesMessageIdentity) {
+  auto process = make_aggregate_edge(4)();
+  auto ctx = make_context();
+  data::Generator gen;
+  auto block = gen.generate(16);
+  block.message_id = 55;
+  block.producer_id = "device-9";
+  block.produced_ns = 777;
+  auto result = process(ctx, std::move(block));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().block.message_id, 55u);
+  EXPECT_EQ(result.value().block.producer_id, "device-9");
+  EXPECT_EQ(result.value().block.produced_ns, 777u);
+}
+
+TEST(ModelProcessTest, ScoresAndFlagsOutliers) {
+  ModelProcessOptions options;
+  options.contamination = 0.05;
+  auto process = make_model_process(ml::ModelKind::kKMeans, {}, options)();
+  auto ctx = make_context();
+  data::GeneratorConfig config;
+  config.clusters = 5;
+  data::Generator gen(config);
+  auto block = gen.generate(1000);
+  auto result = process(ctx, std::move(block));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().scores.size(), 1000u);
+  // ~5% contamination threshold flags about 50 rows.
+  EXPECT_GT(result.value().outliers, 20u);
+  EXPECT_LT(result.value().outliers, 100u);
+}
+
+TEST(ModelProcessTest, EachTaskGetsIndependentModel) {
+  auto factory = make_model_process(ml::ModelKind::kKMeans);
+  auto p1 = factory();
+  auto p2 = factory();
+  auto ctx = make_context();
+  data::Generator gen;
+  // Train p1 only; p2 must still behave as unfitted-first-call.
+  ASSERT_TRUE(p1(ctx, gen.generate(200)).ok());
+  ASSERT_TRUE(p2(ctx, gen.generate(200)).ok());
+}
+
+TEST(ModelProcessTest, PublishesModelToParameterService) {
+  auto fabric = std::make_shared<net::Fabric>();
+  ASSERT_TRUE(fabric->add_site({.id = "cloud"}).ok());
+  auto server = std::make_shared<ps::ParameterServer>("cloud");
+  auto client = std::make_shared<ps::ParameterClient>(server, fabric, "cloud");
+
+  FunctionContext ctx;
+  ctx.bind("pipe-0", "proc-0", "cloud", client, nullptr);
+
+  ModelProcessOptions options;
+  options.publish_interval = 2;
+  auto process = make_model_process(ml::ModelKind::kKMeans, {}, options)();
+  data::Generator gen;
+  for (int i = 0; i < 4; ++i) {
+    ctx.set_invocation(i);
+    ASSERT_TRUE(process(ctx, gen.generate(100)).ok());
+  }
+  // Published at invocations 1 and 3.
+  auto entry = server->get("model/proc-0");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry.value().version, 2u);
+
+  // The published bytes load into a fresh model.
+  ml::KMeans restored;
+  EXPECT_TRUE(restored.load(entry.value().value).ok());
+  EXPECT_TRUE(restored.fitted());
+}
+
+TEST(ModelProcessTest, PullKeyAdoptsSharedModel) {
+  auto fabric = std::make_shared<net::Fabric>();
+  ASSERT_TRUE(fabric->add_site({.id = "cloud"}).ok());
+  auto server = std::make_shared<ps::ParameterServer>("cloud");
+  auto client = std::make_shared<ps::ParameterClient>(server, fabric, "cloud");
+
+  // Seed the shared slot with a model trained elsewhere.
+  ml::KMeans seed;
+  data::Generator gen;
+  ASSERT_TRUE(seed.fit(gen.generate(500)).ok());
+  server->set("shared-model", seed.save());
+
+  FunctionContext ctx;
+  ctx.bind("pipe-0", "proc-1", "cloud", client, nullptr);
+  ModelProcessOptions options;
+  options.pull_key = "shared-model";
+  options.publish_interval = 1;
+  auto process = make_model_process(ml::ModelKind::kKMeans, {}, options)();
+  ASSERT_TRUE(process(ctx, gen.generate(100)).ok());
+  // Publish went back to the shared key.
+  EXPECT_GE(server->get("shared-model").value().version, 2u);
+}
+
+TEST(ModelProcessTest, InvalidBlockRejected) {
+  auto process = make_model_process(ml::ModelKind::kKMeans)();
+  auto ctx = make_context();
+  data::DataBlock bad;
+  bad.rows = 3;
+  bad.cols = 2;  // no values
+  EXPECT_FALSE(process(ctx, std::move(bad)).ok());
+}
+
+}  // namespace
+}  // namespace pe::core::functions

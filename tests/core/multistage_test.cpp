@@ -1,0 +1,225 @@
+#include "core/multistage.h"
+
+#include <gtest/gtest.h>
+
+#include "core/functions.h"
+#include "resource/pilot_manager.h"
+
+namespace pe::core {
+namespace {
+
+class MultiStageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Three-tier continuum: edge -> fog -> cloud, each its own site.
+    fabric_ = std::make_shared<net::Fabric>();
+    for (const char* site : {"edge", "fog", "cloud"}) {
+      ASSERT_TRUE(fabric_->add_site({.id = site}).ok());
+    }
+    auto link = [&](const char* a, const char* b, int ms) {
+      net::LinkSpec spec;
+      spec.from = a;
+      spec.to = b;
+      spec.latency_min = spec.latency_max = std::chrono::milliseconds(ms);
+      spec.bandwidth_min_bps = spec.bandwidth_max_bps = 1e9;
+      ASSERT_TRUE(fabric_->add_bidirectional_link(spec).ok());
+    };
+    link("edge", "fog", 1);
+    link("fog", "cloud", 2);
+    link("edge", "cloud", 3);
+
+    res::PilotManagerOptions options;
+    options.startup_delay_factor = 0.0005;
+    manager_ = std::make_unique<res::PilotManager>(fabric_, options);
+    edge_ = manager_->submit(res::Flavors::raspi("edge", 4)).value();
+    fog_ = manager_
+               ->submit(res::Flavors::make("fog", res::Backend::kCloudVm, 4,
+                                           16.0))
+               .value();
+    cloud_ = manager_->submit(res::Flavors::lrz_large("cloud")).value();
+    broker_ = manager_
+                  ->submit(res::Flavors::make(
+                      "fog", res::Backend::kBrokerService, 4, 16.0))
+                  .value();
+    ASSERT_TRUE(manager_->wait_all_active().ok());
+  }
+
+  MultiStageConfig small_config() {
+    MultiStageConfig config;
+    config.edge_devices = 2;
+    config.messages_per_device = 5;
+    config.rows_per_message = 80;
+    config.run_timeout = std::chrono::minutes(2);
+    return config;
+  }
+
+  std::shared_ptr<net::Fabric> fabric_;
+  std::unique_ptr<res::PilotManager> manager_;
+  res::PilotPtr edge_, fog_, cloud_, broker_;
+};
+
+TEST_F(MultiStageTest, ThreeTierChainCompletesEveryMessage) {
+  MultiStagePipeline pipeline(small_config());
+  pipeline.set_fabric(fabric_)
+      .set_pilot_broker(broker_)
+      .set_pilot_edge(edge_)
+      .set_produce_function(functions::make_generator_produce({}, 80))
+      .add_stage({.name = "fog-aggregate",
+                  .pilot = fog_,
+                  .process = functions::make_aggregate_edge(4)})
+      .add_stage({.name = "cloud-detect",
+                  .pilot = cloud_,
+                  .process =
+                      functions::make_model_process(ml::ModelKind::kKMeans)});
+  EXPECT_EQ(pipeline.stage_count(), 2u);
+
+  auto report = pipeline.run();
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_TRUE(report.value().status.ok()) << report.value().status.to_string();
+  EXPECT_EQ(report.value().messages_produced, 10u);
+  EXPECT_EQ(report.value().messages_completed, 10u);
+  ASSERT_EQ(report.value().stages.size(), 2u);
+  EXPECT_EQ(report.value().stages[0].messages_in, 10u);
+  EXPECT_EQ(report.value().stages[0].messages_out, 10u);
+  EXPECT_EQ(report.value().stages[1].messages_in, 10u);
+  EXPECT_EQ(report.value().stages[1].errors, 0u);
+  EXPECT_GT(report.value().end_to_end_ms.mean, 0.0);
+  EXPECT_EQ(report.value().end_to_end_ms.count, 10u);
+}
+
+TEST_F(MultiStageTest, FogStageShrinksBytesBeforeCloudHop) {
+  MultiStagePipeline pipeline(small_config());
+  pipeline.set_fabric(fabric_)
+      .set_pilot_broker(broker_)
+      .set_pilot_edge(edge_)
+      .set_produce_function(functions::make_generator_produce({}, 80))
+      .add_stage({.name = "fog-aggregate",
+                  .pilot = fog_,
+                  .process = functions::make_aggregate_edge(8)})
+      .add_stage({.name = "cloud-sink",
+                  .pilot = cloud_,
+                  .process = functions::make_passthrough_process()});
+  auto report = pipeline.run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report.value().status.ok());
+  // The fog->cloud hop (stage-1 topic fetch by cloud consumers) carries
+  // ~1/8 the bytes of the edge ingress.
+  const auto links = fabric_->link_stats();
+  const auto ingress = links.at("edge->fog").bytes;    // producers -> broker
+  const auto egress = links.at("fog->cloud").bytes;    // broker -> cloud stage
+  EXPECT_LT(egress, ingress / 3);
+}
+
+TEST_F(MultiStageTest, SingleStageDegeneratesToTwoLayerPipeline) {
+  MultiStagePipeline pipeline(small_config());
+  pipeline.set_fabric(fabric_)
+      .set_pilot_broker(broker_)
+      .set_pilot_edge(edge_)
+      .set_produce_function(functions::make_generator_produce({}, 80))
+      .add_stage({.name = "cloud-only",
+                  .pilot = cloud_,
+                  .process =
+                      functions::make_model_process(ml::ModelKind::kKMeans)});
+  auto report = pipeline.run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().messages_completed, 10u);
+}
+
+TEST_F(MultiStageTest, FourStageDeepChain) {
+  auto config = small_config();
+  config.messages_per_device = 3;
+  MultiStagePipeline pipeline(config);
+  pipeline.set_fabric(fabric_)
+      .set_pilot_broker(broker_)
+      .set_pilot_edge(edge_)
+      .set_produce_function(functions::make_generator_produce({}, 80));
+  // Four stages across the three sites.
+  pipeline
+      .add_stage({.name = "s0",
+                  .pilot = fog_,
+                  .process = functions::make_aggregate_edge(2)})
+      .add_stage({.name = "s1",
+                  .pilot = fog_,
+                  .process = functions::make_passthrough_process(),
+                  .tasks = 1})
+      .add_stage({.name = "s2",
+                  .pilot = cloud_,
+                  .process = functions::make_aggregate_edge(2)})
+      .add_stage({.name = "s3",
+                  .pilot = cloud_,
+                  .process =
+                      functions::make_model_process(ml::ModelKind::kKMeans),
+                  .tasks = 1});
+  auto report = pipeline.run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report.value().status.ok()) << report.value().status.to_string();
+  EXPECT_EQ(report.value().messages_completed, 6u);
+  ASSERT_EQ(report.value().stages.size(), 4u);
+  for (const auto& stage : report.value().stages) {
+    EXPECT_EQ(stage.messages_in, 6u) << stage.name;
+  }
+}
+
+TEST_F(MultiStageTest, ValidationCatchesMissingPieces) {
+  {
+    MultiStagePipeline pipeline(small_config());
+    EXPECT_EQ(pipeline.run().status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    MultiStagePipeline pipeline(small_config());
+    pipeline.set_fabric(fabric_)
+        .set_pilot_broker(broker_)
+        .set_pilot_edge(edge_)
+        .set_produce_function(functions::make_generator_produce({}, 10));
+    // no stages
+    EXPECT_EQ(pipeline.run().status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    MultiStagePipeline pipeline(small_config());
+    pipeline.set_fabric(fabric_)
+        .set_pilot_broker(broker_)
+        .set_pilot_edge(edge_)
+        .set_produce_function(functions::make_generator_produce({}, 10))
+        .add_stage({.name = "no-pilot",
+                    .pilot = nullptr,
+                    .process = functions::make_passthrough_process()});
+    EXPECT_EQ(pipeline.run().status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(MultiStageTest, RunIsSingleShot) {
+  MultiStagePipeline pipeline(small_config());
+  pipeline.set_fabric(fabric_)
+      .set_pilot_broker(broker_)
+      .set_pilot_edge(edge_)
+      .set_produce_function(functions::make_generator_produce({}, 80))
+      .add_stage({.name = "sink",
+                  .pilot = cloud_,
+                  .process = functions::make_passthrough_process()});
+  ASSERT_TRUE(pipeline.run().ok());
+  EXPECT_EQ(pipeline.run().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MultiStageTest, ReportToStringListsStages) {
+  MultiStagePipeline pipeline(small_config());
+  pipeline.set_fabric(fabric_)
+      .set_pilot_broker(broker_)
+      .set_pilot_edge(edge_)
+      .set_produce_function(functions::make_generator_produce({}, 80))
+      .add_stage({.name = "alpha",
+                  .pilot = fog_,
+                  .process = functions::make_passthrough_process()})
+      .add_stage({.name = "omega",
+                  .pilot = cloud_,
+                  .process = functions::make_passthrough_process()});
+  auto report = pipeline.run();
+  ASSERT_TRUE(report.ok());
+  const std::string s = report.value().to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("omega"), std::string::npos);
+  EXPECT_NE(s.find("completed chain"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pe::core

@@ -1,0 +1,125 @@
+// Pipeline runs with MQTT ingestion (the paper's second brokering plugin).
+#include <gtest/gtest.h>
+
+#include "core/functions.h"
+#include "core/pipeline.h"
+
+namespace pe::core {
+namespace {
+
+class MqttPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fabric_ = net::Fabric::make_single_site_topology();
+    ASSERT_TRUE(
+        fabric_->add_site({.id = "edge", .kind = net::SiteKind::kEdge}).ok());
+    net::LinkSpec metro;
+    metro.from = "edge";
+    metro.to = "lrz-eu";
+    metro.latency_min = metro.latency_max = std::chrono::microseconds(500);
+    metro.bandwidth_min_bps = metro.bandwidth_max_bps = 1e9;
+    ASSERT_TRUE(fabric_->add_bidirectional_link(metro).ok());
+
+    res::PilotManagerOptions options;
+    options.startup_delay_factor = 0.0005;
+    manager_ = std::make_unique<res::PilotManager>(fabric_, options);
+    edge_ = manager_->submit(res::Flavors::raspi("edge", 4)).value();
+    cloud_ = manager_->submit(res::Flavors::lrz_large()).value();
+    broker_ = manager_
+                  ->submit(res::Flavors::make(
+                      "lrz-eu", res::Backend::kBrokerService, 4, 16.0))
+                  .value();
+    ASSERT_TRUE(manager_->wait_all_active().ok());
+  }
+
+  std::shared_ptr<net::Fabric> fabric_;
+  std::unique_ptr<res::PilotManager> manager_;
+  res::PilotPtr edge_, cloud_, broker_;
+};
+
+TEST_F(MqttPipelineTest, EndToEndThroughMqttBridge) {
+  PipelineConfig config;
+  config.ingest = IngestPath::kMqttBridge;
+  config.edge_devices = 2;
+  config.messages_per_device = 6;
+  config.rows_per_message = 100;
+  config.topic = "mqtt-e2e";
+  config.run_timeout = std::chrono::minutes(2);
+  EdgeToCloudPipeline pipeline(config);
+  pipeline.set_fabric(fabric_)
+      .set_pilot_edge(edge_)
+      .set_pilot_cloud_processing(cloud_)
+      .set_pilot_cloud_broker(broker_)
+      .set_produce_function(functions::make_generator_produce({}, 100))
+      .set_process_cloud_function(
+          functions::make_model_process(ml::ModelKind::kKMeans));
+
+  auto report = pipeline.run();
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_TRUE(report.value().status.ok()) << report.value().status.to_string();
+  EXPECT_EQ(report.value().messages_produced, 12u);
+  EXPECT_EQ(report.value().messages_processed, 12u);
+  EXPECT_EQ(report.value().processing_errors, 0u);
+  // Every message flowed edge->MQTT->bridge->Kafka->processing.
+  EXPECT_EQ(report.value().broker.records_in, 12u);
+  EXPECT_EQ(report.value().run.messages, 12u);
+  EXPECT_GT(report.value().run.end_to_end_ms.mean, 0.0);
+}
+
+TEST_F(MqttPipelineTest, MqttAndDirectIngestDeliverTheSameData) {
+  for (auto ingest : {IngestPath::kKafkaDirect, IngestPath::kMqttBridge}) {
+    PipelineConfig config;
+    config.ingest = ingest;
+    config.edge_devices = 1;
+    config.messages_per_device = 4;
+    config.rows_per_message = 50;
+    config.topic = ingest == IngestPath::kKafkaDirect ? "cmp-direct"
+                                                      : "cmp-mqtt";
+    config.run_timeout = std::chrono::minutes(2);
+    EdgeToCloudPipeline pipeline(config);
+    std::atomic<std::uint64_t> rows_seen{0};
+    pipeline.set_fabric(fabric_)
+        .set_pilot_edge(edge_)
+        .set_pilot_cloud_processing(cloud_)
+        .set_pilot_cloud_broker(broker_)
+        .set_produce_function(functions::make_generator_produce({}, 50))
+        .set_process_cloud_function(shared_process_fn(
+            [&rows_seen](FunctionContext&, data::DataBlock block)
+                -> Result<ProcessResult> {
+              rows_seen.fetch_add(block.rows);
+              ProcessResult result;
+              result.block = std::move(block);
+              return result;
+            }));
+    auto report = pipeline.run();
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(rows_seen.load(), 200u) << "ingest path "
+                                      << static_cast<int>(ingest);
+  }
+}
+
+TEST_F(MqttPipelineTest, StopMidRunShutsDownBridgeCleanly) {
+  PipelineConfig config;
+  config.ingest = IngestPath::kMqttBridge;
+  config.edge_devices = 1;
+  config.messages_per_device = 10000;
+  config.rows_per_message = 50;
+  config.produce_interval = std::chrono::milliseconds(1);
+  config.topic = "mqtt-stop";
+  EdgeToCloudPipeline pipeline(config);
+  pipeline.set_fabric(fabric_)
+      .set_pilot_edge(edge_)
+      .set_pilot_cloud_processing(cloud_)
+      .set_pilot_cloud_broker(broker_)
+      .set_produce_function(functions::make_generator_produce({}, 50))
+      .set_process_cloud_function(functions::make_passthrough_process());
+  ASSERT_TRUE(pipeline.start().ok());
+  while (pipeline.messages_processed() < 3) {
+    Clock::sleep_exact(std::chrono::milliseconds(2));
+  }
+  pipeline.stop();  // must not hang on the bridge thread
+  EXPECT_FALSE(pipeline.running());
+}
+
+}  // namespace
+}  // namespace pe::core

@@ -1,0 +1,103 @@
+#include "core/placement.h"
+
+#include <gtest/gtest.h>
+
+namespace pe::core {
+namespace {
+
+class PlacementTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fabric_ = net::Fabric::make_paper_topology(); }
+
+  PlacementFactors base_factors() {
+    PlacementFactors f;
+    f.edge_site = "edge-us";
+    f.cloud_site = "lrz-eu";
+    f.message_bytes = 2'560'000;  // 10,000 points x 32 x 8 B
+    f.cloud_compute_ms = 20.0;    // k-means-ish
+    return f;
+  }
+
+  std::shared_ptr<net::Fabric> fabric_;
+};
+
+TEST_F(PlacementTest, LargeMessagesCheapComputePreferNonCloud) {
+  // 2.56 MB over ~80 Mbit/s is ~256 ms of transfer; with 20 ms compute the
+  // WAN dominates, so shipping raw data loses.
+  auto rec = recommend_placement(*fabric_, base_factors());
+  ASSERT_TRUE(rec.ok());
+  EXPECT_NE(rec.value().best, DeploymentMode::kCloudCentric);
+  EXPECT_GT(rec.value().cloud_centric.transfer_ms, 200.0);
+}
+
+TEST_F(PlacementTest, HeavyComputePrefersCloudOverEdge) {
+  auto f = base_factors();
+  f.cloud_compute_ms = 2000.0;  // auto-encoder-ish
+  f.edge_slowdown = 6.0;
+  auto rec = recommend_placement(*fabric_, f);
+  ASSERT_TRUE(rec.ok());
+  // Edge-centric pays 12 s compute; even the WAN is cheaper than that.
+  EXPECT_NE(rec.value().best, DeploymentMode::kEdgeCentric);
+  EXPECT_GT(rec.value().edge_centric.compute_ms,
+            rec.value().cloud_centric.compute_ms);
+}
+
+TEST_F(PlacementTest, TinyMessagesPreferCloudCentric) {
+  auto f = base_factors();
+  f.message_bytes = 6'400;  // 25 points
+  f.cloud_compute_ms = 5.0;
+  f.reduction_ms = 5.0;  // reduction overhead not worth it at this size
+  auto rec = recommend_placement(*fabric_, f);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value().best, DeploymentMode::kCloudCentric);
+}
+
+TEST_F(PlacementTest, HybridWinsWhenReductionIsCheapAndEffective) {
+  auto f = base_factors();
+  f.cloud_compute_ms = 50.0;
+  f.reduction_ratio = 0.1;
+  f.reduction_ms = 2.0;
+  f.edge_slowdown = 50.0;  // rule out full edge processing
+  auto rec = recommend_placement(*fabric_, f);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value().best, DeploymentMode::kHybrid);
+  EXPECT_LT(rec.value().hybrid.transfer_ms,
+            rec.value().cloud_centric.transfer_ms);
+}
+
+TEST_F(PlacementTest, UnknownSitesFail) {
+  auto f = base_factors();
+  f.edge_site = "nowhere";
+  EXPECT_FALSE(recommend_placement(*fabric_, f).ok());
+}
+
+TEST_F(PlacementTest, EstimatesAreInternallyConsistent) {
+  auto rec = recommend_placement(*fabric_, base_factors());
+  ASSERT_TRUE(rec.ok());
+  const auto& r = rec.value();
+  // Edge ships ~1% of the bytes: transfer must be much smaller.
+  EXPECT_LT(r.edge_centric.transfer_ms, r.cloud_centric.transfer_ms);
+  // Hybrid ships reduction_ratio of the bytes.
+  EXPECT_LT(r.hybrid.transfer_ms, r.cloud_centric.transfer_ms);
+  // total = transfer + compute.
+  EXPECT_DOUBLE_EQ(r.cloud_centric.total_ms(),
+                   r.cloud_centric.transfer_ms + r.cloud_centric.compute_ms);
+}
+
+TEST_F(PlacementTest, ToStringListsAllModes) {
+  auto rec = recommend_placement(*fabric_, base_factors());
+  ASSERT_TRUE(rec.ok());
+  const std::string s = rec.value().to_string();
+  EXPECT_NE(s.find("cloud-centric"), std::string::npos);
+  EXPECT_NE(s.find("edge-centric"), std::string::npos);
+  EXPECT_NE(s.find("hybrid"), std::string::npos);
+}
+
+TEST(DeploymentModeTest, Names) {
+  EXPECT_STREQ(to_string(DeploymentMode::kCloudCentric), "cloud-centric");
+  EXPECT_STREQ(to_string(DeploymentMode::kEdgeCentric), "edge-centric");
+  EXPECT_STREQ(to_string(DeploymentMode::kHybrid), "hybrid");
+}
+
+}  // namespace
+}  // namespace pe::core

@@ -1,0 +1,190 @@
+// Results topic, windowed training, and the seasonal produce function.
+#include <gtest/gtest.h>
+
+#include "broker/consumer.h"
+#include "core/functions.h"
+#include "core/pipeline.h"
+#include "core/results.h"
+#include "resource/pilot_manager.h"
+
+namespace pe::core {
+namespace {
+
+TEST(ResultRecordTest, EncodeDecodeRoundTrip) {
+  ResultRecord record;
+  record.message_id = 42;
+  record.rows = 100;
+  record.outliers = 7;
+  record.score_mean = 1.25;
+  record.score_max = 9.5;
+  record.processed_ns = 123456789;
+  auto decoded = ResultRecord::decode(record.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().message_id, 42u);
+  EXPECT_EQ(decoded.value().rows, 100u);
+  EXPECT_EQ(decoded.value().outliers, 7u);
+  EXPECT_DOUBLE_EQ(decoded.value().score_mean, 1.25);
+  EXPECT_DOUBLE_EQ(decoded.value().score_max, 9.5);
+  EXPECT_EQ(decoded.value().processed_ns, 123456789u);
+}
+
+TEST(ResultRecordTest, TruncatedDecodeFails) {
+  ResultRecord record;
+  Bytes bytes = record.encode();
+  bytes.resize(10);
+  EXPECT_FALSE(ResultRecord::decode(bytes).ok());
+}
+
+class ResultsPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fabric_ = net::Fabric::make_single_site_topology();
+    res::PilotManagerOptions options;
+    options.startup_delay_factor = 0.0005;
+    manager_ = std::make_unique<res::PilotManager>(fabric_, options);
+    edge_ = manager_
+                ->submit(res::Flavors::make("lrz-eu", res::Backend::kCloudVm,
+                                            2, 8.0))
+                .value();
+    cloud_ = manager_->submit(res::Flavors::lrz_large()).value();
+    broker_ = manager_
+                  ->submit(res::Flavors::make(
+                      "lrz-eu", res::Backend::kBrokerService, 2, 8.0))
+                  .value();
+    ASSERT_TRUE(manager_->wait_all_active().ok());
+  }
+  std::shared_ptr<net::Fabric> fabric_;
+  std::unique_ptr<res::PilotManager> manager_;
+  res::PilotPtr edge_, cloud_, broker_;
+};
+
+TEST_F(ResultsPipelineTest, EmitsOneResultPerMessage) {
+  PipelineConfig config;
+  config.edge_devices = 1;
+  config.messages_per_device = 6;
+  config.rows_per_message = 200;
+  config.emit_results = true;
+  config.topic = "with-results";
+  config.run_timeout = std::chrono::minutes(2);
+  EdgeToCloudPipeline pipeline(config);
+  pipeline.set_fabric(fabric_)
+      .set_pilot_edge(edge_)
+      .set_pilot_cloud_processing(cloud_)
+      .set_pilot_cloud_broker(broker_)
+      .set_produce_function(functions::make_generator_produce({}, 200))
+      .set_process_cloud_function(
+          functions::make_model_process(ml::ModelKind::kKMeans));
+  auto report = pipeline.run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report.value().status.ok());
+
+  // Downstream application consumes the result stream.
+  broker::Consumer consumer(broker_->broker(), fabric_, "lrz-eu",
+                            "downstream");
+  ASSERT_TRUE(consumer.subscribe({pipeline.results_topic()}).ok());
+  std::vector<ResultRecord> results;
+  for (int i = 0; i < 20 && results.size() < 6; ++i) {
+    for (auto& record : consumer.poll(std::chrono::milliseconds(50))) {
+      auto decoded = ResultRecord::decode(record.record.value);
+      ASSERT_TRUE(decoded.ok());
+      results.push_back(decoded.value());
+    }
+  }
+  ASSERT_EQ(results.size(), 6u);
+  std::uint64_t total_outliers = 0;
+  for (const auto& r : results) {
+    EXPECT_EQ(r.rows, 200u);
+    EXPECT_GT(r.processed_ns, 0u);
+    EXPECT_GE(r.score_max, r.score_mean);
+    total_outliers += r.outliers;
+  }
+  EXPECT_EQ(total_outliers, report.value().outliers_detected);
+}
+
+TEST_F(ResultsPipelineTest, NoResultsTopicByDefault) {
+  PipelineConfig config;
+  config.edge_devices = 1;
+  config.messages_per_device = 2;
+  config.rows_per_message = 50;
+  config.topic = "no-results";
+  EdgeToCloudPipeline pipeline(config);
+  pipeline.set_fabric(fabric_)
+      .set_pilot_edge(edge_)
+      .set_pilot_cloud_processing(cloud_)
+      .set_pilot_cloud_broker(broker_)
+      .set_produce_function(functions::make_generator_produce({}, 50))
+      .set_process_cloud_function(functions::make_passthrough_process());
+  ASSERT_TRUE(pipeline.run().ok());
+  EXPECT_FALSE(broker_->broker()->has_topic("no-results-results"));
+}
+
+TEST_F(ResultsPipelineTest, SeasonalProduceFlowsThroughPipeline) {
+  PipelineConfig config;
+  config.edge_devices = 2;
+  config.messages_per_device = 4;
+  config.rows_per_message = 300;
+  config.topic = "seasonal";
+  config.run_timeout = std::chrono::minutes(2);
+  EdgeToCloudPipeline pipeline(config);
+  data::SeasonalConfig seasonal;
+  seasonal.anomaly_fraction = 0.05;
+  pipeline.set_fabric(fabric_)
+      .set_pilot_edge(edge_)
+      .set_pilot_cloud_processing(cloud_)
+      .set_pilot_cloud_broker(broker_)
+      .set_produce_function(functions::make_seasonal_produce(seasonal, 300))
+      .set_process_cloud_function(
+          functions::make_model_process(ml::ModelKind::kKMeans));
+  auto report = pipeline.run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().messages_processed, 8u);
+  EXPECT_GT(report.value().outliers_detected, 0u);
+}
+
+TEST(WindowedTrainingTest, WindowAccumulatesAcrossBlocks) {
+  functions::ModelProcessOptions options;
+  options.window_rows = 500;
+  auto process =
+      functions::make_model_process(ml::ModelKind::kKMeans, {}, options)();
+  FunctionContext ctx;
+  ctx.bind("p", "t", "s", nullptr, nullptr);
+
+  data::GeneratorConfig gen_config;
+  gen_config.clusters = 5;
+  data::Generator gen(gen_config);
+  // Feed several small blocks; with a 500-row window the model trains on
+  // up to 500 recent rows each time and must stay functional throughout.
+  for (int i = 0; i < 6; ++i) {
+    auto result = process(ctx, gen.generate(200));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().scores.size(), 200u);
+  }
+}
+
+TEST(WindowedTrainingTest, HandlesVariableBlockSizesAndTinyFirstBlocks) {
+  functions::ModelProcessOptions options;
+  options.window_rows = 256;
+  ConfigMap model_config;
+  model_config.set_int("kmeans.clusters", 10);
+  auto process = functions::make_model_process(ml::ModelKind::kKMeans,
+                                               model_config, options)();
+  FunctionContext ctx;
+  ctx.bind("p", "t", "s", nullptr, nullptr);
+  data::GeneratorConfig gen_config;
+  gen_config.clusters = 10;
+  data::Generator gen(gen_config);
+  // First block smaller than the cluster count: only the window makes a
+  // sane bootstrap possible on later calls; sizes then vary widely.
+  for (std::size_t rows : {std::size_t{5}, std::size_t{3}, std::size_t{40},
+                           std::size_t{500}, std::size_t{1}, std::size_t{90}}) {
+    auto result = process(ctx, gen.generate(rows));
+    ASSERT_TRUE(result.ok()) << rows;
+    EXPECT_EQ(result.value().scores.size(), rows);
+    for (double s : result.value().scores) {
+      EXPECT_TRUE(std::isfinite(s));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pe::core

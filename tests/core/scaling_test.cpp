@@ -1,0 +1,130 @@
+#include "core/scaling.h"
+
+#include <gtest/gtest.h>
+
+#include "core/functions.h"
+
+namespace pe::core {
+namespace {
+
+class AutoScalerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fabric_ = net::Fabric::make_single_site_topology();
+    res::PilotManagerOptions options;
+    options.startup_delay_factor = 0.0005;
+    manager_ = std::make_unique<res::PilotManager>(fabric_, options);
+    edge_ = manager_
+                ->submit(res::Flavors::make("lrz-eu", res::Backend::kCloudVm,
+                                            2, 8.0))
+                .value();
+    cloud_ = manager_->submit(res::Flavors::lrz_large()).value();
+    broker_ = manager_
+                  ->submit(res::Flavors::make(
+                      "lrz-eu", res::Backend::kBrokerService, 2, 8.0))
+                  .value();
+    ASSERT_TRUE(manager_->wait_all_active().ok());
+  }
+
+  std::shared_ptr<net::Fabric> fabric_;
+  std::unique_ptr<res::PilotManager> manager_;
+  res::PilotPtr edge_, cloud_, broker_;
+};
+
+TEST_F(AutoScalerTest, ScalesOutUnderBacklog) {
+  PipelineConfig config;
+  config.edge_devices = 2;
+  config.messages_per_device = 40;
+  config.rows_per_message = 1000;
+  config.processing_tasks = 1;  // under-provisioned on purpose
+  config.run_timeout = std::chrono::minutes(5);
+  EdgeToCloudPipeline pipeline(config);
+  pipeline.set_fabric(fabric_)
+      .set_pilot_edge(edge_)
+      .set_pilot_cloud_processing(cloud_)
+      .set_pilot_cloud_broker(broker_)
+      .set_produce_function(functions::make_generator_produce({}, 1000))
+      // Heavy-ish processing so a backlog actually builds.
+      .set_process_cloud_function(
+          functions::make_model_process(ml::ModelKind::kIsolationForest));
+  ASSERT_TRUE(pipeline.start().ok());
+
+  AutoScalerConfig scaler_config;
+  scaler_config.check_interval = std::chrono::milliseconds(10);
+  scaler_config.backlog_high_watermark = 4;
+  scaler_config.consecutive_breaches = 2;
+  scaler_config.max_added_tasks = 3;
+  BacklogAutoScaler scaler(scaler_config);
+  ASSERT_TRUE(scaler.start(pipeline).ok());
+
+  ASSERT_TRUE(pipeline.wait().ok());
+  scaler.stop();
+  pipeline.stop();
+
+  EXPECT_EQ(pipeline.messages_processed(), 80u);
+  EXPECT_GE(scaler.tasks_added(), 1u);
+  EXPECT_LE(scaler.tasks_added(), 3u);
+  const auto events = scaler.events();
+  ASSERT_FALSE(events.empty());
+  EXPECT_GE(events.front().backlog, 4u);
+  EXPECT_GT(events.front().at_ns, 0u);
+}
+
+TEST_F(AutoScalerTest, NoScalingWithoutBacklog) {
+  PipelineConfig config;
+  config.edge_devices = 1;
+  config.messages_per_device = 10;
+  config.rows_per_message = 50;
+  config.produce_interval = std::chrono::milliseconds(5);
+  config.run_timeout = std::chrono::minutes(5);
+  EdgeToCloudPipeline pipeline(config);
+  pipeline.set_fabric(fabric_)
+      .set_pilot_edge(edge_)
+      .set_pilot_cloud_processing(cloud_)
+      .set_pilot_cloud_broker(broker_)
+      .set_produce_function(functions::make_generator_produce({}, 50))
+      .set_process_cloud_function(functions::make_passthrough_process());
+  ASSERT_TRUE(pipeline.start().ok());
+
+  AutoScalerConfig scaler_config;
+  scaler_config.check_interval = std::chrono::milliseconds(5);
+  scaler_config.backlog_high_watermark = 50;  // never reached
+  BacklogAutoScaler scaler(scaler_config);
+  ASSERT_TRUE(scaler.start(pipeline).ok());
+  ASSERT_TRUE(pipeline.wait().ok());
+  scaler.stop();
+  pipeline.stop();
+  EXPECT_EQ(scaler.tasks_added(), 0u);
+  EXPECT_TRUE(scaler.events().empty());
+}
+
+TEST_F(AutoScalerTest, RequiresRunningPipeline) {
+  PipelineConfig config;
+  EdgeToCloudPipeline pipeline(config);
+  BacklogAutoScaler scaler;
+  EXPECT_EQ(scaler.start(pipeline).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(AutoScalerTest, DoubleStartRejected) {
+  PipelineConfig config;
+  config.edge_devices = 1;
+  config.messages_per_device = 5;
+  config.rows_per_message = 50;
+  EdgeToCloudPipeline pipeline(config);
+  pipeline.set_fabric(fabric_)
+      .set_pilot_edge(edge_)
+      .set_pilot_cloud_processing(cloud_)
+      .set_pilot_cloud_broker(broker_)
+      .set_produce_function(functions::make_generator_produce({}, 50))
+      .set_process_cloud_function(functions::make_passthrough_process());
+  ASSERT_TRUE(pipeline.start().ok());
+  BacklogAutoScaler scaler;
+  ASSERT_TRUE(scaler.start(pipeline).ok());
+  EXPECT_EQ(scaler.start(pipeline).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(pipeline.wait().ok());
+  scaler.stop();
+  pipeline.stop();
+}
+
+}  // namespace
+}  // namespace pe::core

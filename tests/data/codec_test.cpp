@@ -1,0 +1,98 @@
+#include "data/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace pe::data {
+namespace {
+
+DataBlock sample_block(std::size_t rows = 20, bool labels = true) {
+  Generator gen;
+  auto block = gen.generate(rows);
+  block.message_id = 77;
+  block.producer_id = "device-3";
+  block.produced_ns = 123456789;
+  if (!labels) block.labels.clear();
+  return block;
+}
+
+TEST(CodecTest, RoundTripWithLabels) {
+  const auto block = sample_block();
+  const Bytes encoded = Codec::encode(block);
+  auto decoded = Codec::decode(encoded);
+  ASSERT_TRUE(decoded.ok());
+  const auto& out = decoded.value();
+  EXPECT_EQ(out.message_id, 77u);
+  EXPECT_EQ(out.producer_id, "device-3");
+  EXPECT_EQ(out.produced_ns, 123456789u);
+  EXPECT_EQ(out.rows, block.rows);
+  EXPECT_EQ(out.cols, block.cols);
+  EXPECT_EQ(out.values, block.values);
+  EXPECT_EQ(out.labels, block.labels);
+}
+
+TEST(CodecTest, RoundTripWithoutLabels) {
+  const auto block = sample_block(10, /*labels=*/false);
+  auto decoded = Codec::decode(Codec::encode(block));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().labels.empty());
+  EXPECT_EQ(decoded.value().values, block.values);
+}
+
+TEST(CodecTest, EncodedSizePredictsExactly) {
+  const auto block = sample_block();
+  EXPECT_EQ(Codec::encode(block).size(), Codec::encoded_size(block));
+  const auto unlabeled = sample_block(10, false);
+  EXPECT_EQ(Codec::encode(unlabeled).size(), Codec::encoded_size(unlabeled));
+}
+
+TEST(CodecTest, EncodedSizeDominatedByValues) {
+  // Paper: serialized size ~ 8 bytes per value.
+  const auto block = sample_block(1000);
+  const double overhead =
+      static_cast<double>(Codec::encoded_size(block)) -
+      static_cast<double>(block.value_bytes());
+  EXPECT_LT(overhead / static_cast<double>(block.value_bytes()), 0.05);
+}
+
+TEST(CodecTest, BadMagicRejected) {
+  Bytes bogus = {'X', 'X', 'X', 'X', 0, 0, 0, 0};
+  EXPECT_EQ(Codec::decode(bogus).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CodecTest, TruncatedPayloadRejected) {
+  const auto block = sample_block();
+  Bytes encoded = Codec::encode(block);
+  encoded.resize(encoded.size() / 2);
+  EXPECT_EQ(Codec::decode(encoded).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(CodecTest, EmptyBufferRejected) {
+  EXPECT_FALSE(Codec::decode({}).ok());
+}
+
+TEST(CodecTest, ImplausibleDimensionsRejected) {
+  // Craft a header claiming an enormous block.
+  DataBlock tiny;
+  tiny.rows = 1;
+  tiny.cols = 1;
+  tiny.values = {1.0};
+  Bytes encoded = Codec::encode(tiny);
+  // rows field starts at offset 4 (magic) + 8 (message_id) + 8 (produced).
+  for (int i = 0; i < 8; ++i) encoded[4 + 8 + 8 + i] = 0xFF;
+  EXPECT_FALSE(Codec::decode(encoded).ok());
+}
+
+TEST(CodecTest, ZeroRowBlockRoundTrips) {
+  DataBlock block;
+  block.cols = 32;
+  auto decoded = Codec::decode(Codec::encode(block));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().rows, 0u);
+  EXPECT_TRUE(decoded.value().values.empty());
+}
+
+}  // namespace
+}  // namespace pe::data

@@ -1,0 +1,116 @@
+// Concept drift in the generator + model adaptation under drift.
+//
+// Backs the paper's dynamism story: environments change ("seasonal peak
+// loads, failures and other external events"), and a model that keeps
+// training on the stream stays accurate while a frozen model decays.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generator.h"
+#include "ml/kmeans.h"
+#include "ml/outlier.h"
+
+namespace pe::data {
+namespace {
+
+double center_distance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+TEST(DriftTest, StationaryByDefault) {
+  Generator gen;
+  const auto before = gen.centers();
+  (void)gen.generate(10);
+  (void)gen.generate(10);
+  EXPECT_EQ(gen.centers(), before);
+}
+
+TEST(DriftTest, CentersMoveWithDrift) {
+  GeneratorConfig config;
+  config.drift_per_block = 0.5;
+  Generator gen(config);
+  const auto before = gen.centers();
+  (void)gen.generate(10);  // first block samples pre-drift centers
+  (void)gen.generate(10);
+  (void)gen.generate(10);
+  const auto after = gen.centers();
+  EXPECT_GT(center_distance(before, after), 0.0);
+}
+
+TEST(DriftTest, DriftAccumulatesOverBlocks) {
+  GeneratorConfig config;
+  config.drift_per_block = 0.3;
+  config.seed = 5;
+  Generator gen(config);
+  const auto origin = gen.centers();
+  (void)gen.generate(5);
+  (void)gen.generate(5);
+  const auto early = center_distance(origin, gen.centers());
+  for (int i = 0; i < 40; ++i) (void)gen.generate(5);
+  const auto late = center_distance(origin, gen.centers());
+  EXPECT_GT(late, early);
+}
+
+TEST(DriftTest, StreamingModelTracksDriftFrozenModelDecays) {
+  GeneratorConfig config;
+  config.clusters = 5;
+  config.drift_per_block = 1.0;
+  config.seed = 11;
+  config.outlier_fraction = 0.0;  // clean signal: inlier distances only
+  Generator gen(config);
+
+  ml::KMeansConfig km;
+  km.clusters = 5;
+  km.max_center_weight = 100;  // bounded learning rate: can track drift
+  ml::KMeans frozen(km), streaming(km);
+  auto first = gen.generate(800);
+  ASSERT_TRUE(frozen.fit(first).ok());
+  ASSERT_TRUE(streaming.fit(first).ok());
+
+  // Let the world drift while only `streaming` keeps learning.
+  data::DataBlock last;
+  for (int block_index = 0; block_index < 30; ++block_index) {
+    last = gen.generate(800);
+    ASSERT_TRUE(streaming.partial_fit(last).ok());
+  }
+  // Mean anomaly score of the *inliers* of the final block: the frozen
+  // model sees drifted inliers as far from its stale centroids; the
+  // adapting model still hugs them.
+  auto mean_inlier_score = [&](const ml::KMeans& model) {
+    const auto scores = model.score(last).value();
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      if (last.labels[i] == 0) {
+        sum += scores[i];
+        n += 1;
+      }
+    }
+    return sum / static_cast<double>(n);
+  };
+  const double frozen_score = mean_inlier_score(frozen);
+  const double streaming_score = mean_inlier_score(streaming);
+  EXPECT_GT(frozen_score, streaming_score * 1.5)
+      << "frozen " << frozen_score << " vs streaming " << streaming_score;
+}
+
+TEST(DriftTest, DriftKeepsBlocksValid) {
+  GeneratorConfig config;
+  config.drift_per_block = 2.0;  // aggressive
+  Generator gen(config);
+  for (int i = 0; i < 10; ++i) {
+    const auto block = gen.generate(50);
+    EXPECT_TRUE(block.valid());
+    for (double v : block.values) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+}  // namespace
+}  // namespace pe::data

@@ -1,0 +1,122 @@
+#include "data/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pe::data {
+namespace {
+
+TEST(GeneratorTest, BlockHasRequestedShape) {
+  Generator gen;
+  const auto block = gen.generate(100);
+  EXPECT_EQ(block.rows, 100u);
+  EXPECT_EQ(block.cols, 32u);  // paper: 32 features
+  EXPECT_EQ(block.values.size(), 100u * 32u);
+  EXPECT_TRUE(block.has_labels());
+  EXPECT_TRUE(block.valid());
+}
+
+TEST(GeneratorTest, SameSeedSameData) {
+  GeneratorConfig config;
+  config.seed = 99;
+  Generator a(config), b(config);
+  const auto ba = a.generate(50);
+  const auto bb = b.generate(50);
+  EXPECT_EQ(ba.values, bb.values);
+  EXPECT_EQ(ba.labels, bb.labels);
+}
+
+TEST(GeneratorTest, DifferentSeedsDifferentData) {
+  GeneratorConfig c1, c2;
+  c1.seed = 1;
+  c2.seed = 2;
+  Generator a(c1), b(c2);
+  EXPECT_NE(a.generate(50).values, b.generate(50).values);
+}
+
+TEST(GeneratorTest, OutlierFractionApproximatelyRespected) {
+  GeneratorConfig config;
+  config.outlier_fraction = 0.10;
+  Generator gen(config);
+  const auto block = gen.generate(20000);
+  std::size_t outliers = 0;
+  for (auto l : block.labels) outliers += l;
+  const double fraction = static_cast<double>(outliers) / 20000.0;
+  EXPECT_NEAR(fraction, 0.10, 0.01);
+}
+
+TEST(GeneratorTest, ZeroOutlierFractionIsAllInliers) {
+  GeneratorConfig config;
+  config.outlier_fraction = 0.0;
+  Generator gen(config);
+  const auto block = gen.generate(1000);
+  for (auto l : block.labels) EXPECT_EQ(l, 0);
+}
+
+TEST(GeneratorTest, InliersStayNearClusterCenters) {
+  GeneratorConfig config;
+  config.outlier_fraction = 0.0;
+  config.cluster_std = 0.5;
+  Generator gen(config);
+  const auto block = gen.generate(500);
+  const auto& centers = gen.centers();
+  const std::size_t k = config.clusters;
+  for (std::size_t r = 0; r < block.rows; ++r) {
+    // Distance to the nearest center should be modest (~std * sqrt(d)).
+    double best = 1e300;
+    for (std::size_t c = 0; c < k; ++c) {
+      double d2 = 0.0;
+      for (std::size_t f = 0; f < block.cols; ++f) {
+        const double d = block.values[r * block.cols + f] -
+                         centers[c * block.cols + f];
+        d2 += d * d;
+      }
+      best = std::min(best, d2);
+    }
+    EXPECT_LT(std::sqrt(best), 0.5 * std::sqrt(32.0) * 3.0);
+  }
+}
+
+TEST(GeneratorTest, PaperMessageSizes) {
+  // Paper: 25 points => ~7 KB, 10,000 points => ~2.6 MB (8 B per value).
+  Generator gen;
+  EXPECT_EQ(gen.generate(25).value_bytes(), 25u * 32u * 8u);      // 6.4 KB
+  EXPECT_EQ(gen.generate(10000).value_bytes(), 10000u * 32u * 8u);  // 2.56 MB
+}
+
+TEST(GeneratorTest, ConfigClampsDegenerateValues) {
+  GeneratorConfig config;
+  config.features = 0;
+  config.clusters = 0;
+  Generator gen(config);
+  const auto block = gen.generate(10);
+  EXPECT_EQ(block.cols, 1u);
+  EXPECT_TRUE(block.valid());
+}
+
+TEST(DataBlockTest, RowSpanViewsData) {
+  Generator gen;
+  auto block = gen.generate(3);
+  auto row = block.row(1);
+  EXPECT_EQ(row.size(), 32u);
+  row[0] = 123.0;
+  EXPECT_EQ(block.values[32], 123.0);
+}
+
+TEST(DataBlockTest, ValidityChecks) {
+  DataBlock block;
+  block.rows = 2;
+  block.cols = 3;
+  block.values.assign(6, 0.0);
+  EXPECT_TRUE(block.valid());
+  block.labels.assign(1, 0);  // wrong size
+  EXPECT_FALSE(block.valid());
+  block.labels.assign(2, 0);
+  EXPECT_TRUE(block.valid());
+  block.values.pop_back();
+  EXPECT_FALSE(block.valid());
+}
+
+}  // namespace
+}  // namespace pe::data

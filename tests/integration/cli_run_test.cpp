@@ -1,0 +1,80 @@
+// End-to-end test of the flag-driven experiment runner (tools binary's
+// library entry point).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/experiment_cli.h"
+
+namespace pe::core::cli {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+TEST(CliRunTest, SmallRunWritesJsonAndCsv) {
+  const std::string json_path = ::testing::TempDir() + "/pe_cli_run.json";
+  const std::string csv_path = ::testing::TempDir() + "/pe_cli_run.csv";
+  std::remove(json_path.c_str());
+  std::remove(csv_path.c_str());
+
+  Options options;
+  options.devices = 1;
+  options.messages_per_device = 3;
+  options.points = 100;
+  options.model = "baseline";
+  options.json_path = json_path;
+  options.csv_path = csv_path;
+  EXPECT_EQ(run(options), 0);
+
+  const std::string json = slurp(json_path);
+  EXPECT_NE(json.find("\"messages\":3"), std::string::npos);
+  EXPECT_NE(json.find("component_rates"), std::string::npos);
+
+  const std::string csv = slurp(csv_path);
+  EXPECT_NE(csv.find("label,"), std::string::npos);  // header
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);  // header + row
+
+  // A second run appends a row without duplicating the header.
+  EXPECT_EQ(run(options), 0);
+  const std::string csv2 = slurp(csv_path);
+  EXPECT_EQ(std::count(csv2.begin(), csv2.end(), '\n'), 3);
+  std::remove(json_path.c_str());
+  std::remove(csv_path.c_str());
+}
+
+TEST(CliRunTest, HelpReturnsZeroWithoutRunning) {
+  Options options;
+  options.help = true;
+  EXPECT_EQ(run(options), 0);
+}
+
+TEST(CliRunTest, MqttIngestPathRuns) {
+  Options options;
+  options.devices = 1;
+  options.messages_per_device = 2;
+  options.points = 50;
+  options.model = "baseline";
+  options.ingest = "mqtt";
+  EXPECT_EQ(run(options), 0);
+}
+
+TEST(CliRunTest, HybridModeRuns) {
+  Options options;
+  options.devices = 1;
+  options.messages_per_device = 2;
+  options.points = 200;
+  options.model = "kmeans";
+  options.mode = "hybrid";
+  options.aggregate_window = 4;
+  EXPECT_EQ(run(options), 0);
+}
+
+}  // namespace
+}  // namespace pe::core::cli

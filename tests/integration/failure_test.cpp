@@ -1,0 +1,97 @@
+// Pipeline behaviour under mid-run resource failures.
+#include <gtest/gtest.h>
+
+#include "core/functions.h"
+#include "core/pipeline.h"
+#include "resource/pilot_manager.h"
+
+namespace pe::core {
+namespace {
+
+class PipelineFailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fabric_ = net::Fabric::make_single_site_topology();
+    res::PilotManagerOptions options;
+    options.startup_delay_factor = 0.0005;
+    manager_ = std::make_unique<res::PilotManager>(fabric_, options);
+    edge_ = manager_
+                ->submit(res::Flavors::make("lrz-eu", res::Backend::kCloudVm,
+                                            2, 8.0))
+                .value();
+    cloud_ = manager_->submit(res::Flavors::lrz_large()).value();
+    broker_ = manager_
+                  ->submit(res::Flavors::make(
+                      "lrz-eu", res::Backend::kBrokerService, 2, 8.0))
+                  .value();
+    ASSERT_TRUE(manager_->wait_all_active().ok());
+  }
+  std::shared_ptr<net::Fabric> fabric_;
+  std::unique_ptr<res::PilotManager> manager_;
+  res::PilotPtr edge_, cloud_, broker_;
+};
+
+TEST_F(PipelineFailureTest, CloudPilotLossSurfacesAsTimeoutNotHang) {
+  PipelineConfig config;
+  config.edge_devices = 1;
+  config.messages_per_device = 200;
+  config.rows_per_message = 100;
+  config.produce_interval = std::chrono::milliseconds(2);
+  config.run_timeout = std::chrono::seconds(3);  // bound the damage
+  EdgeToCloudPipeline pipeline(config);
+  pipeline.set_fabric(fabric_)
+      .set_pilot_edge(edge_)
+      .set_pilot_cloud_processing(cloud_)
+      .set_pilot_cloud_broker(broker_)
+      .set_produce_function(functions::make_generator_produce({}, 100))
+      .set_process_cloud_function(functions::make_passthrough_process());
+  ASSERT_TRUE(pipeline.start().ok());
+  while (pipeline.messages_processed() < 5) {
+    Clock::sleep_exact(std::chrono::milliseconds(2));
+  }
+
+  // The processing VM is preempted mid-run.
+  ASSERT_TRUE(cloud_->inject_failure("spot preemption").ok());
+
+  const Status status = pipeline.wait();
+  // Producers may finish, but processing can never drain: a bounded
+  // TIMEOUT (not a hang, not a crash).
+  EXPECT_EQ(status.code(), StatusCode::kTimeout);
+  pipeline.stop();
+  const auto report = pipeline.report("after-failure");
+  EXPECT_GT(report.messages_processed, 0u);
+  EXPECT_LT(report.messages_processed, report.messages_produced);
+}
+
+TEST_F(PipelineFailureTest, EdgePilotLossStopsProductionButDrainsCleanly) {
+  PipelineConfig config;
+  config.edge_devices = 1;
+  config.messages_per_device = 100000;  // would run forever
+  config.rows_per_message = 100;
+  config.produce_interval = std::chrono::milliseconds(2);
+  config.run_timeout = std::chrono::seconds(10);
+  EdgeToCloudPipeline pipeline(config);
+  pipeline.set_fabric(fabric_)
+      .set_pilot_edge(edge_)
+      .set_pilot_cloud_processing(cloud_)
+      .set_pilot_cloud_broker(broker_)
+      .set_produce_function(functions::make_generator_produce({}, 100))
+      .set_process_cloud_function(functions::make_passthrough_process());
+  ASSERT_TRUE(pipeline.start().ok());
+  while (pipeline.messages_processed() < 5) {
+    Clock::sleep_exact(std::chrono::milliseconds(2));
+  }
+
+  // The edge device dies: production ends, in-flight data still drains.
+  ASSERT_TRUE(edge_->inject_failure("device power loss").ok());
+  const Status status = pipeline.wait();
+  EXPECT_TRUE(status.ok()) << status.to_string();
+  pipeline.stop();
+  const auto report = pipeline.report("edge-loss");
+  // Everything produced before the loss was processed.
+  EXPECT_EQ(report.messages_processed, report.messages_produced);
+  EXPECT_GT(report.messages_processed, 0u);
+}
+
+}  // namespace
+}  // namespace pe::core

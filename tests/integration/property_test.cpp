@@ -1,0 +1,249 @@
+// Randomized property tests: invariants that must hold for arbitrary
+// (seeded) inputs, beyond the hand-picked cases in the unit tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "broker/partition_log.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "data/codec.h"
+#include "data/generator.h"
+#include "ml/outlier.h"
+#include "mqtt/mqtt_broker.h"
+#include "paramserver/server.h"
+
+namespace pe {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1, 7, 42, 1234, 99991));
+
+// --- codec: encode/decode is the identity for arbitrary blocks ---------
+
+TEST_P(SeededProperty, CodecRoundTripIsIdentity) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 10; ++i) {
+    data::DataBlock block;
+    block.rows = static_cast<std::size_t>(rng.uniform_int(0, 200));
+    block.cols = static_cast<std::size_t>(rng.uniform_int(1, 64));
+    block.message_id = rng.next_u64();
+    block.produced_ns = rng.next_u64();
+    block.producer_id = "p" + std::to_string(rng.uniform_int(0, 1 << 20));
+    block.values.resize(block.rows * block.cols);
+    for (auto& v : block.values) v = rng.gaussian(0, 1e6);
+    if (rng.bernoulli(0.5)) {
+      block.labels.resize(block.rows);
+      for (auto& l : block.labels) l = rng.bernoulli(0.1) ? 1 : 0;
+    }
+    auto decoded = data::Codec::decode(data::Codec::encode(block));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().values, block.values);
+    EXPECT_EQ(decoded.value().labels, block.labels);
+    EXPECT_EQ(decoded.value().message_id, block.message_id);
+    EXPECT_EQ(decoded.value().producer_id, block.producer_id);
+  }
+}
+
+// --- codec: random corruption never crashes, is always detected or
+// yields a structurally valid block -------------------------------------
+
+TEST_P(SeededProperty, CodecCorruptionIsSafe) {
+  Rng rng(GetParam());
+  data::Generator gen;
+  const Bytes good = data::Codec::encode(gen.generate(50));
+  for (int i = 0; i < 50; ++i) {
+    Bytes corrupt = good;
+    const auto cut = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(corrupt.size())));
+    corrupt.resize(cut);  // truncation
+    auto decoded = data::Codec::decode(corrupt);
+    if (decoded.ok()) {
+      EXPECT_TRUE(decoded.value().valid());
+    }
+  }
+}
+
+// --- partition log: offsets are dense, fetches return exact subranges --
+
+TEST_P(SeededProperty, PartitionLogOffsetsAreDenseAndOrdered) {
+  Rng rng(GetParam());
+  broker::PartitionLog log;
+  std::uint64_t expected = 0;
+  for (int i = 0; i < 300; ++i) {
+    broker::Record r;
+    r.key = std::to_string(i);
+    r.value.assign(static_cast<std::size_t>(rng.uniform_int(0, 64)), 1);
+    ASSERT_EQ(log.append(std::move(r)), expected);
+    expected += 1;
+  }
+  for (int i = 0; i < 30; ++i) {
+    broker::FetchSpec spec;
+    spec.offset = static_cast<std::uint64_t>(rng.uniform_int(0, 299));
+    spec.max_records = static_cast<std::size_t>(rng.uniform_int(1, 64));
+    auto fetched = log.fetch(spec);
+    ASSERT_TRUE(fetched.ok());
+    ASSERT_FALSE(fetched.value().empty());
+    for (std::size_t k = 0; k < fetched.value().size(); ++k) {
+      EXPECT_EQ(fetched.value()[k].offset, spec.offset + k);
+      EXPECT_EQ(fetched.value()[k].record.key,
+                std::to_string(spec.offset + k));
+    }
+  }
+}
+
+// --- partition log under retention: readable window == [start, end) ----
+
+TEST_P(SeededProperty, RetentionWindowAlwaysReadable) {
+  Rng rng(GetParam());
+  broker::PartitionLog log(
+      broker::RetentionPolicy{.max_records = 50, .max_bytes = 0});
+  for (int i = 0; i < 500; ++i) {
+    broker::Record r;
+    r.value.assign(8, 2);
+    log.append(std::move(r));
+    if (rng.bernoulli(0.1)) {
+      const auto start = log.log_start_offset();
+      const auto end = log.end_offset();
+      EXPECT_LE(end - start, 50u);
+      broker::FetchSpec spec;
+      spec.offset = start;
+      spec.max_records = 1000;
+      auto fetched = log.fetch(spec);
+      ASSERT_TRUE(fetched.ok());
+      EXPECT_EQ(fetched.value().size(), end - start);
+    }
+  }
+}
+
+// --- histogram: percentile is monotone in q and bounded by min/max ----
+
+TEST_P(SeededProperty, HistogramPercentileMonotone) {
+  Rng rng(GetParam());
+  Histogram h;
+  for (int i = 0; i < 500; ++i) h.record(rng.gaussian(0, 100));
+  double prev = h.percentile(0.0);
+  EXPECT_GE(prev, h.min() - 1e-12);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double p = h.percentile(q);
+    EXPECT_GE(p, prev - 1e-12);
+    prev = p;
+  }
+  EXPECT_LE(prev, h.max() + 1e-12);
+}
+
+// --- roc_auc: invariant under monotone transforms of the scores --------
+
+TEST_P(SeededProperty, AucInvariantUnderMonotoneTransform) {
+  Rng rng(GetParam());
+  std::vector<double> scores(200);
+  std::vector<std::uint8_t> labels(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    scores[i] = rng.uniform(0, 1);
+    labels[i] = rng.bernoulli(0.2) ? 1 : 0;
+  }
+  const double base = ml::roc_auc(scores, labels);
+  std::vector<double> transformed = scores;
+  for (auto& s : transformed) s = 3.0 * s + 7.0;  // affine, monotone
+  EXPECT_NEAR(ml::roc_auc(transformed, labels), base, 1e-12);
+  for (auto& s : transformed) s = std::exp(s);  // still monotone
+  EXPECT_NEAR(ml::roc_auc(transformed, labels), base, 1e-12);
+}
+
+// --- roc_auc: complement symmetry auc(s, y) = 1 - auc(-s, y) ------------
+
+TEST_P(SeededProperty, AucComplementSymmetry) {
+  Rng rng(GetParam() + 1);
+  std::vector<double> scores(100);
+  std::vector<std::uint8_t> labels(100);
+  bool has_both = false;
+  for (std::size_t i = 0; i < 100; ++i) {
+    scores[i] = rng.gaussian(0, 1);
+    labels[i] = rng.bernoulli(0.3) ? 1 : 0;
+  }
+  has_both = std::count(labels.begin(), labels.end(), 1) > 0 &&
+             std::count(labels.begin(), labels.end(), 0) > 0;
+  if (!has_both) return;
+  std::vector<double> negated = scores;
+  for (auto& s : negated) s = -s;
+  EXPECT_NEAR(ml::roc_auc(scores, labels) + ml::roc_auc(negated, labels),
+              1.0, 1e-12);
+}
+
+// --- mqtt: '#' matches everything; matching is prefix-consistent --------
+
+TEST_P(SeededProperty, MqttWildcardProperties) {
+  Rng rng(GetParam());
+  auto random_topic = [&rng]() {
+    const int levels = static_cast<int>(rng.uniform_int(1, 4));
+    std::string topic;
+    for (int l = 0; l < levels; ++l) {
+      if (l > 0) topic += '/';
+      topic += static_cast<char>('a' + rng.uniform_int(0, 3));
+    }
+    return topic;
+  };
+  for (int i = 0; i < 100; ++i) {
+    const std::string topic = random_topic();
+    EXPECT_TRUE(mqtt::topic_matches("#", topic));
+    // Exact filter always matches itself.
+    EXPECT_TRUE(mqtt::topic_matches(topic, topic));
+    // Replacing one level with '+' still matches.
+    std::string plus = topic;
+    const auto slash = plus.find('/');
+    if (slash != std::string::npos) {
+      plus = "+" + plus.substr(slash);
+      EXPECT_TRUE(mqtt::topic_matches(plus, topic));
+    }
+    // "<topic>/#" matches children and the topic itself.
+    EXPECT_TRUE(mqtt::topic_matches(topic + "/#", topic + "/x"));
+    EXPECT_TRUE(mqtt::topic_matches(topic + "/#", topic));
+  }
+}
+
+// --- parameter server: version strictly increases per key ---------------
+
+TEST_P(SeededProperty, ParameterServerVersionsMonotone) {
+  Rng rng(GetParam());
+  ps::ParameterServer server("s");
+  std::map<std::string, std::uint64_t> last_version;
+  for (int i = 0; i < 300; ++i) {
+    const std::string key = "k" + std::to_string(rng.uniform_int(0, 5));
+    const auto version = server.set(key, Bytes{1});
+    auto it = last_version.find(key);
+    if (it != last_version.end()) {
+      EXPECT_EQ(version, it->second + 1);
+    } else {
+      EXPECT_EQ(version, 1u);
+    }
+    last_version[key] = version;
+  }
+}
+
+// --- scaler: streaming equals batch for random partitions ---------------
+
+TEST_P(SeededProperty, GeneratorBlocksAreAlwaysValid) {
+  Rng rng(GetParam());
+  data::GeneratorConfig config;
+  config.seed = GetParam();
+  config.outlier_fraction = rng.uniform(0.0, 0.3);
+  config.clusters = static_cast<std::size_t>(rng.uniform_int(1, 30));
+  config.features = static_cast<std::size_t>(rng.uniform_int(1, 64));
+  data::Generator gen(config);
+  for (int i = 0; i < 5; ++i) {
+    const auto rows = static_cast<std::size_t>(rng.uniform_int(1, 500));
+    const auto block = gen.generate(rows);
+    EXPECT_TRUE(block.valid());
+    EXPECT_EQ(block.rows, rows);
+    EXPECT_EQ(block.cols, config.features);
+    for (double v : block.values) {
+      EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pe

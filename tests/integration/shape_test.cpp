@@ -1,0 +1,99 @@
+// Shape tests: assert the paper's qualitative findings hold in this
+// implementation (not absolute numbers — ordering and rough ratios).
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "core/placement.h"
+#include "data/generator.h"
+#include "ml/factory.h"
+
+namespace pe {
+namespace {
+
+/// Per-message processing cost (partial_fit + score) in milliseconds,
+/// averaged over a few messages after a warmup message.
+double processing_ms(ml::ModelKind kind, std::size_t rows) {
+  ConfigMap config;
+  auto model = ml::make_model(kind, config);
+  data::GeneratorConfig gen_config;
+  gen_config.seed = 9;
+  data::Generator gen(gen_config);
+
+  auto warmup = gen.generate(rows);
+  EXPECT_TRUE(model->partial_fit(warmup).ok());
+  EXPECT_TRUE(model->score(warmup).ok());
+
+  constexpr int kMessages = 3;
+  std::vector<data::DataBlock> blocks;
+  for (int i = 0; i < kMessages; ++i) blocks.push_back(gen.generate(rows));
+  Stopwatch sw;
+  for (const auto& block : blocks) {
+    EXPECT_TRUE(model->partial_fit(block).ok());
+    EXPECT_TRUE(model->score(block).ok());
+  }
+  return sw.elapsed_ms() / kMessages;
+}
+
+// Paper Fig. 3 + §V: "k-means can achieve five times the throughput of
+// isolation forests for large message sizes (10,000 points)", and
+// auto-encoders are the slowest by a wide margin.
+TEST(ModelComplexityShape, RankingHoldsAtLargeMessages) {
+  const double kmeans = processing_ms(ml::ModelKind::kKMeans, 10000);
+  const double iforest = processing_ms(ml::ModelKind::kIsolationForest, 10000);
+  const double ae = processing_ms(ml::ModelKind::kAutoEncoder, 10000);
+
+  // Ordering: k-means < isolation forest < auto-encoder.
+  EXPECT_LT(kmeans, iforest);
+  EXPECT_LT(iforest, ae);
+  // Rough ratio: iforest at least 2x k-means (paper ~5x in throughput).
+  EXPECT_GT(iforest / kmeans, 2.0);
+  // Auto-encoder clearly dominates everything.
+  EXPECT_GT(ae / kmeans, 4.0);
+}
+
+TEST(ModelComplexityShape, BaselineIsEssentiallyFree) {
+  const double baseline = processing_ms(ml::ModelKind::kBaseline, 10000);
+  const double kmeans = processing_ms(ml::ModelKind::kKMeans, 10000);
+  EXPECT_LT(baseline, kmeans);
+  EXPECT_LT(baseline, 5.0);  // pass-through should be ~instant
+}
+
+TEST(ModelComplexityShape, CostGrowsWithMessageSize) {
+  // Fig. 2/3 x-axis: message size 25 -> 10,000 points. Per-message cost
+  // must grow for every real model.
+  for (auto kind :
+       {ml::ModelKind::kKMeans, ml::ModelKind::kIsolationForest}) {
+    const double small = processing_ms(kind, 100);
+    const double large = processing_ms(kind, 10000);
+    EXPECT_GT(large, small) << ml::to_string(kind);
+  }
+}
+
+// Paper §III-2: intercontinental transfer caps baseline/k-means while
+// compute-bound models are unaffected by the WAN. Verify via the placement
+// cost model on the paper topology.
+TEST(GeoShape, WanBoundForCheapModelsComputeBoundForHeavy) {
+  auto fabric = net::Fabric::make_paper_topology();
+
+  core::PlacementFactors cheap;
+  cheap.edge_site = "jetstream-us";
+  cheap.cloud_site = "lrz-eu";
+  cheap.message_bytes = 10000 * 32 * 8;
+  cheap.cloud_compute_ms = processing_ms(ml::ModelKind::kKMeans, 10000);
+  auto cheap_rec = core::recommend_placement(*fabric, cheap);
+  ASSERT_TRUE(cheap_rec.ok());
+  // k-means: transfer dominates compute over the WAN.
+  EXPECT_GT(cheap_rec.value().cloud_centric.transfer_ms,
+            cheap_rec.value().cloud_centric.compute_ms);
+
+  core::PlacementFactors heavy = cheap;
+  heavy.cloud_compute_ms = processing_ms(ml::ModelKind::kAutoEncoder, 10000);
+  auto heavy_rec = core::recommend_placement(*fabric, heavy);
+  ASSERT_TRUE(heavy_rec.ok());
+  // auto-encoder: compute dominates the same transfer.
+  EXPECT_GT(heavy_rec.value().cloud_centric.compute_ms,
+            heavy_rec.value().cloud_centric.transfer_ms);
+}
+
+}  // namespace
+}  // namespace pe

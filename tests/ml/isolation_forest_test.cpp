@@ -1,0 +1,184 @@
+#include "ml/isolation_forest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generator.h"
+#include "ml/outlier.h"
+
+namespace pe::ml {
+namespace {
+
+data::DataBlock make_block(std::size_t rows, double outlier_fraction = 0.05,
+                           std::uint64_t seed = 7) {
+  data::GeneratorConfig config;
+  config.clusters = 5;
+  config.outlier_fraction = outlier_fraction;
+  config.seed = seed;
+  data::Generator gen(config);
+  return gen.generate(rows);
+}
+
+TEST(IsolationForestTest, AveragePathLengthMatchesFormula) {
+  EXPECT_EQ(IsolationForest::average_path_length(0), 0.0);
+  EXPECT_EQ(IsolationForest::average_path_length(1), 0.0);
+  EXPECT_EQ(IsolationForest::average_path_length(2), 1.0);
+  // c(256) ~ 10.24 (standard reference value).
+  EXPECT_NEAR(IsolationForest::average_path_length(256), 10.24, 0.1);
+  // Monotone in n.
+  EXPECT_LT(IsolationForest::average_path_length(64),
+            IsolationForest::average_path_length(256));
+}
+
+TEST(IsolationForestTest, UnfittedRefusesToScore) {
+  IsolationForest model;
+  EXPECT_FALSE(model.fitted());
+  EXPECT_EQ(model.score(make_block(5)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(IsolationForestTest, FitBuildsConfiguredTreeCount) {
+  IsolationForestConfig config;
+  config.trees = 100;  // paper default
+  IsolationForest model(config);
+  ASSERT_TRUE(model.fit(make_block(1000)).ok());
+  EXPECT_EQ(model.tree_count(), 100u);
+  EXPECT_GT(model.parameter_count(), 0u);
+}
+
+TEST(IsolationForestTest, ScoresInUnitRange) {
+  IsolationForest model;
+  auto block = make_block(1000);
+  ASSERT_TRUE(model.fit(block).ok());
+  auto scores = model.score(block);
+  ASSERT_TRUE(scores.ok());
+  for (double s : scores.value()) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 1.0);
+  }
+}
+
+TEST(IsolationForestTest, DetectsInjectedOutliers) {
+  IsolationForest model;
+  auto block = make_block(2000, 0.05);
+  ASSERT_TRUE(model.fit(block).ok());
+  auto scores = model.score(block);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT(roc_auc(scores.value(), block.labels), 0.9);
+}
+
+TEST(IsolationForestTest, ObviousOutlierScoresAboveHalf) {
+  IsolationForest model;
+  auto block = make_block(1000, 0.0);
+  ASSERT_TRUE(model.fit(block).ok());
+  data::DataBlock probe;
+  probe.rows = 1;
+  probe.cols = 32;
+  probe.values.assign(32, 1000.0);  // absurdly far away
+  auto scores = model.score(probe);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT(scores.value()[0], 0.6);
+}
+
+TEST(IsolationForestTest, PartialFitRefreshesTreesIncrementally) {
+  IsolationForestConfig config;
+  config.trees = 20;
+  config.refresh_fraction = 0.25;  // 5 trees per update
+  IsolationForest model(config);
+  ASSERT_TRUE(model.partial_fit(make_block(500, 0.05, 1)).ok());
+  EXPECT_EQ(model.tree_count(), 20u);
+  ASSERT_TRUE(model.partial_fit(make_block(500, 0.05, 2)).ok());
+  EXPECT_EQ(model.tree_count(), 20u);  // stays constant
+
+  // After enough updates on shifted data, the model still detects
+  // outliers of the new distribution.
+  for (int i = 3; i < 12; ++i) {
+    ASSERT_TRUE(model.partial_fit(make_block(500, 0.05, i)).ok());
+  }
+  auto block = make_block(1000, 0.05, 50);
+  auto scores = model.score(block);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT(roc_auc(scores.value(), block.labels), 0.8);
+}
+
+TEST(IsolationForestTest, FeatureMismatchRejected) {
+  IsolationForest model;
+  ASSERT_TRUE(model.fit(make_block(200)).ok());
+  data::DataBlock narrow;
+  narrow.rows = 1;
+  narrow.cols = 3;
+  narrow.values.assign(3, 0.0);
+  EXPECT_EQ(model.score(narrow).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(model.partial_fit(narrow).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IsolationForestTest, ConstantDataProducesUniformScores) {
+  IsolationForest model;
+  data::DataBlock block;
+  block.rows = 100;
+  block.cols = 4;
+  block.values.assign(400, 3.0);  // every point identical
+  ASSERT_TRUE(model.fit(block).ok());
+  auto scores = model.score(block);
+  ASSERT_TRUE(scores.ok());
+  for (double s : scores.value()) {
+    EXPECT_DOUBLE_EQ(s, scores.value()[0]);
+  }
+}
+
+TEST(IsolationForestTest, SaveLoadRoundTripPreservesScores) {
+  IsolationForestConfig config;
+  config.trees = 10;
+  IsolationForest model(config);
+  auto block = make_block(500);
+  ASSERT_TRUE(model.fit(block).ok());
+  const auto before = model.score(block).value();
+
+  IsolationForest restored;
+  ASSERT_TRUE(restored.load(model.save()).ok());
+  EXPECT_EQ(restored.tree_count(), 10u);
+  const auto after = restored.score(block).value();
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_DOUBLE_EQ(before[i], after[i]);
+  }
+}
+
+TEST(IsolationForestTest, LoadGarbageRejected) {
+  IsolationForest model;
+  EXPECT_FALSE(model.load(Bytes{9, 9}).ok());
+}
+
+TEST(IsolationForestTest, DeterministicWithSameSeed) {
+  IsolationForestConfig config;
+  config.trees = 5;
+  config.seed = 11;
+  auto block = make_block(500);
+  IsolationForest a(config), b(config);
+  ASSERT_TRUE(a.fit(block).ok());
+  ASSERT_TRUE(b.fit(block).ok());
+  const auto sa = a.score(block).value();
+  const auto sb = b.score(block).value();
+  for (std::size_t i = 0; i < sa.size(); ++i) EXPECT_DOUBLE_EQ(sa[i], sb[i]);
+}
+
+class ForestSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ForestSizeSweep, AucImprovesOrHoldsWithMoreTrees) {
+  IsolationForestConfig config;
+  config.trees = GetParam();
+  IsolationForest model(config);
+  auto block = make_block(1500, 0.05);
+  ASSERT_TRUE(model.fit(block).ok());
+  auto scores = model.score(block);
+  ASSERT_TRUE(scores.ok());
+  // Even small forests should beat chance comfortably on this data.
+  EXPECT_GT(roc_auc(scores.value(), block.labels), 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeCounts, ForestSizeSweep,
+                         ::testing::Values(5, 20, 50, 100));
+
+}  // namespace
+}  // namespace pe::ml

@@ -1,0 +1,190 @@
+#include "ml/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "ml/outlier.h"
+
+namespace pe::ml {
+namespace {
+
+data::DataBlock make_block(std::size_t rows, double outlier_fraction = 0.05,
+                           std::uint64_t seed = 7) {
+  data::GeneratorConfig config;
+  config.clusters = 5;
+  config.outlier_fraction = outlier_fraction;
+  config.seed = seed;
+  data::Generator gen(config);
+  return gen.generate(rows);
+}
+
+TEST(KMeansTest, UnfittedModelRefusesToScore) {
+  KMeans model;
+  EXPECT_FALSE(model.fitted());
+  EXPECT_EQ(model.score(make_block(10)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(KMeansTest, FitOnEmptyBlockRejected) {
+  KMeans model;
+  data::DataBlock empty;
+  EXPECT_EQ(model.fit(empty).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KMeansTest, FitProducesRequestedClusters) {
+  KMeansConfig config;
+  config.clusters = 5;
+  KMeans model(config);
+  ASSERT_TRUE(model.fit(make_block(500, 0.0)).ok());
+  EXPECT_TRUE(model.fitted());
+  EXPECT_EQ(model.features(), 32u);
+  EXPECT_EQ(model.centers().size(), 5u * 32u);
+  EXPECT_EQ(model.parameter_count(), 5u * 32u);
+}
+
+TEST(KMeansTest, ScoresOutliersHigherThanInliers) {
+  KMeansConfig config;
+  config.clusters = 5;
+  KMeans model(config);
+  auto block = make_block(2000, 0.05);
+  ASSERT_TRUE(model.fit(block).ok());
+  auto scores = model.score(block);
+  ASSERT_TRUE(scores.ok());
+  const double auc = roc_auc(scores.value(), block.labels);
+  EXPECT_GT(auc, 0.95);  // far-away uniform outliers are easy
+}
+
+TEST(KMeansTest, PredictAssignsNearestCluster) {
+  KMeansConfig config;
+  config.clusters = 5;
+  KMeans model(config);
+  auto block = make_block(500, 0.0);
+  ASSERT_TRUE(model.fit(block).ok());
+  auto assign = model.predict(block);
+  ASSERT_TRUE(assign.ok());
+  ASSERT_EQ(assign.value().size(), 500u);
+  for (auto a : assign.value()) EXPECT_LT(a, 5u);
+}
+
+TEST(KMeansTest, FitReducesInertiaVsRandomInit) {
+  KMeansConfig config;
+  config.clusters = 5;
+  auto block = make_block(1000, 0.0);
+
+  // One iteration vs full fit: inertia must not increase.
+  KMeansConfig one_iter = config;
+  one_iter.max_iterations = 1;
+  KMeans rough(one_iter);
+  ASSERT_TRUE(rough.fit(block).ok());
+  KMeans refined(config);
+  ASSERT_TRUE(refined.fit(block).ok());
+  EXPECT_LE(refined.inertia(block).value(),
+            rough.inertia(block).value() * 1.01);
+}
+
+TEST(KMeansTest, PartialFitBootstrapsThenRefines) {
+  KMeansConfig config;
+  config.clusters = 5;
+  KMeans model(config);
+  // One generator => all blocks share the same cluster layout (a
+  // continuous stream from one source).
+  data::GeneratorConfig gen_config;
+  gen_config.clusters = 5;
+  gen_config.outlier_fraction = 0.0;
+  gen_config.seed = 7;
+  data::Generator gen(gen_config);
+
+  auto first = gen.generate(300);
+  ASSERT_TRUE(model.partial_fit(first).ok());
+  EXPECT_TRUE(model.fitted());
+  const auto inertia_before = model.inertia(first).value();
+
+  for (int i = 0; i < 6; ++i) {
+    auto block = gen.generate(300);
+    ASSERT_TRUE(model.partial_fit(block).ok());
+  }
+  // Streaming updates on the same distribution must not blow up the fit.
+  const auto inertia_after = model.inertia(first).value();
+  EXPECT_LT(inertia_after, inertia_before * 2.0);
+}
+
+TEST(KMeansTest, FeatureMismatchRejected) {
+  KMeans model;
+  ASSERT_TRUE(model.fit(make_block(100)).ok());
+  data::DataBlock narrow;
+  narrow.rows = 2;
+  narrow.cols = 4;
+  narrow.values.assign(8, 0.0);
+  EXPECT_EQ(model.score(narrow).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(model.partial_fit(narrow).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(model.predict(narrow).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(KMeansTest, FewerRowsThanClustersStillFits) {
+  KMeansConfig config;
+  config.clusters = 25;
+  KMeans model(config);
+  ASSERT_TRUE(model.fit(make_block(10, 0.0)).ok());
+  EXPECT_TRUE(model.fitted());
+  auto scores = model.score(make_block(10, 0.0));
+  ASSERT_TRUE(scores.ok());
+}
+
+TEST(KMeansTest, SaveLoadRoundTripPreservesScores) {
+  KMeansConfig config;
+  config.clusters = 5;
+  KMeans model(config);
+  auto block = make_block(500);
+  ASSERT_TRUE(model.fit(block).ok());
+  const auto before = model.score(block).value();
+
+  KMeans restored;
+  ASSERT_TRUE(restored.load(model.save()).ok());
+  const auto after = restored.score(block).value();
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_DOUBLE_EQ(before[i], after[i]);
+  }
+}
+
+TEST(KMeansTest, LoadGarbageRejected) {
+  KMeans model;
+  EXPECT_FALSE(model.load(Bytes{1, 2, 3}).ok());
+  Bytes zeros(16, 0);  // claims 0 clusters
+  EXPECT_FALSE(model.load(zeros).ok());
+}
+
+TEST(KMeansTest, DeterministicWithSameSeed) {
+  KMeansConfig config;
+  config.clusters = 5;
+  config.seed = 42;
+  auto block = make_block(500);
+  KMeans a(config), b(config);
+  ASSERT_TRUE(a.fit(block).ok());
+  ASSERT_TRUE(b.fit(block).ok());
+  EXPECT_EQ(a.centers(), b.centers());
+}
+
+// Scoring cost should grow roughly linearly with cluster count — the
+// knob behind the paper's "model complexity" axis.
+class KMeansClusterSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KMeansClusterSweep, FitsAndScoresAtEveryK) {
+  KMeansConfig config;
+  config.clusters = GetParam();
+  KMeans model(config);
+  auto block = make_block(400);
+  ASSERT_TRUE(model.fit(block).ok());
+  auto scores = model.score(block);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores.value().size(), 400u);
+  EXPECT_EQ(model.parameter_count(), GetParam() * 32u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KMeansClusterSweep,
+                         ::testing::Values(1, 2, 5, 10, 25, 50));
+
+}  // namespace
+}  // namespace pe::ml

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "ml/matrix.h"
+#include "ml/scaler.h"
+
+namespace pe::ml {
+namespace {
+
+// ---------- Matrix ----------
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_EQ(m.storage()[1], 7.0);
+}
+
+TEST(MatrixTest, RowSpans) {
+  Matrix m(2, 2);
+  m(1, 0) = 3.0;
+  auto row = m.row(1);
+  EXPECT_EQ(row[0], 3.0);
+  row[1] = 4.0;
+  EXPECT_EQ(m(1, 1), 4.0);
+}
+
+TEST(MatrixTest, MatmulMatchesHandComputation) {
+  Matrix a(2, 3, std::vector<double>{1, 2, 3, 4, 5, 6});
+  Matrix b(3, 2, std::vector<double>{7, 8, 9, 10, 11, 12});
+  Matrix out;
+  matmul(a, b, out);
+  ASSERT_EQ(out.rows(), 2u);
+  ASSERT_EQ(out.cols(), 2u);
+  EXPECT_EQ(out(0, 0), 58.0);
+  EXPECT_EQ(out(0, 1), 64.0);
+  EXPECT_EQ(out(1, 0), 139.0);
+  EXPECT_EQ(out(1, 1), 154.0);
+}
+
+TEST(MatrixTest, MatmulBtEqualsMatmulWithTranspose) {
+  Matrix a(2, 3, std::vector<double>{1, 2, 3, 4, 5, 6});
+  Matrix b(4, 3, std::vector<double>{1, 0, 1, 2, 1, 0, 0, 3, 1, 1, 1, 1});
+  Matrix bt(3, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) bt(c, r) = b(r, c);
+  }
+  Matrix direct, viaT;
+  matmul_bt(a, b, direct);
+  matmul(a, bt, viaT);
+  ASSERT_EQ(direct.rows(), viaT.rows());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_DOUBLE_EQ(direct.storage()[i], viaT.storage()[i]);
+  }
+}
+
+TEST(MatrixTest, MatmulAtEqualsTransposedMatmul) {
+  Matrix a(3, 2, std::vector<double>{1, 2, 3, 4, 5, 6});
+  Matrix b(3, 4, std::vector<double>{1, 0, 1, 2, 1, 0, 0, 3, 1, 1, 1, 1});
+  Matrix at(2, 3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) at(c, r) = a(r, c);
+  }
+  Matrix direct, viaT;
+  matmul_at(a, b, direct);
+  matmul(at, b, viaT);
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_DOUBLE_EQ(direct.storage()[i], viaT.storage()[i]);
+  }
+}
+
+TEST(MatrixTest, MatmulReusesOutputBuffer) {
+  Matrix a(2, 2, std::vector<double>{1, 0, 0, 1});
+  Matrix b(2, 2, std::vector<double>{5, 6, 7, 8});
+  Matrix out(2, 2, 99.0);  // stale values must be cleared
+  matmul(a, b, out);
+  EXPECT_EQ(out(0, 0), 5.0);
+  EXPECT_EQ(out(1, 1), 8.0);
+}
+
+// ---------- StandardScaler ----------
+
+data::DataBlock block_from(const std::vector<double>& values,
+                           std::size_t cols) {
+  data::DataBlock b;
+  b.cols = cols;
+  b.rows = values.size() / cols;
+  b.values = values;
+  return b;
+}
+
+TEST(ScalerTest, ComputesMeanAndStd) {
+  StandardScaler scaler(1);
+  auto b = block_from({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}, 1);
+  ASSERT_TRUE(scaler.partial_fit(b).ok());
+  EXPECT_DOUBLE_EQ(scaler.mean()[0], 5.0);
+  EXPECT_NEAR(scaler.stddev()[0], 2.138, 0.01);  // sample stddev
+  EXPECT_EQ(scaler.samples_seen(), 8u);
+}
+
+TEST(ScalerTest, StreamingMatchesBatch) {
+  data::Generator gen;
+  auto all = gen.generate(300);
+  StandardScaler batch(32), stream(32);
+  ASSERT_TRUE(batch.partial_fit(all).ok());
+
+  for (std::size_t start = 0; start < 300; start += 50) {
+    data::DataBlock chunk;
+    chunk.cols = 32;
+    chunk.rows = 50;
+    chunk.values.assign(all.values.begin() + start * 32,
+                        all.values.begin() + (start + 50) * 32);
+    ASSERT_TRUE(stream.partial_fit(chunk).ok());
+  }
+  for (std::size_t f = 0; f < 32; ++f) {
+    EXPECT_NEAR(batch.mean()[f], stream.mean()[f], 1e-9);
+    EXPECT_NEAR(batch.stddev()[f], stream.stddev()[f], 1e-9);
+  }
+}
+
+TEST(ScalerTest, TransformStandardizes) {
+  StandardScaler scaler;
+  data::Generator gen;
+  auto block = gen.generate(1000);
+  ASSERT_TRUE(scaler.partial_fit(block).ok());
+  auto copy = block;
+  ASSERT_TRUE(scaler.transform(copy).ok());
+  // Per-feature mean ~0, std ~1 after standardization.
+  for (std::size_t f = 0; f < 3; ++f) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::size_t r = 0; r < copy.rows; ++r) {
+      sum += copy.values[r * 32 + f];
+      sum_sq += copy.values[r * 32 + f] * copy.values[r * 32 + f];
+    }
+    const double mean = sum / 1000.0;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(sum_sq / 1000.0 - mean * mean, 1.0, 0.01);
+  }
+}
+
+TEST(ScalerTest, InverseTransformRoundTrips) {
+  StandardScaler scaler;
+  data::Generator gen;
+  auto block = gen.generate(100);
+  ASSERT_TRUE(scaler.partial_fit(block).ok());
+  auto copy = block;
+  ASSERT_TRUE(scaler.transform(copy).ok());
+  ASSERT_TRUE(scaler.inverse_transform(copy).ok());
+  for (std::size_t i = 0; i < block.values.size(); ++i) {
+    EXPECT_NEAR(copy.values[i], block.values[i], 1e-9);
+  }
+}
+
+TEST(ScalerTest, ConstantFeatureDoesNotDivideByZero) {
+  StandardScaler scaler(1);
+  auto b = block_from({3.0, 3.0, 3.0, 3.0}, 1);
+  ASSERT_TRUE(scaler.partial_fit(b).ok());
+  ASSERT_TRUE(scaler.transform(b).ok());
+  for (double v : b.values) EXPECT_EQ(v, 0.0);
+}
+
+TEST(ScalerTest, UnfittedTransformRejected) {
+  StandardScaler scaler(2);
+  auto b = block_from({1.0, 2.0}, 2);
+  EXPECT_EQ(scaler.transform(b).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ScalerTest, FeatureMismatchRejected) {
+  StandardScaler scaler(2);
+  auto b = block_from({1.0, 2.0}, 2);
+  ASSERT_TRUE(scaler.partial_fit(b).ok());
+  auto wrong = block_from({1.0, 2.0, 3.0}, 3);
+  EXPECT_EQ(scaler.partial_fit(wrong).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(scaler.transform(wrong).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ScalerTest, SaveLoadRoundTrip) {
+  StandardScaler scaler;
+  data::Generator gen;
+  ASSERT_TRUE(scaler.partial_fit(gen.generate(200)).ok());
+  Bytes buf;
+  ByteWriter w(buf);
+  scaler.save(w);
+  StandardScaler restored;
+  ByteReader r(buf);
+  ASSERT_TRUE(restored.load(r).ok());
+  EXPECT_EQ(restored.samples_seen(), scaler.samples_seen());
+  EXPECT_EQ(restored.mean(), scaler.mean());
+  EXPECT_EQ(restored.stddev(), scaler.stddev());
+}
+
+TEST(ScalerTest, LazyFeatureInference) {
+  StandardScaler scaler;  // features unknown until first block
+  data::Generator gen;
+  ASSERT_TRUE(scaler.partial_fit(gen.generate(10)).ok());
+  EXPECT_EQ(scaler.features(), 32u);
+}
+
+}  // namespace
+}  // namespace pe::ml

@@ -1,0 +1,98 @@
+#include "network/link.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace pe::net {
+namespace {
+
+LinkSpec fast_spec() {
+  LinkSpec spec;
+  spec.from = "a";
+  spec.to = "b";
+  spec.latency_min = std::chrono::milliseconds(1);
+  spec.latency_max = std::chrono::milliseconds(2);
+  spec.bandwidth_min_bps = 800e6;
+  spec.bandwidth_max_bps = 800e6;
+  return spec;
+}
+
+TEST(LinkTest, TransferChargesLatency) {
+  Link link(fast_spec());
+  Stopwatch sw;
+  const auto result = link.transfer(100);
+  EXPECT_GE(sw.elapsed_ms(), 0.9);  // at least latency_min
+  EXPECT_GE(result.propagation, std::chrono::milliseconds(1));
+  EXPECT_LE(result.propagation, std::chrono::milliseconds(2));
+  EXPECT_EQ(result.bytes, 100u);
+}
+
+TEST(LinkTest, TransmitTimeMatchesBandwidth) {
+  LinkSpec spec = fast_spec();
+  spec.bandwidth_min_bps = 8e6;  // 1 MB/s
+  spec.bandwidth_max_bps = 8e6;
+  Link link(spec);
+  const auto result = link.transfer(100'000);  // 0.1 s at 1 MB/s
+  const double tx_ms =
+      std::chrono::duration<double, std::milli>(result.transmit_time).count();
+  EXPECT_NEAR(tx_ms, 100.0, 5.0);
+}
+
+TEST(LinkTest, LatencySampleWithinBounds) {
+  LinkSpec spec = fast_spec();
+  spec.latency_min = std::chrono::milliseconds(5);
+  spec.latency_max = std::chrono::milliseconds(9);
+  Link link(spec);
+  for (int i = 0; i < 10; ++i) {
+    const auto r = link.transfer(10);
+    EXPECT_GE(r.propagation, std::chrono::milliseconds(5));
+    EXPECT_LE(r.propagation, std::chrono::milliseconds(9));
+  }
+}
+
+TEST(LinkTest, ConcurrentTransfersQueueOnSharedChannel) {
+  LinkSpec spec = fast_spec();
+  spec.latency_min = spec.latency_max = std::chrono::microseconds(100);
+  spec.bandwidth_min_bps = 8e6;  // 1 MB/s => 50 ms per 50 KB transfer
+  spec.bandwidth_max_bps = 8e6;
+  Link link(spec);
+
+  Stopwatch sw;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&link] { link.transfer(50'000); });
+  }
+  for (auto& t : threads) t.join();
+  // Four 50 ms transmissions must serialize: >= 200 ms wall time.
+  EXPECT_GE(sw.elapsed_ms(), 180.0);
+  const auto stats = link.stats();
+  EXPECT_EQ(stats.transfers, 4u);
+  EXPECT_EQ(stats.bytes, 200'000u);
+  EXPECT_GT(stats.total_queue_delay, Duration::zero());
+}
+
+TEST(LinkTest, TimeScaleShrinksWallTime) {
+  LinkSpec spec = fast_spec();
+  spec.latency_min = spec.latency_max = std::chrono::milliseconds(100);
+  Link link(spec);
+  ScopedTimeScale scale(20.0);
+  Stopwatch sw;
+  const auto r = link.transfer(10);
+  EXPECT_LT(sw.elapsed_ms(), 50.0);  // 100 ms nominal at 20x
+  // Reported propagation stays in emulated time.
+  EXPECT_GE(r.propagation, std::chrono::milliseconds(99));
+}
+
+TEST(LinkTest, StatsAccumulate) {
+  Link link(fast_spec());
+  link.transfer(10);
+  link.transfer(20);
+  const auto stats = link.stats();
+  EXPECT_EQ(stats.transfers, 2u);
+  EXPECT_EQ(stats.bytes, 30u);
+}
+
+}  // namespace
+}  // namespace pe::net

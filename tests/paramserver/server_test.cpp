@@ -1,0 +1,178 @@
+#include "paramserver/server.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "network/fabric.h"
+#include "paramserver/client.h"
+
+namespace pe::ps {
+namespace {
+
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+TEST(ParameterServerTest, SetGetRoundTrip) {
+  ParameterServer server("cloud");
+  EXPECT_EQ(server.set("k", bytes_of("v1")), 1u);
+  auto entry = server.get("k");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry.value().value, bytes_of("v1"));
+  EXPECT_EQ(entry.value().version, 1u);
+  EXPECT_GT(entry.value().updated_ns, 0u);
+}
+
+TEST(ParameterServerTest, SetBumpsVersion) {
+  ParameterServer server("cloud");
+  EXPECT_EQ(server.set("k", bytes_of("a")), 1u);
+  EXPECT_EQ(server.set("k", bytes_of("b")), 2u);
+  EXPECT_EQ(server.get("k").value().value, bytes_of("b"));
+}
+
+TEST(ParameterServerTest, GetMissingIsNotFound) {
+  ParameterServer server("cloud");
+  EXPECT_EQ(server.get("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ParameterServerTest, CompareAndSetSucceedsOnMatchingVersion) {
+  ParameterServer server("cloud");
+  server.set("k", bytes_of("a"));
+  auto v = server.compare_and_set("k", 1, bytes_of("b"));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 2u);
+}
+
+TEST(ParameterServerTest, CompareAndSetConflicts) {
+  ParameterServer server("cloud");
+  server.set("k", bytes_of("a"));
+  server.set("k", bytes_of("b"));
+  EXPECT_EQ(server.compare_and_set("k", 1, bytes_of("c")).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(server.stats().cas_conflicts, 1u);
+}
+
+TEST(ParameterServerTest, CompareAndSetZeroMeansCreate) {
+  ParameterServer server("cloud");
+  ASSERT_TRUE(server.compare_and_set("new", 0, bytes_of("x")).ok());
+  EXPECT_EQ(server.compare_and_set("new", 0, bytes_of("y")).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ParameterServerTest, WatchWakesOnUpdate) {
+  ParameterServer server("cloud");
+  server.set("model", bytes_of("v1"));
+  std::thread updater([&server] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    server.set("model", bytes_of("v2"));
+  });
+  auto fresh = server.watch("model", 1, std::chrono::seconds(5));
+  updater.join();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh.value().version, 2u);
+  EXPECT_EQ(fresh.value().value, bytes_of("v2"));
+}
+
+TEST(ParameterServerTest, WatchReturnsImmediatelyIfAlreadyNewer) {
+  ParameterServer server("cloud");
+  server.set("k", bytes_of("v1"));
+  server.set("k", bytes_of("v2"));
+  Stopwatch sw;
+  auto fresh = server.watch("k", 1, std::chrono::seconds(5));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_LT(sw.elapsed_ms(), 100.0);
+}
+
+TEST(ParameterServerTest, WatchTimesOut) {
+  ParameterServer server("cloud");
+  server.set("k", bytes_of("v1"));
+  EXPECT_EQ(
+      server.watch("k", 1, std::chrono::milliseconds(20)).status().code(),
+      StatusCode::kTimeout);
+}
+
+TEST(ParameterServerTest, IncrCounters) {
+  ParameterServer server("cloud");
+  EXPECT_EQ(server.incr("n"), 1);
+  EXPECT_EQ(server.incr("n", 4), 5);
+  EXPECT_EQ(server.incr("n", -2), 3);
+  EXPECT_EQ(server.incr("other"), 1);
+}
+
+TEST(ParameterServerTest, EraseAndKeys) {
+  ParameterServer server("cloud");
+  server.set("a", {});
+  server.set("b", {});
+  EXPECT_EQ(server.size(), 2u);
+  EXPECT_TRUE(server.contains("a"));
+  ASSERT_TRUE(server.erase("a").ok());
+  EXPECT_FALSE(server.contains("a"));
+  EXPECT_EQ(server.erase("a").code(), StatusCode::kNotFound);
+  EXPECT_EQ(server.keys(), std::vector<std::string>{"b"});
+}
+
+TEST(ParameterServerTest, StatsTrackBytes) {
+  ParameterServer server("cloud");
+  server.set("k", Bytes(100, 1));
+  ASSERT_TRUE(server.get("k").ok());
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.sets, 1u);
+  EXPECT_EQ(stats.gets, 1u);
+  EXPECT_EQ(stats.bytes_in, 100u);
+  EXPECT_EQ(stats.bytes_out, 100u);
+}
+
+TEST(ParameterServerTest, ConcurrentIncrementsAreAtomic) {
+  ParameterServer server("cloud");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&server] {
+      for (int i = 0; i < 500; ++i) server.incr("n");
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(server.incr("n", 0), 2000);
+}
+
+TEST(ParameterClientTest, ChargesFabricBothWays) {
+  auto fabric = std::make_shared<net::Fabric>();
+  ASSERT_TRUE(fabric->add_site({.id = "cloud"}).ok());
+  ASSERT_TRUE(fabric->add_site({.id = "edge"}).ok());
+  net::LinkSpec spec;
+  spec.from = "edge";
+  spec.to = "cloud";
+  spec.latency_min = spec.latency_max = std::chrono::microseconds(100);
+  ASSERT_TRUE(fabric->add_bidirectional_link(spec).ok());
+
+  auto server = std::make_shared<ParameterServer>("cloud");
+  ParameterClient client(server, fabric, "edge");
+  ASSERT_TRUE(client.set("w", Bytes(1000, 2)).ok());
+  auto got = client.get("w");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().value.size(), 1000u);
+
+  const auto stats = fabric->link_stats();
+  EXPECT_GE(stats.at("edge->cloud").bytes, 1000u);
+  EXPECT_GE(stats.at("cloud->edge").bytes, 1000u);
+}
+
+TEST(ParameterClientTest, LocalClientUsesLoopback) {
+  auto fabric = std::make_shared<net::Fabric>();
+  ASSERT_TRUE(fabric->add_site({.id = "cloud"}).ok());
+  auto server = std::make_shared<ParameterServer>("cloud");
+  ParameterClient client(server, fabric, "cloud");
+  ASSERT_TRUE(client.set("k", bytes_of("v")).ok());
+  EXPECT_TRUE(client.get("k").ok());
+  EXPECT_GT(fabric->link_stats().at("cloud-loop").transfers, 0u);
+}
+
+TEST(ParameterClientTest, CasThroughClient) {
+  auto fabric = std::make_shared<net::Fabric>();
+  ASSERT_TRUE(fabric->add_site({.id = "cloud"}).ok());
+  auto server = std::make_shared<ParameterServer>("cloud");
+  ParameterClient client(server, fabric, "cloud");
+  ASSERT_TRUE(client.compare_and_set("k", 0, bytes_of("a")).ok());
+  EXPECT_FALSE(client.compare_and_set("k", 0, bytes_of("b")).ok());
+}
+
+}  // namespace
+}  // namespace pe::ps

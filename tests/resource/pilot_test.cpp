@@ -1,0 +1,183 @@
+#include "resource/pilot.h"
+#include "resource/pilot_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace pe::res {
+namespace {
+
+PilotManagerOptions fast_options() {
+  PilotManagerOptions options;
+  options.startup_delay_factor = 0.0005;  // near-instant provisioning
+  return options;
+}
+
+class PilotManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fabric_ = net::Fabric::make_paper_topology();
+    manager_ = std::make_unique<PilotManager>(fabric_, fast_options());
+  }
+  std::shared_ptr<net::Fabric> fabric_;
+  std::unique_ptr<PilotManager> manager_;
+};
+
+TEST_F(PilotManagerTest, SubmitAndActivateCloudVm) {
+  auto pilot = manager_->submit(Flavors::lrz_large());
+  ASSERT_TRUE(pilot.ok());
+  EXPECT_TRUE(pilot.value()->wait_active().ok());
+  EXPECT_EQ(pilot.value()->state(), PilotState::kActive);
+  EXPECT_EQ(pilot.value()->granted_cores(), 10u);
+  EXPECT_DOUBLE_EQ(pilot.value()->granted_memory_gb(), 44.0);
+  ASSERT_NE(pilot.value()->cluster(), nullptr);
+  EXPECT_EQ(pilot.value()->cluster()->site(), "lrz-eu");
+  EXPECT_EQ(pilot.value()->broker(), nullptr);
+}
+
+TEST_F(PilotManagerTest, UnknownSiteRejectedAtSubmit) {
+  auto pilot = manager_->submit(Flavors::lrz_large("atlantis"));
+  EXPECT_EQ(pilot.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PilotManagerTest, BrokerPilotExposesBroker) {
+  auto pilot = manager_->submit(
+      Flavors::make("lrz-eu", Backend::kBrokerService, 4, 16.0));
+  ASSERT_TRUE(pilot.ok());
+  ASSERT_TRUE(pilot.value()->wait_active().ok());
+  ASSERT_NE(pilot.value()->broker(), nullptr);
+  EXPECT_EQ(pilot.value()->broker()->site(), "lrz-eu");
+  EXPECT_EQ(pilot.value()->cluster(), nullptr);
+}
+
+TEST_F(PilotManagerTest, EdgePilotEnforcesDeviceLimits) {
+  // RasPi-class limit: > 4 cores fails during provisioning.
+  auto pilot = manager_->submit(
+      Flavors::make("edge-us", Backend::kEdgeSsh, 8, 4.0));
+  ASSERT_TRUE(pilot.ok());
+  const Status s = pilot.value()->wait_active();
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(pilot.value()->state(), PilotState::kFailed);
+  EXPECT_EQ(pilot.value()->cluster(), nullptr);
+}
+
+TEST_F(PilotManagerTest, RaspiFlavorActivates) {
+  auto pilot = manager_->submit(Flavors::raspi("edge-us"));
+  ASSERT_TRUE(pilot.ok());
+  EXPECT_TRUE(pilot.value()->wait_active().ok());
+  EXPECT_EQ(pilot.value()->granted_cores(), 1u);
+}
+
+TEST_F(PilotManagerTest, HpcBackendActivates) {
+  auto pilot = manager_->submit(
+      Flavors::make("lrz-eu", Backend::kHpcBatch, 32, 128.0));
+  ASSERT_TRUE(pilot.ok());
+  EXPECT_TRUE(pilot.value()->wait_active().ok());
+  EXPECT_EQ(pilot.value()->granted_cores(), 32u);
+}
+
+TEST_F(PilotManagerTest, WaitAllActiveCoversEveryPilot) {
+  auto a = manager_->submit(Flavors::lrz_medium());
+  auto b = manager_->submit(Flavors::jetstream_medium());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(manager_->wait_all_active().ok());
+  EXPECT_EQ(a.value()->state(), PilotState::kActive);
+  EXPECT_EQ(b.value()->state(), PilotState::kActive);
+}
+
+TEST_F(PilotManagerTest, WaitAllActiveReportsFailure) {
+  auto bad = manager_->submit(
+      Flavors::make("edge-us", Backend::kEdgeSsh, 8, 4.0));
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(manager_->wait_all_active().ok());
+}
+
+TEST_F(PilotManagerTest, CancelTearsDownCluster) {
+  auto pilot = manager_->submit(Flavors::lrz_medium());
+  ASSERT_TRUE(pilot.ok());
+  ASSERT_TRUE(pilot.value()->wait_active().ok());
+  pilot.value()->cancel();
+  EXPECT_EQ(pilot.value()->state(), PilotState::kCanceled);
+  EXPECT_EQ(pilot.value()->cluster(), nullptr);
+  pilot.value()->cancel();  // idempotent
+  EXPECT_EQ(pilot.value()->state(), PilotState::kCanceled);
+}
+
+TEST_F(PilotManagerTest, LookupById) {
+  auto pilot = manager_->submit(Flavors::lrz_medium());
+  ASSERT_TRUE(pilot.ok());
+  auto found = manager_->pilot(pilot.value()->id());
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value()->id(), pilot.value()->id());
+  EXPECT_EQ(manager_->pilot("pilot-none").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(manager_->pilots().size(), 1u);
+}
+
+TEST_F(PilotManagerTest, ShutdownCancelsAll) {
+  auto pilot = manager_->submit(Flavors::lrz_medium());
+  ASSERT_TRUE(pilot.ok());
+  manager_->shutdown();
+  const auto state = pilot.value()->state();
+  EXPECT_TRUE(state == PilotState::kCanceled);
+  EXPECT_EQ(manager_->submit(Flavors::lrz_medium()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PilotManagerTest, WaitActiveForTimesOutDuringProvisioning) {
+  PilotManagerOptions slow;
+  slow.startup_delay_factor = 10.0;  // very slow provisioning
+  PilotManager slow_manager(fabric_, slow);
+  auto pilot = slow_manager.submit(Flavors::lrz_medium());
+  ASSERT_TRUE(pilot.ok());
+  EXPECT_EQ(pilot.value()->wait_active_for(std::chrono::milliseconds(20)).code(),
+            StatusCode::kTimeout);
+  pilot.value()->cancel();
+}
+
+TEST(PilotDescriptionTest, ToStringDescribesResource) {
+  const auto d = Flavors::lrz_large();
+  const std::string s = d.to_string();
+  EXPECT_NE(s.find("cloud-vm"), std::string::npos);
+  EXPECT_NE(s.find("lrz-eu"), std::string::npos);
+  EXPECT_NE(s.find("10c"), std::string::npos);
+}
+
+TEST(BackendTest, FactoryCoversAllKinds) {
+  for (auto kind : {Backend::kCloudVm, Backend::kEdgeSsh, Backend::kHpcBatch,
+                    Backend::kBrokerService}) {
+    auto backend = make_backend(kind);
+    ASSERT_NE(backend, nullptr);
+    EXPECT_EQ(backend->kind(), kind);
+  }
+}
+
+TEST(BackendTest, ProvisioningDelaysOrderedByBackendClass) {
+  // Edge SSH connects faster than a cloud VM boots; HPC queues longest.
+  const PilotDescription edge = Flavors::raspi("edge-us");
+  const PilotDescription cloud = Flavors::lrz_medium();
+  const PilotDescription hpc =
+      Flavors::make("lrz-eu", Backend::kHpcBatch, 4, 16.0);
+  const auto edge_delay =
+      make_backend(Backend::kEdgeSsh)->provision(edge).value().startup_delay;
+  const auto cloud_delay =
+      make_backend(Backend::kCloudVm)->provision(cloud).value().startup_delay;
+  const auto hpc_delay =
+      make_backend(Backend::kHpcBatch)->provision(hpc).value().startup_delay;
+  EXPECT_LT(edge_delay, cloud_delay);
+  EXPECT_LT(cloud_delay, hpc_delay);
+}
+
+TEST(BackendTest, ZeroCoreRequestsRejected) {
+  for (auto kind : {Backend::kCloudVm, Backend::kEdgeSsh, Backend::kHpcBatch,
+                    Backend::kBrokerService}) {
+    PilotDescription d;
+    d.site = "x";
+    d.backend = kind;
+    d.cores = 0;
+    EXPECT_FALSE(make_backend(kind)->provision(d).ok());
+  }
+}
+
+}  // namespace
+}  // namespace pe::res

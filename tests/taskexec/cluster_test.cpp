@@ -1,0 +1,70 @@
+#include "taskexec/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace pe::exec {
+namespace {
+
+TEST(ClusterTest, ConstructsWithInitialWorker) {
+  Cluster cluster("cloud", 4, 16.0, "c0");
+  EXPECT_EQ(cluster.total_cores(), 4u);
+  EXPECT_EQ(cluster.site(), "cloud");
+  EXPECT_EQ(cluster.scheduler().worker_ids().size(), 1u);
+}
+
+TEST(ClusterTest, EmptyClusterStartsWithNoWorkers) {
+  Cluster cluster("cloud", 0, 0.0);
+  EXPECT_EQ(cluster.total_cores(), 0u);
+}
+
+TEST(ClusterTest, AddWorkerGrowsCapacity) {
+  Cluster cluster("cloud", 2, 8.0);
+  auto id = cluster.add_worker(3, 12.0);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(cluster.total_cores(), 5u);
+  EXPECT_TRUE(cluster.remove_worker(id.value()).ok());
+  EXPECT_EQ(cluster.total_cores(), 2u);
+}
+
+TEST(ClusterTest, AddZeroCoreWorkerRejected) {
+  Cluster cluster("cloud", 1, 4.0);
+  EXPECT_EQ(cluster.add_worker(0, 1.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ClusterTest, SubmitRunsOnClusterSite) {
+  Cluster cluster("edge-site", 1, 4.0, "edge-cluster");
+  TaskSpec spec;
+  std::atomic<bool> ran{false};
+  spec.fn = [&](TaskContext& ctx) {
+    EXPECT_NE(ctx.worker_id().find("edge-cluster"), std::string::npos);
+    ran.store(true);
+    return Status::Ok();
+  };
+  auto handle = cluster.submit(std::move(spec));
+  ASSERT_TRUE(handle.ok());
+  EXPECT_TRUE(handle.value().wait().ok());
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ClusterTest, WorkerIdsAreUniquePerCluster) {
+  Cluster cluster("cloud", 1, 4.0, "cx");
+  auto a = cluster.add_worker(1, 1.0);
+  auto b = cluster.add_worker(1, 1.0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(ClusterTest, ShutdownStopsScheduler) {
+  Cluster cluster("cloud", 1, 4.0);
+  cluster.shutdown();
+  TaskSpec spec;
+  spec.fn = [](TaskContext&) { return Status::Ok(); };
+  EXPECT_FALSE(cluster.submit(std::move(spec)).ok());
+}
+
+}  // namespace
+}  // namespace pe::exec

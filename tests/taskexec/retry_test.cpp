@@ -1,0 +1,199 @@
+// Failure handling: task retries and pilot failure injection.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "resource/pilot_manager.h"
+#include "taskexec/scheduler.h"
+
+namespace pe::exec {
+namespace {
+
+std::shared_ptr<Worker> make_worker(const std::string& id) {
+  return std::make_shared<Worker>(
+      WorkerSpec{.id = id, .site = "cloud", .cores = 2, .memory_gb = 8.0});
+}
+
+TEST(RetryTest, FailingTaskRetriesUntilSuccess) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0")).ok());
+  auto attempts = std::make_shared<std::atomic<int>>(0);
+  TaskSpec spec;
+  spec.max_retries = 5;
+  spec.fn = [attempts](TaskContext&) -> Status {
+    if (attempts->fetch_add(1) < 2) {
+      return Status::Unavailable("transient");
+    }
+    return Status::Ok();
+  };
+  auto handle = scheduler.submit(std::move(spec));
+  ASSERT_TRUE(handle.ok());
+  EXPECT_TRUE(handle.value().wait().ok());
+  EXPECT_EQ(attempts->load(), 3);
+  auto info = scheduler.task_info(handle.value().id());
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().state, TaskState::kSucceeded);
+  EXPECT_EQ(info.value().attempts, 2u);
+  // Retries do not count as failures in the stats.
+  EXPECT_EQ(scheduler.stats().failed_tasks, 0u);
+  EXPECT_EQ(scheduler.stats().completed_tasks, 1u);
+}
+
+TEST(RetryTest, ExhaustedRetriesFail) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0")).ok());
+  auto attempts = std::make_shared<std::atomic<int>>(0);
+  TaskSpec spec;
+  spec.max_retries = 2;
+  spec.fn = [attempts](TaskContext&) -> Status {
+    attempts->fetch_add(1);
+    return Status::Internal("always broken");
+  };
+  auto handle = scheduler.submit(std::move(spec));
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(handle.value().wait().code(), StatusCode::kInternal);
+  EXPECT_EQ(attempts->load(), 3);  // initial + 2 retries
+  EXPECT_EQ(scheduler.stats().failed_tasks, 1u);
+}
+
+TEST(RetryTest, NoRetryByDefault) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0")).ok());
+  auto attempts = std::make_shared<std::atomic<int>>(0);
+  TaskSpec spec;
+  spec.fn = [attempts](TaskContext&) -> Status {
+    attempts->fetch_add(1);
+    return Status::Internal("broken");
+  };
+  auto handle = scheduler.submit(std::move(spec));
+  ASSERT_TRUE(handle.ok());
+  EXPECT_FALSE(handle.value().wait().ok());
+  EXPECT_EQ(attempts->load(), 1);
+}
+
+TEST(RetryTest, CancellationIsNotRetried) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0")).ok());
+  auto attempts = std::make_shared<std::atomic<int>>(0);
+  TaskSpec spec;
+  spec.max_retries = 5;
+  spec.fn = [attempts](TaskContext& ctx) -> Status {
+    attempts->fetch_add(1);
+    while (!ctx.stop_requested()) {
+      Clock::sleep_exact(std::chrono::milliseconds(1));
+    }
+    return Status::Cancelled("stopped");
+  };
+  auto handle = scheduler.submit(std::move(spec));
+  ASSERT_TRUE(handle.ok());
+  Clock::sleep_exact(std::chrono::milliseconds(10));
+  ASSERT_TRUE(scheduler.cancel(handle.value().id()).ok());
+  EXPECT_EQ(handle.value().wait().code(), StatusCode::kCancelled);
+  EXPECT_EQ(attempts->load(), 1);
+}
+
+TEST(RetryTest, CancelledTaskThatFailsIsNotResubmitted) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0")).ok());
+  auto attempts = std::make_shared<std::atomic<int>>(0);
+  TaskSpec spec;
+  spec.max_retries = 5;
+  spec.fn = [attempts](TaskContext& ctx) -> Status {
+    attempts->fetch_add(1);
+    while (!ctx.stop_requested()) {
+      Clock::sleep_exact(std::chrono::milliseconds(1));
+    }
+    // Misbehaving body: reports a failure instead of Cancelled.
+    return Status::Internal("died while stopping");
+  };
+  auto handle = scheduler.submit(std::move(spec));
+  ASSERT_TRUE(handle.ok());
+  Clock::sleep_exact(std::chrono::milliseconds(10));
+  ASSERT_TRUE(scheduler.cancel(handle.value().id()).ok());
+  EXPECT_EQ(handle.value().wait().code(), StatusCode::kInternal);
+  EXPECT_EQ(attempts->load(), 1);  // cancel zeroed the retry budget
+}
+
+TEST(RetryTest, RetriedTaskKeepsHandleIdentity) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0")).ok());
+  auto attempts = std::make_shared<std::atomic<int>>(0);
+  TaskSpec spec;
+  spec.max_retries = 1;
+  spec.name = "flaky";
+  spec.fn = [attempts](TaskContext&) -> Status {
+    return attempts->fetch_add(1) == 0 ? Status::Unavailable("first")
+                                       : Status::Ok();
+  };
+  auto handle = scheduler.submit(std::move(spec));
+  ASSERT_TRUE(handle.ok());
+  const std::string id = handle.value().id();
+  EXPECT_TRUE(handle.value().wait().ok());
+  auto info = scheduler.task_info(id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().name, "flaky");
+  EXPECT_EQ(info.value().attempts, 1u);
+}
+
+}  // namespace
+}  // namespace pe::exec
+
+namespace pe::res {
+namespace {
+
+TEST(FailureInjectionTest, ActivePilotLosesResources) {
+  auto fabric = net::Fabric::make_paper_topology();
+  PilotManagerOptions options;
+  options.startup_delay_factor = 0.0005;
+  PilotManager manager(fabric, options);
+  auto pilot = manager.submit(Flavors::lrz_medium()).value();
+  ASSERT_TRUE(pilot->wait_active().ok());
+  ASSERT_NE(pilot->cluster(), nullptr);
+
+  ASSERT_TRUE(pilot->inject_failure("spot preemption").ok());
+  EXPECT_EQ(pilot->state(), PilotState::kFailed);
+  EXPECT_EQ(pilot->cluster(), nullptr);
+  EXPECT_EQ(pilot->failure_reason().code(), StatusCode::kUnavailable);
+  // Double injection fails cleanly.
+  EXPECT_EQ(pilot->inject_failure().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FailureInjectionTest, RunningTasksObserveTheLoss) {
+  auto fabric = net::Fabric::make_paper_topology();
+  PilotManagerOptions options;
+  options.startup_delay_factor = 0.0005;
+  PilotManager manager(fabric, options);
+  auto pilot = manager.submit(Flavors::lrz_medium()).value();
+  ASSERT_TRUE(pilot->wait_active().ok());
+
+  std::atomic<bool> observed_stop{false};
+  exec::TaskSpec spec;
+  spec.fn = [&observed_stop](exec::TaskContext& ctx) -> Status {
+    while (!ctx.stop_requested()) {
+      Clock::sleep_exact(std::chrono::milliseconds(1));
+    }
+    observed_stop.store(true);
+    return Status::Cancelled("pilot lost");
+  };
+  auto handle = pilot->cluster()->submit(std::move(spec));
+  ASSERT_TRUE(handle.ok());
+  Clock::sleep_exact(std::chrono::milliseconds(10));
+
+  ASSERT_TRUE(pilot->inject_failure("power loss").ok());
+  EXPECT_EQ(handle.value().wait().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(observed_stop.load());
+}
+
+TEST(FailureInjectionTest, NotActivePilotRejected) {
+  auto fabric = net::Fabric::make_paper_topology();
+  PilotManagerOptions slow;
+  slow.startup_delay_factor = 10.0;
+  PilotManager manager(fabric, slow);
+  auto pilot = manager.submit(Flavors::lrz_medium()).value();
+  EXPECT_EQ(pilot->inject_failure().code(),
+            StatusCode::kFailedPrecondition);
+  pilot->cancel();
+}
+
+}  // namespace
+}  // namespace pe::res

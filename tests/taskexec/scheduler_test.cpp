@@ -1,0 +1,317 @@
+#include "taskexec/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/clock.h"
+
+namespace pe::exec {
+namespace {
+
+std::shared_ptr<Worker> make_worker(const std::string& id,
+                                    std::uint32_t cores = 2,
+                                    double memory = 8.0) {
+  return std::make_shared<Worker>(
+      WorkerSpec{.id = id, .site = "cloud", .cores = cores,
+                 .memory_gb = memory});
+}
+
+TaskSpec simple_task(std::atomic<int>* counter) {
+  TaskSpec spec;
+  spec.name = "count";
+  spec.fn = [counter](TaskContext&) {
+    counter->fetch_add(1);
+    return Status::Ok();
+  };
+  return spec;
+}
+
+TEST(SchedulerTest, RunsSubmittedTask) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0")).ok());
+  std::atomic<int> count{0};
+  auto handle = scheduler.submit(simple_task(&count));
+  ASSERT_TRUE(handle.ok());
+  EXPECT_TRUE(handle.value().wait().ok());
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(SchedulerTest, TaskWithoutBodyRejected) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0")).ok());
+  TaskSpec spec;
+  EXPECT_EQ(scheduler.submit(std::move(spec)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchedulerTest, ImpossibleTaskRejectedUpFront) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0", 2)).ok());
+  TaskSpec spec;
+  spec.fn = [](TaskContext&) { return Status::Ok(); };
+  spec.cores = 16;  // more than any worker
+  EXPECT_EQ(scheduler.submit(std::move(spec)).status().code(),
+            StatusCode::kInvalidArgument);
+
+  TaskSpec pinned;
+  pinned.fn = [](TaskContext&) { return Status::Ok(); };
+  pinned.pinned_worker = "does-not-exist";
+  EXPECT_EQ(scheduler.submit(std::move(pinned)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchedulerTest, CapacityLimitsConcurrency) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0", 2)).ok());
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  std::vector<TaskHandle> handles;
+  for (int i = 0; i < 8; ++i) {
+    TaskSpec spec;
+    spec.fn = [&](TaskContext&) {
+      const int now = concurrent.fetch_add(1) + 1;
+      int expected = peak.load();
+      while (now > expected &&
+             !peak.compare_exchange_weak(expected, now)) {
+      }
+      Clock::sleep_exact(std::chrono::milliseconds(10));
+      concurrent.fetch_sub(1);
+      return Status::Ok();
+    };
+    auto handle = scheduler.submit(std::move(spec));
+    ASSERT_TRUE(handle.ok());
+    handles.push_back(std::move(handle).value());
+  }
+  for (auto& h : handles) EXPECT_TRUE(h.wait().ok());
+  EXPECT_LE(peak.load(), 2);
+  EXPECT_EQ(scheduler.stats().completed_tasks, 8u);
+}
+
+TEST(SchedulerTest, MultiCoreTaskOccupiesSlots) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0", 4)).ok());
+  std::atomic<bool> big_running{false};
+  TaskSpec big;
+  big.cores = 4;
+  big.fn = [&](TaskContext&) {
+    big_running.store(true);
+    Clock::sleep_exact(std::chrono::milliseconds(30));
+    big_running.store(false);
+    return Status::Ok();
+  };
+  auto big_handle = scheduler.submit(std::move(big));
+  ASSERT_TRUE(big_handle.ok());
+
+  // While the 4-core task runs, a 1-core task must wait.
+  Clock::sleep_exact(std::chrono::milliseconds(5));
+  std::atomic<int> count{0};
+  auto small = scheduler.submit(simple_task(&count));
+  ASSERT_TRUE(small.ok());
+  Clock::sleep_exact(std::chrono::milliseconds(5));
+  EXPECT_EQ(count.load(), 0);
+  EXPECT_TRUE(small.value().wait().ok());
+  EXPECT_EQ(count.load(), 1);
+  EXPECT_TRUE(big_handle.value().wait().ok());
+}
+
+TEST(SchedulerTest, PinnedTaskRunsOnRequestedWorker) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0")).ok());
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w1")).ok());
+  TaskSpec spec;
+  spec.pinned_worker = "w1";
+  std::string observed;
+  std::mutex m;
+  spec.fn = [&](TaskContext& ctx) {
+    std::lock_guard<std::mutex> lock(m);
+    observed = ctx.worker_id();
+    return Status::Ok();
+  };
+  auto handle = scheduler.submit(std::move(spec));
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(handle.value().wait().ok());
+  EXPECT_EQ(observed, "w1");
+}
+
+TEST(SchedulerTest, FailedTaskReportsStatusAndCounts) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0")).ok());
+  TaskSpec spec;
+  spec.fn = [](TaskContext&) { return Status::Internal("kaboom"); };
+  auto handle = scheduler.submit(std::move(spec));
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(handle.value().wait().code(), StatusCode::kInternal);
+  EXPECT_EQ(scheduler.stats().failed_tasks, 1u);
+
+  auto info = scheduler.task_info(handle.value().id());
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().state, TaskState::kFailed);
+  EXPECT_GT(info.value().end_ns, info.value().start_ns);
+}
+
+TEST(SchedulerTest, ThrowingTaskBecomesInternalError) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0")).ok());
+  TaskSpec spec;
+  spec.fn = [](TaskContext&) -> Status { throw std::runtime_error("oops"); };
+  auto handle = scheduler.submit(std::move(spec));
+  ASSERT_TRUE(handle.ok());
+  const Status s = handle.value().wait();
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("oops"), std::string::npos);
+}
+
+TEST(SchedulerTest, CancelPendingTaskDropsIt) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0", 1)).ok());
+  // Block the single core.
+  std::atomic<bool> release{false};
+  TaskSpec blocker;
+  blocker.fn = [&](TaskContext&) {
+    while (!release.load()) Clock::sleep_exact(std::chrono::milliseconds(1));
+    return Status::Ok();
+  };
+  auto blocker_handle = scheduler.submit(std::move(blocker));
+  ASSERT_TRUE(blocker_handle.ok());
+
+  std::atomic<int> count{0};
+  auto pending = scheduler.submit(simple_task(&count));
+  ASSERT_TRUE(pending.ok());
+  ASSERT_TRUE(scheduler.cancel(pending.value().id()).ok());
+  EXPECT_EQ(pending.value().wait().code(), StatusCode::kCancelled);
+
+  release.store(true);
+  ASSERT_TRUE(blocker_handle.value().wait().ok());
+  EXPECT_EQ(count.load(), 0);
+  auto info = scheduler.task_info(pending.value().id());
+  EXPECT_EQ(info.value().state, TaskState::kCancelled);
+}
+
+TEST(SchedulerTest, CancelRunningTaskSetsStopFlag) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0")).ok());
+  TaskSpec spec;
+  spec.fn = [](TaskContext& ctx) -> Status {
+    while (!ctx.stop_requested()) {
+      Clock::sleep_exact(std::chrono::milliseconds(1));
+    }
+    return Status::Cancelled("observed stop");
+  };
+  auto handle = scheduler.submit(std::move(spec));
+  ASSERT_TRUE(handle.ok());
+  Clock::sleep_exact(std::chrono::milliseconds(10));
+  ASSERT_TRUE(scheduler.cancel(handle.value().id()).ok());
+  EXPECT_EQ(handle.value().wait().code(), StatusCode::kCancelled);
+}
+
+TEST(SchedulerTest, CancelUnknownTaskFails) {
+  Scheduler scheduler;
+  EXPECT_EQ(scheduler.cancel("task-999999").code(), StatusCode::kNotFound);
+}
+
+TEST(SchedulerTest, WaitIdleBlocksUntilDrained) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0", 2)).ok());
+  std::atomic<int> count{0};
+  for (int i = 0; i < 6; ++i) {
+    TaskSpec spec;
+    spec.fn = [&count](TaskContext&) {
+      Clock::sleep_exact(std::chrono::milliseconds(5));
+      count.fetch_add(1);
+      return Status::Ok();
+    };
+    ASSERT_TRUE(scheduler.submit(std::move(spec)).ok());
+  }
+  scheduler.wait_idle();
+  EXPECT_EQ(count.load(), 6);
+  EXPECT_EQ(scheduler.stats().pending_tasks, 0u);
+  EXPECT_EQ(scheduler.stats().running_tasks, 0u);
+}
+
+TEST(SchedulerTest, RemoveWorkerRefusedWhileBusy) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0")).ok());
+  std::atomic<bool> release{false};
+  TaskSpec spec;
+  spec.fn = [&](TaskContext&) {
+    while (!release.load()) Clock::sleep_exact(std::chrono::milliseconds(1));
+    return Status::Ok();
+  };
+  auto handle = scheduler.submit(std::move(spec));
+  ASSERT_TRUE(handle.ok());
+  Clock::sleep_exact(std::chrono::milliseconds(5));
+  EXPECT_EQ(scheduler.remove_worker("w0").code(),
+            StatusCode::kFailedPrecondition);
+  release.store(true);
+  ASSERT_TRUE(handle.value().wait().ok());
+  EXPECT_TRUE(scheduler.remove_worker("w0").ok());
+  EXPECT_EQ(scheduler.remove_worker("w0").code(), StatusCode::kNotFound);
+}
+
+TEST(SchedulerTest, DuplicateWorkerRejected) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0")).ok());
+  EXPECT_EQ(scheduler.add_worker(make_worker("w0")).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchedulerTest, AddWorkerUnblocksQueuedTasks) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("tiny", 1)).ok());
+  std::atomic<bool> release{false};
+  TaskSpec blocker;
+  blocker.fn = [&](TaskContext&) {
+    while (!release.load()) Clock::sleep_exact(std::chrono::milliseconds(1));
+    return Status::Ok();
+  };
+  auto blocker_handle = scheduler.submit(std::move(blocker));
+  std::atomic<int> count{0};
+  auto queued = scheduler.submit(simple_task(&count));
+  ASSERT_TRUE(queued.ok());
+  Clock::sleep_exact(std::chrono::milliseconds(5));
+  EXPECT_EQ(count.load(), 0);
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w1")).ok());
+  EXPECT_TRUE(queued.value().wait().ok());
+  EXPECT_EQ(count.load(), 1);
+  release.store(true);
+  ASSERT_TRUE(blocker_handle.ok());
+  (void)blocker_handle.value().wait();
+}
+
+TEST(SchedulerTest, ShutdownCancelsPendingTasks) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0", 1)).ok());
+  std::atomic<bool> release{false};
+  TaskSpec blocker;
+  blocker.fn = [&](TaskContext& ctx) {
+    while (!release.load() && !ctx.stop_requested()) {
+      Clock::sleep_exact(std::chrono::milliseconds(1));
+    }
+    return Status::Ok();
+  };
+  auto running = scheduler.submit(std::move(blocker));
+  std::atomic<int> count{0};
+  auto pending = scheduler.submit(simple_task(&count));
+  ASSERT_TRUE(running.ok());
+  ASSERT_TRUE(pending.ok());
+  scheduler.shutdown();
+  EXPECT_EQ(pending.value().wait().code(), StatusCode::kCancelled);
+  EXPECT_EQ(count.load(), 0);
+  // Submitting after shutdown fails.
+  std::atomic<int> c2{0};
+  EXPECT_EQ(scheduler.submit(simple_task(&c2)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SchedulerTest, StatsReflectCapacity) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0", 4)).ok());
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.workers, 1u);
+  EXPECT_EQ(stats.total_cores, 4u);
+  EXPECT_EQ(stats.cores_in_use, 0u);
+}
+
+}  // namespace
+}  // namespace pe::exec

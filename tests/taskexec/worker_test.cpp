@@ -1,0 +1,103 @@
+#include "taskexec/worker.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/logging.h"
+
+namespace pe::exec {
+namespace {
+
+TEST(WorkerTest, ExposesSpec) {
+  Worker worker(WorkerSpec{.id = "w", .site = "cloud", .cores = 3,
+                           .memory_gb = 12.0});
+  EXPECT_EQ(worker.id(), "w");
+  EXPECT_EQ(worker.site(), "cloud");
+  EXPECT_EQ(worker.cores(), 3u);
+  EXPECT_DOUBLE_EQ(worker.memory_gb(), 12.0);
+}
+
+TEST(WorkerTest, ExecutesJobs) {
+  Worker worker(WorkerSpec{.id = "w", .site = "s", .cores = 2,
+                           .memory_gb = 4.0});
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(worker.execute([&count] { count.fetch_add(1); }));
+  }
+  worker.shutdown();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(WorkerTest, RejectsAfterShutdown) {
+  Worker worker(WorkerSpec{.id = "w", .site = "s", .cores = 1,
+                           .memory_gb = 1.0});
+  worker.shutdown();
+  EXPECT_FALSE(worker.execute([] {}));
+}
+
+TEST(WorkerTest, CoreCountBoundsParallelism) {
+  Worker worker(WorkerSpec{.id = "w", .site = "s", .cores = 2,
+                           .memory_gb = 4.0});
+  std::atomic<int> concurrent{0}, peak{0};
+  std::atomic<int> done{0};
+  for (int i = 0; i < 6; ++i) {
+    worker.execute([&] {
+      const int now = concurrent.fetch_add(1) + 1;
+      int expected = peak.load();
+      while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+      }
+      Clock::sleep_exact(std::chrono::milliseconds(5));
+      concurrent.fetch_sub(1);
+      done.fetch_add(1);
+    });
+  }
+  worker.shutdown();
+  EXPECT_EQ(done.load(), 6);
+  EXPECT_LE(peak.load(), 2);
+}
+
+}  // namespace
+}  // namespace pe::exec
+
+namespace pe {
+namespace {
+
+TEST(IdsTest, SequencesAreUniqueAndPrefixed) {
+  const auto a = next_pilot_id();
+  const auto b = next_pilot_id();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.rfind("pilot-", 0), 0u);
+  EXPECT_EQ(next_task_id().rfind("task-", 0), 0u);
+  EXPECT_EQ(next_pipeline_id().rfind("pipeline-", 0), 0u);
+  EXPECT_EQ(next_consumer_id().rfind("consumer-", 0), 0u);
+  EXPECT_NE(next_message_id(), next_message_id());
+}
+
+TEST(LoggingTest, LevelGating) {
+  const LogLevel before = Logger::level();
+  Logger::set_level(LogLevel::kError);
+  EXPECT_FALSE(Logger::enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::enabled(LogLevel::kError));
+  Logger::set_level(LogLevel::kTrace);
+  EXPECT_TRUE(Logger::enabled(LogLevel::kDebug));
+  Logger::set_level(before);
+}
+
+TEST(LoggingTest, MacroEvaluatesLazily) {
+  const LogLevel before = Logger::level();
+  Logger::set_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    evaluations += 1;
+    return "x";
+  };
+  PE_LOG_DEBUG("value " << expensive());  // below level: not evaluated
+  EXPECT_EQ(evaluations, 0);
+  Logger::set_level(before);
+}
+
+}  // namespace
+}  // namespace pe

@@ -1,0 +1,125 @@
+#include "telemetry/energy.h"
+
+#include <gtest/gtest.h>
+
+namespace pe::tel {
+namespace {
+
+EnergyInputs base_inputs() {
+  EnergyInputs in;
+  in.window_seconds = 10.0;
+  in.edge_busy_seconds = 8.0;
+  in.cloud_busy_seconds = 5.0;
+  in.edge_devices = 4;
+  in.cloud_cores = 10;
+  in.wan_bytes = 100'000'000;  // 100 MB
+  in.lan_bytes = 10'000'000;
+  return in;
+}
+
+TEST(EnergyModelTest, BreakdownArithmetic) {
+  EnergyModelConfig config;
+  config.edge_device = {2.0, 3.0};
+  config.cloud_core = {4.0, 10.0};
+  config.wan_joules_per_byte = 1e-8;
+  config.lan_joules_per_byte = 1e-9;
+  EnergyModel model(config);
+
+  const auto out = model.estimate(base_inputs());
+  EXPECT_DOUBLE_EQ(out.edge_idle_j, 2.0 * 4 * 10.0);
+  EXPECT_DOUBLE_EQ(out.edge_active_j, 3.0 * 8.0);
+  EXPECT_DOUBLE_EQ(out.cloud_idle_j, 4.0 * 10 * 10.0);
+  EXPECT_DOUBLE_EQ(out.cloud_active_j, 10.0 * 5.0);
+  EXPECT_DOUBLE_EQ(out.wan_transfer_j, 1.0);
+  EXPECT_DOUBLE_EQ(out.lan_transfer_j, 0.01);
+  EXPECT_DOUBLE_EQ(out.total_j(), 80.0 + 24.0 + 400.0 + 50.0 + 1.0 + 0.01);
+}
+
+TEST(EnergyModelTest, MoreWanBytesMoreEnergy) {
+  EnergyModel model;
+  auto in = base_inputs();
+  const double before = model.estimate(in).total_j();
+  in.wan_bytes *= 10;
+  EXPECT_GT(model.estimate(in).total_j(), before);
+}
+
+TEST(EnergyModelTest, MoreBusyTimeMoreEnergy) {
+  EnergyModel model;
+  auto in = base_inputs();
+  const double before = model.estimate(in).total_j();
+  in.cloud_busy_seconds *= 2;
+  EXPECT_GT(model.estimate(in).total_j(), before);
+}
+
+TEST(EnergyModelTest, ZeroInputsZeroEnergy) {
+  EnergyModel model;
+  const auto out = model.estimate(EnergyInputs{});
+  EXPECT_DOUBLE_EQ(out.total_j(), 0.0);
+  EXPECT_DOUBLE_EQ(out.joules_per_mb(0.0), 0.0);
+}
+
+TEST(EnergyModelTest, NegativeDurationsClamped) {
+  EnergyModel model;
+  EnergyInputs in;
+  in.window_seconds = -5.0;
+  in.edge_busy_seconds = -1.0;
+  in.cloud_busy_seconds = -1.0;
+  in.edge_devices = 3;
+  const auto out = model.estimate(in);
+  EXPECT_DOUBLE_EQ(out.total_j(), 0.0);
+}
+
+TEST(EnergyModelTest, JoulesPerMb) {
+  EnergyModelConfig config;
+  config.edge_device = {0.0, 0.0};
+  config.cloud_core = {0.0, 0.0};
+  config.wan_joules_per_byte = 1e-6;
+  EnergyModel model(config);
+  EnergyInputs in;
+  in.wan_bytes = 2'000'000;  // 2 J
+  const auto out = model.estimate(in);
+  EXPECT_DOUBLE_EQ(out.joules_per_mb(2.0), 1.0);
+}
+
+TEST(EnergyModelTest, InputsFromRunReport) {
+  RunReport report;
+  report.window_seconds = 4.0;
+  report.produce_window_seconds = 3.0;
+  report.messages = 10;
+  report.processing_ms.mean = 200.0;  // 0.2 s x 10 msgs = 2 s busy
+
+  EnergyModel model;
+  const auto in = model.inputs_from_run(report, 2, 8, 111, 222);
+  EXPECT_DOUBLE_EQ(in.window_seconds, 4.0);
+  EXPECT_DOUBLE_EQ(in.edge_busy_seconds, 6.0);  // 3 s x 2 devices
+  EXPECT_DOUBLE_EQ(in.cloud_busy_seconds, 2.0);
+  EXPECT_EQ(in.edge_devices, 2u);
+  EXPECT_EQ(in.cloud_cores, 8u);
+  EXPECT_EQ(in.wan_bytes, 111u);
+  EXPECT_EQ(in.lan_bytes, 222u);
+}
+
+TEST(EnergyModelTest, ToStringListsComponents) {
+  EnergyModel model;
+  const auto out = model.estimate(base_inputs());
+  const std::string s = out.to_string();
+  EXPECT_NE(s.find("energy [J]"), std::string::npos);
+  EXPECT_NE(s.find("wan"), std::string::npos);
+}
+
+// Shape: the edge-centric deployment trades WAN energy for device
+// compute energy — the trade-off the paper's future work targets.
+TEST(EnergyModelTest, HybridReducesWanEnergyShare) {
+  EnergyModel model;
+  auto cloud_centric = base_inputs();
+  auto hybrid = base_inputs();
+  hybrid.wan_bytes /= 8;          // 8x edge aggregation
+  hybrid.edge_busy_seconds *= 1.2;  // extra edge compute for aggregation
+  const auto cc = model.estimate(cloud_centric);
+  const auto hy = model.estimate(hybrid);
+  EXPECT_LT(hy.wan_transfer_j, cc.wan_transfer_j);
+  EXPECT_GT(hy.edge_active_j, cc.edge_active_j);
+}
+
+}  // namespace
+}  // namespace pe::tel

@@ -1,0 +1,97 @@
+#include "telemetry/json.h"
+
+#include <gtest/gtest.h>
+
+namespace pe::tel {
+namespace {
+
+TEST(JsonWriterTest, SimpleObject) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("run-1");
+  w.key("count").value(std::uint64_t{42});
+  w.key("ok").value(true);
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"name":"run-1","count":42,"ok":true})");
+}
+
+TEST(JsonWriterTest, NestedStructures) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("list");
+  w.begin_array();
+  w.value(1);
+  w.value(2);
+  w.end_array();
+  w.key("inner");
+  w.begin_object();
+  w.key("x").value(1.5);
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"list":[1,2],"inner":{"x":1.5}})");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("s").value("a\"b\\c\nd\te");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(JsonWriterTest, ControlCharactersEscapedAsUnicode) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("s").value(std::string("a\x01z"));
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\u0001z\"}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::nan(""));
+  w.value(1.0);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null,1]");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a");
+  w.begin_array();
+  w.end_array();
+  w.key("o");
+  w.begin_object();
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":[],"o":{}})");
+}
+
+TEST(ReportJsonTest, ContainsAllSections) {
+  RunReport report;
+  report.label = "json-run";
+  report.messages = 3;
+  report.payload_bytes = 999;
+  report.window_seconds = 1.5;
+  report.messages_per_second = 2.0;
+  report.end_to_end_ms.count = 3;
+  report.end_to_end_ms.mean = 7.5;
+
+  const std::string json = to_json(report);
+  EXPECT_NE(json.find(R"("label":"json-run")"), std::string::npos);
+  EXPECT_NE(json.find(R"("messages":3)"), std::string::npos);
+  EXPECT_NE(json.find(R"("component_rates")"), std::string::npos);
+  EXPECT_NE(json.find(R"("end_to_end")"), std::string::npos);
+  EXPECT_NE(json.find(R"("mean":7.5)"), std::string::npos);
+  // Balanced braces (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+}  // namespace
+}  // namespace pe::tel

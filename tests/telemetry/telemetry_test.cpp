@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "telemetry/collector.h"
+#include "telemetry/metrics.h"
+#include "telemetry/report.h"
+
+namespace pe::tel {
+namespace {
+
+// ---------- spans ----------
+
+TEST(MessageSpanTest, DerivedLatencies) {
+  MessageSpan span;
+  span.produced_ns = 1'000'000;        // t = 1 ms
+  span.broker_ns = 3'000'000;          // t = 3 ms
+  span.consumed_ns = 6'000'000;        // t = 6 ms
+  span.process_start_ns = 6'500'000;   // t = 6.5 ms
+  span.process_end_ns = 11'000'000;    // t = 11 ms
+  EXPECT_TRUE(span.complete());
+  EXPECT_DOUBLE_EQ(span.end_to_end_ms(), 10.0);
+  EXPECT_DOUBLE_EQ(span.ingress_ms(), 2.0);
+  EXPECT_DOUBLE_EQ(span.broker_residency_ms(), 3.0);
+  EXPECT_DOUBLE_EQ(span.consumer_queue_ms(), 0.5);
+  EXPECT_DOUBLE_EQ(span.processing_ms(), 4.5);
+}
+
+TEST(MessageSpanTest, MissingStagesYieldZero) {
+  MessageSpan span;
+  span.produced_ns = 100;
+  EXPECT_FALSE(span.complete());
+  EXPECT_EQ(span.end_to_end_ms(), 0.0);
+  EXPECT_EQ(span.broker_residency_ms(), 0.0);
+}
+
+TEST(MessageSpanTest, OutOfOrderTimestampsClampToZero) {
+  // Clock skew guard: b < a reports 0 instead of negative.
+  EXPECT_EQ(MessageSpan::ms_between(100, 50), 0.0);
+}
+
+// ---------- collector ----------
+
+TEST(SpanCollectorTest, TracksLifecycle) {
+  SpanCollector collector;
+  collector.on_produced(1, "device-0", 0, 1024, 25, 1000);
+  EXPECT_EQ(collector.total_count(), 1u);
+  EXPECT_EQ(collector.completed_count(), 0u);
+
+  collector.on_sent(1, 2000);
+  collector.on_broker(1, 3000);
+  collector.on_consumed(1, 4000);
+  collector.on_process_start(1, 5000);
+  collector.on_process_end(1, 6000);
+  EXPECT_EQ(collector.completed_count(), 1u);
+
+  const auto spans = collector.completed();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].producer_id, "device-0");
+  EXPECT_EQ(spans[0].payload_bytes, 1024u);
+  EXPECT_EQ(spans[0].rows, 25u);
+  EXPECT_EQ(spans[0].broker_ns, 3000u);
+}
+
+TEST(SpanCollectorTest, UpdatesForUnknownIdAreIgnored) {
+  SpanCollector collector;
+  collector.on_sent(99, 1000);  // never produced
+  EXPECT_EQ(collector.total_count(), 0u);
+}
+
+TEST(SpanCollectorTest, SnapshotIncludesIncomplete) {
+  SpanCollector collector;
+  collector.on_produced(1, "d", 0, 10, 1, 100);
+  collector.on_produced(2, "d", 0, 10, 1, 200);
+  collector.on_process_end(1, 300);
+  EXPECT_EQ(collector.snapshot().size(), 2u);
+  EXPECT_EQ(collector.completed().size(), 1u);
+  collector.clear();
+  EXPECT_EQ(collector.total_count(), 0u);
+}
+
+// ---------- report ----------
+
+std::vector<MessageSpan> make_spans(std::size_t n,
+                                    std::uint64_t gap_ns = 1'000'000) {
+  std::vector<MessageSpan> spans;
+  for (std::size_t i = 0; i < n; ++i) {
+    MessageSpan s;
+    s.message_id = i;
+    s.payload_bytes = 1000;
+    s.rows = 10;
+    s.produced_ns = 1'000'000 + i * gap_ns;
+    s.broker_ns = s.produced_ns + 500'000;
+    s.consumed_ns = s.broker_ns + 300'000;
+    s.process_start_ns = s.consumed_ns + 100'000;
+    s.process_end_ns = s.process_start_ns + 2'000'000;
+    spans.push_back(s);
+  }
+  return spans;
+}
+
+TEST(RunReportTest, AggregatesThroughputAndLatency) {
+  const auto report = build_report(make_spans(11), "test-run");
+  EXPECT_EQ(report.messages, 11u);
+  EXPECT_EQ(report.payload_bytes, 11'000u);
+  EXPECT_EQ(report.rows, 110u);
+  // Window: first produce (1 ms) to last process end (ends at
+  // 1 + 10 + 0.5 + 0.3 + 0.1 + 2 = 13.9 ms) => 12.9 ms.
+  EXPECT_NEAR(report.window_seconds, 0.0129, 1e-6);
+  EXPECT_NEAR(report.messages_per_second, 11.0 / 0.0129, 1.0);
+  EXPECT_NEAR(report.end_to_end_ms.mean, 2.9, 1e-9);
+  EXPECT_NEAR(report.ingress_ms.mean, 0.5, 1e-9);
+  EXPECT_NEAR(report.processing_ms.mean, 2.0, 1e-9);
+  EXPECT_EQ(report.label, "test-run");
+}
+
+TEST(RunReportTest, IgnoresIncompleteSpans) {
+  auto spans = make_spans(3);
+  spans[1].process_end_ns = 0;
+  const auto report = build_report(spans);
+  EXPECT_EQ(report.messages, 2u);
+}
+
+TEST(RunReportTest, EmptyInputIsAllZero) {
+  const auto report = build_report({});
+  EXPECT_EQ(report.messages, 0u);
+  EXPECT_EQ(report.messages_per_second, 0.0);
+  EXPECT_EQ(report.window_seconds, 0.0);
+}
+
+TEST(RunReportTest, CsvRowMatchesHeaderArity) {
+  const auto report = build_report(make_spans(2), "x");
+  const std::string header = RunReport::csv_header();
+  const std::string row = report.to_csv_row();
+  const auto count = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(count(header), count(row));
+}
+
+TEST(RunReportTest, ToStringMentionsKeyNumbers) {
+  const auto report = build_report(make_spans(2), "label-x");
+  const std::string s = report.to_string();
+  EXPECT_NE(s.find("label-x"), std::string::npos);
+  EXPECT_NE(s.find("throughput"), std::string::npos);
+  EXPECT_NE(s.find("processing"), std::string::npos);
+}
+
+// ---------- metrics registry ----------
+
+TEST(MetricsRegistryTest, CountersAccumulate) {
+  MetricsRegistry registry;
+  registry.counter("a").add();
+  registry.counter("a").add(4);
+  registry.counter("b").add(2);
+  const auto counters = registry.counters();
+  EXPECT_EQ(counters.at("a"), 5u);
+  EXPECT_EQ(counters.at("b"), 2u);
+}
+
+TEST(MetricsRegistryTest, GaugesHoldLatest) {
+  MetricsRegistry registry;
+  registry.gauge("g").set(1.5);
+  registry.gauge("g").set(2.5);
+  EXPECT_DOUBLE_EQ(registry.gauges().at("g"), 2.5);
+}
+
+TEST(MetricsRegistryTest, HistogramsSummarize) {
+  MetricsRegistry registry;
+  registry.histogram("h").record(1.0);
+  registry.histogram("h").record(3.0);
+  const auto h = registry.histograms().at("h");
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_DOUBLE_EQ(h.mean, 2.0);
+}
+
+TEST(MetricsRegistryTest, ReferencesAreStable) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("stable");
+  registry.counter("other").add();
+  c.add(10);
+  EXPECT_EQ(registry.counters().at("stable"), 10u);
+}
+
+TEST(MetricsRegistryTest, ToStringListsEverything) {
+  MetricsRegistry registry;
+  registry.counter("count.x").add();
+  registry.gauge("gauge.y").set(1.0);
+  registry.histogram("hist.z").record(2.0);
+  const std::string s = registry.to_string();
+  EXPECT_NE(s.find("count.x"), std::string::npos);
+  EXPECT_NE(s.find("gauge.y"), std::string::npos);
+  EXPECT_NE(s.find("hist.z"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, GlobalIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+}  // namespace
+}  // namespace pe::tel

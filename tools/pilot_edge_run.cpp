@@ -1,0 +1,12 @@
+// Thin entry point for the flag-driven experiment runner.
+#include "core/experiment_cli.h"
+
+int main(int argc, char** argv) {
+  auto options = pe::core::cli::parse(argc, argv);
+  if (!options.ok()) {
+    std::fprintf(stderr, "%s\n\n%s", options.status().to_string().c_str(),
+                 pe::core::cli::usage().c_str());
+    return 2;
+  }
+  return pe::core::cli::run(options.value());
+}
