@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_baseline.dir/bench_fig2_baseline.cpp.o"
+  "CMakeFiles/bench_fig2_baseline.dir/bench_fig2_baseline.cpp.o.d"
+  "bench_fig2_baseline"
+  "bench_fig2_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pilot_startup.dir/bench_pilot_startup.cpp.o"
+  "CMakeFiles/bench_pilot_startup.dir/bench_pilot_startup.cpp.o.d"
+  "bench_pilot_startup"
+  "bench_pilot_startup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pilot_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

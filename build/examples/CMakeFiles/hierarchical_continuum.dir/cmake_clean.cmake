@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_continuum.dir/hierarchical_continuum.cpp.o"
+  "CMakeFiles/hierarchical_continuum.dir/hierarchical_continuum.cpp.o.d"
+  "hierarchical_continuum"
+  "hierarchical_continuum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_continuum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/mqtt_ingestion.cpp" "examples/CMakeFiles/mqtt_ingestion.dir/mqtt_ingestion.cpp.o" "gcc" "examples/CMakeFiles/mqtt_ingestion.dir/mqtt_ingestion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/pe_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskexec/CMakeFiles/pe_taskexec.dir/DependInfo.cmake"
+  "/root/repo/build/src/paramserver/CMakeFiles/pe_paramserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pe_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pe_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/pe_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/mqtt/CMakeFiles/pe_mqtt.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/pe_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/pe_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

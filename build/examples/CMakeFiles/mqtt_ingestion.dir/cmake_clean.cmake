@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqtt_ingestion.dir/mqtt_ingestion.cpp.o"
+  "CMakeFiles/mqtt_ingestion.dir/mqtt_ingestion.cpp.o.d"
+  "mqtt_ingestion"
+  "mqtt_ingestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqtt_ingestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

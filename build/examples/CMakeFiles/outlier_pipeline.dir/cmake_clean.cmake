@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outlier_pipeline.dir/outlier_pipeline.cpp.o"
+  "CMakeFiles/outlier_pipeline.dir/outlier_pipeline.cpp.o.d"
+  "outlier_pipeline"
+  "outlier_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outlier_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_broker.dir/broker.cpp.o"
+  "CMakeFiles/pe_broker.dir/broker.cpp.o.d"
+  "CMakeFiles/pe_broker.dir/consumer.cpp.o"
+  "CMakeFiles/pe_broker.dir/consumer.cpp.o.d"
+  "CMakeFiles/pe_broker.dir/group_coordinator.cpp.o"
+  "CMakeFiles/pe_broker.dir/group_coordinator.cpp.o.d"
+  "CMakeFiles/pe_broker.dir/partition_log.cpp.o"
+  "CMakeFiles/pe_broker.dir/partition_log.cpp.o.d"
+  "CMakeFiles/pe_broker.dir/producer.cpp.o"
+  "CMakeFiles/pe_broker.dir/producer.cpp.o.d"
+  "CMakeFiles/pe_broker.dir/topic.cpp.o"
+  "CMakeFiles/pe_broker.dir/topic.cpp.o.d"
+  "libpe_broker.a"
+  "libpe_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

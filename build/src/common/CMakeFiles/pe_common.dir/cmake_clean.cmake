@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_common.dir/histogram.cpp.o"
+  "CMakeFiles/pe_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/pe_common.dir/logging.cpp.o"
+  "CMakeFiles/pe_common.dir/logging.cpp.o.d"
+  "CMakeFiles/pe_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/pe_common.dir/thread_pool.cpp.o.d"
+  "libpe_common.a"
+  "libpe_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment_cli.cpp" "src/core/CMakeFiles/pe_core.dir/experiment_cli.cpp.o" "gcc" "src/core/CMakeFiles/pe_core.dir/experiment_cli.cpp.o.d"
+  "/root/repo/src/core/functions.cpp" "src/core/CMakeFiles/pe_core.dir/functions.cpp.o" "gcc" "src/core/CMakeFiles/pe_core.dir/functions.cpp.o.d"
+  "/root/repo/src/core/multistage.cpp" "src/core/CMakeFiles/pe_core.dir/multistage.cpp.o" "gcc" "src/core/CMakeFiles/pe_core.dir/multistage.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/pe_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/pe_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/core/CMakeFiles/pe_core.dir/placement.cpp.o" "gcc" "src/core/CMakeFiles/pe_core.dir/placement.cpp.o.d"
+  "/root/repo/src/core/scaling.cpp" "src/core/CMakeFiles/pe_core.dir/scaling.cpp.o" "gcc" "src/core/CMakeFiles/pe_core.dir/scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/pe_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/pe_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskexec/CMakeFiles/pe_taskexec.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/pe_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/paramserver/CMakeFiles/pe_paramserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pe_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pe_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/pe_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/mqtt/CMakeFiles/pe_mqtt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

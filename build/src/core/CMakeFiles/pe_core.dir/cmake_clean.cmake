@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_core.dir/experiment_cli.cpp.o"
+  "CMakeFiles/pe_core.dir/experiment_cli.cpp.o.d"
+  "CMakeFiles/pe_core.dir/functions.cpp.o"
+  "CMakeFiles/pe_core.dir/functions.cpp.o.d"
+  "CMakeFiles/pe_core.dir/multistage.cpp.o"
+  "CMakeFiles/pe_core.dir/multistage.cpp.o.d"
+  "CMakeFiles/pe_core.dir/pipeline.cpp.o"
+  "CMakeFiles/pe_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/pe_core.dir/placement.cpp.o"
+  "CMakeFiles/pe_core.dir/placement.cpp.o.d"
+  "CMakeFiles/pe_core.dir/scaling.cpp.o"
+  "CMakeFiles/pe_core.dir/scaling.cpp.o.d"
+  "libpe_core.a"
+  "libpe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

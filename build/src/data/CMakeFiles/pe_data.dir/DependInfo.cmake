@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/codec.cpp" "src/data/CMakeFiles/pe_data.dir/codec.cpp.o" "gcc" "src/data/CMakeFiles/pe_data.dir/codec.cpp.o.d"
+  "/root/repo/src/data/generator.cpp" "src/data/CMakeFiles/pe_data.dir/generator.cpp.o" "gcc" "src/data/CMakeFiles/pe_data.dir/generator.cpp.o.d"
+  "/root/repo/src/data/seasonal.cpp" "src/data/CMakeFiles/pe_data.dir/seasonal.cpp.o" "gcc" "src/data/CMakeFiles/pe_data.dir/seasonal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_data.dir/codec.cpp.o"
+  "CMakeFiles/pe_data.dir/codec.cpp.o.d"
+  "CMakeFiles/pe_data.dir/generator.cpp.o"
+  "CMakeFiles/pe_data.dir/generator.cpp.o.d"
+  "CMakeFiles/pe_data.dir/seasonal.cpp.o"
+  "CMakeFiles/pe_data.dir/seasonal.cpp.o.d"
+  "libpe_data.a"
+  "libpe_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

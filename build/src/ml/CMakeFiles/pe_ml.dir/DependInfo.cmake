@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/autoencoder.cpp" "src/ml/CMakeFiles/pe_ml.dir/autoencoder.cpp.o" "gcc" "src/ml/CMakeFiles/pe_ml.dir/autoencoder.cpp.o.d"
+  "/root/repo/src/ml/factory.cpp" "src/ml/CMakeFiles/pe_ml.dir/factory.cpp.o" "gcc" "src/ml/CMakeFiles/pe_ml.dir/factory.cpp.o.d"
+  "/root/repo/src/ml/federated.cpp" "src/ml/CMakeFiles/pe_ml.dir/federated.cpp.o" "gcc" "src/ml/CMakeFiles/pe_ml.dir/federated.cpp.o.d"
+  "/root/repo/src/ml/isolation_forest.cpp" "src/ml/CMakeFiles/pe_ml.dir/isolation_forest.cpp.o" "gcc" "src/ml/CMakeFiles/pe_ml.dir/isolation_forest.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/ml/CMakeFiles/pe_ml.dir/kmeans.cpp.o" "gcc" "src/ml/CMakeFiles/pe_ml.dir/kmeans.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/ml/CMakeFiles/pe_ml.dir/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/pe_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/pe_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/pe_ml.dir/scaler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pe_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

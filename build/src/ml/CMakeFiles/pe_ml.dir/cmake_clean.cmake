@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_ml.dir/autoencoder.cpp.o"
+  "CMakeFiles/pe_ml.dir/autoencoder.cpp.o.d"
+  "CMakeFiles/pe_ml.dir/factory.cpp.o"
+  "CMakeFiles/pe_ml.dir/factory.cpp.o.d"
+  "CMakeFiles/pe_ml.dir/federated.cpp.o"
+  "CMakeFiles/pe_ml.dir/federated.cpp.o.d"
+  "CMakeFiles/pe_ml.dir/isolation_forest.cpp.o"
+  "CMakeFiles/pe_ml.dir/isolation_forest.cpp.o.d"
+  "CMakeFiles/pe_ml.dir/kmeans.cpp.o"
+  "CMakeFiles/pe_ml.dir/kmeans.cpp.o.d"
+  "CMakeFiles/pe_ml.dir/matrix.cpp.o"
+  "CMakeFiles/pe_ml.dir/matrix.cpp.o.d"
+  "CMakeFiles/pe_ml.dir/scaler.cpp.o"
+  "CMakeFiles/pe_ml.dir/scaler.cpp.o.d"
+  "libpe_ml.a"
+  "libpe_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_mqtt.dir/mqtt_bridge.cpp.o"
+  "CMakeFiles/pe_mqtt.dir/mqtt_bridge.cpp.o.d"
+  "CMakeFiles/pe_mqtt.dir/mqtt_broker.cpp.o"
+  "CMakeFiles/pe_mqtt.dir/mqtt_broker.cpp.o.d"
+  "libpe_mqtt.a"
+  "libpe_mqtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_mqtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

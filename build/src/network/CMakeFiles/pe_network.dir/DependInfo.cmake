@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/network/fabric.cpp" "src/network/CMakeFiles/pe_network.dir/fabric.cpp.o" "gcc" "src/network/CMakeFiles/pe_network.dir/fabric.cpp.o.d"
+  "/root/repo/src/network/link.cpp" "src/network/CMakeFiles/pe_network.dir/link.cpp.o" "gcc" "src/network/CMakeFiles/pe_network.dir/link.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_network.dir/fabric.cpp.o"
+  "CMakeFiles/pe_network.dir/fabric.cpp.o.d"
+  "CMakeFiles/pe_network.dir/link.cpp.o"
+  "CMakeFiles/pe_network.dir/link.cpp.o.d"
+  "libpe_network.a"
+  "libpe_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_paramserver.dir/server.cpp.o"
+  "CMakeFiles/pe_paramserver.dir/server.cpp.o.d"
+  "libpe_paramserver.a"
+  "libpe_paramserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_paramserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

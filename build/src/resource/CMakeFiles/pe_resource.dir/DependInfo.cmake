@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resource/backends.cpp" "src/resource/CMakeFiles/pe_resource.dir/backends.cpp.o" "gcc" "src/resource/CMakeFiles/pe_resource.dir/backends.cpp.o.d"
+  "/root/repo/src/resource/pilot.cpp" "src/resource/CMakeFiles/pe_resource.dir/pilot.cpp.o" "gcc" "src/resource/CMakeFiles/pe_resource.dir/pilot.cpp.o.d"
+  "/root/repo/src/resource/pilot_manager.cpp" "src/resource/CMakeFiles/pe_resource.dir/pilot_manager.cpp.o" "gcc" "src/resource/CMakeFiles/pe_resource.dir/pilot_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/pe_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/pe_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskexec/CMakeFiles/pe_taskexec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

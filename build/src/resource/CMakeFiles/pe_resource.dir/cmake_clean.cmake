@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_resource.dir/backends.cpp.o"
+  "CMakeFiles/pe_resource.dir/backends.cpp.o.d"
+  "CMakeFiles/pe_resource.dir/pilot.cpp.o"
+  "CMakeFiles/pe_resource.dir/pilot.cpp.o.d"
+  "CMakeFiles/pe_resource.dir/pilot_manager.cpp.o"
+  "CMakeFiles/pe_resource.dir/pilot_manager.cpp.o.d"
+  "libpe_resource.a"
+  "libpe_resource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

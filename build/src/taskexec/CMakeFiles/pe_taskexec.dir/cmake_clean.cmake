@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_taskexec.dir/cluster.cpp.o"
+  "CMakeFiles/pe_taskexec.dir/cluster.cpp.o.d"
+  "CMakeFiles/pe_taskexec.dir/scheduler.cpp.o"
+  "CMakeFiles/pe_taskexec.dir/scheduler.cpp.o.d"
+  "CMakeFiles/pe_taskexec.dir/worker.cpp.o"
+  "CMakeFiles/pe_taskexec.dir/worker.cpp.o.d"
+  "libpe_taskexec.a"
+  "libpe_taskexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_taskexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

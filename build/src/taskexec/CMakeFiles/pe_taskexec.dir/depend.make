@@ -1,0 +1,2 @@
+# Empty dependencies file for pe_taskexec.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/collector.cpp" "src/telemetry/CMakeFiles/pe_telemetry.dir/collector.cpp.o" "gcc" "src/telemetry/CMakeFiles/pe_telemetry.dir/collector.cpp.o.d"
+  "/root/repo/src/telemetry/energy.cpp" "src/telemetry/CMakeFiles/pe_telemetry.dir/energy.cpp.o" "gcc" "src/telemetry/CMakeFiles/pe_telemetry.dir/energy.cpp.o.d"
+  "/root/repo/src/telemetry/json.cpp" "src/telemetry/CMakeFiles/pe_telemetry.dir/json.cpp.o" "gcc" "src/telemetry/CMakeFiles/pe_telemetry.dir/json.cpp.o.d"
+  "/root/repo/src/telemetry/metrics.cpp" "src/telemetry/CMakeFiles/pe_telemetry.dir/metrics.cpp.o" "gcc" "src/telemetry/CMakeFiles/pe_telemetry.dir/metrics.cpp.o.d"
+  "/root/repo/src/telemetry/report.cpp" "src/telemetry/CMakeFiles/pe_telemetry.dir/report.cpp.o" "gcc" "src/telemetry/CMakeFiles/pe_telemetry.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

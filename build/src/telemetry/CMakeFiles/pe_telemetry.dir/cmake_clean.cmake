@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_telemetry.dir/collector.cpp.o"
+  "CMakeFiles/pe_telemetry.dir/collector.cpp.o.d"
+  "CMakeFiles/pe_telemetry.dir/energy.cpp.o"
+  "CMakeFiles/pe_telemetry.dir/energy.cpp.o.d"
+  "CMakeFiles/pe_telemetry.dir/json.cpp.o"
+  "CMakeFiles/pe_telemetry.dir/json.cpp.o.d"
+  "CMakeFiles/pe_telemetry.dir/metrics.cpp.o"
+  "CMakeFiles/pe_telemetry.dir/metrics.cpp.o.d"
+  "CMakeFiles/pe_telemetry.dir/report.cpp.o"
+  "CMakeFiles/pe_telemetry.dir/report.cpp.o.d"
+  "libpe_telemetry.a"
+  "libpe_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/broker/broker_features_test.cpp" "tests/CMakeFiles/broker_tests.dir/broker/broker_features_test.cpp.o" "gcc" "tests/CMakeFiles/broker_tests.dir/broker/broker_features_test.cpp.o.d"
+  "/root/repo/tests/broker/broker_test.cpp" "tests/CMakeFiles/broker_tests.dir/broker/broker_test.cpp.o" "gcc" "tests/CMakeFiles/broker_tests.dir/broker/broker_test.cpp.o.d"
+  "/root/repo/tests/broker/client_test.cpp" "tests/CMakeFiles/broker_tests.dir/broker/client_test.cpp.o" "gcc" "tests/CMakeFiles/broker_tests.dir/broker/client_test.cpp.o.d"
+  "/root/repo/tests/broker/group_coordinator_test.cpp" "tests/CMakeFiles/broker_tests.dir/broker/group_coordinator_test.cpp.o" "gcc" "tests/CMakeFiles/broker_tests.dir/broker/group_coordinator_test.cpp.o.d"
+  "/root/repo/tests/broker/partition_log_test.cpp" "tests/CMakeFiles/broker_tests.dir/broker/partition_log_test.cpp.o" "gcc" "tests/CMakeFiles/broker_tests.dir/broker/partition_log_test.cpp.o.d"
+  "/root/repo/tests/broker/topic_test.cpp" "tests/CMakeFiles/broker_tests.dir/broker/topic_test.cpp.o" "gcc" "tests/CMakeFiles/broker_tests.dir/broker/topic_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/broker/CMakeFiles/pe_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/pe_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

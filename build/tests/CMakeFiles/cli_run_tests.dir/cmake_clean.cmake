@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cli_run_tests.dir/integration/cli_run_test.cpp.o"
+  "CMakeFiles/cli_run_tests.dir/integration/cli_run_test.cpp.o.d"
+  "cli_run_tests"
+  "cli_run_tests.pdb"
+  "cli_run_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cli_run_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/clock_test.cpp" "tests/CMakeFiles/common_tests.dir/common/clock_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/clock_test.cpp.o.d"
+  "/root/repo/tests/common/config_test.cpp" "tests/CMakeFiles/common_tests.dir/common/config_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/config_test.cpp.o.d"
+  "/root/repo/tests/common/histogram_test.cpp" "tests/CMakeFiles/common_tests.dir/common/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/histogram_test.cpp.o.d"
+  "/root/repo/tests/common/queue_test.cpp" "tests/CMakeFiles/common_tests.dir/common/queue_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/queue_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/common_tests.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/serialize_test.cpp" "tests/CMakeFiles/common_tests.dir/common/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/serialize_test.cpp.o.d"
+  "/root/repo/tests/common/status_test.cpp" "tests/CMakeFiles/common_tests.dir/common/status_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/status_test.cpp.o.d"
+  "/root/repo/tests/common/thread_pool_test.cpp" "tests/CMakeFiles/common_tests.dir/common/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/thread_pool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

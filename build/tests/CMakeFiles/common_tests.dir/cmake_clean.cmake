@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_tests.dir/common/clock_test.cpp.o"
+  "CMakeFiles/common_tests.dir/common/clock_test.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/config_test.cpp.o"
+  "CMakeFiles/common_tests.dir/common/config_test.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/histogram_test.cpp.o"
+  "CMakeFiles/common_tests.dir/common/histogram_test.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/queue_test.cpp.o"
+  "CMakeFiles/common_tests.dir/common/queue_test.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/rng_test.cpp.o"
+  "CMakeFiles/common_tests.dir/common/rng_test.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/serialize_test.cpp.o"
+  "CMakeFiles/common_tests.dir/common/serialize_test.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/status_test.cpp.o"
+  "CMakeFiles/common_tests.dir/common/status_test.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/thread_pool_test.cpp.o"
+  "CMakeFiles/common_tests.dir/common/thread_pool_test.cpp.o.d"
+  "common_tests"
+  "common_tests.pdb"
+  "common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

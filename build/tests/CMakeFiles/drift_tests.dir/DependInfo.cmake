@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/drift_test.cpp" "tests/CMakeFiles/drift_tests.dir/data/drift_test.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/data/drift_test.cpp.o.d"
+  "/root/repo/tests/data/seasonal_test.cpp" "tests/CMakeFiles/drift_tests.dir/data/seasonal_test.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/data/seasonal_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/pe_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pe_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_tests.dir/data/drift_test.cpp.o"
+  "CMakeFiles/drift_tests.dir/data/drift_test.cpp.o.d"
+  "CMakeFiles/drift_tests.dir/data/seasonal_test.cpp.o"
+  "CMakeFiles/drift_tests.dir/data/seasonal_test.cpp.o.d"
+  "drift_tests"
+  "drift_tests.pdb"
+  "drift_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/autoencoder_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/autoencoder_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/autoencoder_test.cpp.o.d"
+  "/root/repo/tests/ml/federated_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/federated_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/federated_test.cpp.o.d"
+  "/root/repo/tests/ml/isolation_forest_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/isolation_forest_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/isolation_forest_test.cpp.o.d"
+  "/root/repo/tests/ml/kmeans_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/kmeans_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/kmeans_test.cpp.o.d"
+  "/root/repo/tests/ml/outlier_factory_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/outlier_factory_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/outlier_factory_test.cpp.o.d"
+  "/root/repo/tests/ml/scaler_matrix_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/scaler_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/scaler_matrix_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/pe_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pe_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_tests.dir/ml/autoencoder_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/autoencoder_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/federated_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/federated_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/isolation_forest_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/isolation_forest_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/kmeans_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/kmeans_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/outlier_factory_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/outlier_factory_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/scaler_matrix_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/scaler_matrix_test.cpp.o.d"
+  "ml_tests"
+  "ml_tests.pdb"
+  "ml_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqtt_tests.dir/mqtt/mqtt_bridge_test.cpp.o"
+  "CMakeFiles/mqtt_tests.dir/mqtt/mqtt_bridge_test.cpp.o.d"
+  "CMakeFiles/mqtt_tests.dir/mqtt/mqtt_broker_test.cpp.o"
+  "CMakeFiles/mqtt_tests.dir/mqtt/mqtt_broker_test.cpp.o.d"
+  "mqtt_tests"
+  "mqtt_tests.pdb"
+  "mqtt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqtt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_tests.dir/network/fabric_test.cpp.o"
+  "CMakeFiles/network_tests.dir/network/fabric_test.cpp.o.d"
+  "CMakeFiles/network_tests.dir/network/link_test.cpp.o"
+  "CMakeFiles/network_tests.dir/network/link_test.cpp.o.d"
+  "network_tests"
+  "network_tests.pdb"
+  "network_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paramserver_tests.dir/paramserver/server_test.cpp.o"
+  "CMakeFiles/paramserver_tests.dir/paramserver/server_test.cpp.o.d"
+  "paramserver_tests"
+  "paramserver_tests.pdb"
+  "paramserver_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paramserver_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

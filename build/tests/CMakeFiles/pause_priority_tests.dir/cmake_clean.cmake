@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pause_priority_tests.dir/broker/pause_priority_test.cpp.o"
+  "CMakeFiles/pause_priority_tests.dir/broker/pause_priority_test.cpp.o.d"
+  "pause_priority_tests"
+  "pause_priority_tests.pdb"
+  "pause_priority_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pause_priority_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/resource/pilot_test.cpp" "tests/CMakeFiles/resource_tests.dir/resource/pilot_test.cpp.o" "gcc" "tests/CMakeFiles/resource_tests.dir/resource/pilot_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/resource/CMakeFiles/pe_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/pe_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskexec/CMakeFiles/pe_taskexec.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/pe_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_tests.dir/resource/pilot_test.cpp.o"
+  "CMakeFiles/resource_tests.dir/resource/pilot_test.cpp.o.d"
+  "resource_tests"
+  "resource_tests.pdb"
+  "resource_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retry_tests.dir/taskexec/retry_test.cpp.o"
+  "CMakeFiles/retry_tests.dir/taskexec/retry_test.cpp.o.d"
+  "retry_tests"
+  "retry_tests.pdb"
+  "retry_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retry_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskexec_tests.dir/taskexec/cluster_test.cpp.o"
+  "CMakeFiles/taskexec_tests.dir/taskexec/cluster_test.cpp.o.d"
+  "CMakeFiles/taskexec_tests.dir/taskexec/scheduler_test.cpp.o"
+  "CMakeFiles/taskexec_tests.dir/taskexec/scheduler_test.cpp.o.d"
+  "CMakeFiles/taskexec_tests.dir/taskexec/worker_test.cpp.o"
+  "CMakeFiles/taskexec_tests.dir/taskexec/worker_test.cpp.o.d"
+  "taskexec_tests"
+  "taskexec_tests.pdb"
+  "taskexec_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskexec_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_tests[1]_include.cmake")
+include("/root/repo/build/tests/network_tests[1]_include.cmake")
+include("/root/repo/build/tests/broker_tests[1]_include.cmake")
+include("/root/repo/build/tests/pause_priority_tests[1]_include.cmake")
+include("/root/repo/build/tests/taskexec_tests[1]_include.cmake")
+include("/root/repo/build/tests/retry_tests[1]_include.cmake")
+include("/root/repo/build/tests/resource_tests[1]_include.cmake")
+include("/root/repo/build/tests/paramserver_tests[1]_include.cmake")
+include("/root/repo/build/tests/data_tests[1]_include.cmake")
+include("/root/repo/build/tests/drift_tests[1]_include.cmake")
+include("/root/repo/build/tests/ml_tests[1]_include.cmake")
+include("/root/repo/build/tests/telemetry_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/property_tests[1]_include.cmake")
+include("/root/repo/build/tests/cli_run_tests[1]_include.cmake")
+include("/root/repo/build/tests/mqtt_tests[1]_include.cmake")

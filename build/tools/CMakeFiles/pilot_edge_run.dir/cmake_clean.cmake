@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilot_edge_run.dir/pilot_edge_run.cpp.o"
+  "CMakeFiles/pilot_edge_run.dir/pilot_edge_run.cpp.o.d"
+  "pilot_edge_run"
+  "pilot_edge_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilot_edge_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
