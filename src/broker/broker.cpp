@@ -59,6 +59,10 @@ Result<std::uint64_t> Broker::produce(const std::string& topic,
                                       std::vector<Record> records) {
   auto t = find_topic(topic);
   if (!t) return Status::NotFound("topic '" + topic + "' not found");
+  if (partition_offline(topic, partition)) {
+    return Status::Unavailable("partition " + topic + "/" +
+                               std::to_string(partition) + " offline");
+  }
   PartitionLog* log = t->partition(partition);
   if (!log) {
     return Status::OutOfRange("partition " + std::to_string(partition) +
@@ -89,6 +93,10 @@ Result<std::vector<ConsumedRecord>> Broker::fetch(const std::string& topic,
                                                   const FetchSpec& spec) {
   auto t = find_topic(topic);
   if (!t) return Status::NotFound("topic '" + topic + "' not found");
+  if (partition_offline(topic, partition)) {
+    return Status::Unavailable("partition " + topic + "/" +
+                               std::to_string(partition) + " offline");
+  }
   PartitionLog* log = t->partition(partition);
   if (!log) {
     return Status::OutOfRange("partition " + std::to_string(partition) +
@@ -138,6 +146,54 @@ Result<std::uint64_t> Broker::offset_for_timestamp(
   const PartitionLog* log = t->partition(partition);
   if (!log) return Status::OutOfRange("partition out of range");
   return log->offset_for_timestamp(ts_ns);
+}
+
+Status Broker::dead_letter(const std::string& origin_topic,
+                           std::uint32_t origin_partition, Record record,
+                           const std::string& reason) {
+  if (!has_topic(origin_topic)) {
+    return Status::NotFound("topic '" + origin_topic + "' not found");
+  }
+  const std::string dlq = dead_letter_topic_name(origin_topic);
+  TopicConfig config;
+  config.partitions = 1;
+  if (auto s = create_topic(dlq, config);
+      !s.ok() && s.code() != StatusCode::kAlreadyExists) {
+    return s;
+  }
+  record.key = origin_topic + "/" + std::to_string(origin_partition) + "/" +
+               reason + "/" + record.key;
+  std::vector<Record> batch;
+  batch.push_back(std::move(record));
+  auto produced = produce(dlq, 0, std::move(batch));
+  if (!produced.ok()) return produced.status();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.records_dead_lettered += 1;
+  }
+  return Status::Ok();
+}
+
+Status Broker::set_partition_offline(const std::string& topic,
+                                     std::uint32_t partition, bool offline) {
+  auto t = find_topic(topic);
+  if (!t) return Status::NotFound("topic '" + topic + "' not found");
+  if (partition >= t->partition_count()) {
+    return Status::OutOfRange("partition out of range");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (offline) {
+    offline_partitions_.insert({topic, partition});
+  } else {
+    offline_partitions_.erase({topic, partition});
+  }
+  return Status::Ok();
+}
+
+bool Broker::partition_offline(const std::string& topic,
+                               std::uint32_t partition) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return offline_partitions_.count({topic, partition}) > 0;
 }
 
 BrokerStats Broker::stats() const {

@@ -10,7 +10,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -28,7 +30,13 @@ struct BrokerStats {
   std::uint64_t bytes_out = 0;
   std::uint64_t produce_requests = 0;
   std::uint64_t fetch_requests = 0;
+  std::uint64_t records_dead_lettered = 0;
 };
+
+/// Name of the dead-letter topic shadowing `topic` (Kafka convention).
+inline std::string dead_letter_topic_name(const std::string& topic) {
+  return topic + ".dlq";
+}
 
 class Broker {
  public:
@@ -70,6 +78,24 @@ class Broker {
                                              std::uint32_t partition,
                                              std::uint64_t ts_ns) const;
 
+  /// Routes a record that exhausted its processing retries to the
+  /// per-topic dead-letter topic ("<origin>.dlq", created on first use
+  /// with one partition). The record key is prefixed with its origin
+  /// coordinates and the failure reason so downstream consumers can triage
+  /// without a header model.
+  Status dead_letter(const std::string& origin_topic,
+                     std::uint32_t origin_partition, Record record,
+                     const std::string& reason);
+
+  // --- chaos injection (fault module) ---
+  /// Takes a partition offline: produce/fetch against it fail with
+  /// UNAVAILABLE until it is brought back (models a lost partition
+  /// leader). The retained log is NOT discarded.
+  Status set_partition_offline(const std::string& topic,
+                               std::uint32_t partition, bool offline);
+  bool partition_offline(const std::string& topic,
+                         std::uint32_t partition) const;
+
   GroupCoordinator& coordinator() { return coordinator_; }
 
   BrokerStats stats() const;
@@ -84,6 +110,7 @@ class Broker {
   const std::string name_;
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<Topic>> topics_;
+  std::set<std::pair<std::string, std::uint32_t>> offline_partitions_;
   GroupCoordinator coordinator_;
   mutable std::mutex stats_mutex_;
   BrokerStats stats_;

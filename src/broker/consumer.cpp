@@ -109,7 +109,11 @@ std::vector<ConsumedRecord> Consumer::poll(Duration timeout) {
     return out;
   }
 
-  const auto deadline = Clock::now() + timeout;
+  // The poll timeout is an emulated duration (like the sleep_scaled above
+  // for unassigned consumers): scale the wall deadline accordingly.
+  const auto deadline =
+      Clock::now() +
+      std::chrono::duration_cast<Duration>(timeout / Clock::time_scale());
   while (true) {
     // One round-robin sweep over assigned partitions, non-blocking.
     for (std::size_t i = 0; i < assignment_.size(); ++i) {

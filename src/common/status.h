@@ -69,6 +69,14 @@ class [[nodiscard]] Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// True for failures that may succeed if simply tried again (a lost
+  /// resource that can be re-provisioned, a request that ran out of time).
+  /// Deterministic errors (INVALID_ARGUMENT, INTERNAL, ...) are not
+  /// transient: retrying the same input reproduces the same failure.
+  bool is_transient() const {
+    return code_ == StatusCode::kUnavailable || code_ == StatusCode::kTimeout;
+  }
+
   std::string to_string() const {
     if (ok()) return "OK";
     return std::string(pe::to_string(code_)) + ": " + message_;

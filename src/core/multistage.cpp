@@ -281,8 +281,12 @@ Result<MultiStageReport> MultiStagePipeline::run() {
     handles_.push_back(std::move(handle).value());
   }
 
-  // Wait for everything, bounded by the run timeout.
-  const auto deadline = Clock::now() + config_.run_timeout;
+  // Wait for everything, bounded by the run timeout (an emulated
+  // duration — scale the wall deadline so time-scaled runs behave the
+  // same).
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Duration>(
+                         config_.run_timeout / Clock::time_scale());
   Status run_status = Status::Ok();
   for (auto& handle : handles_) {
     const auto remaining = deadline - Clock::now();

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "core/results.h"
 #include "data/codec.h"
+#include "telemetry/metrics.h"
 
 namespace pe::core {
 
@@ -54,6 +55,11 @@ EdgeToCloudPipeline& EdgeToCloudPipeline::set_process_cloud_function(
 EdgeToCloudPipeline& EdgeToCloudPipeline::set_fabric(
     std::shared_ptr<net::Fabric> fabric) {
   fabric_ = std::move(fabric);
+  return *this;
+}
+EdgeToCloudPipeline& EdgeToCloudPipeline::set_pilot_manager(
+    res::PilotManager* manager) {
+  pilot_manager_ = manager;
   return *this;
 }
 
@@ -145,6 +151,8 @@ Status EdgeToCloudPipeline::start() {
   outliers_.store(0);
   errors_.store(0);
   duplicates_.store(0);
+  dead_lettered_.store(0);
+  recoveries_.store(0);
   producers_done_.store(false);
   producer_handles_.clear();
   processing_handles_.clear();
@@ -212,12 +220,65 @@ Status EdgeToCloudPipeline::start() {
     }
     producer_handles_.push_back(std::move(handle).value());
   }
+  if (config_.auto_recover && pilot_manager_ != nullptr) {
+    replacement_sub_token_ = pilot_manager_->subscribe_replacements(
+        [this](const res::PilotPtr& failed, const res::PilotPtr& repl) {
+          on_pilot_replaced(failed, repl);
+        });
+  }
+
   PE_LOG_INFO("pipeline " << id_ << " started: " << config_.edge_devices
                           << " devices, " << effective_partitions_
                           << " partitions, " << n_processing
                           << " processing tasks, mode "
                           << to_string(config_.mode));
   return Status::Ok();
+}
+
+void EdgeToCloudPipeline::on_pilot_replaced(const res::PilotPtr& failed,
+                                            const res::PilotPtr& replacement) {
+  if (!running_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(pilots_mutex_);
+  if (cloud_pilot_ && failed.get() == cloud_pilot_.get()) {
+    cloud_pilot_ = replacement;
+    recoveries_.fetch_add(1);
+    // Respawn the processing fleet on the replacement cluster. The new
+    // consumers rejoin "group-<id>", trigger a rebalance, and resume from
+    // the committed offsets; uncommitted records are redelivered and
+    // absorbed by the message-id dedup (effectively-once survives the
+    // failover).
+    const std::size_t n = config_.processing_tasks != 0
+                              ? config_.processing_tasks
+                              : effective_partitions_;
+    PE_LOG_INFO("pipeline " << id_ << ": cloud pilot " << failed->id()
+                            << " replaced by " << replacement->id()
+                            << "; respawning " << n << " processing tasks");
+    if (auto s = scale_processing_locked(n); !s.ok()) {
+      PE_LOG_WARN("pipeline " << id_ << ": processing respawn failed: "
+                              << s.to_string());
+    }
+    return;
+  }
+  if (broker_pilot_ && failed.get() == broker_pilot_.get()) {
+    // The broker's retained log died with the pilot; transparently
+    // re-binding would silently lose data, so only warn.
+    PE_LOG_WARN("pipeline " << id_ << ": broker pilot " << failed->id()
+                            << " replaced, but broker state rebinding is "
+                               "unsupported — run will not recover");
+    return;
+  }
+  for (auto& p : edge_pilots_) {
+    if (p.get() == failed.get()) {
+      p = replacement;
+      recoveries_.fetch_add(1);
+      // Producers on the failed pilot already terminated and decremented
+      // producers_running_; restarting them would duplicate data, so the
+      // replacement only serves future scale-out.
+      PE_LOG_INFO("pipeline " << id_ << ": edge pilot " << failed->id()
+                              << " replaced by " << replacement->id()
+                              << " (producers not restarted)");
+    }
+  }
 }
 
 exec::TaskSpec EdgeToCloudPipeline::make_processing_task(
@@ -234,6 +295,11 @@ exec::TaskSpec EdgeToCloudPipeline::make_processing_task(
 }
 
 Status EdgeToCloudPipeline::scale_processing(std::size_t count) {
+  std::lock_guard<std::mutex> lock(pilots_mutex_);
+  return scale_processing_locked(count);
+}
+
+Status EdgeToCloudPipeline::scale_processing_locked(std::size_t count) {
   if (!running_.load()) {
     return Status::FailedPrecondition("pipeline not running");
   }
@@ -332,10 +398,26 @@ Status EdgeToCloudPipeline::producer_body(exec::TaskContext& tctx,
       record.key = device_id;
       record.client_timestamp_ns = block.produced_ns;
       record.value = data::Codec::encode(block);
-      auto meta = producer.send(config_.topic, partition, std::move(record));
-      if (!meta.ok()) {
+      // Bounded retry on transient broker failures (offline partition,
+      // partitioned link) so a short fault does not kill the producer.
+      Status send_status = Status::Ok();
+      for (std::uint32_t attempt = 0;; ++attempt) {
+        broker::Record copy = record;
+        auto meta = producer.send(config_.topic, partition, std::move(copy));
+        if (meta.ok()) {
+          send_status = Status::Ok();
+          break;
+        }
+        send_status = meta.status();
+        if (!send_status.is_transient() || attempt >= 5 ||
+            tctx.stop_requested()) {
+          break;
+        }
+        Clock::sleep_scaled(std::chrono::milliseconds(5));
+      }
+      if (!send_status.ok()) {
         errors_.fetch_add(1);
-        return meta.status();
+        return send_status;
       }
     }
     collector_->on_sent(message_id, Clock::now_ns());
@@ -418,10 +500,25 @@ Status EdgeToCloudPipeline::processing_body(exec::TaskContext& tctx,
       fctx.set_invocation(invocation++);
       const std::uint64_t message_id = block.message_id;
       collector_->on_process_start(message_id, Clock::now_ns());
-      auto result = process(fctx, std::move(block));
+      // Transient processing failures are retried in place (the block is
+      // copied per attempt because process() consumes it); non-transient
+      // failures and exhausted retries route the original record to the
+      // dead-letter topic.
+      auto attempt_process = [&] {
+        data::DataBlock copy = block;
+        return process(fctx, std::move(copy));
+      };
+      auto result = attempt_process();
+      for (std::uint32_t attempt = 0;
+           !result.ok() && result.status().is_transient() &&
+           attempt < config_.processing_retries && !tctx.stop_requested();
+           ++attempt) {
+        result = attempt_process();
+      }
       collector_->on_process_end(message_id, Clock::now_ns());
       if (!result.ok()) {
         errors_.fetch_add(1);
+        dead_letter_record(record, result.status());
       } else {
         outliers_.fetch_add(result.value().outliers);
         if (results_producer) {
@@ -458,6 +555,28 @@ Status EdgeToCloudPipeline::processing_body(exec::TaskContext& tctx,
   return Status::Ok();
 }
 
+void EdgeToCloudPipeline::dead_letter_record(
+    const broker::ConsumedRecord& record, const Status& failure) {
+  dead_lettered_.fetch_add(1);
+  tel::MetricsRegistry::global().counter("pipeline.records_dead_lettered")
+      .add();
+  if (!broker_) return;
+  if (auto s = broker_->dead_letter(record.topic, record.partition,
+                                    record.record,
+                                    std::string(to_string(failure.code())));
+      !s.ok()) {
+    PE_LOG_WARN("pipeline " << id_ << ": dead-letter of record "
+                            << record.topic << "/" << record.partition << "@"
+                            << record.offset
+                            << " failed: " << s.to_string());
+  } else {
+    PE_LOG_WARN("pipeline " << id_ << ": record " << record.topic << "/"
+                            << record.partition << "@" << record.offset
+                            << " dead-lettered after "
+                            << failure.to_string());
+  }
+}
+
 bool EdgeToCloudPipeline::work_finished() const {
   return producers_done_.load(std::memory_order_acquire) &&
          processed_.load() >= produced_.load();
@@ -465,7 +584,12 @@ bool EdgeToCloudPipeline::work_finished() const {
 
 Status EdgeToCloudPipeline::wait() {
   if (!running_.load()) return Status::FailedPrecondition("not running");
-  const auto deadline = Clock::now() + config_.run_timeout;
+  // run_timeout is an *emulated* duration: divide by the time scale so a
+  // failure scenario at 4x speed times out (or recovers) identically to
+  // the same scenario in real time.
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Duration>(
+                         config_.run_timeout / Clock::time_scale());
   // Wait for producers.
   for (auto& handle : producer_handles_) {
     const auto remaining = deadline - Clock::now();
@@ -481,11 +605,17 @@ Status EdgeToCloudPipeline::wait() {
     }
     Clock::sleep_exact(std::chrono::milliseconds(2));
   }
-  // Consumers exit on their own once work_finished() holds.
-  for (auto& handle : processing_handles_) {
+  // Consumers exit on their own once work_finished() holds. Snapshot the
+  // handles under the lock: recovery may have appended re-spawned tasks.
+  std::vector<exec::TaskHandle> handles;
+  {
+    std::lock_guard<std::mutex> lock(pilots_mutex_);
+    handles = processing_handles_;
+  }
+  for (auto& handle : handles) {
     handle.request_stop();
   }
-  for (auto& handle : processing_handles_) {
+  for (auto& handle : handles) {
     const auto remaining = deadline - Clock::now();
     if (remaining <= Duration::zero() ||
         !handle.wait_for(std::chrono::duration_cast<Duration>(remaining))) {
@@ -497,12 +627,21 @@ Status EdgeToCloudPipeline::wait() {
 
 void EdgeToCloudPipeline::stop() {
   if (!running_.exchange(false)) return;
+  if (pilot_manager_ != nullptr && replacement_sub_token_ != 0) {
+    pilot_manager_->unsubscribe_replacements(replacement_sub_token_);
+    replacement_sub_token_ = 0;
+  }
+  std::vector<exec::TaskHandle> handles;
+  {
+    std::lock_guard<std::mutex> lock(pilots_mutex_);
+    handles = processing_handles_;
+  }
   for (auto& handle : producer_handles_) handle.request_stop();
-  for (auto& handle : processing_handles_) handle.request_stop();
+  for (auto& handle : handles) handle.request_stop();
   for (auto& handle : producer_handles_) {
     (void)handle.wait_for(std::chrono::seconds(30));
   }
-  for (auto& handle : processing_handles_) {
+  for (auto& handle : handles) {
     (void)handle.wait_for(std::chrono::seconds(30));
   }
   if (mqtt_bridge_) {
@@ -523,6 +662,8 @@ PipelineRunReport EdgeToCloudPipeline::report(const std::string& label) const {
   out.outliers_detected = outliers_.load();
   out.processing_errors = errors_.load();
   out.duplicates_skipped = duplicates_.load();
+  out.messages_dead_lettered = dead_lettered_.load();
+  out.pilot_recoveries = recoveries_.load();
   if (broker_) out.broker = broker_->stats();
   if (param_server_) out.parameter_server = param_server_->stats();
   return out;

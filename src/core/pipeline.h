@@ -61,6 +61,18 @@ struct PipelineConfig {
   /// Publish a compact ResultRecord per processed message to
   /// "<topic>-results" (consumable by downstream applications).
   bool emit_results = false;
+  /// When true (and a PilotManager with auto_reprovision is attached via
+  /// set_pilot_manager), the pipeline subscribes to pilot-replacement
+  /// events and re-binds: a replaced cloud pilot gets its processing
+  /// tasks respawned on the new cluster (consumers rejoin the group, the
+  /// message-id dedup absorbs redelivery); a replaced edge pilot is
+  /// swapped in for future scale-out but finished producers are not
+  /// restarted (that would duplicate data).
+  bool auto_recover = false;
+  /// Per-record processing retries for *transient* failures before the
+  /// record is routed to the "<topic>.dlq" dead-letter topic.
+  /// Non-transient failures dead-letter immediately.
+  std::uint32_t processing_retries = 2;
   /// Copied into every FunctionContext (Listing 2: function_context).
   ConfigMap function_context;
 };
@@ -75,6 +87,11 @@ struct PipelineRunReport {
   std::uint64_t processing_errors = 0;
   /// Broker redeliveries skipped by message-id deduplication.
   std::uint64_t duplicates_skipped = 0;
+  /// Records that exhausted processing retries and went to the DLQ (they
+  /// still count as processed so the run drains).
+  std::uint64_t messages_dead_lettered = 0;
+  /// Pilot replacements the pipeline re-bound to during this run.
+  std::uint64_t pilot_recoveries = 0;
   broker::BrokerStats broker;
   ps::ServerStats parameter_server;
 };
@@ -97,6 +114,9 @@ class EdgeToCloudPipeline {
   EdgeToCloudPipeline& set_process_edge_function(ProcessFnFactory factory);
   EdgeToCloudPipeline& set_process_cloud_function(ProcessFnFactory factory);
   EdgeToCloudPipeline& set_fabric(std::shared_ptr<net::Fabric> fabric);
+  /// Attaches the (non-owned) manager whose replacement events drive
+  /// config.auto_recover. The manager must outlive the pipeline run.
+  EdgeToCloudPipeline& set_pilot_manager(res::PilotManager* manager);
 
   const std::string& id() const { return id_; }
   const PipelineConfig& config() const { return config_; }
@@ -141,13 +161,28 @@ class EdgeToCloudPipeline {
   Status processing_body(exec::TaskContext& tctx, std::size_t task_index,
                          const net::SiteId& site);
   bool work_finished() const;
+  /// PilotManager replacement event: re-bind the matching pilot pointer
+  /// and (for the cloud processing pilot) respawn processing tasks on the
+  /// replacement cluster. Runs on the manager's monitor thread.
+  void on_pilot_replaced(const res::PilotPtr& failed,
+                         const res::PilotPtr& replacement);
+  Status scale_processing_locked(std::size_t count);
+  /// Dead-letters a record after exhausted/non-transient processing
+  /// failure; counts it as processed so the run drains.
+  void dead_letter_record(const broker::ConsumedRecord& record,
+                          const Status& failure);
 
   const std::string id_;
   PipelineConfig config_;
   std::shared_ptr<net::Fabric> fabric_;
+  // Pilot bindings can be swapped at runtime by recovery; guarded by
+  // pilots_mutex_ after start().
+  mutable std::mutex pilots_mutex_;
   std::vector<res::PilotPtr> edge_pilots_;
   res::PilotPtr cloud_pilot_;
   res::PilotPtr broker_pilot_;
+  res::PilotManager* pilot_manager_ = nullptr;
+  std::uint64_t replacement_sub_token_ = 0;
   ProduceFnFactory produce_factory_;
   ProcessFnFactory edge_factory_;
   ProcessFnFactory cloud_factory_;
@@ -168,6 +203,8 @@ class EdgeToCloudPipeline {
   std::atomic<std::uint64_t> outliers_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> duplicates_{0};
+  std::atomic<std::uint64_t> dead_lettered_{0};
+  std::atomic<std::uint64_t> recoveries_{0};
   std::atomic<std::uint64_t> producers_running_{0};
 
   // At-least-once delivery from the broker (consumer-group rebalances can

@@ -116,8 +116,32 @@ Result<TransferResult> Fabric::transfer(const SiteId& from, const SiteId& to,
       return Status::Unavailable("no link " + from + "->" + to);
     }
   }
+  if (link->partitioned()) {
+    return Status::Unavailable("link " + from + "->" + to + " partitioned");
+  }
   // Transfer outside the fabric lock: links serialize themselves.
   return link->transfer(bytes);
+}
+
+Status Fabric::inject_link_fault(const SiteId& from, const SiteId& to,
+                                 LinkFault fault) {
+  Link* link = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (sites_.count(from) == 0 || sites_.count(to) == 0) {
+      return Status::NotFound("unknown site");
+    }
+    link = (from == to) ? loopback_for(from) : find_link(from, to);
+  }
+  if (link == nullptr) {
+    return Status::Unavailable("no link " + from + "->" + to);
+  }
+  link->set_fault(fault);
+  return Status::Ok();
+}
+
+Status Fabric::clear_link_fault(const SiteId& from, const SiteId& to) {
+  return inject_link_fault(from, to, LinkFault{});
 }
 
 Result<Duration> Fabric::estimated_latency(const SiteId& from,

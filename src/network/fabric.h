@@ -54,6 +54,16 @@ class Fabric {
   /// Per-link stats keyed "from->to" (loopback reported as "<site>-loop").
   std::map<std::string, LinkStats> link_stats() const;
 
+  // --- chaos injection (fault module) ---
+  /// Applies a runtime fault to the directed link from->to (loopback when
+  /// the sites are equal). While `fault.partitioned`, transfer() on that
+  /// link fails with UNAVAILABLE; degradation factors scale the sampled
+  /// latency/bandwidth. NOT_FOUND / UNAVAILABLE when the link is unknown.
+  Status inject_link_fault(const SiteId& from, const SiteId& to,
+                           LinkFault fault);
+  /// Restores the link to its nominal spec.
+  Status clear_link_fault(const SiteId& from, const SiteId& to);
+
   /// Convenience builder: the paper's two-site topology — LRZ cloud in
   /// Europe, Jetstream cloud in the US, WAN at 140-160 ms RTT and
   /// 60-100 Mbit/s, matching Section III measurements.

@@ -16,12 +16,14 @@ TransferResult Link::transfer(std::uint64_t bytes) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
 
-    // Sample per-transfer link quality.
+    // Sample per-transfer link quality, degraded by any active fault.
     const double bw = rng_.uniform(spec_.bandwidth_min_bps,
-                                   spec_.bandwidth_max_bps);
-    const auto lat_ns = static_cast<std::int64_t>(rng_.uniform(
-        static_cast<double>(spec_.latency_min.count()),
-        static_cast<double>(spec_.latency_max.count())));
+                                   spec_.bandwidth_max_bps) *
+                      std::max(fault_.bandwidth_factor, 1e-9);
+    const auto lat_ns = static_cast<std::int64_t>(
+        rng_.uniform(static_cast<double>(spec_.latency_min.count()),
+                     static_cast<double>(spec_.latency_max.count())) *
+        fault_.latency_factor);
     result.propagation = Duration(lat_ns);
     const double tx_seconds = static_cast<double>(bytes) * 8.0 / bw;
     result.transmit_time = std::chrono::duration_cast<Duration>(
@@ -55,6 +57,26 @@ TransferResult Link::transfer(std::uint64_t bytes) {
     Clock::sleep_exact(complete_at - now);
   }
   return result;
+}
+
+void Link::set_fault(LinkFault fault) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fault_ = fault;
+}
+
+void Link::clear_fault() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fault_ = LinkFault{};
+}
+
+LinkFault Link::fault() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fault_;
+}
+
+bool Link::partitioned() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fault_.partitioned;
 }
 
 LinkStats Link::stats() const {

@@ -58,6 +58,19 @@ struct LinkStats {
   Duration total_transmit_time{};
 };
 
+/// Runtime fault applied on top of a link's static spec (chaos injection).
+/// Degradation multiplies sampled latency and divides sampled bandwidth;
+/// a partitioned link refuses transfers entirely.
+struct LinkFault {
+  double latency_factor = 1.0;    // >= 1 slows the link down
+  double bandwidth_factor = 1.0;  // <= 1 shrinks the pipe
+  bool partitioned = false;
+
+  bool degrades() const {
+    return latency_factor != 1.0 || bandwidth_factor != 1.0 || partitioned;
+  }
+};
+
 class Link {
  public:
   explicit Link(LinkSpec spec, std::uint64_t seed = 7);
@@ -65,6 +78,14 @@ class Link {
   /// Blocks the caller for the emulated duration of moving `bytes` across
   /// this link and returns the per-component timing breakdown.
   TransferResult transfer(std::uint64_t bytes);
+
+  /// Applies/replaces the runtime fault (chaos injection).
+  void set_fault(LinkFault fault);
+  /// Restores nominal spec behaviour.
+  void clear_fault();
+  LinkFault fault() const;
+  /// A partitioned link refuses transfers (Fabric surfaces UNAVAILABLE).
+  bool partitioned() const;
 
   const LinkSpec& spec() const { return spec_; }
   LinkStats stats() const;
@@ -76,6 +97,7 @@ class Link {
   // Next instant (real/scaled clock) at which the shared channel is free.
   TimePoint channel_free_at_;
   LinkStats stats_;
+  LinkFault fault_;
 };
 
 }  // namespace pe::net

@@ -1,14 +1,23 @@
 #include "resource/pilot_manager.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/clock.h"
 #include "common/ids.h"
 #include "common/logging.h"
+#include "common/rng.h"
+#include "telemetry/metrics.h"
 
 namespace pe::res {
 
 PilotManager::PilotManager(std::shared_ptr<net::Fabric> fabric,
                            PilotManagerOptions options)
-    : fabric_(std::move(fabric)), options_(options) {}
+    : fabric_(std::move(fabric)), options_(options) {
+  if (options_.auto_reprovision) {
+    monitor_ = std::thread([this] { monitor_loop(); });
+  }
+}
 
 PilotManager::~PilotManager() { shutdown(); }
 
@@ -79,6 +88,143 @@ Status PilotManager::wait_all_active() {
   return first_failure;
 }
 
+std::uint64_t PilotManager::subscribe_replacements(ReplacementCallback cb) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t token = next_sub_token_++;
+  replacement_subs_[token] = std::move(cb);
+  return token;
+}
+
+void PilotManager::unsubscribe_replacements(std::uint64_t token) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  replacement_subs_.erase(token);
+}
+
+std::uint64_t PilotManager::reprovision_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reprovisions_;
+}
+
+bool PilotManager::sleep_scaled_interruptible(Duration emulated) {
+  const auto actual = std::chrono::duration_cast<Duration>(
+      emulated / Clock::time_scale());
+  const auto deadline = Clock::now() + actual;
+  while (Clock::now() < deadline) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (shutdown_) return false;
+    }
+    const auto remaining = deadline - Clock::now();
+    Clock::sleep_exact(std::min<Duration>(
+        remaining, std::chrono::milliseconds(5)));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !shutdown_;
+}
+
+void PilotManager::monitor_loop() {
+  while (sleep_scaled_interruptible(options_.heartbeat_interval)) {
+    std::vector<PilotPtr> failed;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const auto& [id, p] : pilots_) {
+        if (p->state() == PilotState::kFailed &&
+            handled_failures_.count(id) == 0) {
+          handled_failures_.insert(id);
+          failed.push_back(p);
+        }
+      }
+    }
+    for (const auto& p : failed) {
+      tel::MetricsRegistry::global().counter("recovery.failures_detected")
+          .add();
+      const auto detect_time = Clock::now();
+      PilotPtr replacement = replace_pilot(p);
+      if (!replacement) continue;
+      const double mttr_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() -
+                                                    detect_time)
+              .count() *
+          Clock::time_scale();
+      tel::MetricsRegistry::global().histogram("recovery.pilot_mttr_ms")
+          .record(mttr_ms);
+      tel::MetricsRegistry::global().counter("recovery.pilots_replaced")
+          .add();
+      std::vector<ReplacementCallback> subs;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        reprovisions_ += 1;
+        subs.reserve(replacement_subs_.size());
+        for (const auto& [_, cb] : replacement_subs_) subs.push_back(cb);
+      }
+      for (const auto& cb : subs) cb(p, replacement);
+    }
+  }
+}
+
+PilotPtr PilotManager::replace_pilot(const PilotPtr& failed) {
+  std::string root;
+  std::uint32_t attempt = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return nullptr;
+    auto lit = lineage_.find(failed->id());
+    root = (lit == lineage_.end()) ? failed->id() : lit->second;
+    attempt = ++lineage_attempts_[root];
+    if (attempt > options_.max_reprovision_attempts) {
+      PE_LOG_WARN("pilot " << failed->id() << " (lineage " << root
+                           << ") exhausted " <<
+                           options_.max_reprovision_attempts
+                           << " replacement attempts; giving up");
+      return nullptr;
+    }
+  }
+  // Capped exponential backoff with seeded jitter: attempt n sleeps
+  // min(cap, base * 2^(n-1)) * (1 + U[0, 0.2)).
+  const double factor = std::pow(2.0, static_cast<double>(attempt - 1));
+  auto backoff = std::chrono::duration_cast<Duration>(
+      options_.reprovision_backoff * factor);
+  backoff = std::min(backoff, std::chrono::duration_cast<Duration>(
+                                  options_.reprovision_backoff_cap));
+  Rng jitter_rng(options_.reprovision_seed +
+                 std::hash<std::string>{}(root) + attempt);
+  backoff = std::chrono::duration_cast<Duration>(
+      backoff * (1.0 + jitter_rng.uniform(0.0, 0.2)));
+  if (!sleep_scaled_interruptible(backoff)) return nullptr;
+
+  auto resubmitted = submit(failed->description());
+  if (!resubmitted.ok()) {
+    PE_LOG_WARN("re-provisioning for failed pilot " << failed->id()
+                                                    << " rejected: "
+                                                    << resubmitted.status()
+                                                           .to_string());
+    return nullptr;
+  }
+  PilotPtr replacement = resubmitted.value();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    lineage_[replacement->id()] = root;
+  }
+  PE_LOG_INFO("re-provisioning pilot " << failed->id() << " as "
+                                       << replacement->id() << " (attempt "
+                                       << attempt << "/"
+                                       << options_.max_reprovision_attempts
+                                       << ")");
+  // Wait for the replacement to leave SUBMITTED, in slices so shutdown
+  // interrupts. A replacement that itself FAILs is picked up by the next
+  // monitor scan and charged to the same lineage budget.
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (shutdown_) return nullptr;
+    }
+    const Status s =
+        replacement->wait_active_for(std::chrono::milliseconds(10));
+    if (s.ok()) return replacement;
+    if (s.code() != StatusCode::kTimeout) return nullptr;
+  }
+}
+
 Result<PilotPtr> PilotManager::pilot(const std::string& id) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = pilots_.find(id);
@@ -104,6 +250,9 @@ void PilotManager::shutdown() {
     provisioners = std::move(provisioners_);
     for (const auto& [_, p] : pilots_) pilots_snapshot.push_back(p);
   }
+  // Join the monitor first so no new replacements are submitted while we
+  // cancel; its sleep slices observe shutdown_ promptly.
+  if (monitor_.joinable()) monitor_.join();
   for (const auto& p : pilots_snapshot) p->cancel();
   for (auto& t : provisioners) {
     if (t.joinable()) t.join();

@@ -6,9 +6,13 @@
 //   pilot->wait_active();
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -23,7 +27,30 @@ struct PilotManagerOptions {
   /// provisioning (cloud VM ~20 s); the default keeps interactive runs and
   /// CI fast while preserving relative ordering between backends.
   double startup_delay_factor = 0.01;
+
+  /// When true, a heartbeat monitor watches submitted pilots and replaces
+  /// any that reach FAILED (preemption, provisioning error) by
+  /// resubmitting their PilotDescription, up to
+  /// `max_reprovision_attempts` per pilot lineage with capped exponential
+  /// backoff + jitter between attempts.
+  bool auto_reprovision = false;
+  /// How often the monitor scans pilot states (emulated duration — the
+  /// actual sleep is divided by Clock::time_scale()).
+  Duration heartbeat_interval = std::chrono::milliseconds(20);
+  /// Replacement budget per original pilot (its whole lineage shares it).
+  std::uint32_t max_reprovision_attempts = 3;
+  /// Base backoff before attempt n sleeps min(cap, base * 2^(n-1)) plus
+  /// up to 20% seeded jitter (emulated durations).
+  Duration reprovision_backoff = std::chrono::milliseconds(50);
+  Duration reprovision_backoff_cap = std::chrono::seconds(2);
+  std::uint64_t reprovision_seed = 42;
 };
+
+/// Fired after a failed pilot's replacement reached ACTIVE. Callbacks run
+/// on the monitor thread; keep them short and do not call back into the
+/// manager's shutdown.
+using ReplacementCallback =
+    std::function<void(const PilotPtr& failed, const PilotPtr& replacement)>;
 
 class PilotManager {
  public:
@@ -46,6 +73,15 @@ class PilotManager {
   Result<PilotPtr> pilot(const std::string& id) const;
   std::vector<PilotPtr> pilots() const;
 
+  /// Registers a callback fired when a replacement pilot becomes ACTIVE
+  /// (requires options.auto_reprovision). Returns a token for
+  /// unsubscribe_replacements.
+  std::uint64_t subscribe_replacements(ReplacementCallback cb);
+  void unsubscribe_replacements(std::uint64_t token);
+
+  /// Replacements performed so far (successful re-provisions).
+  std::uint64_t reprovision_count() const;
+
   /// Cancels all pilots and joins provisioning threads.
   void shutdown();
 
@@ -53,6 +89,11 @@ class PilotManager {
 
  private:
   void provision(PilotPtr pilot);
+  void monitor_loop();
+  /// Attempts to replace one failed pilot; returns the replacement (ACTIVE)
+  /// or null when the lineage budget is exhausted / shutdown started.
+  PilotPtr replace_pilot(const PilotPtr& failed);
+  bool sleep_scaled_interruptible(Duration emulated);
 
   std::shared_ptr<net::Fabric> fabric_;
   const PilotManagerOptions options_;
@@ -60,6 +101,15 @@ class PilotManager {
   std::map<std::string, PilotPtr> pilots_;
   std::vector<std::thread> provisioners_;
   bool shutdown_ = false;
+
+  // --- recovery state (guarded by mutex_) ---
+  std::thread monitor_;
+  std::set<std::string> handled_failures_;       // pilot ids already processed
+  std::map<std::string, std::string> lineage_;   // pilot id -> lineage root id
+  std::map<std::string, std::uint32_t> lineage_attempts_;  // root -> attempts
+  std::map<std::uint64_t, ReplacementCallback> replacement_subs_;
+  std::uint64_t next_sub_token_ = 1;
+  std::uint64_t reprovisions_ = 0;
 };
 
 }  // namespace pe::res

@@ -29,6 +29,10 @@ Status Cluster::remove_worker(const std::string& worker_id) {
   return scheduler_.remove_worker(worker_id);
 }
 
+Status Cluster::crash_worker(const std::string& worker_id) {
+  return scheduler_.fail_worker(worker_id);
+}
+
 Result<TaskHandle> Cluster::submit(TaskSpec spec) {
   return scheduler_.submit(std::move(spec));
 }

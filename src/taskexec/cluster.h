@@ -31,6 +31,10 @@ class Cluster {
 
   Status remove_worker(const std::string& worker_id);
 
+  /// Simulates a worker crash: in-flight tasks fail over to surviving
+  /// workers (see Scheduler::fail_worker). Chaos-engine entry point.
+  Status crash_worker(const std::string& worker_id);
+
   Result<TaskHandle> submit(TaskSpec spec);
 
   Scheduler& scheduler() { return scheduler_; }

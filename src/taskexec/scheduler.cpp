@@ -5,6 +5,7 @@
 #include "common/clock.h"
 #include "common/ids.h"
 #include "common/logging.h"
+#include "telemetry/metrics.h"
 
 namespace pe::exec {
 
@@ -44,6 +45,68 @@ Status Scheduler::remove_worker(const std::string& worker_id) {
     workers_.erase(it);
   }
   to_shutdown->shutdown();
+  return Status::Ok();
+}
+
+Status Scheduler::fail_worker(const std::string& worker_id) {
+  std::shared_ptr<Worker> dead;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto wit = workers_.find(worker_id);
+    if (wit == workers_.end()) {
+      return Status::NotFound("worker '" + worker_id + "' not found");
+    }
+    dead = wit->second.worker;
+    // Drop the slot first so re-dispatch below cannot pick the dead
+    // worker, and so a zombie completion finds no capacity to free.
+    workers_.erase(wit);
+
+    std::vector<std::string> victims;
+    for (const auto& [id, _] : running_) {
+      auto tit = tasks_.find(id);
+      if (tit != tasks_.end() && tit->second.worker_id == worker_id) {
+        victims.push_back(id);
+      }
+    }
+    for (const auto& id : victims) {
+      auto rit = running_.find(id);
+      if (rit == running_.end()) continue;
+      PendingTask task = std::move(rit->second);
+      running_.erase(rit);
+      // Kill the orphaned execution (if its thread is still alive) without
+      // tripping the handle-level stop flag the re-dispatch shares.
+      if (task.kill) task.kill->store(true, std::memory_order_release);
+      auto tit = tasks_.find(id);
+      if (shutdown_ || !can_ever_host_locked(task.spec)) {
+        const Status status = Status::Unavailable(
+            "worker '" + worker_id + "' failed; no surviving worker fits");
+        if (tit != tasks_.end()) {
+          tit->second.state = TaskState::kFailed;
+          tit->second.end_ns = Clock::now_ns();
+          tit->second.result = status;
+        }
+        failed_ += 1;
+        task.done->set_value(status);
+        continue;
+      }
+      PE_LOG_INFO("worker " << worker_id << " failed; re-dispatching task "
+                            << id);
+      if (tit != tasks_.end()) {
+        tit->second.state = TaskState::kPending;
+        tit->second.worker_id.clear();
+      }
+      redispatched_ += 1;
+      tel::MetricsRegistry::global().counter("scheduler.tasks_redispatched")
+          .add();
+      enqueue_pending_locked(std::move(task));
+    }
+    dispatch_locked();
+    idle_cv_.notify_all();
+  }
+  // Join the dead worker's thread outside the lock: its in-flight bodies
+  // observe the kill flag and unwind; their results are discarded by the
+  // dispatch-sequence check in finish_task.
+  dead->shutdown();
   return Status::Ok();
 }
 
@@ -155,16 +218,22 @@ void Scheduler::dispatch_locked() {
     auto fn = task.spec.fn;
     auto done = task.done;
     auto stop = task.stop;
+    // Fresh kill flag + sequence per dispatch: a failover re-dispatch
+    // invalidates this execution without touching the shared stop flag.
+    task.kill = std::make_shared<std::atomic<bool>>(false);
+    task.dispatch_seq = ++dispatch_counter_;
+    auto kill = task.kill;
+    const std::uint64_t dispatch_seq = task.dispatch_seq;
     const std::string task_id = task.id;
     running_[task_id] = std::move(task);
 
     const bool accepted = slot->worker->execute([this, fn = std::move(fn),
-                                                 done, stop, task_id,
-                                                 worker_id, cores,
-                                                 memory_gb]() mutable {
+                                                 done, stop, kill, task_id,
+                                                 dispatch_seq, worker_id,
+                                                 cores, memory_gb]() mutable {
       // The context shares the scheduler-side stop flag, so cancel()
       // after dispatch reaches the running body.
-      TaskContext ctx(task_id, worker_id, stop);
+      TaskContext ctx(task_id, worker_id, stop, kill);
       Status status;
       if (ctx.stop_requested()) {
         status = Status::Cancelled("cancelled before start");
@@ -177,9 +246,9 @@ void Scheduler::dispatch_locked() {
           status = Status::Internal("task threw unknown exception");
         }
       }
-      const bool retried =
-          finish_task(task_id, cores, memory_gb, status);
-      if (!retried) done->set_value(status);
+      const bool suppressed =
+          finish_task(task_id, dispatch_seq, cores, memory_gb, status);
+      if (!suppressed) done->set_value(status);
     });
     if (!accepted) {
       // Worker was shut down underneath us; fail the task inline (we
@@ -234,10 +303,22 @@ Result<TaskInfo> Scheduler::task_info(const std::string& task_id) const {
   return it->second;
 }
 
-bool Scheduler::finish_task(const std::string& task_id, std::uint32_t cores,
+bool Scheduler::finish_task(const std::string& task_id,
+                            std::uint64_t dispatch_seq, std::uint32_t cores,
                             double memory_gb, Status status) {
   std::lock_guard<std::mutex> lock(mutex_);
   bool retried = false;
+  {
+    // Zombie check BEFORE any bookkeeping: if this execution was
+    // superseded by a failover re-dispatch (sequence mismatch) or its
+    // worker was declared dead (entry gone), its capacity was already
+    // reclaimed with the worker and its result must be discarded — the
+    // live dispatch owns the completion promise.
+    auto rit = running_.find(task_id);
+    if (rit == running_.end() || rit->second.dispatch_seq != dispatch_seq) {
+      return true;
+    }
+  }
   auto it = tasks_.find(task_id);
   if (it != tasks_.end()) {
     // Free the worker's capacity first.
@@ -251,7 +332,11 @@ bool Scheduler::finish_task(const std::string& task_id, std::uint32_t cores,
     auto rit = running_.find(task_id);
     const bool failure = !status.ok() &&
                          status.code() != StatusCode::kCancelled;
-    if (failure && !shutdown_ && rit != running_.end() &&
+    const bool retryable =
+        rit != running_.end() &&
+        (rit->second.spec.retry_policy == RetryPolicy::kAllFailures ||
+         status.is_transient());
+    if (failure && !shutdown_ && rit != running_.end() && retryable &&
         rit->second.attempts < rit->second.spec.max_retries) {
       // Resubmit for another attempt; the completion promise stays open.
       PendingTask task = std::move(rit->second);
@@ -308,6 +393,7 @@ SchedulerStats Scheduler::stats() const {
   s.pending_tasks = pending_.size();
   s.completed_tasks = completed_;
   s.failed_tasks = failed_;
+  s.redispatched_tasks = redispatched_;
   return s;
 }
 

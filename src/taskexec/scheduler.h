@@ -60,6 +60,9 @@ struct SchedulerStats {
   std::size_t running_tasks = 0;
   std::uint64_t completed_tasks = 0;
   std::uint64_t failed_tasks = 0;
+  /// Tasks re-queued because their hosting worker died (failover, not
+  /// retry — re-dispatch does not consume a retry attempt).
+  std::uint64_t redispatched_tasks = 0;
 };
 
 class Scheduler {
@@ -75,6 +78,14 @@ class Scheduler {
 
   /// Removes a worker; fails with FAILED_PRECONDITION while it runs tasks.
   Status remove_worker(const std::string& worker_id);
+
+  /// Declares a worker dead (crash semantics). Its in-flight tasks are
+  /// killed via their per-dispatch flag and re-queued onto surviving
+  /// workers without consuming a retry attempt; tasks no surviving worker
+  /// can ever host fail with UNAVAILABLE. The dead worker's thread is
+  /// joined, and any result its zombie executions later report is
+  /// discarded. NOT_FOUND for unknown workers.
+  Status fail_worker(const std::string& worker_id);
 
   /// Submits a task. INVALID_ARGUMENT if no worker could *ever* host it
   /// (unknown pinned worker, or cores exceed every worker's total).
@@ -111,16 +122,23 @@ class Scheduler {
     std::uint32_t attempts = 0;
     std::shared_ptr<std::promise<Status>> done;
     std::shared_ptr<std::atomic<bool>> stop;
+    // Per-dispatch kill flag + sequence number. A re-dispatch after worker
+    // failure bumps the sequence; the superseded execution becomes a
+    // zombie whose completion is ignored.
+    std::shared_ptr<std::atomic<bool>> kill;
+    std::uint64_t dispatch_seq = 0;
   };
 
   void dispatch_locked();
   void enqueue_pending_locked(PendingTask task);
   bool can_ever_host_locked(const TaskSpec& spec) const;
   WorkerSlot* pick_worker_locked(const TaskSpec& spec);
-  /// Returns true when the task was resubmitted for a retry (the caller
-  /// must then NOT resolve the completion promise).
-  bool finish_task(const std::string& task_id, std::uint32_t cores,
-                   double memory_gb, Status status);
+  /// Returns true when the caller must NOT resolve the completion promise:
+  /// either the task was resubmitted for a retry, or `dispatch_seq` no
+  /// longer matches the live dispatch (zombie execution from a failed
+  /// worker).
+  bool finish_task(const std::string& task_id, std::uint64_t dispatch_seq,
+                   std::uint32_t cores, double memory_gb, Status status);
 
   mutable std::mutex mutex_;
   std::condition_variable idle_cv_;
@@ -131,6 +149,8 @@ class Scheduler {
   std::map<std::string, PendingTask> running_;
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
+  std::uint64_t redispatched_ = 0;
+  std::uint64_t dispatch_counter_ = 0;
   bool shutdown_ = false;
 };
 

@@ -38,20 +38,28 @@ constexpr const char* to_string(TaskState s) {
 /// Passed to the task body; carries identity and the cancellation flag.
 /// The flag is shared with the scheduler's TaskHandle, so cancel /
 /// request_stop on the handle is visible inside the running body.
+///
+/// A second, per-dispatch `kill` flag lets the scheduler abandon one
+/// execution attempt (the worker hosting it died and the task was
+/// re-dispatched elsewhere) without tripping the handle-level stop flag
+/// that the replacement execution still shares.
 class TaskContext {
  public:
   TaskContext(std::string task_id, std::string worker_id,
-              std::shared_ptr<std::atomic<bool>> stop = nullptr)
+              std::shared_ptr<std::atomic<bool>> stop = nullptr,
+              std::shared_ptr<std::atomic<bool>> kill = nullptr)
       : task_id_(std::move(task_id)),
         worker_id_(std::move(worker_id)),
         stop_(stop ? std::move(stop)
-                   : std::make_shared<std::atomic<bool>>(false)) {}
+                   : std::make_shared<std::atomic<bool>>(false)),
+        kill_(std::move(kill)) {}
 
   const std::string& task_id() const { return task_id_; }
   const std::string& worker_id() const { return worker_id_; }
 
   bool stop_requested() const {
-    return stop_->load(std::memory_order_acquire);
+    return stop_->load(std::memory_order_acquire) ||
+           (kill_ && kill_->load(std::memory_order_acquire));
   }
   void request_stop() { stop_->store(true, std::memory_order_release); }
 
@@ -62,9 +70,20 @@ class TaskContext {
   std::string task_id_;
   std::string worker_id_;
   std::shared_ptr<std::atomic<bool>> stop_;
+  std::shared_ptr<std::atomic<bool>> kill_;
 };
 
 using TaskFn = std::function<Status(TaskContext&)>;
+
+/// Which failures consume retry attempts.
+enum class RetryPolicy {
+  /// Retry any non-OK result (legacy behavior; default).
+  kAllFailures,
+  /// Retry only failures where Status::is_transient() holds
+  /// (UNAVAILABLE/TIMEOUT); deterministic failures such as INTERNAL fail
+  /// the task immediately.
+  kTransientOnly,
+};
 
 /// What the caller submits.
 struct TaskSpec {
@@ -77,6 +96,8 @@ struct TaskSpec {
   /// Automatic resubmission on failure (not on cancellation). The body is
   /// re-executed from scratch up to this many additional times.
   std::uint32_t max_retries = 0;
+  /// Gates which failures are retried; see RetryPolicy.
+  RetryPolicy retry_policy = RetryPolicy::kAllFailures;
   /// Dispatch priority: higher runs first among queued tasks (FIFO within
   /// a priority level). The paper's IoT mix of "real-time tasks for
   /// control and steering and long-running tasks" motivates this: a

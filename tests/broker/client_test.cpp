@@ -1,6 +1,8 @@
 // End-to-end producer/consumer client tests over a fabric.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "broker/consumer.h"
 #include "broker/producer.h"
 #include "network/fabric.h"
@@ -199,6 +201,52 @@ TEST_F(ClientTest, PollTimeoutWithNoDataReturnsEmpty) {
   Stopwatch sw;
   EXPECT_TRUE(consumer.poll(std::chrono::milliseconds(30)).empty());
   EXPECT_GE(sw.elapsed_ms(), 25.0);
+}
+
+TEST_F(ClientTest, EvictedConsumerFailsOverWithoutLossOrDuplication) {
+  // Kafka-style session failover: a consumer that stops polling is
+  // evicted, its partition moves to the survivor, and consumption resumes
+  // from the last committed offset — every record delivered exactly once.
+  broker_->coordinator().set_session_timeout(std::chrono::milliseconds(150));
+  Producer producer(broker_, fabric_, "edge");
+
+  Consumer survivor(broker_, fabric_, "cloud", "g-failover");
+  Consumer laggard(broker_, fabric_, "cloud", "g-failover");
+  ASSERT_TRUE(survivor.subscribe({"t"}).ok());
+  ASSERT_TRUE(laggard.subscribe({"t"}).ok());
+  (void)survivor.poll(std::chrono::milliseconds(1));
+  (void)laggard.poll(std::chrono::milliseconds(1));
+  ASSERT_EQ(survivor.assignment().size() + laggard.assignment().size(), 2u);
+
+  auto key = [](int i) { return "k" + std::to_string(i); };
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(producer.send("t", i % 2, make_record(key(i))).ok());
+  }
+  std::multiset<std::string> seen;
+  auto drain = [&seen](Consumer& consumer) {
+    for (const auto& r : consumer.poll(std::chrono::milliseconds(50))) {
+      seen.insert(r.record.key);
+    }
+  };
+  // The laggard consumes (and auto-commits) its share once, then never
+  // polls again — it will miss heartbeats and expire.
+  drain(laggard);
+  drain(survivor);
+
+  for (int i = 20; i < 40; ++i) {
+    ASSERT_TRUE(producer.send("t", i % 2, make_record(key(i))).ok());
+  }
+  const auto deadline = Clock::now() + std::chrono::seconds(10);
+  while (seen.size() < 40 && Clock::now() < deadline) {
+    drain(survivor);
+  }
+  ASSERT_EQ(seen.size(), 40u);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(seen.count(key(i)), 1u) << "record " << key(i);
+  }
+  // The survivor took over the evicted member's partition.
+  EXPECT_EQ(survivor.assignment().size(), 2u);
+  EXPECT_EQ(broker_->coordinator().members("g-failover").size(), 1u);
 }
 
 TEST_F(ClientTest, FetchChargesDownlink) {

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
+#include <thread>
+
+#include "common/clock.h"
 
 namespace pe::broker {
 namespace {
@@ -129,6 +133,47 @@ TEST(GroupCoordinatorTest, MembersListsSortedIds) {
   ASSERT_EQ(members.size(), 2u);
   EXPECT_EQ(members[0], "ann");
   EXPECT_EQ(members[1], "zed");
+}
+
+TEST(GroupCoordinatorTest, SessionTimeoutEvictsSilentMemberExactlyOnce) {
+  auto gc = make_coordinator(4);
+  gc.set_session_timeout(std::chrono::milliseconds(30));
+  ASSERT_TRUE(gc.join("g", "live", {"t"}).ok());
+  ASSERT_TRUE(gc.join("g", "dead", {"t"}).ok());
+  ASSERT_EQ(gc.generation("g"), 2u);
+
+  // Several polling threads heartbeat the live member concurrently (each
+  // heartbeat also runs the eviction scan); the silent member must be
+  // evicted exactly once with exactly one rebalance, despite the races.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> pollers;
+  for (int i = 0; i < 4; ++i) {
+    pollers.emplace_back([&] {
+      while (!stop.load()) {
+        EXPECT_TRUE(gc.heartbeat("g", "live").ok());
+        Clock::sleep_exact(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  const auto deadline = Clock::now() + std::chrono::seconds(10);
+  while (gc.members("g").size() > 1 && Clock::now() < deadline) {
+    Clock::sleep_exact(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (auto& t : pollers) t.join();
+
+  const auto members = gc.members("g");
+  ASSERT_EQ(members.size(), 1u);
+  EXPECT_EQ(members[0], "live");
+  // One eviction, one rebalance: generation moved exactly once past the
+  // two joins, and the survivor now owns every partition.
+  EXPECT_EQ(gc.generation("g"), 3u);
+  auto a = gc.assignment("g", "live");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().partitions.size(), 4u);
+  EXPECT_EQ(gc.assignment("g", "dead").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(gc.heartbeat("g", "dead").code(), StatusCode::kNotFound);
 }
 
 TEST(GroupCoordinatorTest, IndependentGroupsDoNotInterfere) {

@@ -1,0 +1,226 @@
+// ChaosEngine: deterministic timeline resolution and fault application.
+#include "fault/chaos_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "broker/broker.h"
+#include "common/clock.h"
+#include "network/fabric.h"
+#include "taskexec/cluster.h"
+
+namespace pe::fault {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::shared_ptr<net::Fabric> make_two_site_fabric() {
+  auto fabric = std::make_shared<net::Fabric>();
+  EXPECT_TRUE(fabric->add_site({.id = "a", .kind = net::SiteKind::kEdge}).ok());
+  EXPECT_TRUE(
+      fabric->add_site({.id = "b", .kind = net::SiteKind::kCloud}).ok());
+  net::LinkSpec spec;
+  spec.from = "a";
+  spec.to = "b";
+  spec.latency_min = spec.latency_max = std::chrono::microseconds(100);
+  spec.bandwidth_min_bps = spec.bandwidth_max_bps = 1e9;
+  EXPECT_TRUE(fabric->add_bidirectional_link(spec).ok());
+  return fabric;
+}
+
+FaultPlan jittered_plan() {
+  FaultPlan plan;
+  plan.jitter_fraction = 0.5;
+  plan.preempt_pilot(100ms, "pilot-1");
+  plan.crash_worker(200ms, "w-7");
+  plan.partition_link(300ms, "a->b", 150ms);
+  return plan;
+}
+
+TEST(ChaosEngineTest, SamePlanAndSeedResolveIdenticalTimelines) {
+  ChaosEngine first(jittered_plan(), /*seed=*/7);
+  ChaosEngine second(jittered_plan(), /*seed=*/7);
+  EXPECT_EQ(first.sequence_signature(), second.sequence_signature());
+  ASSERT_EQ(first.resolved_timeline().size(),
+            second.resolved_timeline().size());
+  for (std::size_t i = 0; i < first.resolved_timeline().size(); ++i) {
+    EXPECT_EQ(first.resolved_timeline()[i].at,
+              second.resolved_timeline()[i].at);
+    EXPECT_EQ(first.resolved_timeline()[i].kind,
+              second.resolved_timeline()[i].kind);
+    EXPECT_EQ(first.resolved_timeline()[i].target,
+              second.resolved_timeline()[i].target);
+  }
+}
+
+TEST(ChaosEngineTest, DifferentSeedsResolveDifferentTimelines) {
+  ChaosEngine first(jittered_plan(), /*seed=*/7);
+  ChaosEngine second(jittered_plan(), /*seed=*/8);
+  EXPECT_NE(first.sequence_signature(), second.sequence_signature());
+}
+
+TEST(ChaosEngineTest, DurationEventsExpandIntoRestorePairs) {
+  FaultPlan plan;
+  plan.partition_link(10ms, "a->b", 50ms);
+  plan.drop_broker_partition(20ms, "t", 0, 5ms);
+  ChaosEngine engine(std::move(plan));
+  const auto& timeline = engine.resolved_timeline();
+  ASSERT_EQ(timeline.size(), 4u);
+  // Sorted by offset: partition@10ms, drop@20ms, restore-broker@25ms,
+  // restore-link@60ms.
+  EXPECT_EQ(timeline[0].kind, FaultKind::kPartitionLink);
+  EXPECT_EQ(timeline[1].kind, FaultKind::kDropBrokerPartition);
+  EXPECT_EQ(timeline[2].kind, FaultKind::kRestoreBrokerPartition);
+  EXPECT_EQ(timeline[2].at, Duration(25ms));
+  EXPECT_EQ(timeline[3].kind, FaultKind::kRestoreLink);
+  EXPECT_EQ(timeline[3].at, Duration(60ms));
+}
+
+TEST(ChaosEngineTest, AppliesLinkAndBrokerFaults) {
+  ScopedTimeScale fast(20.0);
+  auto fabric = make_two_site_fabric();
+  auto broker = std::make_shared<broker::Broker>("b");
+  ASSERT_TRUE(broker->create_topic("t", {.partitions = 2}).ok());
+
+  // Permanent faults so post-join assertions are race-free.
+  FaultPlan plan;
+  plan.partition_link(5ms, "a->b", Duration::zero());
+  plan.drop_broker_partition(10ms, "t", 1, Duration::zero());
+  ChaosEngine engine(std::move(plan));
+  engine.set_fabric(fabric).set_broker(broker);
+  ASSERT_TRUE(engine.start().ok());
+  engine.join();
+
+  const auto records = engine.records();
+  ASSERT_EQ(records.size(), 2u);
+  for (const auto& r : records) EXPECT_TRUE(r.status.ok());
+
+  EXPECT_EQ(fabric->transfer("a", "b", 100).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_TRUE(fabric->transfer("b", "a", 100).ok());  // reverse unaffected
+  EXPECT_TRUE(broker->produce("t", 0, {{"k", {1, 2, 3}}}).ok());
+  EXPECT_EQ(broker->produce("t", 1, {{"k", {1, 2, 3}}}).status().code(),
+            StatusCode::kUnavailable);
+
+  ASSERT_TRUE(fabric->clear_link_fault("a", "b").ok());
+  ASSERT_TRUE(broker->set_partition_offline("t", 1, false).ok());
+  EXPECT_TRUE(fabric->transfer("a", "b", 100).ok());
+  EXPECT_TRUE(broker->produce("t", 1, {{"k", {1, 2, 3}}}).ok());
+}
+
+TEST(ChaosEngineTest, TimedFaultAutoRestores) {
+  ScopedTimeScale fast(20.0);
+  auto fabric = make_two_site_fabric();
+  FaultPlan plan;
+  plan.degrade_link(5ms, "a->b", 30ms, /*latency_factor=*/50.0,
+                    /*bandwidth_factor=*/0.01);
+  ChaosEngine engine(std::move(plan));
+  engine.set_fabric(fabric);
+  ASSERT_TRUE(engine.start().ok());
+  engine.join();
+  // After the restore event fired, the link is back to nominal.
+  ASSERT_EQ(engine.records().size(), 2u);
+  EXPECT_TRUE(engine.records()[1].status.ok());
+  EXPECT_TRUE(fabric->transfer("a", "b", 100).ok());
+}
+
+TEST(ChaosEngineTest, UnboundSubsystemRecordsFailedPrecondition) {
+  FaultPlan plan;
+  plan.preempt_pilot(Duration::zero(), "p-1");
+  plan.crash_worker(Duration::zero(), "w-1");
+  plan.partition_link(Duration::zero(), "a->b", Duration::zero());
+  ChaosEngine engine(std::move(plan));
+  ASSERT_TRUE(engine.start().ok());
+  engine.join();
+  const auto records = engine.records();
+  ASSERT_EQ(records.size(), 3u);
+  for (const auto& r : records) {
+    EXPECT_EQ(r.status.code(), StatusCode::kFailedPrecondition)
+        << to_string(r.kind);
+  }
+}
+
+TEST(ChaosEngineTest, UnknownWorkerRecordsNotFound) {
+  auto cluster = std::make_shared<exec::Cluster>("a", 1, 4.0, "c0");
+  FaultPlan plan;
+  plan.crash_worker(Duration::zero(), "no-such-worker");
+  ChaosEngine engine(std::move(plan));
+  engine.add_cluster(cluster);
+  ASSERT_TRUE(engine.start().ok());
+  engine.join();
+  ASSERT_EQ(engine.records().size(), 1u);
+  EXPECT_EQ(engine.records()[0].status.code(), StatusCode::kNotFound);
+  cluster->shutdown();
+}
+
+// One worker-crash failover scenario, expected to end identically at any
+// emulation speed: every chaos offset and timeout in the system is an
+// emulated duration, so scaling time must not change outcomes.
+struct ScenarioOutcome {
+  StatusCode final_code = StatusCode::kInternal;
+  int executions = 0;
+  std::uint64_t redispatched = 0;
+  std::string signature;
+};
+
+ScenarioOutcome run_worker_crash_scenario(double time_scale) {
+  ScopedTimeScale scale(time_scale);
+  auto cluster = std::make_shared<exec::Cluster>("a", 2, 8.0, "c0");
+  EXPECT_TRUE(cluster->add_worker(2, 8.0).ok());
+
+  auto executions = std::make_shared<std::atomic<int>>(0);
+  auto release = std::make_shared<std::atomic<bool>>(false);
+  exec::TaskSpec spec;
+  spec.fn = [executions, release](exec::TaskContext& ctx) -> Status {
+    executions->fetch_add(1);
+    while (!ctx.stop_requested() && !release->load()) {
+      Clock::sleep_exact(std::chrono::milliseconds(1));
+    }
+    if (ctx.stop_requested()) return Status::Cancelled("stopped");
+    return Status::Ok();
+  };
+  auto handle = cluster->submit(std::move(spec));
+  EXPECT_TRUE(handle.ok());
+  while (executions->load() == 0) {
+    Clock::sleep_exact(std::chrono::milliseconds(1));
+  }
+  const std::string victim =
+      cluster->scheduler().task_info(handle.value().id()).value().worker_id;
+
+  FaultPlan plan;
+  plan.crash_worker(20ms, victim);
+  ChaosEngine engine(std::move(plan), /*seed=*/3);
+  engine.add_cluster(cluster);
+  EXPECT_TRUE(engine.start().ok());
+  engine.join();
+
+  while (executions->load() < 2) {
+    Clock::sleep_exact(std::chrono::milliseconds(1));
+  }
+  release->store(true);
+
+  ScenarioOutcome outcome;
+  outcome.final_code = handle.value().wait().code();
+  outcome.executions = executions->load();
+  outcome.redispatched = cluster->scheduler().stats().redispatched_tasks;
+  outcome.signature = engine.sequence_signature();
+  cluster->shutdown();
+  return outcome;
+}
+
+TEST(ChaosEngineTest, WorkerCrashScenarioIdenticalAcrossTimeScales) {
+  const auto slow = run_worker_crash_scenario(1.0);
+  const auto fast = run_worker_crash_scenario(8.0);
+  EXPECT_EQ(slow.final_code, StatusCode::kOk);
+  EXPECT_EQ(fast.final_code, slow.final_code);
+  EXPECT_EQ(fast.executions, slow.executions);
+  EXPECT_EQ(fast.redispatched, slow.redispatched);
+  // The plan carries no jitter, so both runs resolve byte-identical
+  // timelines even though they sleep different wall durations.
+  EXPECT_EQ(fast.signature, slow.signature);
+}
+
+}  // namespace
+}  // namespace pe::fault

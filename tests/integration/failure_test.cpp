@@ -1,6 +1,9 @@
 // Pipeline behaviour under mid-run resource failures.
 #include <gtest/gtest.h>
 
+#include <mutex>
+#include <set>
+
 #include "core/functions.h"
 #include "core/pipeline.h"
 #include "resource/pilot_manager.h"
@@ -91,6 +94,135 @@ TEST_F(PipelineFailureTest, EdgePilotLossStopsProductionButDrainsCleanly) {
   // Everything produced before the loss was processed.
   EXPECT_EQ(report.messages_processed, report.messages_produced);
   EXPECT_GT(report.messages_processed, 0u);
+}
+
+TEST_F(PipelineFailureTest, CloudPilotLossRecoversWhenEnabled) {
+  // Same failure as CloudPilotLossSurfacesAsTimeoutNotHang, but with a
+  // recovery-enabled manager driving re-provisioning and the pipeline
+  // opted into re-binding: the run must complete cleanly.
+  res::PilotManagerOptions options;
+  options.startup_delay_factor = 0.0005;
+  options.auto_reprovision = true;
+  options.heartbeat_interval = std::chrono::milliseconds(5);
+  options.reprovision_backoff = std::chrono::milliseconds(1);
+  res::PilotManager manager(fabric_, options);
+  auto edge = manager
+                  .submit(res::Flavors::make("lrz-eu", res::Backend::kCloudVm,
+                                             2, 8.0))
+                  .value();
+  auto cloud = manager.submit(res::Flavors::lrz_large()).value();
+  auto broker = manager
+                    .submit(res::Flavors::make(
+                        "lrz-eu", res::Backend::kBrokerService, 2, 8.0))
+                    .value();
+  ASSERT_TRUE(manager.wait_all_active().ok());
+
+  PipelineConfig config;
+  config.edge_devices = 1;
+  config.messages_per_device = 200;
+  config.rows_per_message = 100;
+  config.produce_interval = std::chrono::milliseconds(2);
+  config.run_timeout = std::chrono::seconds(30);
+  config.auto_recover = true;
+  EdgeToCloudPipeline pipeline(config);
+  pipeline.set_fabric(fabric_)
+      .set_pilot_edge(edge)
+      .set_pilot_cloud_processing(cloud)
+      .set_pilot_cloud_broker(broker)
+      .set_pilot_manager(&manager)
+      .set_produce_function(functions::make_generator_produce({}, 100))
+      .set_process_cloud_function(functions::make_passthrough_process());
+  ASSERT_TRUE(pipeline.start().ok());
+  while (pipeline.messages_processed() < 5) {
+    Clock::sleep_exact(std::chrono::milliseconds(2));
+  }
+
+  ASSERT_TRUE(cloud->inject_failure("spot preemption").ok());
+
+  const Status status = pipeline.wait();
+  EXPECT_TRUE(status.ok()) << status.to_string();
+  pipeline.stop();
+  const auto report = pipeline.report("cloud-loss-recovered");
+  // Every produced message was processed: the replacement pilot's
+  // consumers rejoined the group and resumed, with redelivered records
+  // absorbed by message-id deduplication.
+  EXPECT_EQ(report.messages_produced, 200u);
+  EXPECT_EQ(report.messages_processed, report.messages_produced);
+  EXPECT_EQ(report.messages_dead_lettered, 0u);
+  EXPECT_EQ(report.pilot_recoveries, 1u);
+  EXPECT_EQ(manager.reprovision_count(), 1u);
+}
+
+TEST_F(PipelineFailureTest, PoisonRecordsAreDeadLetteredAndRunDrains) {
+  PipelineConfig config;
+  config.edge_devices = 1;
+  config.messages_per_device = 100;
+  config.rows_per_message = 50;
+  config.run_timeout = std::chrono::seconds(20);
+  EdgeToCloudPipeline pipeline(config);
+  pipeline.set_fabric(fabric_)
+      .set_pilot_edge(edge_)
+      .set_pilot_cloud_processing(cloud_)
+      .set_pilot_cloud_broker(broker_)
+      .set_produce_function(functions::make_generator_produce({}, 50))
+      // Every fifth message is poison: a deterministic (non-transient)
+      // failure that must be dead-lettered, not retried forever.
+      .set_process_cloud_function(shared_process_fn(
+          [](FunctionContext&, data::DataBlock block) -> Result<ProcessResult> {
+            if (block.message_id % 5 == 0) {
+              return Status::Internal("poison record");
+            }
+            ProcessResult out;
+            out.block = std::move(block);
+            return out;
+          }));
+  const auto result = pipeline.run();
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  const auto& report = result.value();
+  // Message ids are contiguous for the run, so exactly 1 in 5 is poison.
+  EXPECT_EQ(report.messages_produced, 100u);
+  EXPECT_EQ(report.messages_processed, report.messages_produced);
+  EXPECT_EQ(report.messages_dead_lettered, 20u);
+  EXPECT_EQ(report.broker.records_dead_lettered, 20u);
+}
+
+TEST_F(PipelineFailureTest, TransientProcessingFailuresRetryInPlace) {
+  PipelineConfig config;
+  config.edge_devices = 1;
+  config.messages_per_device = 50;
+  config.rows_per_message = 50;
+  config.run_timeout = std::chrono::seconds(20);
+  config.processing_retries = 2;
+
+  // Every message fails with UNAVAILABLE on its first attempt and succeeds
+  // on retry — nothing may reach the DLQ.
+  auto mutex = std::make_shared<std::mutex>();
+  auto failed_once = std::make_shared<std::set<std::uint64_t>>();
+  EdgeToCloudPipeline pipeline(config);
+  pipeline.set_fabric(fabric_)
+      .set_pilot_edge(edge_)
+      .set_pilot_cloud_processing(cloud_)
+      .set_pilot_cloud_broker(broker_)
+      .set_produce_function(functions::make_generator_produce({}, 50))
+      .set_process_cloud_function(shared_process_fn(
+          [mutex, failed_once](FunctionContext&, data::DataBlock block)
+              -> Result<ProcessResult> {
+            {
+              std::lock_guard<std::mutex> lock(*mutex);
+              if (failed_once->insert(block.message_id).second) {
+                return Status::Unavailable("transient glitch");
+              }
+            }
+            ProcessResult out;
+            out.block = std::move(block);
+            return out;
+          }));
+  const auto result = pipeline.run();
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  const auto& report = result.value();
+  EXPECT_EQ(report.messages_produced, 50u);
+  EXPECT_EQ(report.messages_processed, 50u);
+  EXPECT_EQ(report.messages_dead_lettered, 0u);
 }
 
 }  // namespace

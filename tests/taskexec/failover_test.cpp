@@ -1,0 +1,181 @@
+// Worker-crash failover: fail_worker re-dispatches in-flight tasks to
+// surviving workers, discards zombie results, and fails tasks that no
+// survivor can host.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/clock.h"
+#include "taskexec/cluster.h"
+#include "taskexec/scheduler.h"
+
+namespace pe::exec {
+namespace {
+
+std::shared_ptr<Worker> make_worker(const std::string& id,
+                                    std::uint32_t cores = 2,
+                                    double memory_gb = 8.0) {
+  return std::make_shared<Worker>(WorkerSpec{
+      .id = id, .site = "cloud", .cores = cores, .memory_gb = memory_gb});
+}
+
+TEST(FailoverTest, InFlightTaskRedispatchedToSurvivor) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0")).ok());
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w1")).ok());
+
+  auto executions = std::make_shared<std::atomic<int>>(0);
+  auto release = std::make_shared<std::atomic<bool>>(false);
+  TaskSpec spec;
+  spec.fn = [executions, release](TaskContext& ctx) -> Status {
+    executions->fetch_add(1);
+    while (!ctx.stop_requested() && !release->load()) {
+      Clock::sleep_exact(std::chrono::milliseconds(1));
+    }
+    if (ctx.stop_requested()) return Status::Cancelled("stopped");
+    return Status::Ok();
+  };
+  auto handle = scheduler.submit(std::move(spec));
+  ASSERT_TRUE(handle.ok());
+  while (executions->load() == 0) {
+    Clock::sleep_exact(std::chrono::milliseconds(1));
+  }
+  const std::string victim =
+      scheduler.task_info(handle.value().id()).value().worker_id;
+  ASSERT_FALSE(victim.empty());
+
+  ASSERT_TRUE(scheduler.fail_worker(victim).ok());
+  // Wait until the re-dispatch landed, then let the body finish.
+  while (executions->load() < 2) {
+    Clock::sleep_exact(std::chrono::milliseconds(1));
+  }
+  release->store(true);
+
+  EXPECT_TRUE(handle.value().wait().ok());
+  EXPECT_EQ(executions->load(), 2);  // original + failover re-dispatch
+  const auto info = scheduler.task_info(handle.value().id()).value();
+  EXPECT_EQ(info.state, TaskState::kSucceeded);
+  EXPECT_NE(info.worker_id, victim);
+  EXPECT_EQ(info.attempts, 0u);  // failover does not consume retries
+  EXPECT_EQ(scheduler.stats().redispatched_tasks, 1u);
+  EXPECT_EQ(scheduler.stats().failed_tasks, 0u);
+}
+
+TEST(FailoverTest, ZombieResultDoesNotCorruptRedispatch) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0")).ok());
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w1")).ok());
+
+  auto executions = std::make_shared<std::atomic<int>>(0);
+  TaskSpec spec;
+  // First execution ignores the kill flag for a while and then fails;
+  // its INTERNAL result must be discarded because the re-dispatch owns
+  // the promise.
+  spec.fn = [executions](TaskContext& ctx) -> Status {
+    if (executions->fetch_add(1) == 0) {
+      const auto deadline = Clock::now() + std::chrono::milliseconds(50);
+      while (Clock::now() < deadline) {
+        Clock::sleep_exact(std::chrono::milliseconds(1));
+      }
+      return Status::Internal("zombie result, must be ignored");
+    }
+    while (!ctx.stop_requested()) {
+      Clock::sleep_exact(std::chrono::milliseconds(1));
+    }
+    return Status::Cancelled("stopped");
+  };
+  auto handle = scheduler.submit(std::move(spec));
+  ASSERT_TRUE(handle.ok());
+  while (executions->load() == 0) {
+    Clock::sleep_exact(std::chrono::milliseconds(1));
+  }
+  const std::string victim =
+      scheduler.task_info(handle.value().id()).value().worker_id;
+  ASSERT_TRUE(scheduler.fail_worker(victim).ok());
+
+  // The zombie's Internal status must not resolve the handle; the live
+  // dispatch is still running, cooperatively waiting for stop.
+  EXPECT_FALSE(handle.value().wait_for(std::chrono::milliseconds(100)));
+  ASSERT_TRUE(scheduler.cancel(handle.value().id()).ok());
+  EXPECT_EQ(handle.value().wait().code(), StatusCode::kCancelled);
+  EXPECT_EQ(executions->load(), 2);
+}
+
+TEST(FailoverTest, NoSurvivorFailsTaskUnavailable) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0")).ok());
+
+  TaskSpec spec;
+  spec.fn = [](TaskContext& ctx) -> Status {
+    while (!ctx.stop_requested()) {
+      Clock::sleep_exact(std::chrono::milliseconds(1));
+    }
+    return Status::Cancelled("stopped");
+  };
+  auto handle = scheduler.submit(std::move(spec));
+  ASSERT_TRUE(handle.ok());
+  auto info = scheduler.task_info(handle.value().id());
+  while (info.value().state != TaskState::kRunning) {
+    Clock::sleep_exact(std::chrono::milliseconds(1));
+    info = scheduler.task_info(handle.value().id());
+  }
+
+  ASSERT_TRUE(scheduler.fail_worker("w0").ok());
+  EXPECT_EQ(handle.value().wait().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(scheduler.stats().failed_tasks, 1u);
+  EXPECT_EQ(scheduler.stats().redispatched_tasks, 0u);
+}
+
+TEST(FailoverTest, UnknownWorkerRejected) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0")).ok());
+  EXPECT_EQ(scheduler.fail_worker("nope").code(), StatusCode::kNotFound);
+}
+
+TEST(FailoverTest, PendingTasksSurviveWorkerFailure) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0", 1, 4.0)).ok());
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w1", 1, 4.0)).ok());
+
+  auto done = std::make_shared<std::atomic<int>>(0);
+  auto gate = std::make_shared<std::atomic<bool>>(false);
+  std::vector<TaskHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    TaskSpec spec;
+    spec.fn = [done, gate](TaskContext& ctx) -> Status {
+      while (!ctx.stop_requested() && !gate->load()) {
+        Clock::sleep_exact(std::chrono::milliseconds(1));
+      }
+      // A killed (superseded) execution must not count as completed work.
+      if (ctx.stop_requested()) return Status::Cancelled("stopped");
+      done->fetch_add(1);
+      return Status::Ok();
+    };
+    auto handle = scheduler.submit(std::move(spec));
+    ASSERT_TRUE(handle.ok());
+    handles.push_back(std::move(handle).value());
+  }
+  // Two running (one per 1-core worker), two queued. Kill one worker:
+  // its task re-queues onto w1, and all four eventually complete there.
+  ASSERT_TRUE(scheduler.fail_worker("w0").ok());
+  gate->store(true);
+  for (auto& h : handles) {
+    EXPECT_TRUE(h.wait().ok());
+  }
+  EXPECT_EQ(done->load(), 4);
+  EXPECT_EQ(scheduler.stats().failed_tasks, 0u);
+}
+
+TEST(FailoverTest, ClusterCrashWorkerDelegates) {
+  exec::Cluster cluster("cloud", 2, 8.0, "c0");
+  auto second = cluster.add_worker(2, 8.0);
+  ASSERT_TRUE(second.ok());
+  const auto ids = cluster.scheduler().worker_ids();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_TRUE(cluster.crash_worker(ids.front()).ok());
+  EXPECT_EQ(cluster.scheduler().worker_ids().size(), 1u);
+  EXPECT_EQ(cluster.crash_worker("bogus").code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace pe::exec

@@ -114,6 +114,49 @@ TEST(RetryTest, CancelledTaskThatFailsIsNotResubmitted) {
   EXPECT_EQ(attempts->load(), 1);  // cancel zeroed the retry budget
 }
 
+TEST(RetryTest, TransientOnlyDoesNotRetryDeterministicFailure) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0")).ok());
+  auto attempts = std::make_shared<std::atomic<int>>(0);
+  TaskSpec spec;
+  spec.max_retries = 5;
+  spec.retry_policy = RetryPolicy::kTransientOnly;
+  spec.fn = [attempts](TaskContext&) -> Status {
+    attempts->fetch_add(1);
+    return Status::Internal("deterministic bug");
+  };
+  auto handle = scheduler.submit(std::move(spec));
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(handle.value().wait().code(), StatusCode::kInternal);
+  // INTERNAL is not transient: retrying a deterministic failure would just
+  // burn the budget, so the task fails on the first attempt.
+  EXPECT_EQ(attempts->load(), 1);
+  EXPECT_EQ(scheduler.stats().failed_tasks, 1u);
+}
+
+TEST(RetryTest, TransientOnlyRetriesUnavailableAndTimeout) {
+  Scheduler scheduler;
+  ASSERT_TRUE(scheduler.add_worker(make_worker("w0")).ok());
+  auto attempts = std::make_shared<std::atomic<int>>(0);
+  TaskSpec spec;
+  spec.max_retries = 5;
+  spec.retry_policy = RetryPolicy::kTransientOnly;
+  spec.fn = [attempts](TaskContext&) -> Status {
+    switch (attempts->fetch_add(1)) {
+      case 0: return Status::Unavailable("link partitioned");
+      case 1: return Status::Timeout("slow broker");
+      default: return Status::Ok();
+    }
+  };
+  auto handle = scheduler.submit(std::move(spec));
+  ASSERT_TRUE(handle.ok());
+  EXPECT_TRUE(handle.value().wait().ok());
+  EXPECT_EQ(attempts->load(), 3);
+  auto info = scheduler.task_info(handle.value().id());
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().attempts, 2u);
+}
+
 TEST(RetryTest, RetriedTaskKeepsHandleIdentity) {
   Scheduler scheduler;
   ASSERT_TRUE(scheduler.add_worker(make_worker("w0")).ok());
@@ -193,6 +236,128 @@ TEST(FailureInjectionTest, NotActivePilotRejected) {
   EXPECT_EQ(pilot->inject_failure().code(),
             StatusCode::kFailedPrecondition);
   pilot->cancel();
+}
+
+PilotManagerOptions recovery_options() {
+  PilotManagerOptions options;
+  options.startup_delay_factor = 0.0005;
+  options.auto_reprovision = true;
+  options.heartbeat_interval = std::chrono::milliseconds(5);
+  options.reprovision_backoff = std::chrono::milliseconds(1);
+  options.reprovision_backoff_cap = std::chrono::milliseconds(10);
+  return options;
+}
+
+bool wait_until(const std::function<bool()>& pred, Duration timeout) {
+  const auto deadline = Clock::now() + timeout;
+  while (!pred()) {
+    if (Clock::now() >= deadline) return false;
+    Clock::sleep_exact(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+TEST(ReprovisionTest, FailedPilotIsReplacedAndCallbackFires) {
+  auto fabric = net::Fabric::make_paper_topology();
+  PilotManager manager(fabric, recovery_options());
+
+  std::mutex mutex;
+  PilotPtr seen_failed;
+  PilotPtr seen_replacement;
+  manager.subscribe_replacements(
+      [&](const PilotPtr& failed, const PilotPtr& replacement) {
+        std::lock_guard<std::mutex> lock(mutex);
+        seen_failed = failed;
+        seen_replacement = replacement;
+      });
+
+  auto pilot = manager.submit(Flavors::lrz_medium()).value();
+  ASSERT_TRUE(pilot->wait_active().ok());
+  ASSERT_TRUE(pilot->inject_failure("spot preemption").ok());
+
+  ASSERT_TRUE(wait_until([&] { return manager.reprovision_count() == 1; },
+                         std::chrono::seconds(10)));
+  ASSERT_TRUE(wait_until(
+      [&] {
+        std::lock_guard<std::mutex> lock(mutex);
+        return seen_replacement != nullptr;
+      },
+      std::chrono::seconds(10)));
+
+  std::lock_guard<std::mutex> lock(mutex);
+  EXPECT_EQ(seen_failed->id(), pilot->id());
+  EXPECT_NE(seen_replacement->id(), pilot->id());
+  EXPECT_EQ(seen_replacement->state(), PilotState::kActive);
+  // The replacement is provisioned from the failed pilot's description.
+  EXPECT_EQ(seen_replacement->description().site, pilot->description().site);
+  EXPECT_EQ(seen_replacement->description().cores,
+            pilot->description().cores);
+  EXPECT_NE(seen_replacement->cluster(), nullptr);
+}
+
+TEST(ReprovisionTest, LineageBudgetCapsReplacements) {
+  auto fabric = net::Fabric::make_paper_topology();
+  auto options = recovery_options();
+  options.max_reprovision_attempts = 1;
+  PilotManager manager(fabric, options);
+
+  std::mutex mutex;
+  PilotPtr replacement;
+  manager.subscribe_replacements([&](const PilotPtr&, const PilotPtr& r) {
+    std::lock_guard<std::mutex> lock(mutex);
+    replacement = r;
+  });
+
+  auto pilot = manager.submit(Flavors::lrz_medium()).value();
+  ASSERT_TRUE(pilot->wait_active().ok());
+  ASSERT_TRUE(pilot->inject_failure("first loss").ok());
+  ASSERT_TRUE(wait_until(
+      [&] {
+        std::lock_guard<std::mutex> lock(mutex);
+        return replacement != nullptr;
+      },
+      std::chrono::seconds(10)));
+
+  // The whole lineage shares one budget: failing the replacement must not
+  // provision a third pilot.
+  PilotPtr second;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    second = replacement;
+  }
+  ASSERT_TRUE(second->inject_failure("second loss").ok());
+  Clock::sleep_exact(std::chrono::milliseconds(100));
+  EXPECT_EQ(manager.reprovision_count(), 1u);
+  EXPECT_EQ(second->state(), PilotState::kFailed);
+}
+
+TEST(ReprovisionTest, DisabledByDefault) {
+  auto fabric = net::Fabric::make_paper_topology();
+  PilotManagerOptions options;
+  options.startup_delay_factor = 0.0005;
+  PilotManager manager(fabric, options);
+  auto pilot = manager.submit(Flavors::lrz_medium()).value();
+  ASSERT_TRUE(pilot->wait_active().ok());
+  ASSERT_TRUE(pilot->inject_failure("loss").ok());
+  Clock::sleep_exact(std::chrono::milliseconds(100));
+  EXPECT_EQ(manager.reprovision_count(), 0u);
+  EXPECT_EQ(manager.pilots().size(), 1u);
+}
+
+TEST(ReprovisionTest, UnsubscribedCallbackDoesNotFire) {
+  auto fabric = net::Fabric::make_paper_topology();
+  PilotManager manager(fabric, recovery_options());
+  auto fired = std::make_shared<std::atomic<bool>>(false);
+  const auto token = manager.subscribe_replacements(
+      [fired](const PilotPtr&, const PilotPtr&) { fired->store(true); });
+  manager.unsubscribe_replacements(token);
+
+  auto pilot = manager.submit(Flavors::lrz_medium()).value();
+  ASSERT_TRUE(pilot->wait_active().ok());
+  ASSERT_TRUE(pilot->inject_failure("loss").ok());
+  ASSERT_TRUE(wait_until([&] { return manager.reprovision_count() == 1; },
+                         std::chrono::seconds(10)));
+  EXPECT_FALSE(fired->load());
 }
 
 }  // namespace

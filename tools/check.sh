@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds the tree under ThreadSanitizer and runs the tier-1 test suite.
+#
+# Usage: tools/check.sh [thread|address] [ctest-regex]
+#   tools/check.sh                 # TSan, all tests
+#   tools/check.sh thread Chaos    # TSan, tests matching 'Chaos'
+#   tools/check.sh address         # ASan, all tests
+set -euo pipefail
+
+SANITIZER="${1:-thread}"
+FILTER="${2:-}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${ROOT}/build-${SANITIZER}san"
+
+cmake -B "${BUILD_DIR}" -S "${ROOT}" -DPE_SANITIZE="${SANITIZER}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j"$(nproc)"
+
+cd "${BUILD_DIR}"
+if [[ -n "${FILTER}" ]]; then
+  ctest --output-on-failure -j"$(nproc)" -R "${FILTER}"
+else
+  ctest --output-on-failure -j"$(nproc)"
+fi
