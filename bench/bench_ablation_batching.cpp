@@ -37,7 +37,7 @@ int main() {
       for (std::size_t i = 0; i < batch_size && sent + i < kRecords; ++i) {
         broker::Record r;
         r.key = "k";
-        r.value.assign(kRecordBytes, 1);
+        r.value = Bytes(kRecordBytes, 1);
         batch.push_back(std::move(r));
       }
       sent += batch.size();

@@ -1,11 +1,16 @@
-// Micro-benchmarks for the broker substrate (google-benchmark).
+// Micro-benchmarks for the broker substrate (google-benchmark), plus the
+// consumer-group fan-out sweep that tracks the zero-copy data plane.
 //
 // Not a paper figure by itself; quantifies the broker layer that FIG2
 // stresses: append/fetch costs by record size and partition parallelism,
-// consumer-group overhead, and codec costs.
+// consumer-group overhead, and codec costs. The fan-out sweep prints one
+// machine-readable "BENCH {...}" json line per (groups x payload) case;
+// PE_BENCH_FANOUT_ONLY=1 skips the google-benchmark micro benches.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <thread>
+#include <vector>
 
 #include "broker/broker.h"
 #include "broker/consumer.h"
@@ -13,6 +18,7 @@
 #include "data/codec.h"
 #include "data/generator.h"
 #include "network/fabric.h"
+#include "telemetry/json.h"
 
 namespace {
 
@@ -21,7 +27,7 @@ using namespace pe;
 broker::Record make_record(std::size_t bytes) {
   broker::Record r;
   r.key = "k";
-  r.value.assign(bytes, 0x5a);
+  r.value = Bytes(bytes, 0x5a);
   return r;
 }
 
@@ -139,6 +145,124 @@ void BM_GroupRebalance(benchmark::State& state) {
 }
 BENCHMARK(BM_GroupRebalance)->Arg(4)->Arg(32);
 
+// --- consumer-group fan-out sweep -----------------------------------------
+//
+// One producer pre-fills a single partition; N consumer groups then read
+// the whole log `passes` times each, concurrently. This is the paper's
+// fan-out shape (many downstream processors of one device stream) and is
+// the case the zero-copy payload handover targets: every group reads the
+// same retained bytes, so per-group deep copies dominate the old hot path.
+
+void run_fanout_case(std::size_t groups, std::size_t payload_bytes) {
+  // Isolate the broker data plane: the default loopback is a shared
+  // 10 Gbit/s token bucket that serializes all groups' fetch transfers
+  // and would cap every case near 1.25 GB/s aggregate regardless of how
+  // the payload bytes are handed over. Same-site transfer is made
+  // effectively free so the sweep measures copy-vs-share, not the
+  // emulated NIC.
+  net::LinkSpec loop;
+  loop.from = loop.to = "<loopback>";
+  loop.latency_min = loop.latency_max = Duration::zero();
+  loop.bandwidth_min_bps = loop.bandwidth_max_bps = 1e15;
+  auto fabric = std::make_shared<net::Fabric>(loop);
+  if (!fabric->add_site({.id = "s"}).ok()) std::abort();
+  auto broker_ptr = std::make_shared<broker::Broker>("s");
+  if (!broker_ptr->create_topic("fan", broker::TopicConfig{.partitions = 1})
+           .ok()) {
+    std::abort();
+  }
+
+  // ~8 MiB of retained log, swept often enough that every group moves
+  // ~96 MiB through the fetch path — and at least kMinSeconds of wall
+  // time, so cases the zero-copy path makes very fast still measure a
+  // stable rate instead of timer noise.
+  const std::size_t records =
+      std::max<std::size_t>(8, (8ull << 20) / payload_bytes);
+  const std::size_t passes = std::max<std::size_t>(
+      1, (96ull << 20) / (records * payload_bytes));
+  constexpr double kMinSeconds = 0.25;
+
+  broker::Producer producer(broker_ptr, fabric, "s");
+  for (std::size_t i = 0; i < records; ++i) {
+    if (!producer.send("fan", 0, make_record(payload_bytes)).ok()) {
+      std::abort();
+    }
+  }
+
+  std::atomic<std::uint64_t> sink{0};
+  std::atomic<std::uint64_t> delivered{0};
+  Stopwatch sw;
+  std::vector<std::thread> threads;
+  threads.reserve(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    threads.emplace_back([&, g] {
+      broker::ConsumerConfig config;
+      config.auto_commit = false;
+      config.max_poll_records = 1024;
+      config.fetch_max_bytes = 64ull << 20;
+      broker::Consumer consumer(broker_ptr, fabric, "s",
+                                "fan-g" + std::to_string(g), config);
+      if (!consumer.assign({{"fan", 0}}).ok()) std::abort();
+      std::uint64_t local = 0;
+      std::uint64_t count = 0;
+      for (std::size_t pass = 0;
+           pass < passes || sw.elapsed_seconds() < kMinSeconds; ++pass) {
+        if (!consumer.seek({"fan", 0}, 0).ok()) std::abort();
+        std::size_t got = 0;
+        while (got < records) {
+          auto polled = consumer.poll(std::chrono::milliseconds(100));
+          got += polled.size();
+          for (const auto& r : polled) {
+            const Bytes& value = r.record.value;
+            local += value.empty() ? 0 : value.front();
+          }
+        }
+        count += got;
+      }
+      sink.fetch_add(local, std::memory_order_relaxed);
+      delivered.fetch_add(count, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds = sw.elapsed_seconds();
+  benchmark::DoNotOptimize(sink.load());
+
+  const auto messages = static_cast<double>(delivered.load());
+  const double payload_mb = messages *
+                            static_cast<double>(payload_bytes) / 1e6;
+  tel::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("broker_fanout");
+  w.key("groups").value(static_cast<std::uint64_t>(groups));
+  w.key("payload_bytes").value(static_cast<std::uint64_t>(payload_bytes));
+  w.key("records").value(static_cast<std::uint64_t>(records));
+  w.key("passes").value(static_cast<std::uint64_t>(passes));
+  w.key("messages").value(delivered.load());
+  w.key("seconds").value(seconds);
+  w.key("msgs_per_s").value(messages / seconds);
+  w.key("mbytes_per_s").value(payload_mb / seconds);
+  w.end_object();
+  std::printf("BENCH %s\n", w.str().c_str());
+  std::fflush(stdout);
+}
+
+void run_fanout_sweep() {
+  for (std::size_t payload : {1'024ull, 32'768ull, 1'048'576ull}) {
+    for (std::size_t groups : {1u, 2u, 4u}) {
+      run_fanout_case(groups, payload);
+    }
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const char* fanout_only = std::getenv("PE_BENCH_FANOUT_ONLY");
+  if (fanout_only == nullptr || fanout_only[0] != '1') {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  run_fanout_sweep();
+  return 0;
+}

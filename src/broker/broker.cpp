@@ -2,6 +2,10 @@
 
 namespace pe::broker {
 
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+}  // namespace
+
 Broker::Broker(net::SiteId site, std::string name)
     : site_(std::move(site)),
       name_(std::move(name)),
@@ -14,7 +18,7 @@ Status Broker::create_topic(const std::string& name, TopicConfig config) {
   if (config.partitions == 0) {
     return Status::InvalidArgument("topic needs >= 1 partition");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   if (topics_.count(name) > 0) {
     return Status::AlreadyExists("topic '" + name + "' exists");
   }
@@ -23,7 +27,7 @@ Status Broker::create_topic(const std::string& name, TopicConfig config) {
 }
 
 Status Broker::delete_topic(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   if (topics_.erase(name) == 0) {
     return Status::NotFound("topic '" + name + "' not found");
   }
@@ -31,7 +35,7 @@ Status Broker::delete_topic(const std::string& name) {
 }
 
 bool Broker::has_topic(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return topics_.count(name) > 0;
 }
 
@@ -41,7 +45,7 @@ std::uint32_t Broker::partition_count(const std::string& name) const {
 }
 
 std::vector<std::string> Broker::topic_names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<std::string> out;
   out.reserve(topics_.size());
   for (const auto& [n, _] : topics_) out.push_back(n);
@@ -49,7 +53,7 @@ std::vector<std::string> Broker::topic_names() const {
 }
 
 std::shared_ptr<Topic> Broker::find_topic(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = topics_.find(name);
   return it == topics_.end() ? nullptr : it->second;
 }
@@ -72,12 +76,9 @@ Result<std::uint64_t> Broker::produce(const std::string& topic,
   for (const auto& r : records) bytes += r.wire_size();
   const auto count = records.size();
   const std::uint64_t first = log->append_batch(std::move(records));
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.produce_requests += 1;
-    stats_.records_in += count;
-    stats_.bytes_in += bytes;
-  }
+  stats_.produce_requests.fetch_add(1, kRelaxed);
+  stats_.records_in.fetch_add(count, kRelaxed);
+  stats_.bytes_in.fetch_add(bytes, kRelaxed);
   return first;
 }
 
@@ -111,12 +112,9 @@ Result<std::vector<ConsumedRecord>> Broker::fetch(const std::string& topic,
     r.partition = partition;
     bytes += r.record.wire_size();
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.fetch_requests += 1;
-    stats_.records_out += records.size();
-    stats_.bytes_out += bytes;
-  }
+  stats_.fetch_requests.fetch_add(1, kRelaxed);
+  stats_.records_out.fetch_add(records.size(), kRelaxed);
+  stats_.bytes_out.fetch_add(bytes, kRelaxed);
   return records;
 }
 
@@ -161,16 +159,14 @@ Status Broker::dead_letter(const std::string& origin_topic,
       !s.ok() && s.code() != StatusCode::kAlreadyExists) {
     return s;
   }
+  // The payload rides along as a shared view; only the key is rewritten.
   record.key = origin_topic + "/" + std::to_string(origin_partition) + "/" +
                reason + "/" + record.key;
   std::vector<Record> batch;
   batch.push_back(std::move(record));
   auto produced = produce(dlq, 0, std::move(batch));
   if (!produced.ok()) return produced.status();
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.records_dead_lettered += 1;
-  }
+  stats_.records_dead_lettered.fetch_add(1, kRelaxed);
   return Status::Ok();
 }
 
@@ -181,7 +177,7 @@ Status Broker::set_partition_offline(const std::string& topic,
   if (partition >= t->partition_count()) {
     return Status::OutOfRange("partition out of range");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   if (offline) {
     offline_partitions_.insert({topic, partition});
   } else {
@@ -192,17 +188,25 @@ Status Broker::set_partition_offline(const std::string& topic,
 
 bool Broker::partition_offline(const std::string& topic,
                                std::uint32_t partition) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  if (offline_partitions_.empty()) return false;
   return offline_partitions_.count({topic, partition}) > 0;
 }
 
 BrokerStats Broker::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  BrokerStats out;
+  out.records_in = stats_.records_in.load(kRelaxed);
+  out.bytes_in = stats_.bytes_in.load(kRelaxed);
+  out.records_out = stats_.records_out.load(kRelaxed);
+  out.bytes_out = stats_.bytes_out.load(kRelaxed);
+  out.produce_requests = stats_.produce_requests.load(kRelaxed);
+  out.fetch_requests = stats_.fetch_requests.load(kRelaxed);
+  out.records_dead_lettered = stats_.records_dead_lettered.load(kRelaxed);
+  return out;
 }
 
 std::uint64_t Broker::retained_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& [_, t] : topics_) total += t->total_bytes();
   return total;

@@ -97,6 +97,15 @@ void Consumer::maybe_rebalance() {
 }
 
 std::vector<ConsumedRecord> Consumer::poll(Duration timeout) {
+  // At-least-once auto-commit (Kafka semantics): what the PREVIOUS poll
+  // delivered is committed now — the application has had the records in
+  // hand since then, so a crash between polls redelivers instead of
+  // silently dropping. Runs before the heartbeat/rebalance so positions
+  // are persisted before any partition could move away.
+  if (config_.auto_commit && uncommitted_delivery_) {
+    (void)commit();
+    uncommitted_delivery_ = false;
+  }
   if (subscribed_) {
     // Liveness signal; also triggers eviction of dead group members.
     (void)broker_->coordinator().heartbeat(group_, id_);
@@ -135,7 +144,7 @@ std::vector<ConsumedRecord> Consumer::poll(Duration timeout) {
         }
         continue;
       }
-      const auto& records = fetched.value();
+      auto& records = fetched.value();
       if (records.empty()) continue;
       std::uint64_t bytes = 0;
       for (const auto& r : records) bytes += r.record.wire_size();
@@ -148,7 +157,10 @@ std::vector<ConsumedRecord> Consumer::poll(Duration timeout) {
       positions_[tp] = records.back().offset + 1;
       stats_.records_received += records.size();
       stats_.bytes_received += bytes;
-      out.insert(out.end(), records.begin(), records.end());
+      // Move the fetched records out: payloads are shared views, so the
+      // whole handover is pointer-sized per record.
+      out.insert(out.end(), std::make_move_iterator(records.begin()),
+                 std::make_move_iterator(records.end()));
       if (out.size() >= config_.max_poll_records) break;
     }
     next_partition_index_ =
@@ -186,9 +198,7 @@ std::vector<ConsumedRecord> Consumer::poll(Duration timeout) {
     // re-fetch (and network-charge) anything that arrived.
   }
 
-  if (config_.auto_commit && !out.empty()) {
-    (void)commit();
-  }
+  if (!out.empty()) uncommitted_delivery_ = true;
   return out;
 }
 
@@ -252,10 +262,22 @@ Status Consumer::commit() {
 void Consumer::close() {
   if (closed_) return;
   closed_ = true;
+  // A clean shutdown commits the final delivered positions (Kafka's
+  // consumer.close() does the same when auto-commit is enabled).
+  if (config_.auto_commit && uncommitted_delivery_) {
+    (void)commit();
+    uncommitted_delivery_ = false;
+  }
   if (subscribed_) {
     (void)broker_->coordinator().leave(group_, id_);
     subscribed_ = false;
   }
+}
+
+void Consumer::crash() {
+  closed_ = true;
+  subscribed_ = false;
+  uncommitted_delivery_ = false;
 }
 
 ConsumerStats Consumer::stats() const { return stats_; }

@@ -31,6 +31,9 @@ struct ConsumerConfig {
   OffsetReset offset_reset = OffsetReset::kEarliest;
   std::size_t max_poll_records = 512;
   std::uint64_t fetch_max_bytes = 8ull << 20;
+  /// Kafka-style at-least-once auto-commit: positions delivered by one
+  /// poll() are committed at the START of the next poll() (and on clean
+  /// close()), never before the application had a chance to process them.
   bool auto_commit = true;
 };
 
@@ -84,8 +87,14 @@ class Consumer {
   /// Commits current positions for all assigned partitions.
   Status commit();
 
-  /// Leaves the group (idempotent); called by the destructor.
+  /// Leaves the group (idempotent); called by the destructor. With
+  /// auto_commit, first commits positions delivered by the last poll.
   void close();
+
+  /// Test/chaos hook: drop dead WITHOUT committing or leaving the group,
+  /// as a crashed process would. Delivered-but-uncommitted records are
+  /// redelivered to whichever member inherits the partitions.
+  void crash();
 
   ConsumerStats stats() const;
 
@@ -104,6 +113,9 @@ class Consumer {
   bool subscribed_ = false;
   std::vector<std::string> subscribed_topics_;
   bool closed_ = false;
+  /// True when the previous poll() delivered records whose positions have
+  /// not been auto-committed yet.
+  bool uncommitted_delivery_ = false;
   std::uint64_t generation_ = 0;
   std::vector<TopicPartition> assignment_;
   std::map<TopicPartition, std::uint64_t> positions_;

@@ -62,8 +62,12 @@ Result<std::vector<ConsumedRecord>> PartitionLog::fetch(
 
   std::vector<ConsumedRecord> out;
   std::uint64_t bytes = 0;
-  // Dense offsets => direct index from the deque front.
-  for (std::size_t i = spec.offset - start; i < entries_.size(); ++i) {
+  // Dense offsets => direct index from the deque front. Copying the record
+  // is zero-copy for the payload (shared view); only the key string and
+  // the fixed-size coordinates are duplicated per consumer.
+  const std::size_t first = spec.offset - start;
+  out.reserve(std::min(entries_.size() - first, spec.max_records));
+  for (std::size_t i = first; i < entries_.size(); ++i) {
     const Entry& e = entries_[i];
     if (out.size() >= spec.max_records) break;
     if (!out.empty() && bytes + e.record.wire_size() > spec.max_bytes) break;
@@ -111,9 +115,12 @@ void PartitionLog::enforce_retention_locked() {
     }
   }
   if (retention_.max_age > Duration::zero()) {
-    const std::uint64_t cutoff_ns =
-        Clock::now_ns() -
-        static_cast<std::uint64_t>(retention_.max_age.count());
+    // Saturating subtraction: when the clock epoch is younger than
+    // max_age, an unsigned wrap would put the cutoff in the far future
+    // and age-evict the whole log down to one entry.
+    const std::uint64_t now_ns = Clock::now_ns();
+    const auto age_ns = static_cast<std::uint64_t>(retention_.max_age.count());
+    const std::uint64_t cutoff_ns = now_ns > age_ns ? now_ns - age_ns : 0;
     while (entries_.size() > 1 &&
            entries_.front().broker_timestamp_ns < cutoff_ns) {
       bytes_ -= entries_.front().record.wire_size();

@@ -4,10 +4,19 @@
 // an opaque byte payload, and a client timestamp. A ConsumedRecord is what
 // consumers receive back: the record plus its log coordinates
 // (topic/partition/offset) and the broker append timestamp.
+//
+// Zero-copy data plane: the payload bytes live behind a
+// std::shared_ptr<const Bytes> (Payload) and are IMMUTABLE once a record
+// has been appended to a partition log. Copying a Record — and therefore
+// fetching it, fanning it out to N consumer groups, retrying a send, or
+// dead-lettering it — only bumps a refcount; the payload bytes are stored
+// exactly once, at append.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "common/serialize.h"
 
@@ -17,9 +26,57 @@ namespace pe::broker {
 /// offsets, timestamps, CRC) — approximates Kafka's record header cost.
 inline constexpr std::uint64_t kRecordWireOverheadBytes = 64;
 
+/// Shared, immutable byte payload. Construction takes ownership of a Bytes
+/// buffer (one allocation, no copy of the heap storage thanks to vector
+/// move); every subsequent copy is a shared view. The implicit conversion
+/// to `const Bytes&` keeps existing readers (codec decode, serialization)
+/// source-compatible.
+class Payload {
+ public:
+  Payload() = default;
+  Payload(Bytes bytes)  // NOLINT(google-explicit-constructor)
+      : data_(std::make_shared<const Bytes>(std::move(bytes))) {}
+  Payload(std::shared_ptr<const Bytes> data)  // NOLINT
+      : data_(std::move(data)) {}
+
+  /// The underlying bytes (a shared empty buffer when unset).
+  const Bytes& bytes() const { return data_ ? *data_ : empty_bytes(); }
+  operator const Bytes&() const { return bytes(); }  // NOLINT
+
+  std::size_t size() const { return data_ ? data_->size() : 0; }
+  bool empty() const { return size() == 0; }
+  const std::uint8_t* data() const { return bytes().data(); }
+  std::uint8_t operator[](std::size_t i) const { return bytes()[i]; }
+  Bytes::const_iterator begin() const { return bytes().begin(); }
+  Bytes::const_iterator end() const { return bytes().end(); }
+
+  /// The owning pointer itself — lets call sites share one payload across
+  /// many records without re-wrapping.
+  const std::shared_ptr<const Bytes>& shared() const { return data_; }
+  long use_count() const { return data_.use_count(); }
+
+  friend bool operator==(const Payload& a, const Payload& b) {
+    return a.data_ == b.data_ || a.bytes() == b.bytes();
+  }
+  friend bool operator==(const Payload& a, const Bytes& b) {
+    return a.bytes() == b;
+  }
+  friend bool operator==(const Bytes& a, const Payload& b) {
+    return a == b.bytes();
+  }
+
+ private:
+  static const Bytes& empty_bytes() {
+    static const Bytes kEmpty;
+    return kEmpty;
+  }
+
+  std::shared_ptr<const Bytes> data_;
+};
+
 struct Record {
   std::string key;
-  Bytes value;
+  Payload value;
   std::uint64_t client_timestamp_ns = 0;
 
   std::uint64_t wire_size() const {

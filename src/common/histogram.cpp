@@ -61,16 +61,22 @@ double Histogram::max() const {
   return max_;
 }
 
-double Histogram::percentile_locked(double q) const {
-  if (samples_.empty()) return 0.0;
+double Histogram::percentile_sorted(const std::vector<double>& sorted,
+                                    double q) {
+  if (sorted.empty()) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const auto hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = pos - static_cast<double>(lo);
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Histogram::percentile_locked(double q) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, q);
 }
 
 double Histogram::percentile(double q) const {
@@ -89,9 +95,13 @@ SummaryStats Histogram::summary() const {
   s.stddev = s.count > 1 ? std::sqrt(var * n / (n - 1)) : 0.0;
   s.min = min_;
   s.max = max_;
-  s.p50 = percentile_locked(0.50);
-  s.p90 = percentile_locked(0.90);
-  s.p99 = percentile_locked(0.99);
+  // One copy + one sort for all three quantiles (percentile_locked would
+  // re-copy and re-sort the sample vector per percentile, under the lock).
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  s.p50 = percentile_sorted(sorted, 0.50);
+  s.p90 = percentile_sorted(sorted, 0.90);
+  s.p99 = percentile_sorted(sorted, 0.99);
   return s;
 }
 

@@ -51,6 +51,8 @@ class Histogram {
   void merge(const Histogram& other);
 
  private:
+  /// Interpolated quantile over an already-sorted sample vector.
+  static double percentile_sorted(const std::vector<double>& sorted, double q);
   double percentile_locked(double q) const;
 
   mutable std::mutex mutex_;

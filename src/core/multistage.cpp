@@ -92,7 +92,7 @@ Status MultiStagePipeline::producer_body(exec::TaskContext& tctx,
     broker::Record record;
     record.key = device_id;
     record.client_timestamp_ns = block.produced_ns;
-    record.value = data::Codec::encode(block);
+    record.value = data::Codec::encode_shared(block);
     auto meta = producer.send(topic_name(0), partition, std::move(record));
     if (!meta.ok()) return meta.status();
     produced_.fetch_add(1);
@@ -174,7 +174,7 @@ Status MultiStagePipeline::stage_body(exec::TaskContext& tctx,
         broker::Record record_out;
         record_out.key = forward.producer_id;
         record_out.client_timestamp_ns = forward.produced_ns;
-        record_out.value = data::Codec::encode(forward);
+        record_out.value = data::Codec::encode_shared(forward);
         auto partition = broker_->select_partition(
             topic_name(stage_index + 1), record_out);
         if (!partition.ok()) {

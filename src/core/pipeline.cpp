@@ -397,9 +397,11 @@ Status EdgeToCloudPipeline::producer_body(exec::TaskContext& tctx,
       broker::Record record;
       record.key = device_id;
       record.client_timestamp_ns = block.produced_ns;
-      record.value = data::Codec::encode(block);
+      record.value = data::Codec::encode_shared(block);
       // Bounded retry on transient broker failures (offline partition,
       // partitioned link) so a short fault does not kill the producer.
+      // The per-attempt copy shares the encoded payload — a retry costs a
+      // refcount bump, not a re-serialization.
       Status send_status = Status::Ok();
       for (std::uint32_t attempt = 0;; ++attempt) {
         broker::Record copy = record;

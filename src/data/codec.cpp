@@ -24,6 +24,10 @@ Bytes Codec::encode(const DataBlock& block) {
   return out;
 }
 
+std::shared_ptr<const Bytes> Codec::encode_shared(const DataBlock& block) {
+  return std::make_shared<const Bytes>(encode(block));
+}
+
 Result<DataBlock> Codec::decode(const Bytes& bytes) {
   ByteReader r(bytes);
   for (char expected : kMagic) {

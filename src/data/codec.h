@@ -6,6 +6,8 @@
 //   labels u8[rows] (if has_labels)
 #pragma once
 
+#include <memory>
+
 #include "common/serialize.h"
 #include "common/status.h"
 #include "data/block.h"
@@ -16,6 +18,12 @@ class Codec {
  public:
   static Bytes encode(const DataBlock& block);
   static Result<DataBlock> decode(const Bytes& bytes);
+
+  /// Encodes straight into a shared immutable buffer — the form the broker
+  /// data plane stores. Producers hand this to Record.value so the encoded
+  /// bytes are allocated once and never copied again (append, fetch,
+  /// fan-out, and send retries all share the same buffer).
+  static std::shared_ptr<const Bytes> encode_shared(const DataBlock& block);
 
   /// Serialized size without encoding (for capacity planning / tests).
   static std::uint64_t encoded_size(const DataBlock& block);

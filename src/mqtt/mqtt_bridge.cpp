@@ -46,6 +46,8 @@ void MqttKafkaBridge::run() {
     for (auto& m : messages.value()) {
       broker::Record record;
       record.key = m.topic;  // keeps a device's stream in one partition
+      // Moves the MQTT payload buffer into the broker's shared immutable
+      // payload — the bytes cross the bridge without being copied.
       record.value = std::move(m.payload);
       record.client_timestamp_ns = m.publish_ns;
       auto meta = producer_->send(config_.kafka_topic, std::move(record));

@@ -59,8 +59,13 @@ Result<std::uint64_t> ParameterServer::compare_and_set(
 Result<VersionedValue> ParameterServer::watch(const std::string& key,
                                               std::uint64_t last_seen,
                                               Duration timeout) const {
+  // `timeout` is an emulated duration, like Consumer::poll's: scale the
+  // wall-clock wait so watchers stay consistent with the rest of the
+  // stack under PE_TIME_SCALE-accelerated experiments.
+  const auto wall_timeout =
+      std::chrono::duration_cast<Duration>(timeout / Clock::time_scale());
   std::unique_lock<std::mutex> lock(mutex_);
-  const bool fresh = updated_.wait_for(lock, timeout, [&] {
+  const bool fresh = updated_.wait_for(lock, wall_timeout, [&] {
     auto it = entries_.find(key);
     return it != entries_.end() && it->second.version > last_seen;
   });

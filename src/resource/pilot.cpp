@@ -25,8 +25,13 @@ Status Pilot::wait_active() const {
 }
 
 Status Pilot::wait_active_for(Duration timeout) const {
+  // Same inconsistency as ParameterServer::watch had: pilot startup
+  // delays are emulated (scaled) sleeps, so the provisioning deadline
+  // must scale identically or fast experiments time out spuriously.
+  const auto wall_timeout =
+      std::chrono::duration_cast<Duration>(timeout / Clock::time_scale());
   std::unique_lock<std::mutex> lock(mutex_);
-  const bool done = state_cv_.wait_for(lock, timeout, [this] {
+  const bool done = state_cv_.wait_for(lock, wall_timeout, [this] {
     return state_ != PilotState::kNew && state_ != PilotState::kSubmitted;
   });
   if (!done) return Status::Timeout("pilot " + id_ + " still provisioning");

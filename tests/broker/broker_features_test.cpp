@@ -12,7 +12,7 @@ namespace {
 Record make_record(const std::string& key, std::size_t size = 8) {
   Record r;
   r.key = key;
-  r.value.assign(size, 0x3);
+  r.value = Bytes(size, 0x3);
   return r;
 }
 

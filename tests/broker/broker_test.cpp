@@ -8,7 +8,7 @@ namespace {
 Record make_record(const std::string& key, std::size_t size = 8) {
   Record r;
   r.key = key;
-  r.value.assign(size, 0x1);
+  r.value = Bytes(size, 0x1);
   return r;
 }
 

@@ -30,7 +30,7 @@ class ClientTest : public ::testing::Test {
   Record make_record(const std::string& key, std::size_t size = 16) {
     Record r;
     r.key = key;
-    r.value.assign(size, 0x7);
+    r.value = Bytes(size, 0x7);
     return r;
   }
 
@@ -228,9 +228,13 @@ TEST_F(ClientTest, EvictedConsumerFailsOverWithoutLossOrDuplication) {
       seen.insert(r.record.key);
     }
   };
-  // The laggard consumes (and auto-commits) its share once, then never
-  // polls again — it will miss heartbeats and expire.
+  // The laggard consumes its share once, then never polls again — it will
+  // miss heartbeats and expire. Auto-commit is deferred to the NEXT poll
+  // (at-least-once), so give it one empty poll to persist its handoff
+  // point; a hard crash without that poll is covered by
+  // CrashAfterPollRedeliversUncommittedRecords below.
   drain(laggard);
+  (void)laggard.poll(std::chrono::milliseconds(1));
   drain(survivor);
 
   for (int i = 20; i < 40; ++i) {
@@ -247,6 +251,79 @@ TEST_F(ClientTest, EvictedConsumerFailsOverWithoutLossOrDuplication) {
   // The survivor took over the evicted member's partition.
   EXPECT_EQ(survivor.assignment().size(), 2u);
   EXPECT_EQ(broker_->coordinator().members("g-failover").size(), 1u);
+}
+
+TEST_F(ClientTest, AutoCommitIsDeferredToNextPoll) {
+  // At-least-once semantics: records handed out by poll() are committed
+  // at the START of the next poll, never in the same call that delivered
+  // them. A crash between the two polls must leave the offsets
+  // uncommitted so the records are redelivered.
+  Producer producer(broker_, fabric_, "edge");
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(producer.send("t", 0, make_record(std::to_string(i))).ok());
+  }
+  Consumer consumer(broker_, fabric_, "cloud", "g-defer");
+  ASSERT_TRUE(consumer.assign({{"t", 0}}).ok());
+  ASSERT_EQ(consumer.poll(std::chrono::milliseconds(100)).size(), 3u);
+  // Delivered but not yet committed.
+  EXPECT_FALSE(
+      broker_->coordinator().committed_offset("g-defer", {"t", 0}).has_value());
+  // The next poll (even an empty one) persists the previous positions.
+  (void)consumer.poll(std::chrono::milliseconds(1));
+  const auto committed =
+      broker_->coordinator().committed_offset("g-defer", {"t", 0});
+  ASSERT_TRUE(committed.has_value());
+  EXPECT_EQ(*committed, 3u);
+}
+
+TEST_F(ClientTest, CrashAfterPollRedeliversUncommittedRecords) {
+  // A consumer that crashes after poll() but before the next poll's
+  // deferred auto-commit must NOT lose data: the survivor inherits the
+  // partition at the last committed offset and re-reads everything the
+  // victim saw but never committed (at-least-once, duplicates allowed).
+  broker_->coordinator().set_session_timeout(std::chrono::milliseconds(150));
+  Producer producer(broker_, fabric_, "edge");
+
+  Consumer survivor(broker_, fabric_, "cloud", "g-crash");
+  Consumer victim(broker_, fabric_, "cloud", "g-crash");
+  ASSERT_TRUE(survivor.subscribe({"t"}).ok());
+  ASSERT_TRUE(victim.subscribe({"t"}).ok());
+  (void)survivor.poll(std::chrono::milliseconds(1));
+  (void)victim.poll(std::chrono::milliseconds(1));
+  ASSERT_EQ(survivor.assignment().size() + victim.assignment().size(), 2u);
+
+  auto key = [](int i) { return "k" + std::to_string(i); };
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(producer.send("t", i % 2, make_record(key(i))).ok());
+  }
+
+  // The victim drains its share once; under deferred auto-commit those
+  // positions are NOT yet committed when it crashes.
+  std::multiset<std::string> victim_saw;
+  for (const auto& r : victim.poll(std::chrono::milliseconds(50))) {
+    victim_saw.insert(r.record.key);
+  }
+  ASSERT_FALSE(victim_saw.empty());
+  victim.crash();  // hard stop: no commit, no leave-group
+
+  std::multiset<std::string> survivor_saw;
+  const auto deadline = Clock::now() + std::chrono::seconds(10);
+  while (survivor_saw.size() < 20 && Clock::now() < deadline) {
+    for (const auto& r : survivor.poll(std::chrono::milliseconds(50))) {
+      survivor_saw.insert(r.record.key);
+    }
+  }
+  // No loss: the survivor alone re-reads all 20 records — its own 10 plus
+  // every record the victim had seen but never committed.
+  ASSERT_EQ(survivor_saw.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(survivor_saw.count(key(i)), 1u) << "record " << key(i);
+  }
+  for (const auto& k : victim_saw) {
+    EXPECT_EQ(survivor_saw.count(k), 1u) << "redelivered " << k;
+  }
+  EXPECT_EQ(survivor.assignment().size(), 2u);
+  EXPECT_EQ(broker_->coordinator().members("g-crash").size(), 1u);
 }
 
 TEST_F(ClientTest, FetchChargesDownlink) {

@@ -10,7 +10,7 @@ namespace {
 Record make_record(const std::string& key, std::size_t value_size = 10) {
   Record r;
   r.key = key;
-  r.value.assign(value_size, 0x42);
+  r.value = Bytes(value_size, 0x42);
   return r;
 }
 
@@ -135,6 +135,37 @@ TEST(PartitionLogTest, RetentionByBytesKeepsAtLeastOneRecord) {
   log.append(make_record("big2", 500));
   EXPECT_EQ(log.record_count(), 1u);
   EXPECT_EQ(log.log_start_offset(), 1u);
+}
+
+TEST(PartitionLogTest, YoungLogWithLargeMaxAgeRetainsEverything) {
+  // Regression: when the clock reading is smaller than max_age the cutoff
+  // `now - max_age` used to wrap to a huge unsigned value and evict every
+  // entry but the newest. The subtraction must saturate at zero instead.
+  PartitionLog log(RetentionPolicy{
+      .max_records = 0, .max_bytes = 0, .max_age = Duration::max()});
+  for (int i = 0; i < 5; ++i) log.append(make_record(std::to_string(i)));
+  EXPECT_EQ(log.record_count(), 5u);
+  EXPECT_EQ(log.log_start_offset(), 0u);
+}
+
+TEST(PartitionLogTest, FetchReturnsSharedPayloadViews) {
+  // Zero-copy data plane: every fetch of the same offset hands out a view
+  // of the one payload buffer stored at append time, not a fresh copy.
+  PartitionLog log;
+  log.append(make_record("a", 100));
+  FetchSpec spec;
+  auto first = log.fetch(spec);
+  auto second = log.fetch(spec);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(first.value().size(), 1u);
+  ASSERT_EQ(second.value().size(), 1u);
+  const Payload& p1 = first.value()[0].record.value;
+  const Payload& p2 = second.value()[0].record.value;
+  EXPECT_EQ(p1.data(), p2.data());
+  EXPECT_EQ(p1.shared().get(), p2.shared().get());
+  // The log's own entry plus the two fetched views share one buffer.
+  EXPECT_GE(p1.use_count(), 3);
 }
 
 TEST(PartitionLogTest, ByteSizeTracksWireSize) {

@@ -22,7 +22,7 @@ class PauseResumeTest : public ::testing::Test {
   void send(std::uint32_t partition, const std::string& key) {
     Record r;
     r.key = key;
-    r.value = {1};
+    r.value = Bytes{1};
     ASSERT_TRUE(producer_->send("t", partition, std::move(r)).ok());
   }
 

@@ -64,7 +64,7 @@ TEST(TopicTest, RoundRobinPartitionerIgnoresKey) {
 TEST(TopicTest, TotalsAggregateAcrossPartitions) {
   Topic topic("t", TopicConfig{.partitions = 2});
   Record r;
-  r.value.assign(10, 1);
+  r.value = Bytes(10, 1);
   topic.partition(0)->append(r);
   topic.partition(1)->append(r);
   topic.partition(1)->append(r);

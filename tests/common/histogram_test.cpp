@@ -88,6 +88,21 @@ TEST(HistogramTest, ConcurrentRecordsAreAllCounted) {
   EXPECT_DOUBLE_EQ(h.mean(), 1.0);
 }
 
+TEST(HistogramTest, SummaryQuantilesMatchIndividualPercentiles) {
+  // summary() sorts the samples once and reads all three quantiles from
+  // the same sorted vector; the results must be identical to what the
+  // per-call percentile() path computes.
+  Histogram h;
+  for (int i = 0; i < 997; ++i) {
+    // Deterministic, non-monotone, non-uniform sequence.
+    h.record(static_cast<double>((i * 7919) % 997) / 3.0);
+  }
+  const auto s = h.summary();
+  EXPECT_DOUBLE_EQ(s.p50, h.percentile(0.50));
+  EXPECT_DOUBLE_EQ(s.p90, h.percentile(0.90));
+  EXPECT_DOUBLE_EQ(s.p99, h.percentile(0.99));
+}
+
 TEST(HistogramTest, SummaryStatsToStringContainsFields) {
   Histogram h;
   h.record(1.0);

@@ -100,14 +100,14 @@ TEST(ChaosEngineTest, AppliesLinkAndBrokerFaults) {
   EXPECT_EQ(fabric->transfer("a", "b", 100).status().code(),
             StatusCode::kUnavailable);
   EXPECT_TRUE(fabric->transfer("b", "a", 100).ok());  // reverse unaffected
-  EXPECT_TRUE(broker->produce("t", 0, {{"k", {1, 2, 3}}}).ok());
-  EXPECT_EQ(broker->produce("t", 1, {{"k", {1, 2, 3}}}).status().code(),
+  EXPECT_TRUE(broker->produce("t", 0, {{"k", Bytes{1, 2, 3}, 0}}).ok());
+  EXPECT_EQ(broker->produce("t", 1, {{"k", Bytes{1, 2, 3}, 0}}).status().code(),
             StatusCode::kUnavailable);
 
   ASSERT_TRUE(fabric->clear_link_fault("a", "b").ok());
   ASSERT_TRUE(broker->set_partition_offline("t", 1, false).ok());
   EXPECT_TRUE(fabric->transfer("a", "b", 100).ok());
-  EXPECT_TRUE(broker->produce("t", 1, {{"k", {1, 2, 3}}}).ok());
+  EXPECT_TRUE(broker->produce("t", 1, {{"k", Bytes{1, 2, 3}, 0}}).ok());
 }
 
 TEST(ChaosEngineTest, TimedFaultAutoRestores) {

@@ -76,7 +76,7 @@ TEST_P(SeededProperty, PartitionLogOffsetsAreDenseAndOrdered) {
   for (int i = 0; i < 300; ++i) {
     broker::Record r;
     r.key = std::to_string(i);
-    r.value.assign(static_cast<std::size_t>(rng.uniform_int(0, 64)), 1);
+    r.value = Bytes(static_cast<std::size_t>(rng.uniform_int(0, 64)), 1);
     ASSERT_EQ(log.append(std::move(r)), expected);
     expected += 1;
   }
@@ -103,7 +103,7 @@ TEST_P(SeededProperty, RetentionWindowAlwaysReadable) {
       broker::RetentionPolicy{.max_records = 50, .max_bytes = 0});
   for (int i = 0; i < 500; ++i) {
     broker::Record r;
-    r.value.assign(8, 2);
+    r.value = Bytes(8, 2);
     log.append(std::move(r));
     if (rng.bernoulli(0.1)) {
       const auto start = log.log_start_offset();
