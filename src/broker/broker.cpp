@@ -18,7 +18,7 @@ Status Broker::create_topic(const std::string& name, TopicConfig config) {
   if (config.partitions == 0) {
     return Status::InvalidArgument("topic needs >= 1 partition");
   }
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  WriterLock lock(mutex_);
   if (topics_.count(name) > 0) {
     return Status::AlreadyExists("topic '" + name + "' exists");
   }
@@ -27,7 +27,7 @@ Status Broker::create_topic(const std::string& name, TopicConfig config) {
 }
 
 Status Broker::delete_topic(const std::string& name) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  WriterLock lock(mutex_);
   if (topics_.erase(name) == 0) {
     return Status::NotFound("topic '" + name + "' not found");
   }
@@ -35,7 +35,7 @@ Status Broker::delete_topic(const std::string& name) {
 }
 
 bool Broker::has_topic(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   return topics_.count(name) > 0;
 }
 
@@ -45,7 +45,7 @@ std::uint32_t Broker::partition_count(const std::string& name) const {
 }
 
 std::vector<std::string> Broker::topic_names() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(topics_.size());
   for (const auto& [n, _] : topics_) out.push_back(n);
@@ -53,7 +53,7 @@ std::vector<std::string> Broker::topic_names() const {
 }
 
 std::shared_ptr<Topic> Broker::find_topic(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   auto it = topics_.find(name);
   return it == topics_.end() ? nullptr : it->second;
 }
@@ -177,7 +177,7 @@ Status Broker::set_partition_offline(const std::string& topic,
   if (partition >= t->partition_count()) {
     return Status::OutOfRange("partition out of range");
   }
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  WriterLock lock(mutex_);
   if (offline) {
     offline_partitions_.insert({topic, partition});
   } else {
@@ -188,7 +188,7 @@ Status Broker::set_partition_offline(const std::string& topic,
 
 bool Broker::partition_offline(const std::string& topic,
                                std::uint32_t partition) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   if (offline_partitions_.empty()) return false;
   return offline_partitions_.count({topic, partition}) > 0;
 }
@@ -206,7 +206,7 @@ BrokerStats Broker::stats() const {
 }
 
 std::uint64_t Broker::retained_bytes() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& [_, t] : topics_) total += t->total_bytes();
   return total;

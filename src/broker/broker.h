@@ -11,11 +11,11 @@
 #include <map>
 #include <memory>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "broker/group_coordinator.h"
 #include "broker/topic.h"
@@ -125,10 +125,14 @@ class Broker {
   // Reader-writer registry lock: produce/fetch only ever take it shared
   // (topic lookup + offline check); per-partition serialization lives in
   // each PartitionLog's own mutex. Admin ops (create/delete topic, chaos
-  // offline toggles) take it exclusive.
-  mutable std::shared_mutex mutex_;
-  std::map<std::string, std::shared_ptr<Topic>> topics_;
-  std::set<std::pair<std::string, std::uint32_t>> offline_partitions_;
+  // offline toggles) take it exclusive. Top of the broker lock domain:
+  // PartitionLog mutexes may be acquired under it (retained_bytes), never
+  // above it.
+  mutable SharedMutex mutex_{"broker.registry",
+                             lock_rank(kLockDomainBroker, 1)};
+  std::map<std::string, std::shared_ptr<Topic>> topics_ PE_GUARDED_BY(mutex_);
+  std::set<std::pair<std::string, std::uint32_t>> offline_partitions_
+      PE_GUARDED_BY(mutex_);
   GroupCoordinator coordinator_;
   AtomicStats stats_;
 };

@@ -15,12 +15,21 @@ Result<GroupAssignment> GroupCoordinator::join(
   if (topics.empty()) {
     return Status::InvalidArgument("member must subscribe to >= 1 topic");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Resolve partition counts BEFORE taking the coordinator lock: the
+  // broker-backed callback acquires the broker registry lock, and calling
+  // it under mutex_ inverts the Broker -> Coordinator order (the
+  // lock-order detector aborts on that; regression test in
+  // tests/broker/group_coordinator_test.cpp).
+  std::map<std::string, std::uint32_t> counts;
   for (const auto& t : topics) {
-    if (partition_count_fn_(t) == 0) {
+    const std::uint32_t parts = partition_count_fn_(t);
+    if (parts == 0) {
       return Status::NotFound("unknown topic '" + t + "'");
     }
+    counts[t] = parts;
   }
+  MutexLock lock(mutex_);
+  for (const auto& [t, parts] : counts) topic_counts_[t] = parts;
   Group& g = groups_[group];
   evict_expired_locked(g);
   g.members[member_id] = Member{topics, Clock::now()};
@@ -29,13 +38,13 @@ Result<GroupAssignment> GroupCoordinator::join(
 }
 
 void GroupCoordinator::set_session_timeout(Duration timeout) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   session_timeout_ = timeout;
 }
 
 Status GroupCoordinator::heartbeat(const std::string& group,
                                    const std::string& member_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto git = groups_.find(group);
   if (git == groups_.end()) return Status::NotFound("unknown group " + group);
   auto mit = git->second.members.find(member_id);
@@ -67,7 +76,7 @@ void GroupCoordinator::evict_expired_locked(Group& g) {
 
 Status GroupCoordinator::leave(const std::string& group,
                                const std::string& member_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto git = groups_.find(group);
   if (git == groups_.end()) return Status::NotFound("unknown group " + group);
   Group& g = git->second;
@@ -81,7 +90,7 @@ Status GroupCoordinator::leave(const std::string& group,
 
 Result<GroupAssignment> GroupCoordinator::assignment(
     const std::string& group, const std::string& member_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto git = groups_.find(group);
   if (git == groups_.end()) return Status::NotFound("unknown group " + group);
   const Group& g = git->second;
@@ -93,14 +102,14 @@ Result<GroupAssignment> GroupCoordinator::assignment(
 }
 
 std::uint64_t GroupCoordinator::generation(const std::string& group) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto git = groups_.find(group);
   return git == groups_.end() ? 0 : git->second.generation;
 }
 
 std::vector<std::string> GroupCoordinator::members(
     const std::string& group) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> out;
   auto git = groups_.find(group);
   if (git == groups_.end()) return out;
@@ -111,7 +120,7 @@ std::vector<std::string> GroupCoordinator::members(
 Status GroupCoordinator::commit_offset(const std::string& group,
                                        const TopicPartition& tp,
                                        std::uint64_t offset) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Creates the group implicitly: manually-assigned consumers may commit
   // under a group id without ever joining (matches Kafka).
   groups_[group].committed[tp] = offset;
@@ -120,7 +129,7 @@ Status GroupCoordinator::commit_offset(const std::string& group,
 
 std::optional<std::uint64_t> GroupCoordinator::committed_offset(
     const std::string& group, const TopicPartition& tp) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto git = groups_.find(group);
   if (git == groups_.end()) return std::nullopt;
   auto cit = git->second.committed.find(tp);
@@ -148,7 +157,11 @@ void GroupCoordinator::rebalance_locked(Group& g) {
       }
     }
     std::sort(subscribers.begin(), subscribers.end());
-    const std::uint32_t parts = partition_count_fn_(topic);
+    // Cached at join time; never call partition_count_fn_ here — this
+    // method runs under mutex_ and the callback takes broker locks.
+    const auto pit = topic_counts_.find(topic);
+    const std::uint32_t parts =
+        pit == topic_counts_.end() ? 0 : pit->second;
     const auto m = static_cast<std::uint32_t>(subscribers.size());
     if (m == 0 || parts == 0) continue;
     const std::uint32_t base = parts / m;

@@ -10,13 +10,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace pe::broker {
@@ -37,7 +37,10 @@ struct GroupAssignment {
 class GroupCoordinator {
  public:
   /// `partition_count_fn` resolves a topic name to its partition count
-  /// (0 = unknown topic).
+  /// (0 = unknown topic). It is only ever invoked with the coordinator
+  /// lock released: the broker-backed callback takes the broker registry
+  /// lock, and holding the coordinator lock across it would invert the
+  /// Broker -> Coordinator order.
   using PartitionCountFn = std::function<std::uint32_t(const std::string&)>;
 
   explicit GroupCoordinator(PartitionCountFn partition_count_fn);
@@ -87,14 +90,22 @@ class GroupCoordinator {
     std::map<TopicPartition, std::uint64_t> committed;
   };
 
-  void rebalance_locked(Group& group);
+  void rebalance_locked(Group& group) PE_REQUIRES(mutex_);
   /// Drops members whose heartbeat expired; rebalances if any were lost.
-  void evict_expired_locked(Group& group);
+  void evict_expired_locked(Group& group) PE_REQUIRES(mutex_);
 
   PartitionCountFn partition_count_fn_;
-  mutable std::mutex mutex_;
-  Duration session_timeout_ = Duration::zero();
-  std::map<std::string, Group> groups_;
+  // Leaf of the broker lock domain: consumers call into the coordinator
+  // while the broker may hold its own locks, never the reverse.
+  mutable Mutex mutex_{"broker.coordinator", lock_rank(kLockDomainBroker, 3)};
+  Duration session_timeout_ PE_GUARDED_BY(mutex_) = Duration::zero();
+  std::map<std::string, Group> groups_ PE_GUARDED_BY(mutex_);
+  // Partition counts resolved at join time, outside mutex_, so eviction-
+  // triggered rebalances (heartbeat/leave) never invoke the callback
+  // under the lock. Counts are fixed at topic creation, so the cache can
+  // only go stale for deleted topics — which the range assignor would
+  // have skipped anyway once their count reads 0.
+  std::map<std::string, std::uint32_t> topic_counts_ PE_GUARDED_BY(mutex_);
 };
 
 }  // namespace pe::broker

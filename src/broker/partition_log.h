@@ -8,13 +8,12 @@
 //    are never reused.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "broker/record.h"
 
@@ -73,14 +72,17 @@ class PartitionLog {
     Record record;
   };
 
-  void enforce_retention_locked();
+  void enforce_retention_locked() PE_REQUIRES(mutex_);
 
   const RetentionPolicy retention_;
-  mutable std::mutex mutex_;
-  mutable std::condition_variable data_available_;
-  std::deque<Entry> entries_;
-  std::uint64_t next_offset_ = 0;
-  std::uint64_t bytes_ = 0;
+  // Level 2 in the broker domain: legally acquired under the Broker
+  // registry lock (level 1), never the other way around.
+  mutable Mutex mutex_{"broker.partition_log",
+                       lock_rank(kLockDomainBroker, 2)};
+  mutable CondVar data_available_;
+  std::deque<Entry> entries_ PE_GUARDED_BY(mutex_);
+  std::uint64_t next_offset_ PE_GUARDED_BY(mutex_) = 0;
+  std::uint64_t bytes_ PE_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace pe::broker

@@ -12,7 +12,7 @@ Result<RecordMetadata> Producer::send(const std::string& topic,
                                       Record record) {
   auto partition = broker_->select_partition(topic, record);
   if (!partition.ok()) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stats_.send_errors += 1;
     return partition.status();
   }
@@ -38,7 +38,7 @@ Result<RecordMetadata> Producer::send_batch(const std::string& topic,
 
   auto transfer = fabric_->transfer(site_, broker_->site(), bytes);
   if (!transfer.ok()) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stats_.send_errors += 1;
     return transfer.status();
   }
@@ -46,13 +46,13 @@ Result<RecordMetadata> Producer::send_batch(const std::string& topic,
   const auto count = records.size();
   auto offset = broker_->produce(topic, partition, std::move(records));
   if (!offset.ok()) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stats_.send_errors += 1;
     return offset.status();
   }
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stats_.records_sent += count;
     stats_.bytes_sent += bytes;
   }
@@ -66,7 +66,7 @@ Result<RecordMetadata> Producer::send_batch(const std::string& topic,
 }
 
 ProducerStats Producer::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

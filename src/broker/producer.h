@@ -14,6 +14,7 @@
 
 #include "common/status.h"
 #include "broker/broker.h"
+#include "common/mutex.h"
 #include "network/fabric.h"
 
 namespace pe::broker {
@@ -57,8 +58,8 @@ class Producer {
   std::shared_ptr<Broker> broker_;
   std::shared_ptr<net::Fabric> fabric_;
   const net::SiteId site_;
-  mutable std::mutex mutex_;
-  ProducerStats stats_;
+  mutable Mutex mutex_{"broker.producer"};
+  ProducerStats stats_ PE_GUARDED_BY(mutex_);
 };
 
 }  // namespace pe::broker

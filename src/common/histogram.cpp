@@ -15,7 +15,7 @@ std::string SummaryStats::to_string() const {
 }
 
 void Histogram::record(double value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (samples_.empty()) {
     min_ = max_ = value;
   } else {
@@ -32,18 +32,18 @@ void Histogram::record_many(const std::vector<double>& values) {
 }
 
 std::size_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return samples_.size();
 }
 
 double Histogram::mean() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (samples_.empty()) return 0.0;
   return sum_ / static_cast<double>(samples_.size());
 }
 
 double Histogram::stddev() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto n = static_cast<double>(samples_.size());
   if (n < 2) return 0.0;
   const double mean = sum_ / n;
@@ -52,12 +52,12 @@ double Histogram::stddev() const {
 }
 
 double Histogram::min() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return min_;
 }
 
 double Histogram::max() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return max_;
 }
 
@@ -80,12 +80,12 @@ double Histogram::percentile_locked(double q) const {
 }
 
 double Histogram::percentile(double q) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return percentile_locked(q);
 }
 
 SummaryStats Histogram::summary() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   SummaryStats s;
   s.count = samples_.size();
   if (s.count == 0) return s;
@@ -106,12 +106,12 @@ SummaryStats Histogram::summary() const {
 }
 
 std::vector<double> Histogram::samples() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return samples_;
 }
 
 void Histogram::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   samples_.clear();
   sum_ = sum_sq_ = min_ = max_ = 0.0;
 }

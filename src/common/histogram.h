@@ -6,9 +6,10 @@
 #pragma once
 
 #include <cstddef>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace pe {
 
@@ -53,14 +54,14 @@ class Histogram {
  private:
   /// Interpolated quantile over an already-sorted sample vector.
   static double percentile_sorted(const std::vector<double>& sorted, double q);
-  double percentile_locked(double q) const;
+  double percentile_locked(double q) const PE_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<double> samples_;
-  double sum_ = 0.0;
-  double sum_sq_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  mutable Mutex mutex_{"common.histogram"};
+  std::vector<double> samples_ PE_GUARDED_BY(mutex_);
+  double sum_ PE_GUARDED_BY(mutex_) = 0.0;
+  double sum_sq_ PE_GUARDED_BY(mutex_) = 0.0;
+  double min_ PE_GUARDED_BY(mutex_) = 0.0;
+  double max_ PE_GUARDED_BY(mutex_) = 0.0;
 };
 
 }  // namespace pe

@@ -1,0 +1,220 @@
+#include "common/lock_order.h"
+
+#if PE_LOCK_ORDER_ENABLED
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <utility>
+#include <vector>
+
+namespace pe::lock_order {
+namespace {
+
+struct Held {
+  std::uint64_t id = 0;
+  std::uint32_t rank = 0;
+  const char* name = nullptr;
+  const char* file = nullptr;
+  unsigned line = 0;
+};
+
+// First-witness acquisition sites for an acquired-before edge a -> b:
+// where `a` was acquired (and still held) and where `b` was acquired
+// under it, the first time that order was observed.
+struct EdgeSite {
+  const char* from_name;
+  const char* from_file;
+  unsigned from_line;
+  const char* to_name;
+  const char* to_file;
+  unsigned to_line;
+};
+
+struct Graph {
+  std::shared_mutex mu;
+  std::map<std::uint64_t, std::set<std::uint64_t>> succ;
+  std::map<std::uint64_t, std::set<std::uint64_t>> pred;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, EdgeSite> sites;
+};
+
+// Leaked on purpose: mutexes with static storage duration retire their
+// ids during exit teardown, after any non-immortal graph would be gone.
+Graph& graph() {
+  static Graph* g = new Graph;
+  return *g;
+}
+
+std::vector<Held>& held_stack() {
+  thread_local std::vector<Held> stack;
+  return stack;
+}
+
+bool edge_exists_locked(const Graph& g, std::uint64_t from,
+                        std::uint64_t to) {
+  auto it = g.succ.find(from);
+  return it != g.succ.end() && it->second.count(to) > 0;
+}
+
+/// DFS from `from` looking for `to`; fills `path` with the node sequence
+/// (from ... to) when found. The graph is acyclic by construction, so
+/// plain DFS with a visited set terminates.
+bool find_path_locked(const Graph& g, std::uint64_t from, std::uint64_t to,
+                      std::vector<std::uint64_t>& path) {
+  if (from == to) {
+    path.push_back(from);
+    return true;
+  }
+  path.push_back(from);
+  auto it = g.succ.find(from);
+  if (it != g.succ.end()) {
+    for (std::uint64_t next : it->second) {
+      if (find_path_locked(g, next, to, path)) return true;
+    }
+  }
+  path.pop_back();
+  return false;
+}
+
+void print_held_stack(const std::vector<Held>& held) {
+  for (std::size_t i = held.size(); i-- > 0;) {
+    const Held& h = held[i];
+    std::fprintf(stderr, "    #%zu \"%s\" (rank %u) acquired at %s:%u\n",
+                 held.size() - 1 - i, h.name, h.rank, h.file, h.line);
+  }
+}
+
+[[noreturn]] void die() {
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+std::uint64_t new_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void retire_id(std::uint64_t id) noexcept {
+  Graph& g = graph();
+  std::unique_lock lock(g.mu);
+  if (auto it = g.succ.find(id); it != g.succ.end()) {
+    for (std::uint64_t t : it->second) g.pred[t].erase(id);
+    g.succ.erase(it);
+  }
+  if (auto it = g.pred.find(id); it != g.pred.end()) {
+    for (std::uint64_t s : it->second) g.succ[s].erase(id);
+    g.pred.erase(it);
+  }
+  for (auto it = g.sites.begin(); it != g.sites.end();) {
+    if (it->first.first == id || it->first.second == id) {
+      it = g.sites.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void on_acquire(std::uint64_t id, const char* name, std::uint32_t rank,
+                const char* file, unsigned line) noexcept {
+  std::vector<Held>& held = held_stack();
+  for (const Held& h : held) {
+    if (h.id == id) {
+      std::fprintf(stderr,
+                   "[pe.lock_order] recursive acquisition of \"%s\" at "
+                   "%s:%u (first acquired at %s:%u)\n",
+                   name, file, line, h.file, h.line);
+      die();
+    }
+  }
+  if (!held.empty()) {
+    if (rank != 0) {
+      for (const Held& h : held) {
+        if (h.rank != 0 && (h.rank >> 8) == (rank >> 8) && h.rank >= rank) {
+          std::fprintf(stderr,
+                       "[pe.lock_order] lock-rank violation: acquiring "
+                       "\"%s\" (rank %u) at %s:%u while holding \"%s\" "
+                       "(rank %u); ranks within a domain must strictly "
+                       "increase\n  held stack (most recent first):\n",
+                       name, rank, file, line, h.name, h.rank);
+          print_held_stack(held);
+          die();
+        }
+      }
+    }
+    Graph& g = graph();
+    bool all_known = true;
+    {
+      std::shared_lock lock(g.mu);
+      for (const Held& h : held) {
+        if (!edge_exists_locked(g, h.id, id)) {
+          all_known = false;
+          break;
+        }
+      }
+    }
+    if (!all_known) {
+      std::unique_lock lock(g.mu);
+      for (const Held& h : held) {
+        if (edge_exists_locked(g, h.id, id)) continue;
+        std::vector<std::uint64_t> path;
+        if (find_path_locked(g, id, h.id, path)) {
+          std::fprintf(stderr,
+                       "[pe.lock_order] lock-order inversion (potential "
+                       "deadlock): acquiring \"%s\" at %s:%u while holding "
+                       "\"%s\" (acquired at %s:%u), but \"%s\" was "
+                       "previously acquired before \"%s\"\n"
+                       "  held stack (most recent first):\n",
+                       name, file, line, h.name, h.file, h.line, name,
+                       h.name);
+          print_held_stack(held);
+          std::fprintf(stderr,
+                       "  conflicting acquired-before path "
+                       "(first-witness sites):\n");
+          for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+            auto sit = g.sites.find({path[i], path[i + 1]});
+            if (sit == g.sites.end()) continue;
+            const EdgeSite& e = sit->second;
+            std::fprintf(stderr,
+                         "    \"%s\" (held since %s:%u) -> \"%s\" "
+                         "(acquired at %s:%u)\n",
+                         e.from_name, e.from_file, e.from_line, e.to_name,
+                         e.to_file, e.to_line);
+          }
+          die();
+        }
+        g.succ[h.id].insert(id);
+        g.pred[id].insert(h.id);
+        g.sites.emplace(std::make_pair(h.id, id),
+                        EdgeSite{h.name, h.file, h.line, name, file, line});
+      }
+    }
+  }
+  held.push_back(Held{id, rank, name, file, line});
+}
+
+void on_acquire_try(std::uint64_t id, const char* name, std::uint32_t rank,
+                    const char* file, unsigned line) noexcept {
+  held_stack().push_back(Held{id, rank, name, file, line});
+}
+
+void on_release(std::uint64_t id) noexcept {
+  std::vector<Held>& held = held_stack();
+  for (std::size_t i = held.size(); i-- > 0;) {
+    if (held[i].id == id) {
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+std::size_t held_count() noexcept { return held_stack().size(); }
+
+}  // namespace pe::lock_order
+
+#endif  // PE_LOCK_ORDER_ENABLED

@@ -1,0 +1,73 @@
+// Runtime lock-order (acquired-before) deadlock detector.
+//
+// Debug-only backend for pe::Mutex / pe::SharedMutex (common/mutex.h).
+// Every acquisition pushes onto a per-thread held-lock stack and inserts
+// "held -> acquiring" edges into a global acquired-before graph. The first
+// acquisition that would close a cycle aborts the process, printing the
+// current thread's held stack and the first-witness acquisition sites of
+// the conflicting path — catching AB/BA deadlocks that TSan's
+// happens-before race detector cannot, even when the two orders never
+// overlap in time during the run.
+//
+// Two complementary checks run on each acquisition:
+//   1. Rank check: mutexes carry an optional rank = (domain << 8) | level.
+//      Within one domain, ranks must strictly increase down the stack
+//      (the documented hierarchy, e.g. Broker(1) -> PartitionLog(2) inside
+//      the broker domain). Cross-domain order is not rank-constrained.
+//   2. Graph check: rank 0 ("unranked") mutexes and cross-domain orders
+//      are still enforced dynamically via the acquired-before graph.
+//
+// Enabled by the PE_LOCK_ORDER compile definition (CMake option
+// PE_LOCK_ORDER, default ON except in Release builds). When disabled, all
+// hooks compile away and pe::Mutex is layout-identical to std::mutex.
+#pragma once
+
+#include <cstdint>
+
+#if defined(PE_LOCK_ORDER) && PE_LOCK_ORDER
+#define PE_LOCK_ORDER_ENABLED 1
+#else
+#define PE_LOCK_ORDER_ENABLED 0
+#endif
+
+namespace pe::lock_order {
+
+// Lock-rank domains. Levels start at 1; rank 0 means "unranked" (graph
+// enforcement only). See DESIGN.md "Concurrency invariants".
+inline constexpr std::uint32_t kDomainBroker = 1;    // Broker -> Log -> Coord
+inline constexpr std::uint32_t kDomainResource = 2;  // PilotManager -> Pilot
+inline constexpr std::uint32_t kDomainExec = 3;      // Scheduler -> pool queue
+
+constexpr std::uint32_t rank(std::uint32_t domain, std::uint32_t level) {
+  return (domain << 8) | level;
+}
+
+#if PE_LOCK_ORDER_ENABLED
+
+/// Allocates a process-unique mutex id (never reused, so stale graph
+/// edges can never alias a new mutex at a recycled address).
+std::uint64_t new_id() noexcept;
+
+/// Drops all acquired-before edges touching `id` (mutex destroyed).
+void retire_id(std::uint64_t id) noexcept;
+
+/// Records an acquisition: self-relock check, rank check, edge insertion
+/// + cycle check. Aborts on the first violation. `name` must outlive the
+/// mutex (string literals in practice).
+void on_acquire(std::uint64_t id, const char* name, std::uint32_t rank,
+                const char* file, unsigned line) noexcept;
+
+/// Records a successful try_lock: pushes the held record but skips the
+/// cycle check (a non-blocking acquisition cannot deadlock by itself).
+void on_acquire_try(std::uint64_t id, const char* name, std::uint32_t rank,
+                    const char* file, unsigned line) noexcept;
+
+/// Pops the (topmost matching) held record.
+void on_release(std::uint64_t id) noexcept;
+
+/// Locks held by the calling thread (test hook).
+std::size_t held_count() noexcept;
+
+#endif  // PE_LOCK_ORDER_ENABLED
+
+}  // namespace pe::lock_order

@@ -5,29 +5,33 @@
 // then report closure.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 
 namespace pe {
 
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(std::size_t capacity = 1024) : capacity_(capacity) {}
+  /// `name`/`rank` feed the lock-order detector (common/mutex.h); worker
+  /// inbox queues sit at the bottom of the exec-domain hierarchy.
+  explicit BoundedQueue(std::size_t capacity = 1024,
+                        const char* name = "queue", std::uint32_t rank = 0)
+      : capacity_(capacity), mutex_(name, rank) {}
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   /// Blocks until space is available. Returns false if the queue was closed.
   bool push(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+    UniqueLock lock(mutex_);
+    not_full_.wait(lock, [this]() PE_NO_THREAD_SAFETY_ANALYSIS {
+      return closed_ || items_.size() < capacity_;
+    });
     if (closed_) return false;
     items_.push_back(std::move(item));
     lock.unlock();
@@ -38,7 +42,7 @@ class BoundedQueue {
   /// Non-blocking push. Returns false when full or closed.
   bool try_push(T item) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
@@ -48,8 +52,10 @@ class BoundedQueue {
 
   /// Blocks until an item is available or the queue is closed and drained.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    UniqueLock lock(mutex_);
+    not_empty_.wait(lock, [this]() PE_NO_THREAD_SAFETY_ANALYSIS {
+      return closed_ || !items_.empty();
+    });
     if (items_.empty()) return std::nullopt;  // closed and drained
     T item = std::move(items_.front());
     items_.pop_front();
@@ -60,9 +66,11 @@ class BoundedQueue {
 
   /// Waits up to `timeout`; returns nullopt on timeout or closed+drained.
   std::optional<T> pop_for(Duration timeout) {
-    std::unique_lock<std::mutex> lock(mutex_);
+    UniqueLock lock(mutex_);
     if (!not_empty_.wait_for(lock, timeout,
-                             [this] { return closed_ || !items_.empty(); })) {
+                             [this]() PE_NO_THREAD_SAFETY_ANALYSIS {
+                               return closed_ || !items_.empty();
+                             })) {
       return std::nullopt;
     }
     if (items_.empty()) return std::nullopt;
@@ -75,7 +83,7 @@ class BoundedQueue {
 
   /// Non-blocking pop.
   std::optional<T> try_pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
+    UniqueLock lock(mutex_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -87,7 +95,7 @@ class BoundedQueue {
   /// Unblocks all waiters. Remaining items can still be drained with pop.
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -95,12 +103,12 @@ class BoundedQueue {
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
@@ -109,11 +117,11 @@ class BoundedQueue {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ PE_GUARDED_BY(mutex_);
+  bool closed_ PE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace pe

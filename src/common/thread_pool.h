@@ -48,7 +48,11 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  BoundedQueue<std::function<void()>> jobs_{1 << 16};
+  // Job inbox sits at the bottom of the exec-domain lock hierarchy
+  // (Scheduler -> worker queue), so dispatch under the scheduler lock is
+  // a legal descent and the detector flags any reverse order.
+  BoundedQueue<std::function<void()>> jobs_{
+      1 << 16, "exec.pool.jobs", lock_rank(kLockDomainExec, 2)};
   std::vector<std::thread> threads_;
 };
 

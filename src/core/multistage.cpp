@@ -149,7 +149,7 @@ Status MultiStagePipeline::stage_body(exec::TaskContext& tctx,
       }
       data::DataBlock block = std::move(decoded).value();
       {
-        std::lock_guard<std::mutex> lock(state.seen_mutex);
+        MutexLock lock(state.seen_mutex);
         if (!state.seen.insert(block.message_id).second) continue;
       }
       state.in.fetch_add(1);

@@ -19,13 +19,13 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "broker/broker.h"
 #include "common/histogram.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "core/faas.h"
 #include "mqtt/mqtt_bridge.h"
@@ -107,8 +107,8 @@ class MultiStagePipeline {
     /// stage can drain and exit.
     std::atomic<bool> upstream_done{false};
     // Effectively-once per stage (broker is at-least-once).
-    std::mutex seen_mutex;
-    std::unordered_set<std::uint64_t> seen;
+    Mutex seen_mutex{"core.multistage.seen"};
+    std::unordered_set<std::uint64_t> seen PE_GUARDED_BY(seen_mutex);
   };
 
   Status validate() const;

@@ -18,21 +18,25 @@ EdgeToCloudPipeline::EdgeToCloudPipeline(PipelineConfig config)
 EdgeToCloudPipeline::~EdgeToCloudPipeline() { stop(); }
 
 EdgeToCloudPipeline& EdgeToCloudPipeline::set_pilot_edge(res::PilotPtr p) {
+  MutexLock lock(pilots_mutex_);
   edge_pilots_.clear();
   edge_pilots_.push_back(std::move(p));
   return *this;
 }
 EdgeToCloudPipeline& EdgeToCloudPipeline::add_pilot_edge(res::PilotPtr p) {
+  MutexLock lock(pilots_mutex_);
   edge_pilots_.push_back(std::move(p));
   return *this;
 }
 EdgeToCloudPipeline& EdgeToCloudPipeline::set_pilot_cloud_processing(
     res::PilotPtr p) {
+  MutexLock lock(pilots_mutex_);
   cloud_pilot_ = std::move(p);
   return *this;
 }
 EdgeToCloudPipeline& EdgeToCloudPipeline::set_pilot_cloud_broker(
     res::PilotPtr p) {
+  MutexLock lock(pilots_mutex_);
   broker_pilot_ = std::move(p);
   return *this;
 }
@@ -48,7 +52,7 @@ EdgeToCloudPipeline& EdgeToCloudPipeline::set_process_edge_function(
 }
 EdgeToCloudPipeline& EdgeToCloudPipeline::set_process_cloud_function(
     ProcessFnFactory f) {
-  std::lock_guard<std::mutex> lock(factory_mutex_);
+  MutexLock lock(factory_mutex_);
   cloud_factory_ = std::move(f);
   return *this;
 }
@@ -65,16 +69,19 @@ EdgeToCloudPipeline& EdgeToCloudPipeline::set_pilot_manager(
 
 Status EdgeToCloudPipeline::validate() const {
   if (!fabric_) return Status::InvalidArgument("no fabric set");
-  if (edge_pilots_.empty()) return Status::InvalidArgument("no edge pilot");
-  if (!cloud_pilot_) {
-    return Status::InvalidArgument("no cloud processing pilot");
+  {
+    MutexLock lock(pilots_mutex_);
+    if (edge_pilots_.empty()) return Status::InvalidArgument("no edge pilot");
+    if (!cloud_pilot_) {
+      return Status::InvalidArgument("no cloud processing pilot");
+    }
+    if (!broker_pilot_) return Status::InvalidArgument("no broker pilot");
   }
-  if (!broker_pilot_) return Status::InvalidArgument("no broker pilot");
   if (!produce_factory_) {
     return Status::InvalidArgument("no produce function");
   }
   {
-    std::lock_guard<std::mutex> lock(factory_mutex_);
+    MutexLock lock(factory_mutex_);
     if (!cloud_factory_) {
       return Status::InvalidArgument("no cloud processing function");
     }
@@ -96,13 +103,25 @@ Status EdgeToCloudPipeline::start() {
   if (running_.load()) return Status::FailedPrecondition("already running");
   if (auto s = validate(); !s.ok()) return s;
 
-  for (const auto& p : edge_pilots_) {
+  // Snapshot the pilot bindings; the waits below can block, so they must
+  // not run under pilots_mutex_ (recovery rebinds would stall behind us).
+  std::vector<res::PilotPtr> edge_pilots;
+  res::PilotPtr cloud_pilot;
+  res::PilotPtr broker_pilot;
+  {
+    MutexLock lock(pilots_mutex_);
+    edge_pilots = edge_pilots_;
+    cloud_pilot = cloud_pilot_;
+    broker_pilot = broker_pilot_;
+  }
+
+  for (const auto& p : edge_pilots) {
     if (auto s = p->wait_active(); !s.ok()) return s;
   }
-  if (auto s = cloud_pilot_->wait_active(); !s.ok()) return s;
-  if (auto s = broker_pilot_->wait_active(); !s.ok()) return s;
+  if (auto s = cloud_pilot->wait_active(); !s.ok()) return s;
+  if (auto s = broker_pilot->wait_active(); !s.ok()) return s;
 
-  broker_ = broker_pilot_->broker();
+  broker_ = broker_pilot->broker();
   if (!broker_) {
     return Status::InvalidArgument(
         "broker pilot has no broker (use Backend::kBrokerService)");
@@ -132,7 +151,7 @@ Status EdgeToCloudPipeline::start() {
     // Lightweight MQTT broker co-located with the (first) edge pilot; the
     // bridge runs on the same edge gateway and forwards into the
     // Kafka-model topic across the fabric.
-    const net::SiteId edge_site = edge_pilots_.front()->site();
+    const net::SiteId edge_site = edge_pilots.front()->site();
     mqtt_broker_ = std::make_shared<mqtt::MqttBroker>(edge_site);
     mqtt::BridgeConfig bridge_config;
     bridge_config.mqtt_filter = "pe/" + id_ + "/#";
@@ -155,16 +174,20 @@ Status EdgeToCloudPipeline::start() {
   recoveries_.store(0);
   producers_done_.store(false);
   producer_handles_.clear();
-  processing_handles_.clear();
   {
-    std::lock_guard<std::mutex> lock(processed_ids_mutex_);
+    MutexLock lock(pilots_mutex_);
+    processing_handles_.clear();
+    next_processing_index_ = 0;
+  }
+  {
+    MutexLock lock(processed_ids_mutex_);
     processed_ids_.clear();
   }
 
   // Capacity sanity: warn when tasks will queue on cores (would distort
   // throughput experiments).
   std::uint32_t edge_cores = 0;
-  for (const auto& p : edge_pilots_) edge_cores += p->granted_cores();
+  for (const auto& p : edge_pilots) edge_cores += p->granted_cores();
   if (edge_cores < config_.edge_devices) {
     PE_LOG_WARN("pipeline " << id_ << ": " << config_.edge_devices
                             << " devices on " << edge_cores
@@ -174,17 +197,16 @@ Status EdgeToCloudPipeline::start() {
   const std::size_t n_processing = config_.processing_tasks != 0
                                        ? config_.processing_tasks
                                        : effective_partitions_;
-  if (cloud_pilot_->granted_cores() < n_processing) {
+  if (cloud_pilot->granted_cores() < n_processing) {
     PE_LOG_WARN("pipeline " << id_ << ": " << n_processing
                             << " processing tasks on "
-                            << cloud_pilot_->granted_cores()
+                            << cloud_pilot->granted_cores()
                             << " cloud cores — tasks will queue");
   }
 
   running_.store(true);
 
   // Processing tasks first so consumers are polling when data arrives.
-  next_processing_index_ = 0;
   for (std::size_t t = 0; t < n_processing; ++t) {
     if (auto s = scale_processing(1); !s.ok()) {
       stop();
@@ -195,7 +217,7 @@ Status EdgeToCloudPipeline::start() {
   // Producer (edge device) tasks, round-robin across edge pilots.
   producers_running_.store(config_.edge_devices);
   for (std::size_t d = 0; d < config_.edge_devices; ++d) {
-    const auto& pilot = edge_pilots_[d % edge_pilots_.size()];
+    const auto& pilot = edge_pilots[d % edge_pilots.size()];
     auto cluster = pilot->cluster();
     if (!cluster) {
       stop();
@@ -238,7 +260,7 @@ Status EdgeToCloudPipeline::start() {
 void EdgeToCloudPipeline::on_pilot_replaced(const res::PilotPtr& failed,
                                             const res::PilotPtr& replacement) {
   if (!running_.load(std::memory_order_acquire)) return;
-  std::lock_guard<std::mutex> lock(pilots_mutex_);
+  MutexLock lock(pilots_mutex_);
   if (cloud_pilot_ && failed.get() == cloud_pilot_.get()) {
     cloud_pilot_ = replacement;
     recoveries_.fetch_add(1);
@@ -295,7 +317,7 @@ exec::TaskSpec EdgeToCloudPipeline::make_processing_task(
 }
 
 Status EdgeToCloudPipeline::scale_processing(std::size_t count) {
-  std::lock_guard<std::mutex> lock(pilots_mutex_);
+  MutexLock lock(pilots_mutex_);
   return scale_processing_locked(count);
 }
 
@@ -316,7 +338,7 @@ Status EdgeToCloudPipeline::scale_processing_locked(std::size_t count) {
 void EdgeToCloudPipeline::replace_process_cloud_function(
     ProcessFnFactory factory) {
   {
-    std::lock_guard<std::mutex> lock(factory_mutex_);
+    MutexLock lock(factory_mutex_);
     cloud_factory_ = std::move(factory);
   }
   cloud_factory_generation_.fetch_add(1, std::memory_order_release);
@@ -440,7 +462,7 @@ Status EdgeToCloudPipeline::processing_body(exec::TaskContext& tctx,
   ProcessFn process;
   std::uint64_t local_generation;
   {
-    std::lock_guard<std::mutex> lock(factory_mutex_);
+    MutexLock lock(factory_mutex_);
     process = cloud_factory_();
     local_generation = cloud_factory_generation_.load();
   }
@@ -471,7 +493,7 @@ Status EdgeToCloudPipeline::processing_body(exec::TaskContext& tctx,
     // can be exchanged at runtime without a new pilot).
     if (cloud_factory_generation_.load(std::memory_order_acquire) !=
         local_generation) {
-      std::lock_guard<std::mutex> lock(factory_mutex_);
+      MutexLock lock(factory_mutex_);
       process = cloud_factory_();
       local_generation = cloud_factory_generation_.load();
     }
@@ -490,7 +512,7 @@ Status EdgeToCloudPipeline::processing_body(exec::TaskContext& tctx,
       {
         // Effectively-once: skip broker redeliveries (rebalances can
         // redeliver records consumed but not yet committed).
-        std::lock_guard<std::mutex> lock(processed_ids_mutex_);
+        MutexLock lock(processed_ids_mutex_);
         if (!processed_ids_.insert(block.message_id).second) {
           duplicates_.fetch_add(1);
           continue;
@@ -611,7 +633,7 @@ Status EdgeToCloudPipeline::wait() {
   // handles under the lock: recovery may have appended re-spawned tasks.
   std::vector<exec::TaskHandle> handles;
   {
-    std::lock_guard<std::mutex> lock(pilots_mutex_);
+    MutexLock lock(pilots_mutex_);
     handles = processing_handles_;
   }
   for (auto& handle : handles) {
@@ -635,7 +657,7 @@ void EdgeToCloudPipeline::stop() {
   }
   std::vector<exec::TaskHandle> handles;
   {
-    std::lock_guard<std::mutex> lock(pilots_mutex_);
+    MutexLock lock(pilots_mutex_);
     handles = processing_handles_;
   }
   for (auto& handle : producer_handles_) handle.request_stop();

@@ -10,13 +10,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "broker/broker.h"
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "mqtt/mqtt_bridge.h"
 #include "core/faas.h"
@@ -155,7 +155,8 @@ class EdgeToCloudPipeline {
  private:
   Status validate() const;
   exec::TaskSpec make_producer_task(std::size_t device_index);
-  exec::TaskSpec make_processing_task(std::size_t task_index);
+  exec::TaskSpec make_processing_task(std::size_t task_index)
+      PE_REQUIRES(pilots_mutex_);
   Status producer_body(exec::TaskContext& tctx, std::size_t device_index,
                        const net::SiteId& site);
   Status processing_body(exec::TaskContext& tctx, std::size_t task_index,
@@ -166,7 +167,8 @@ class EdgeToCloudPipeline {
   /// replacement cluster. Runs on the manager's monitor thread.
   void on_pilot_replaced(const res::PilotPtr& failed,
                          const res::PilotPtr& replacement);
-  Status scale_processing_locked(std::size_t count);
+  Status scale_processing_locked(std::size_t count)
+      PE_REQUIRES(pilots_mutex_);
   /// Dead-letters a record after exhausted/non-transient processing
   /// failure; counts it as processed so the run drains.
   void dead_letter_record(const broker::ConsumedRecord& record,
@@ -175,17 +177,17 @@ class EdgeToCloudPipeline {
   const std::string id_;
   PipelineConfig config_;
   std::shared_ptr<net::Fabric> fabric_;
-  // Pilot bindings can be swapped at runtime by recovery; guarded by
-  // pilots_mutex_ after start().
-  mutable std::mutex pilots_mutex_;
-  std::vector<res::PilotPtr> edge_pilots_;
-  res::PilotPtr cloud_pilot_;
-  res::PilotPtr broker_pilot_;
+  // Pilot bindings can be swapped at runtime by recovery. Unranked: the
+  // graph tracks its edges into the resource and exec domains.
+  mutable Mutex pilots_mutex_{"core.pipeline.pilots"};
+  std::vector<res::PilotPtr> edge_pilots_ PE_GUARDED_BY(pilots_mutex_);
+  res::PilotPtr cloud_pilot_ PE_GUARDED_BY(pilots_mutex_);
+  res::PilotPtr broker_pilot_ PE_GUARDED_BY(pilots_mutex_);
   res::PilotManager* pilot_manager_ = nullptr;
   std::uint64_t replacement_sub_token_ = 0;
   ProduceFnFactory produce_factory_;
   ProcessFnFactory edge_factory_;
-  ProcessFnFactory cloud_factory_;
+  ProcessFnFactory cloud_factory_ PE_GUARDED_BY(factory_mutex_);
 
   // Run state.
   std::shared_ptr<broker::Broker> broker_;
@@ -194,7 +196,10 @@ class EdgeToCloudPipeline {
   std::shared_ptr<ps::ParameterServer> param_server_;
   std::shared_ptr<tel::SpanCollector> collector_;
   std::vector<exec::TaskHandle> producer_handles_;
-  std::vector<exec::TaskHandle> processing_handles_;
+  // Recovery appends re-spawned tasks from the monitor thread, so the
+  // processing fleet shares the pilot-binding lock.
+  std::vector<exec::TaskHandle> processing_handles_
+      PE_GUARDED_BY(pilots_mutex_);
   std::uint32_t effective_partitions_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> producers_done_{false};
@@ -210,13 +215,14 @@ class EdgeToCloudPipeline {
   // At-least-once delivery from the broker (consumer-group rebalances can
   // redeliver uncommitted records) is turned into effectively-once
   // processing by deduplicating on the unique message id.
-  std::mutex processed_ids_mutex_;
-  std::unordered_set<std::uint64_t> processed_ids_;
+  Mutex processed_ids_mutex_{"core.pipeline.dedup"};
+  std::unordered_set<std::uint64_t> processed_ids_
+      PE_GUARDED_BY(processed_ids_mutex_);
 
   // Hot-swappable processing function factory (dynamism).
-  mutable std::mutex factory_mutex_;
+  mutable Mutex factory_mutex_{"core.pipeline.factory"};
   std::atomic<std::uint64_t> cloud_factory_generation_{0};
-  std::size_t next_processing_index_ = 0;
+  std::size_t next_processing_index_ PE_GUARDED_BY(pilots_mutex_) = 0;
 };
 
 }  // namespace pe::core

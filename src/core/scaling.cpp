@@ -47,7 +47,7 @@ void BacklogAutoScaler::run(EdgeToCloudPipeline* pipeline) {
       if (auto s = pipeline->scale_processing(step); s.ok()) {
         added_.fetch_add(step);
         {
-          std::lock_guard<std::mutex> lock(events_mutex_);
+          MutexLock lock(events_mutex_);
           events_.push_back(ScaleEvent{Clock::now_ns(), backlog, step});
         }
         PE_LOG_INFO("auto-scaler: backlog " << backlog << " -> added "
@@ -63,7 +63,7 @@ void BacklogAutoScaler::run(EdgeToCloudPipeline* pipeline) {
 }
 
 std::vector<ScaleEvent> BacklogAutoScaler::events() const {
-  std::lock_guard<std::mutex> lock(events_mutex_);
+  MutexLock lock(events_mutex_);
   return events_;
 }
 

@@ -10,11 +10,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "core/pipeline.h"
 
 namespace pe::core {
@@ -60,8 +60,8 @@ class BacklogAutoScaler {
   const AutoScalerConfig config_;
   std::atomic<bool> running_{false};
   std::atomic<std::size_t> added_{0};
-  mutable std::mutex events_mutex_;
-  std::vector<ScaleEvent> events_;
+  mutable Mutex events_mutex_{"core.scaler.events"};
+  std::vector<ScaleEvent> events_ PE_GUARDED_BY(events_mutex_);
   std::thread thread_;
 };
 

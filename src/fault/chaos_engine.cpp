@@ -82,7 +82,7 @@ ChaosEngine& ChaosEngine::add_cluster(std::shared_ptr<exec::Cluster> cluster) {
 }
 
 Status ChaosEngine::start() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (started_) return Status::FailedPrecondition("chaos engine started");
   started_ = true;
   stop_ = false;
@@ -92,7 +92,7 @@ Status ChaosEngine::start() {
 
 void ChaosEngine::stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   join();
@@ -111,14 +111,14 @@ void ChaosEngine::run() {
                                                   Clock::time_scale());
     while (Clock::now() < deadline) {
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (stop_) return;
       }
       Clock::sleep_exact(std::min<Duration>(deadline - Clock::now(),
                                             std::chrono::milliseconds(5)));
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (stop_) return;
     }
 
@@ -142,7 +142,7 @@ void ChaosEngine::run() {
       PE_LOG_WARN("chaos: " << to_string(event.kind) << " '" << event.target
                             << "' failed: " << record.status.to_string());
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     records_.push_back(std::move(record));
   }
 }
@@ -208,7 +208,7 @@ Status ChaosEngine::apply_link_fault(const FaultEvent& event) {
 }
 
 std::vector<FaultRecord> ChaosEngine::records() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return records_;
 }
 

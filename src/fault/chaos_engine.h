@@ -14,12 +14,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "broker/broker.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "fault/fault_plan.h"
 #include "network/fabric.h"
@@ -78,11 +78,11 @@ class ChaosEngine {
   std::shared_ptr<broker::Broker> broker_;
   std::vector<std::shared_ptr<exec::Cluster>> clusters_;
 
-  mutable std::mutex mutex_;
-  std::vector<FaultRecord> records_;
+  mutable Mutex mutex_{"fault.chaos"};
+  std::vector<FaultRecord> records_ PE_GUARDED_BY(mutex_);
   std::thread thread_;
-  bool started_ = false;
-  bool stop_ = false;
+  bool started_ PE_GUARDED_BY(mutex_) = false;
+  bool stop_ PE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace pe::fault

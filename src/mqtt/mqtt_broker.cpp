@@ -69,7 +69,7 @@ Result<bool> MqttBroker::connect(const std::string& client_id,
   if (options.will && !valid_topic(options.will->topic)) {
     return Status::InvalidArgument("invalid will topic");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sessions_.find(client_id);
   bool resumed = false;
   if (it != sessions_.end()) {
@@ -90,7 +90,7 @@ Result<bool> MqttBroker::connect(const std::string& client_id,
 }
 
 Status MqttBroker::disconnect(const std::string& client_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sessions_.find(client_id);
   if (it == sessions_.end() || !it->second.connected) {
     return Status::NotFound("client '" + client_id + "' not connected");
@@ -106,7 +106,7 @@ Status MqttBroker::disconnect(const std::string& client_id) {
 Status MqttBroker::drop(const std::string& client_id) {
   std::optional<Message> will;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = sessions_.find(client_id);
     if (it == sessions_.end() || !it->second.connected) {
       return Status::NotFound("client '" + client_id + "' not connected");
@@ -127,7 +127,7 @@ Status MqttBroker::drop(const std::string& client_id) {
 }
 
 bool MqttBroker::connected(const std::string& client_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sessions_.find(client_id);
   return it != sessions_.end() && it->second.connected;
 }
@@ -137,7 +137,7 @@ Status MqttBroker::subscribe(const std::string& client_id,
   if (!valid_filter(filter)) {
     return Status::InvalidArgument("invalid topic filter '" + filter + "'");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sessions_.find(client_id);
   if (it == sessions_.end() || !it->second.connected) {
     return Status::FailedPrecondition("client '" + client_id +
@@ -166,7 +166,7 @@ Status MqttBroker::subscribe(const std::string& client_id,
 
 Status MqttBroker::unsubscribe(const std::string& client_id,
                                const std::string& filter) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sessions_.find(client_id);
   if (it == sessions_.end()) {
     return Status::NotFound("unknown client '" + client_id + "'");
@@ -225,7 +225,7 @@ Status MqttBroker::publish(Message message) {
     return Status::InvalidArgument("invalid publish topic '" +
                                    message.topic + "'");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   counters_.published += 1;
   if (message.publish_ns == 0) message.publish_ns = Clock::now_ns();
   if (message.retain) {
@@ -241,7 +241,7 @@ Status MqttBroker::publish(Message message) {
 
 Result<std::vector<Message>> MqttBroker::poll(const std::string& client_id,
                                               std::size_t max) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sessions_.find(client_id);
   if (it == sessions_.end() || !it->second.connected) {
     return Status::FailedPrecondition("client '" + client_id +
@@ -277,7 +277,7 @@ Result<std::vector<Message>> MqttBroker::poll(const std::string& client_id,
 
 Status MqttBroker::ack(const std::string& client_id,
                        std::uint64_t packet_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sessions_.find(client_id);
   if (it == sessions_.end()) {
     return Status::NotFound("unknown client '" + client_id + "'");
@@ -290,7 +290,7 @@ Status MqttBroker::ack(const std::string& client_id,
 
 std::vector<std::string> MqttBroker::subscriptions(
     const std::string& client_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> out;
   auto it = sessions_.find(client_id);
   if (it == sessions_.end()) return out;
@@ -301,12 +301,12 @@ std::vector<std::string> MqttBroker::subscriptions(
 }
 
 std::size_t MqttBroker::retained_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return retained_.size();
 }
 
 BrokerCounters MqttBroker::counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return counters_;
 }
 

@@ -19,12 +19,12 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/serialize.h"
 #include "common/status.h"
 #include "network/site.h"
@@ -131,16 +131,17 @@ class MqttBroker {
     std::map<std::uint64_t, PendingAck> awaiting_ack;
   };
 
-  void route_locked(const Message& message);
+  void route_locked(const Message& message) PE_REQUIRES(mutex_);
   void deliver_locked(Session& session, const Subscription& sub,
-                      Message message);
+                      Message message) PE_REQUIRES(mutex_);
 
   const net::SiteId site_;
-  mutable std::mutex mutex_;
-  std::map<std::string, Session> sessions_;
-  std::map<std::string, Message> retained_;  // topic -> last retained msg
-  std::uint64_t next_packet_id_ = 1;
-  BrokerCounters counters_;
+  mutable Mutex mutex_{"mqtt.broker"};
+  std::map<std::string, Session> sessions_ PE_GUARDED_BY(mutex_);
+  std::map<std::string, Message> retained_
+      PE_GUARDED_BY(mutex_);  // topic -> last retained msg
+  std::uint64_t next_packet_id_ PE_GUARDED_BY(mutex_) = 1;
+  BrokerCounters counters_ PE_GUARDED_BY(mutex_);
 };
 
 }  // namespace pe::mqtt

@@ -23,7 +23,7 @@ LinkSpec Fabric::default_loopback() {
 }
 
 Status Fabric::add_site(Site site) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (sites_.count(site.id) > 0) {
     return Status::AlreadyExists("site '" + site.id + "' already registered");
   }
@@ -32,7 +32,7 @@ Status Fabric::add_site(Site site) {
 }
 
 Status Fabric::add_link(LinkSpec spec) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (sites_.count(spec.from) == 0) {
     return Status::NotFound("unknown source site '" + spec.from + "'");
   }
@@ -59,12 +59,12 @@ Status Fabric::add_bidirectional_link(LinkSpec spec) {
 }
 
 bool Fabric::has_site(const SiteId& id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return sites_.count(id) > 0;
 }
 
 Result<Site> Fabric::site(const SiteId& id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sites_.find(id);
   if (it == sites_.end()) {
     return Status::NotFound("unknown site '" + id + "'");
@@ -73,7 +73,7 @@ Result<Site> Fabric::site(const SiteId& id) const {
 }
 
 std::vector<Site> Fabric::sites() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<Site> out;
   out.reserve(sites_.size());
   for (const auto& [_, s] : sites_) out.push_back(s);
@@ -104,7 +104,7 @@ Result<TransferResult> Fabric::transfer(const SiteId& from, const SiteId& to,
                                         std::uint64_t bytes) {
   Link* link = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (sites_.count(from) == 0) {
       return Status::NotFound("unknown source site '" + from + "'");
     }
@@ -127,7 +127,7 @@ Status Fabric::inject_link_fault(const SiteId& from, const SiteId& to,
                                  LinkFault fault) {
   Link* link = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (sites_.count(from) == 0 || sites_.count(to) == 0) {
       return Status::NotFound("unknown site");
     }
@@ -146,7 +146,7 @@ Status Fabric::clear_link_fault(const SiteId& from, const SiteId& to) {
 
 Result<Duration> Fabric::estimated_latency(const SiteId& from,
                                            const SiteId& to) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (sites_.count(from) == 0 || sites_.count(to) == 0) {
     return Status::NotFound("unknown site");
   }
@@ -158,7 +158,7 @@ Result<Duration> Fabric::estimated_latency(const SiteId& from,
 
 Result<double> Fabric::estimated_bandwidth_bps(const SiteId& from,
                                                const SiteId& to) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (sites_.count(from) == 0 || sites_.count(to) == 0) {
     return Status::NotFound("unknown site");
   }
@@ -169,7 +169,7 @@ Result<double> Fabric::estimated_bandwidth_bps(const SiteId& from,
 }
 
 std::map<std::string, LinkStats> Fabric::link_stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::map<std::string, LinkStats> out;
   for (const auto& [key, link] : links_) {
     out[link->spec().from + "->" + link->spec().to] = link->stats();

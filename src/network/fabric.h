@@ -7,10 +7,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "network/link.h"
 #include "network/site.h"
@@ -73,16 +73,21 @@ class Fabric {
   static std::shared_ptr<Fabric> make_single_site_topology();
 
  private:
-  Link* find_link(const SiteId& from, const SiteId& to) const;
-  Link* loopback_for(const SiteId& site) const;
+  Link* find_link(const SiteId& from, const SiteId& to) const
+      PE_REQUIRES(mutex_);
+  Link* loopback_for(const SiteId& site) const PE_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
+  // Registry lock only: transfer() resolves the link under it, then
+  // sleeps/charges on the Link's own mutex with this one released.
+  mutable Mutex mutex_{"net.fabric"};
   LinkSpec loopback_spec_;
-  std::map<SiteId, Site> sites_;
+  std::map<SiteId, Site> sites_ PE_GUARDED_BY(mutex_);
   // Directed links keyed by "from\0to"; loopbacks created lazily per site.
-  mutable std::map<std::string, std::unique_ptr<Link>> links_;
-  mutable std::map<SiteId, std::unique_ptr<Link>> loopbacks_;
-  std::uint64_t next_seed_ = 1000;
+  mutable std::map<std::string, std::unique_ptr<Link>> links_
+      PE_GUARDED_BY(mutex_);
+  mutable std::map<SiteId, std::unique_ptr<Link>> loopbacks_
+      PE_GUARDED_BY(mutex_);
+  std::uint64_t next_seed_ PE_GUARDED_BY(mutex_) = 1000;
 };
 
 }  // namespace pe::net

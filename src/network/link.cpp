@@ -14,7 +14,7 @@ TransferResult Link::transfer(std::uint64_t bytes) {
   const double scale = Clock::time_scale();
   TimePoint complete_at;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
 
     // Sample per-transfer link quality, degraded by any active fault.
     const double bw = rng_.uniform(spec_.bandwidth_min_bps,
@@ -60,27 +60,27 @@ TransferResult Link::transfer(std::uint64_t bytes) {
 }
 
 void Link::set_fault(LinkFault fault) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   fault_ = fault;
 }
 
 void Link::clear_fault() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   fault_ = LinkFault{};
 }
 
 LinkFault Link::fault() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return fault_;
 }
 
 bool Link::partitioned() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return fault_.partitioned;
 }
 
 LinkStats Link::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

@@ -12,10 +12,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "network/site.h"
 
@@ -92,12 +92,12 @@ class Link {
 
  private:
   const LinkSpec spec_;
-  mutable std::mutex mutex_;
-  Rng rng_;
+  mutable Mutex mutex_{"net.link"};
+  Rng rng_ PE_GUARDED_BY(mutex_);
   // Next instant (real/scaled clock) at which the shared channel is free.
-  TimePoint channel_free_at_;
-  LinkStats stats_;
-  LinkFault fault_;
+  TimePoint channel_free_at_ PE_GUARDED_BY(mutex_);
+  LinkStats stats_ PE_GUARDED_BY(mutex_);
+  LinkFault fault_ PE_GUARDED_BY(mutex_);
 };
 
 }  // namespace pe::net

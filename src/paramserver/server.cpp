@@ -7,7 +7,7 @@ ParameterServer::ParameterServer(net::SiteId site) : site_(std::move(site)) {}
 std::uint64_t ParameterServer::set(const std::string& key, Bytes value) {
   std::uint64_t version;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     VersionedValue& entry = entries_[key];
     stats_.sets += 1;
     stats_.bytes_in += value.size();
@@ -21,7 +21,7 @@ std::uint64_t ParameterServer::set(const std::string& key, Bytes value) {
 }
 
 Result<VersionedValue> ParameterServer::get(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     return Status::NotFound("key '" + key + "' not found");
@@ -35,7 +35,7 @@ Result<std::uint64_t> ParameterServer::compare_and_set(
     const std::string& key, std::uint64_t expected_version, Bytes value) {
   std::uint64_t version;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = entries_.find(key);
     const std::uint64_t current = it == entries_.end() ? 0 : it->second.version;
     if (current != expected_version) {
@@ -64,11 +64,12 @@ Result<VersionedValue> ParameterServer::watch(const std::string& key,
   // stack under PE_TIME_SCALE-accelerated experiments.
   const auto wall_timeout =
       std::chrono::duration_cast<Duration>(timeout / Clock::time_scale());
-  std::unique_lock<std::mutex> lock(mutex_);
-  const bool fresh = updated_.wait_for(lock, wall_timeout, [&] {
-    auto it = entries_.find(key);
-    return it != entries_.end() && it->second.version > last_seen;
-  });
+  UniqueLock lock(mutex_);
+  const bool fresh = updated_.wait_for(
+      lock, wall_timeout, [&]() PE_NO_THREAD_SAFETY_ANALYSIS {
+        auto it = entries_.find(key);
+        return it != entries_.end() && it->second.version > last_seen;
+      });
   if (!fresh) {
     return Status::Timeout("no update on '" + key + "' past version " +
                            std::to_string(last_seen));
@@ -81,12 +82,12 @@ Result<VersionedValue> ParameterServer::watch(const std::string& key,
 
 std::int64_t ParameterServer::incr(const std::string& key,
                                    std::int64_t delta) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return counters_[key] += delta;
 }
 
 Status ParameterServer::erase(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (entries_.erase(key) == 0) {
     return Status::NotFound("key '" + key + "' not found");
   }
@@ -94,12 +95,12 @@ Status ParameterServer::erase(const std::string& key) {
 }
 
 bool ParameterServer::contains(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.count(key) > 0;
 }
 
 std::vector<std::string> ParameterServer::keys() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const auto& [k, _] : entries_) out.push_back(k);
@@ -107,12 +108,12 @@ std::vector<std::string> ParameterServer::keys() const {
 }
 
 std::size_t ParameterServer::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 
 ServerStats ParameterServer::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

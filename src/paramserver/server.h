@@ -7,15 +7,14 @@
 // inference tasks can pick up fresh models without polling.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/serialize.h"
 #include "common/status.h"
 #include "network/site.h"
@@ -74,11 +73,11 @@ class ParameterServer {
 
  private:
   const net::SiteId site_;
-  mutable std::mutex mutex_;
-  mutable std::condition_variable updated_;
-  std::map<std::string, VersionedValue> entries_;
-  std::map<std::string, std::int64_t> counters_;
-  mutable ServerStats stats_;
+  mutable Mutex mutex_{"ps.server"};
+  mutable CondVar updated_;
+  std::map<std::string, VersionedValue> entries_ PE_GUARDED_BY(mutex_);
+  std::map<std::string, std::int64_t> counters_ PE_GUARDED_BY(mutex_);
+  mutable ServerStats stats_ PE_GUARDED_BY(mutex_);
 };
 
 }  // namespace pe::ps

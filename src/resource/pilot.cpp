@@ -10,13 +10,13 @@ Pilot::Pilot(std::string id, PilotDescription description)
 Pilot::~Pilot() { cancel(); }
 
 PilotState Pilot::state() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return state_;
 }
 
 Status Pilot::wait_active() const {
-  std::unique_lock<std::mutex> lock(mutex_);
-  state_cv_.wait(lock, [this] {
+  UniqueLock lock(mutex_);
+  state_cv_.wait(lock, [this]() PE_NO_THREAD_SAFETY_ANALYSIS {
     return state_ != PilotState::kNew && state_ != PilotState::kSubmitted;
   });
   if (state_ == PilotState::kActive) return Status::Ok();
@@ -30,10 +30,11 @@ Status Pilot::wait_active_for(Duration timeout) const {
   // must scale identically or fast experiments time out spuriously.
   const auto wall_timeout =
       std::chrono::duration_cast<Duration>(timeout / Clock::time_scale());
-  std::unique_lock<std::mutex> lock(mutex_);
-  const bool done = state_cv_.wait_for(lock, wall_timeout, [this] {
-    return state_ != PilotState::kNew && state_ != PilotState::kSubmitted;
-  });
+  UniqueLock lock(mutex_);
+  const bool done = state_cv_.wait_for(
+      lock, wall_timeout, [this]() PE_NO_THREAD_SAFETY_ANALYSIS {
+        return state_ != PilotState::kNew && state_ != PilotState::kSubmitted;
+      });
   if (!done) return Status::Timeout("pilot " + id_ + " still provisioning");
   if (state_ == PilotState::kActive) return Status::Ok();
   if (state_ == PilotState::kFailed) return failure_;
@@ -41,29 +42,29 @@ Status Pilot::wait_active_for(Duration timeout) const {
 }
 
 std::shared_ptr<exec::Cluster> Pilot::cluster() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return cluster_;
 }
 
 std::shared_ptr<broker::Broker> Pilot::broker() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return broker_;
 }
 
 std::uint32_t Pilot::granted_cores() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return granted_.cores;
 }
 
 double Pilot::granted_memory_gb() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return granted_.memory_gb;
 }
 
 void Pilot::cancel() {
   std::shared_ptr<exec::Cluster> cluster;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (state_ == PilotState::kDone || state_ == PilotState::kFailed ||
         state_ == PilotState::kCanceled) {
       return;
@@ -80,7 +81,7 @@ void Pilot::cancel() {
 Status Pilot::inject_failure(std::string reason) {
   std::shared_ptr<exec::Cluster> cluster;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (state_ != PilotState::kActive) {
       return Status::FailedPrecondition("pilot " + id_ + " not active");
     }
@@ -97,7 +98,7 @@ Status Pilot::inject_failure(std::string reason) {
 
 void Pilot::mark_submitted() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (state_ != PilotState::kNew) return;
     state_ = PilotState::kSubmitted;
   }
@@ -108,7 +109,7 @@ void Pilot::mark_active(const ProvisionOutcome& outcome,
                         std::shared_ptr<exec::Cluster> cluster,
                         std::shared_ptr<broker::Broker> broker) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (state_ != PilotState::kSubmitted) return;  // canceled meanwhile
     state_ = PilotState::kActive;
     granted_ = outcome;
@@ -121,7 +122,7 @@ void Pilot::mark_active(const ProvisionOutcome& outcome,
 
 void Pilot::mark_failed(Status reason) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (state_ != PilotState::kSubmitted && state_ != PilotState::kNew) {
       return;
     }
@@ -133,7 +134,7 @@ void Pilot::mark_failed(Status reason) {
 }
 
 Status Pilot::failure_reason() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return failure_;
 }
 

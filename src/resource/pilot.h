@@ -7,12 +7,11 @@
 // pilots.
 #pragma once
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "broker/broker.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "resource/backend.h"
 #include "resource/pilot_description.h"
@@ -94,13 +93,16 @@ class Pilot {
   const std::string id_;
   const PilotDescription description_;
 
-  mutable std::mutex mutex_;
-  mutable std::condition_variable state_cv_;
-  PilotState state_ = PilotState::kNew;
-  ProvisionOutcome granted_;
-  Status failure_;
-  std::shared_ptr<exec::Cluster> cluster_;
-  std::shared_ptr<broker::Broker> broker_;
+  // Level 2 in the resource domain: PilotManager's monitor loop reads
+  // pilot state while holding the manager lock (level 1); pilots never
+  // call back into the manager.
+  mutable Mutex mutex_{"res.pilot", lock_rank(kLockDomainResource, 2)};
+  mutable CondVar state_cv_;
+  PilotState state_ PE_GUARDED_BY(mutex_) = PilotState::kNew;
+  ProvisionOutcome granted_ PE_GUARDED_BY(mutex_);
+  Status failure_ PE_GUARDED_BY(mutex_);
+  std::shared_ptr<exec::Cluster> cluster_ PE_GUARDED_BY(mutex_);
+  std::shared_ptr<broker::Broker> broker_ PE_GUARDED_BY(mutex_);
 };
 
 using PilotPtr = std::shared_ptr<Pilot>;

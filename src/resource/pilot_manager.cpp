@@ -32,7 +32,7 @@ Result<PilotPtr> PilotManager::submit(PilotDescription description) {
   auto pilot = std::make_shared<Pilot>(next_pilot_id(), std::move(description));
   pilot->mark_submitted();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (shutdown_) return Status::FailedPrecondition("manager shut down");
     pilots_[pilot->id()] = pilot;
     provisioners_.emplace_back([this, pilot] { provision(pilot); });
@@ -89,19 +89,19 @@ Status PilotManager::wait_all_active() {
 }
 
 std::uint64_t PilotManager::subscribe_replacements(ReplacementCallback cb) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::uint64_t token = next_sub_token_++;
   replacement_subs_[token] = std::move(cb);
   return token;
 }
 
 void PilotManager::unsubscribe_replacements(std::uint64_t token) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   replacement_subs_.erase(token);
 }
 
 std::uint64_t PilotManager::reprovision_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return reprovisions_;
 }
 
@@ -111,14 +111,14 @@ bool PilotManager::sleep_scaled_interruptible(Duration emulated) {
   const auto deadline = Clock::now() + actual;
   while (Clock::now() < deadline) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (shutdown_) return false;
     }
     const auto remaining = deadline - Clock::now();
     Clock::sleep_exact(std::min<Duration>(
         remaining, std::chrono::milliseconds(5)));
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return !shutdown_;
 }
 
@@ -126,7 +126,7 @@ void PilotManager::monitor_loop() {
   while (sleep_scaled_interruptible(options_.heartbeat_interval)) {
     std::vector<PilotPtr> failed;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       for (const auto& [id, p] : pilots_) {
         if (p->state() == PilotState::kFailed &&
             handled_failures_.count(id) == 0) {
@@ -152,7 +152,7 @@ void PilotManager::monitor_loop() {
           .add();
       std::vector<ReplacementCallback> subs;
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         reprovisions_ += 1;
         subs.reserve(replacement_subs_.size());
         for (const auto& [_, cb] : replacement_subs_) subs.push_back(cb);
@@ -166,7 +166,7 @@ PilotPtr PilotManager::replace_pilot(const PilotPtr& failed) {
   std::string root;
   std::uint32_t attempt = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (shutdown_) return nullptr;
     auto lit = lineage_.find(failed->id());
     root = (lit == lineage_.end()) ? failed->id() : lit->second;
@@ -202,7 +202,7 @@ PilotPtr PilotManager::replace_pilot(const PilotPtr& failed) {
   }
   PilotPtr replacement = resubmitted.value();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     lineage_[replacement->id()] = root;
   }
   PE_LOG_INFO("re-provisioning pilot " << failed->id() << " as "
@@ -215,7 +215,7 @@ PilotPtr PilotManager::replace_pilot(const PilotPtr& failed) {
   // monitor scan and charged to the same lineage budget.
   while (true) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (shutdown_) return nullptr;
     }
     const Status s =
@@ -226,14 +226,14 @@ PilotPtr PilotManager::replace_pilot(const PilotPtr& failed) {
 }
 
 Result<PilotPtr> PilotManager::pilot(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = pilots_.find(id);
   if (it == pilots_.end()) return Status::NotFound("unknown pilot " + id);
   return it->second;
 }
 
 std::vector<PilotPtr> PilotManager::pilots() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<PilotPtr> out;
   out.reserve(pilots_.size());
   for (const auto& [_, p] : pilots_) out.push_back(p);
@@ -244,7 +244,7 @@ void PilotManager::shutdown() {
   std::vector<std::thread> provisioners;
   std::vector<PilotPtr> pilots_snapshot;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (shutdown_) return;
     shutdown_ = true;
     provisioners = std::move(provisioners_);

@@ -10,12 +10,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "network/fabric.h"
 #include "resource/pilot.h"
@@ -97,19 +97,26 @@ class PilotManager {
 
   std::shared_ptr<net::Fabric> fabric_;
   const PilotManagerOptions options_;
-  mutable std::mutex mutex_;
-  std::map<std::string, PilotPtr> pilots_;
-  std::vector<std::thread> provisioners_;
-  bool shutdown_ = false;
+  // Top of the resource domain: the monitor loop reads Pilot state
+  // (level 2) while holding this; replacement callbacks run with it
+  // released.
+  mutable Mutex mutex_{"res.pilot_manager",
+                       lock_rank(kLockDomainResource, 1)};
+  std::map<std::string, PilotPtr> pilots_ PE_GUARDED_BY(mutex_);
+  std::vector<std::thread> provisioners_ PE_GUARDED_BY(mutex_);
+  bool shutdown_ PE_GUARDED_BY(mutex_) = false;
 
   // --- recovery state (guarded by mutex_) ---
   std::thread monitor_;
-  std::set<std::string> handled_failures_;       // pilot ids already processed
-  std::map<std::string, std::string> lineage_;   // pilot id -> lineage root id
-  std::map<std::string, std::uint32_t> lineage_attempts_;  // root -> attempts
-  std::map<std::uint64_t, ReplacementCallback> replacement_subs_;
-  std::uint64_t next_sub_token_ = 1;
-  std::uint64_t reprovisions_ = 0;
+  std::set<std::string> handled_failures_ PE_GUARDED_BY(mutex_);
+  std::map<std::string, std::string> lineage_
+      PE_GUARDED_BY(mutex_);  // pilot id -> lineage root id
+  std::map<std::string, std::uint32_t> lineage_attempts_
+      PE_GUARDED_BY(mutex_);  // root -> attempts
+  std::map<std::uint64_t, ReplacementCallback> replacement_subs_
+      PE_GUARDED_BY(mutex_);
+  std::uint64_t next_sub_token_ PE_GUARDED_BY(mutex_) = 1;
+  std::uint64_t reprovisions_ PE_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace pe::res

@@ -14,7 +14,7 @@ Scheduler::Scheduler() = default;
 Scheduler::~Scheduler() { shutdown(); }
 
 Status Scheduler::add_worker(std::shared_ptr<Worker> worker) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (shutdown_) return Status::FailedPrecondition("scheduler shut down");
   const std::string& id = worker->id();
   if (workers_.count(id) > 0) {
@@ -32,7 +32,7 @@ Status Scheduler::add_worker(std::shared_ptr<Worker> worker) {
 Status Scheduler::remove_worker(const std::string& worker_id) {
   std::shared_ptr<Worker> to_shutdown;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = workers_.find(worker_id);
     if (it == workers_.end()) {
       return Status::NotFound("worker '" + worker_id + "' not found");
@@ -51,7 +51,7 @@ Status Scheduler::remove_worker(const std::string& worker_id) {
 Status Scheduler::fail_worker(const std::string& worker_id) {
   std::shared_ptr<Worker> dead;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto wit = workers_.find(worker_id);
     if (wit == workers_.end()) {
       return Status::NotFound("worker '" + worker_id + "' not found");
@@ -150,7 +150,7 @@ Result<TaskHandle> Scheduler::submit(TaskSpec spec) {
   if (!spec.fn) return Status::InvalidArgument("task has no body");
   if (spec.cores == 0) return Status::InvalidArgument("task needs >= 1 core");
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (shutdown_) return Status::FailedPrecondition("scheduler shut down");
   if (!can_ever_host_locked(spec)) {
     return Status::InvalidArgument(
@@ -268,7 +268,7 @@ void Scheduler::dispatch_locked() {
 }
 
 Status Scheduler::cancel(const std::string& task_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = tasks_.find(task_id);
   if (it == tasks_.end()) return Status::NotFound("unknown task " + task_id);
 
@@ -297,7 +297,7 @@ Status Scheduler::cancel(const std::string& task_id) {
 }
 
 Result<TaskInfo> Scheduler::task_info(const std::string& task_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = tasks_.find(task_id);
   if (it == tasks_.end()) return Status::NotFound("unknown task " + task_id);
   return it->second;
@@ -306,7 +306,7 @@ Result<TaskInfo> Scheduler::task_info(const std::string& task_id) const {
 bool Scheduler::finish_task(const std::string& task_id,
                             std::uint64_t dispatch_seq, std::uint32_t cores,
                             double memory_gb, Status status) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   bool retried = false;
   {
     // Zombie check BEFORE any bookkeeping: if this execution was
@@ -372,8 +372,8 @@ bool Scheduler::finish_task(const std::string& task_id,
 }
 
 void Scheduler::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] {
+  UniqueLock lock(mutex_);
+  idle_cv_.wait(lock, [this]() PE_NO_THREAD_SAFETY_ANALYSIS {
     if (!pending_.empty()) return false;
     return std::all_of(workers_.begin(), workers_.end(), [](const auto& kv) {
       return kv.second.running == 0;
@@ -382,7 +382,7 @@ void Scheduler::wait_idle() {
 }
 
 SchedulerStats Scheduler::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   SchedulerStats s;
   s.workers = workers_.size();
   for (const auto& [_, slot] : workers_) {
@@ -398,7 +398,7 @@ SchedulerStats Scheduler::stats() const {
 }
 
 std::vector<std::string> Scheduler::worker_ids() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(workers_.size());
   for (const auto& [id, _] : workers_) out.push_back(id);
@@ -408,7 +408,7 @@ std::vector<std::string> Scheduler::worker_ids() const {
 void Scheduler::shutdown() {
   std::vector<std::shared_ptr<Worker>> workers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (shutdown_) return;
     shutdown_ = true;
     // Cancel all pending tasks.

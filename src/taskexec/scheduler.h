@@ -7,15 +7,14 @@
 // granularity Pilot-Edge uses it: task in, placed task out.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "taskexec/task.h"
 #include "taskexec/worker.h"
@@ -129,10 +128,10 @@ class Scheduler {
     std::uint64_t dispatch_seq = 0;
   };
 
-  void dispatch_locked();
-  void enqueue_pending_locked(PendingTask task);
-  bool can_ever_host_locked(const TaskSpec& spec) const;
-  WorkerSlot* pick_worker_locked(const TaskSpec& spec);
+  void dispatch_locked() PE_REQUIRES(mutex_);
+  void enqueue_pending_locked(PendingTask task) PE_REQUIRES(mutex_);
+  bool can_ever_host_locked(const TaskSpec& spec) const PE_REQUIRES(mutex_);
+  WorkerSlot* pick_worker_locked(const TaskSpec& spec) PE_REQUIRES(mutex_);
   /// Returns true when the caller must NOT resolve the completion promise:
   /// either the task was resubmitted for a retry, or `dispatch_seq` no
   /// longer matches the live dispatch (zombie execution from a failed
@@ -140,18 +139,21 @@ class Scheduler {
   bool finish_task(const std::string& task_id, std::uint64_t dispatch_seq,
                    std::uint32_t cores, double memory_gb, Status status);
 
-  mutable std::mutex mutex_;
-  std::condition_variable idle_cv_;
-  std::map<std::string, WorkerSlot> workers_;
-  std::deque<PendingTask> pending_;
-  std::map<std::string, TaskInfo> tasks_;
+  // Top of the exec lock domain: dispatch_locked pushes into worker pool
+  // queues (level 2) while holding this; worker threads re-enter via
+  // finish_task only after dropping their queue lock.
+  mutable Mutex mutex_{"exec.scheduler", lock_rank(kLockDomainExec, 1)};
+  CondVar idle_cv_;
+  std::map<std::string, WorkerSlot> workers_ PE_GUARDED_BY(mutex_);
+  std::deque<PendingTask> pending_ PE_GUARDED_BY(mutex_);
+  std::map<std::string, TaskInfo> tasks_ PE_GUARDED_BY(mutex_);
   // Dispatched tasks, retained for cancellation and retry resubmission.
-  std::map<std::string, PendingTask> running_;
-  std::uint64_t completed_ = 0;
-  std::uint64_t failed_ = 0;
-  std::uint64_t redispatched_ = 0;
-  std::uint64_t dispatch_counter_ = 0;
-  bool shutdown_ = false;
+  std::map<std::string, PendingTask> running_ PE_GUARDED_BY(mutex_);
+  std::uint64_t completed_ PE_GUARDED_BY(mutex_) = 0;
+  std::uint64_t failed_ PE_GUARDED_BY(mutex_) = 0;
+  std::uint64_t redispatched_ PE_GUARDED_BY(mutex_) = 0;
+  std::uint64_t dispatch_counter_ PE_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ PE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace pe::exec

@@ -8,7 +8,7 @@ void SpanCollector::on_produced(std::uint64_t message_id,
                                 std::uint64_t payload_bytes,
                                 std::uint64_t rows,
                                 std::uint64_t produced_ns) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MessageSpan& span = spans_[message_id];
   span.message_id = message_id;
   span.producer_id = producer_id;
@@ -38,7 +38,7 @@ void SpanCollector::on_process_end(std::uint64_t id, std::uint64_t ts) {
 }
 
 std::size_t SpanCollector::completed_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::size_t n = 0;
   for (const auto& [_, s] : spans_) {
     if (s.complete()) n += 1;
@@ -47,12 +47,12 @@ std::size_t SpanCollector::completed_count() const {
 }
 
 std::size_t SpanCollector::total_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return spans_.size();
 }
 
 std::vector<MessageSpan> SpanCollector::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<MessageSpan> out;
   out.reserve(spans_.size());
   for (const auto& [_, s] : spans_) out.push_back(s);
@@ -60,7 +60,7 @@ std::vector<MessageSpan> SpanCollector::snapshot() const {
 }
 
 std::vector<MessageSpan> SpanCollector::completed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<MessageSpan> out;
   for (const auto& [_, s] : spans_) {
     if (s.complete()) out.push_back(s);
@@ -69,7 +69,7 @@ std::vector<MessageSpan> SpanCollector::completed() const {
 }
 
 void SpanCollector::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   spans_.clear();
 }
 

@@ -7,9 +7,9 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "telemetry/span.h"
 
 namespace pe::tel {
@@ -43,13 +43,13 @@ class SpanCollector {
  private:
   template <typename F>
   void update(std::uint64_t message_id, F&& f) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = spans_.find(message_id);
     if (it != spans_.end()) f(it->second);
   }
 
-  mutable std::mutex mutex_;
-  std::map<std::uint64_t, MessageSpan> spans_;
+  mutable Mutex mutex_{"tel.spans"};
+  std::map<std::uint64_t, MessageSpan> spans_ PE_GUARDED_BY(mutex_);
 };
 
 }  // namespace pe::tel

@@ -5,42 +5,42 @@
 namespace pe::tel {
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 std::map<std::string, std::uint64_t> MetricsRegistry::counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::map<std::string, std::uint64_t> out;
   for (const auto& [name, c] : counters_) out[name] = c->value();
   return out;
 }
 
 std::map<std::string, double> MetricsRegistry::gauges() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::map<std::string, double> out;
   for (const auto& [name, g] : gauges_) out[name] = g->value();
   return out;
 }
 
 std::map<std::string, SummaryStats> MetricsRegistry::histograms() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::map<std::string, SummaryStats> out;
   for (const auto& [name, h] : histograms_) out[name] = h->summary();
   return out;

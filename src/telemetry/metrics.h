@@ -8,11 +8,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/mutex.h"
 
 namespace pe::tel {
 
@@ -58,10 +58,16 @@ class MetricsRegistry {
   static MetricsRegistry& global();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Registry lock guards the maps only; Counter/Gauge are lock-free and
+  // Histogram has its own leaf mutex (histograms() reads summaries while
+  // holding this, a one-directional Registry -> Histogram order).
+  mutable Mutex mutex_{"tel.registry"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      PE_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      PE_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      PE_GUARDED_BY(mutex_);
 };
 
 }  // namespace pe::tel

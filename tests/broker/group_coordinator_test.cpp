@@ -185,5 +185,61 @@ TEST(GroupCoordinatorTest, IndependentGroupsDoNotInterfere) {
   EXPECT_EQ(gc.generation("g1"), 1u);
 }
 
+#if PE_LOCK_ORDER_ENABLED
+
+// Regression coverage for the coordinator <-> registry lock-order
+// inversion: join() used to resolve partition counts through the
+// callback while holding the coordinator lock, which (with a
+// broker-backed callback that takes the registry lock) ran against the
+// registry -> coordinator order used everywhere else. join() now
+// resolves all counts before locking.
+TEST(GroupCoordinatorLockOrderTest, JoinCallbackRunsWithoutCoordinatorLock) {
+  // Stands in for the broker registry: rank 1 in the broker domain,
+  // below the coordinator's rank 3.
+  Mutex registry("test.registry", lock_rank(kLockDomainBroker, 1));
+  GroupCoordinator gc([&](const std::string& topic) {
+    MutexLock lock(registry);
+    return topic == "t" ? 4u : 0u;
+  });
+
+  // Establish the canonical registry -> coordinator edge, as the broker
+  // does when it calls into the coordinator from registry paths.
+  std::atomic<bool> stop{false};
+  std::thread committer([&] {
+    while (!stop.load()) {
+      MutexLock lock(registry);
+      (void)gc.commit_offset("g", {"t", 0}, 1);
+    }
+  });
+
+  // Under the old implementation each join would acquire
+  // coordinator -> registry and the detector would abort on the cycle
+  // (and on the in-domain rank drop 3 -> 1).
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(gc.join("g", "m" + std::to_string(i % 4), {"t"}).ok());
+  }
+  stop.store(true);
+  committer.join();
+  EXPECT_EQ(gc.assignment("g", "m0").value().partitions.size(), 1u);
+}
+
+TEST(GroupCoordinatorLockOrderTest, OldAcquisitionOrderWouldAbort) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Documents what the detector does if the old order ever returns:
+  // taking a registry-rank mutex under a coordinator-rank mutex is an
+  // in-domain rank drop and dies immediately, before any cycle forms.
+  EXPECT_DEATH(
+      {
+        Mutex registry("test.registry", lock_rank(kLockDomainBroker, 1));
+        Mutex coordinator("test.coordinator",
+                          lock_rank(kLockDomainBroker, 3));
+        MutexLock lc(coordinator);
+        MutexLock lr(registry);
+      },
+      "lock-rank violation");
+}
+
+#endif  // PE_LOCK_ORDER_ENABLED
+
 }  // namespace
 }  // namespace pe::broker

@@ -1,0 +1,207 @@
+// Tests for the runtime lock-order detector behind pe::Mutex.
+//
+// The death tests provoke the three abort paths (inversion, rank
+// violation, recursive acquisition) in a forked child; consistent
+// acquisition orders must stay silent. When the detector is compiled
+// out (Release), the wrappers must be layout-identical to the bare
+// standard primitives — pinned by the static_asserts at the bottom.
+#include "common/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <new>
+#include <shared_mutex>
+#include <thread>
+
+namespace pe {
+namespace {
+
+#if PE_LOCK_ORDER_ENABLED
+
+class LockOrderDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Death tests fork; "threadsafe" re-executes the binary so the
+    // child starts with a clean acquired-before graph.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+TEST_F(LockOrderDeathTest, AbThenBaAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex a("test.a");
+        Mutex b("test.b");
+        {
+          MutexLock la(a);
+          MutexLock lb(b);  // establishes a -> b
+        }
+        {
+          MutexLock lb(b);
+          MutexLock la(a);  // b -> a closes the cycle
+        }
+      },
+      "lock-order inversion");
+}
+
+TEST_F(LockOrderDeathTest, TransitiveCycleAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex a("test.a");
+        Mutex b("test.b");
+        Mutex c("test.c");
+        {
+          MutexLock la(a);
+          MutexLock lb(b);  // a -> b
+        }
+        {
+          MutexLock lb(b);
+          MutexLock lc(c);  // b -> c
+        }
+        {
+          MutexLock lc(c);
+          MutexLock la(a);  // c -> a: cycle through b
+        }
+      },
+      "lock-order inversion");
+}
+
+TEST_F(LockOrderDeathTest, RankViolationAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex low("test.low", lock_rank(kLockDomainBroker, 1));
+        Mutex high("test.high", lock_rank(kLockDomainBroker, 2));
+        MutexLock lh(high);
+        MutexLock ll(low);  // rank must increase within a domain
+      },
+      "lock-rank violation");
+}
+
+TEST_F(LockOrderDeathTest, RecursiveAcquisitionAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex m("test.m");
+        MutexLock outer(m);
+        m.lock();  // self-deadlock
+      },
+      "recursive acquisition");
+}
+
+TEST(LockOrderTest, ConsistentOrderIsSilent) {
+  Mutex a("test.silent.a");
+  Mutex b("test.silent.b");
+  for (int i = 0; i < 100; ++i) {
+    MutexLock la(a);
+    MutexLock lb(b);
+  }
+  // Same order from another thread reuses the recorded edge.
+  std::thread t([&] {
+    for (int i = 0; i < 100; ++i) {
+      MutexLock la(a);
+      MutexLock lb(b);
+    }
+  });
+  t.join();
+}
+
+TEST(LockOrderTest, RanksOnlyConstrainWithinOneDomain) {
+  // Broker level 2 held while taking resource level 1: different
+  // domains, so only the graph applies — and there is no cycle.
+  Mutex broker_leaf("test.broker", lock_rank(kLockDomainBroker, 2));
+  Mutex resource_top("test.resource", lock_rank(kLockDomainResource, 1));
+  MutexLock lb(broker_leaf);
+  MutexLock lr(resource_top);
+}
+
+TEST(LockOrderTest, TryLockInReverseOrderDoesNotAbort) {
+  // try_lock cannot deadlock (it backs off), so a failed-order attempt
+  // records the edge but must not trip the cycle check.
+  Mutex a("test.try.a");
+  Mutex b("test.try.b");
+  {
+    MutexLock la(a);
+    MutexLock lb(b);  // a -> b
+  }
+  {
+    MutexLock lb(b);
+    ASSERT_TRUE(a.try_lock());
+    a.unlock();
+  }
+}
+
+TEST(LockOrderTest, CondVarWaitReacquiresCleanly) {
+  Mutex m("test.cv.m");
+  CondVar cv;
+  bool flag = false;
+  std::thread setter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    {
+      MutexLock lock(m);
+      flag = true;
+    }
+    cv.notify_all();
+  });
+  {
+    UniqueLock lock(m);
+    cv.wait(lock, [&]() PE_NO_THREAD_SAFETY_ANALYSIS { return flag; });
+    // The wait released and reacquired m; the held stack must still be
+    // balanced, so taking a second mutex afterwards is legal.
+    Mutex inner("test.cv.inner");
+    MutexLock li(inner);
+  }
+  setter.join();
+}
+
+TEST(LockOrderTest, RetiredIdsDoNotAliasNewMutexes) {
+  // A destroyed mutex's edges must not constrain a fresh one that lands
+  // on the same address.
+  alignas(Mutex) unsigned char storage[sizeof(Mutex)];
+  Mutex other("test.retire.other");
+  {
+    Mutex* first = new (storage) Mutex("test.retire.first");
+    {
+      MutexLock lf(*first);
+      MutexLock lo(other);  // first -> other
+    }
+    first->~Mutex();
+  }
+  Mutex* second = new (storage) Mutex("test.retire.second");
+  {
+    MutexLock lo(other);
+    MutexLock ls(*second);  // other -> second: no cycle with the old id
+  }
+  second->~Mutex();
+}
+
+#else  // !PE_LOCK_ORDER_ENABLED
+
+// Release builds compile the instrumentation out entirely; the wrappers
+// must add no state over the standard primitives.
+static_assert(sizeof(Mutex) == sizeof(std::mutex),
+              "pe::Mutex must be free in release builds");
+static_assert(sizeof(SharedMutex) == sizeof(std::shared_mutex),
+              "pe::SharedMutex must be free in release builds");
+static_assert(sizeof(CondVar) == sizeof(std::condition_variable),
+              "pe::CondVar must be free in release builds");
+
+TEST(LockOrderTest, DetectorCompiledOut) {
+  Mutex a("test.a");
+  Mutex b("test.b");
+  {
+    MutexLock la(a);
+    MutexLock lb(b);
+  }
+  {
+    // Inverted order is silent without the detector.
+    MutexLock lb(b);
+    MutexLock la(a);
+  }
+}
+
+#endif  // PE_LOCK_ORDER_ENABLED
+
+}  // namespace
+}  // namespace pe

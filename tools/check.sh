@@ -1,24 +1,74 @@
 #!/usr/bin/env bash
-# Builds the tree under ThreadSanitizer and runs the tier-1 test suite.
+# Local verification matrix: sanitizer runs, clang thread-safety
+# analysis, and clang-tidy.
 #
-# Usage: tools/check.sh [thread|address] [ctest-regex]
-#   tools/check.sh                 # TSan, all tests
-#   tools/check.sh thread Chaos    # TSan, tests matching 'Chaos'
-#   tools/check.sh address         # ASan, all tests
+# Usage: tools/check.sh [mode] [ctest-regex]
+#   tools/check.sh                       # TSan, all tests
+#   tools/check.sh thread Chaos          # TSan, tests matching 'Chaos'
+#   tools/check.sh address               # ASan, all tests
+#   tools/check.sh undefined             # UBSan, all tests
+#   tools/check.sh thread-safety         # clang -Wthread-safety, build only
+#   tools/check.sh tidy [path-regex]     # clang-tidy over src/
 set -euo pipefail
 
-SANITIZER="${1:-thread}"
+MODE="${1:-thread}"
 FILTER="${2:-}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD_DIR="${ROOT}/build-${SANITIZER}san"
 
-cmake -B "${BUILD_DIR}" -S "${ROOT}" -DPE_SANITIZE="${SANITIZER}" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "${BUILD_DIR}" -j"$(nproc)"
+require() {
+  if ! command -v "$1" >/dev/null 2>&1; then
+    echo "error: '$1' not found on PATH — mode '${MODE}' needs it" \
+         "(apt-get install $2)" >&2
+    exit 2
+  fi
+}
 
-cd "${BUILD_DIR}"
-if [[ -n "${FILTER}" ]]; then
-  ctest --output-on-failure -j"$(nproc)" -R "${FILTER}"
-else
-  ctest --output-on-failure -j"$(nproc)"
-fi
+case "${MODE}" in
+  thread|address|undefined)
+    BUILD_DIR="${ROOT}/build-${MODE}san"
+    cmake -B "${BUILD_DIR}" -S "${ROOT}" -DPE_SANITIZE="${MODE}" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "${BUILD_DIR}" -j"$(nproc)"
+    cd "${BUILD_DIR}"
+    if [[ -n "${FILTER}" ]]; then
+      ctest --output-on-failure -j"$(nproc)" -R "${FILTER}"
+    else
+      ctest --output-on-failure -j"$(nproc)"
+    fi
+    ;;
+
+  thread-safety)
+    # Clang-only: builds the whole tree with -Wthread-safety promoted to
+    # errors against the annotations in common/mutex.h.
+    require clang++ clang
+    BUILD_DIR="${ROOT}/build-tsa"
+    cmake -B "${BUILD_DIR}" -S "${ROOT}" -DPE_THREAD_SAFETY=ON \
+      -DCMAKE_CXX_COMPILER=clang++ -DCMAKE_C_COMPILER=clang \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "${BUILD_DIR}" -j"$(nproc)"
+    echo "thread-safety analysis clean"
+    ;;
+
+  tidy)
+    require clang-tidy clang-tidy
+    BUILD_DIR="${ROOT}/build-tidy"
+    cmake -B "${BUILD_DIR}" -S "${ROOT}" \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    mapfile -t FILES < <(find "${ROOT}/src" -name '*.cpp' | sort)
+    if [[ -n "${FILTER}" ]]; then
+      mapfile -t FILES < <(printf '%s\n' "${FILES[@]}" | grep -E "${FILTER}")
+    fi
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+      run-clang-tidy -p "${BUILD_DIR}" -quiet "${FILES[@]}"
+    else
+      clang-tidy -p "${BUILD_DIR}" --quiet "${FILES[@]}"
+    fi
+    ;;
+
+  *)
+    echo "error: unknown mode '${MODE}'" >&2
+    echo "modes: thread | address | undefined | thread-safety | tidy" >&2
+    exit 2
+    ;;
+esac
