@@ -213,8 +213,8 @@ void run_fanout_case(std::size_t groups, std::size_t payload_bytes) {
           auto polled = consumer.poll(std::chrono::milliseconds(100));
           got += polled.size();
           for (const auto& r : polled) {
-            const Bytes& value = r.record.value;
-            local += value.empty() ? 0 : value.front();
+            const auto& value = r.record.value;
+            local += value.empty() ? 0 : value[0];
           }
         }
         count += got;

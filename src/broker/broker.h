@@ -20,8 +20,25 @@
 #include "broker/group_coordinator.h"
 #include "broker/topic.h"
 #include "network/site.h"
+#include "storage/log_dir.h"
+#include "storage/storage_config.h"
 
 namespace pe::broker {
+
+/// Broker-level configuration. With a non-empty `durable_dir` the broker
+/// keeps three kinds of durable state under it:
+///   <dir>/__meta          — topic create/delete intents (always fsynced)
+///   <dir>/__offsets       — consumer-group committed offsets (fsynced
+///                           per commit: the durability contract is zero
+///                           committed-offset loss across a crash)
+///   <dir>/topics/<t>/p<n> — one segmented commit log per partition,
+///                           flushed per `storage.flush_policy`
+/// Reopening the same directory — or calling crash_and_recover() —
+/// replays all three back into a working broker.
+struct BrokerOptions {
+  std::string durable_dir;
+  storage::StorageConfig storage;
+};
 
 /// Aggregate broker-side counters (exported to telemetry).
 struct BrokerStats {
@@ -42,9 +59,14 @@ inline std::string dead_letter_topic_name(const std::string& topic) {
 class Broker {
  public:
   explicit Broker(net::SiteId site, std::string name = "broker-0");
+  /// Durable broker: recovers any state already under
+  /// `options.durable_dir` before the constructor returns.
+  Broker(net::SiteId site, BrokerOptions options,
+         std::string name = "broker-0");
 
   const net::SiteId& site() const { return site_; }
   const std::string& name() const { return name_; }
+  bool durable() const { return !options_.durable_dir.empty(); }
 
   // --- admin ---
   Status create_topic(const std::string& name, TopicConfig config);
@@ -97,6 +119,16 @@ class Broker {
   bool partition_offline(const std::string& topic,
                          std::uint32_t partition) const;
 
+  /// Hard-crash simulation for a durable broker: every partition log,
+  /// the topic-metadata log, and the offsets log lose their unsynced
+  /// tail (keeping `keep_fraction` of the dirty bytes, possibly cutting
+  /// a frame in half), all in-memory state — topics, hot windows, group
+  /// offsets — is dropped, and the broker recovers from disk exactly as
+  /// a fresh process reopening the directory would. Returns the
+  /// aggregated recovery report; fails on an in-memory broker.
+  Result<storage::RecoveryReport> crash_and_recover(
+      double keep_fraction = 0.0);
+
   GroupCoordinator& coordinator() { return coordinator_; }
 
   BrokerStats stats() const;
@@ -106,6 +138,22 @@ class Broker {
 
  private:
   std::shared_ptr<Topic> find_topic(const std::string& name) const;
+
+  /// Opens (or reopens) the meta/offsets logs and replays them: topic
+  /// intents rebuild the registry (each topic recovering its partition
+  /// logs), committed offsets are restored into the coordinator.
+  Status recover_locked(storage::RecoveryReport* report)
+      PE_REQUIRES(mutex_);
+  Status persist_topic_intent_locked(const std::string& name, bool create,
+                                     const TopicConfig& config)
+      PE_REQUIRES(mutex_);
+  /// Commit-listener target: appends one committed offset to the offsets
+  /// log and fsyncs it. Never called with the coordinator lock held.
+  void persist_commit(const std::string& group, const TopicPartition& tp,
+                      std::uint64_t offset);
+  std::string topic_dir(const std::string& name) const {
+    return options_.durable_dir + "/topics/" + name;
+  }
 
   // Per-counter atomics: the data plane bumps these without touching any
   // broker-global lock (one cache-line ping instead of a mutex round trip
@@ -122,6 +170,7 @@ class Broker {
 
   const net::SiteId site_;
   const std::string name_;
+  const BrokerOptions options_;
   // Reader-writer registry lock: produce/fetch only ever take it shared
   // (topic lookup + offline check); per-partition serialization lives in
   // each PartitionLog's own mutex. Admin ops (create/delete topic, chaos
@@ -133,6 +182,12 @@ class Broker {
   std::map<std::string, std::shared_ptr<Topic>> topics_ PE_GUARDED_BY(mutex_);
   std::set<std::pair<std::string, std::uint32_t>> offline_partitions_
       PE_GUARDED_BY(mutex_);
+  // The pointers are guarded by the registry lock (shared suffices: the
+  // LogDirs are internally synchronized, only the pointer needs to stay
+  // stable); they are replaced exclusively under the write lock in
+  // crash_and_recover.
+  std::unique_ptr<storage::LogDir> meta_log_ PE_GUARDED_BY(mutex_);
+  std::unique_ptr<storage::LogDir> offsets_log_ PE_GUARDED_BY(mutex_);
   GroupCoordinator coordinator_;
   AtomicStats stats_;
 };

@@ -120,11 +120,36 @@ std::vector<std::string> GroupCoordinator::members(
 Status GroupCoordinator::commit_offset(const std::string& group,
                                        const TopicPartition& tp,
                                        std::uint64_t offset) {
-  MutexLock lock(mutex_);
-  // Creates the group implicitly: manually-assigned consumers may commit
-  // under a group id without ever joining (matches Kafka).
-  groups_[group].committed[tp] = offset;
+  CommitListener listener;
+  {
+    MutexLock lock(mutex_);
+    // Creates the group implicitly: manually-assigned consumers may commit
+    // under a group id without ever joining (matches Kafka).
+    groups_[group].committed[tp] = offset;
+    listener = commit_listener_;
+  }
+  // Outside the lock: the durable broker's listener appends to the
+  // offsets commit log, which takes the storage mutex.
+  if (listener) listener(group, tp, offset);
   return Status::Ok();
+}
+
+void GroupCoordinator::set_commit_listener(CommitListener listener) {
+  MutexLock lock(mutex_);
+  commit_listener_ = std::move(listener);
+}
+
+void GroupCoordinator::restore_offset(const std::string& group,
+                                      const TopicPartition& tp,
+                                      std::uint64_t offset) {
+  MutexLock lock(mutex_);
+  groups_[group].committed[tp] = offset;
+}
+
+void GroupCoordinator::reset() {
+  MutexLock lock(mutex_);
+  groups_.clear();
+  topic_counts_.clear();
 }
 
 std::optional<std::uint64_t> GroupCoordinator::committed_offset(

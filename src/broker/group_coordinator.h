@@ -77,6 +77,24 @@ class GroupCoordinator {
   std::optional<std::uint64_t> committed_offset(const std::string& group,
                                                 const TopicPartition& tp) const;
 
+  /// Observes every successful commit_offset. Invoked with the
+  /// coordinator lock released so the listener may take lower-ranked
+  /// locks (the durable broker appends the commit to its offsets log).
+  using CommitListener = std::function<void(
+      const std::string& group, const TopicPartition& tp,
+      std::uint64_t offset)>;
+  void set_commit_listener(CommitListener listener);
+
+  /// Replays a committed position from durable storage: same effect as
+  /// commit_offset but never notifies the listener (it would re-append
+  /// what is being replayed).
+  void restore_offset(const std::string& group, const TopicPartition& tp,
+                      std::uint64_t offset);
+
+  /// Drops all group state (crash simulation; durable state is replayed
+  /// back via restore_offset). The commit listener survives.
+  void reset();
+
  private:
   struct Member {
     std::vector<std::string> topics;
@@ -99,6 +117,7 @@ class GroupCoordinator {
   // while the broker may hold its own locks, never the reverse.
   mutable Mutex mutex_{"broker.coordinator", lock_rank(kLockDomainBroker, 3)};
   Duration session_timeout_ PE_GUARDED_BY(mutex_) = Duration::zero();
+  CommitListener commit_listener_ PE_GUARDED_BY(mutex_);
   std::map<std::string, Group> groups_ PE_GUARDED_BY(mutex_);
   // Partition counts resolved at join time, outside mutex_, so eviction-
   // triggered rebalances (heartbeat/leave) never invoke the callback

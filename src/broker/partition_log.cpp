@@ -1,19 +1,46 @@
 #include "broker/partition_log.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
 
 namespace pe::broker {
 
 PartitionLog::PartitionLog(RetentionPolicy retention)
     : retention_(retention) {}
 
+PartitionLog::PartitionLog(RetentionPolicy retention, std::string durable_dir,
+                           storage::StorageConfig storage)
+    : retention_(retention) {
+  auto opened = storage::LogDir::open(std::move(durable_dir), storage,
+                                      &recovery_report_);
+  if (!opened.ok()) {
+    // A partition that cannot open its durable tier still works as an
+    // in-memory log — matching how the broker treats a lost disk — but
+    // the failure is loud.
+    PE_LOG_ERROR("durable partition log unavailable, running in-memory: "
+                 << opened.status().to_string());
+    return;
+  }
+  log_dir_ = std::move(opened).value();
+  next_offset_ = log_dir_->end_offset();
+}
+
 std::uint64_t PartitionLog::append(Record record) {
   std::uint64_t offset;
   {
     MutexLock lock(mutex_);
     offset = next_offset_++;
+    const std::uint64_t now_ns = Clock::now_ns();
+    if (log_dir_) {
+      if (auto r = log_dir_->append(record, now_ns); !r.ok()) {
+        PE_LOG_WARN("durable append failed at offset "
+                    << offset << ": " << r.status().to_string());
+      }
+    }
     bytes_ += record.wire_size();
-    entries_.push_back(Entry{offset, Clock::now_ns(), std::move(record)});
+    entries_.push_back(Entry{offset, now_ns, std::move(record)});
     enforce_retention_locked();
   }
   data_available_.notify_all();
@@ -27,6 +54,12 @@ std::uint64_t PartitionLog::append_batch(std::vector<Record> records) {
     first_offset = next_offset_;
     const std::uint64_t now_ns = Clock::now_ns();
     for (auto& r : records) {
+      if (log_dir_) {
+        if (auto res = log_dir_->append(r, now_ns); !res.ok()) {
+          PE_LOG_WARN("durable append failed at offset "
+                      << next_offset_ << ": " << res.status().to_string());
+        }
+      }
       bytes_ += r.wire_size();
       entries_.push_back(Entry{next_offset_++, now_ns, std::move(r)});
     }
@@ -34,6 +67,15 @@ std::uint64_t PartitionLog::append_batch(std::vector<Record> records) {
   }
   data_available_.notify_all();
   return first_offset;
+}
+
+Status PartitionLog::sync() {
+  if (!log_dir_) return Status::Ok();
+  return log_dir_->sync();
+}
+
+void PartitionLog::simulate_power_loss(double keep_fraction) {
+  if (log_dir_) log_dir_->simulate_power_loss(keep_fraction);
 }
 
 Result<std::vector<ConsumedRecord>> PartitionLog::fetch(
@@ -57,6 +99,13 @@ Result<std::vector<ConsumedRecord>> PartitionLog::fetch(
   const std::uint64_t start =
       entries_.empty() ? next_offset_ : entries_.front().offset;
   if (spec.offset < start) {
+    // Cold path: the hot window no longer holds this offset. With a
+    // durable tier the records are still on disk (the durable log also
+    // holds the hot window, so a cold fetch never has to stitch tiers) —
+    // serve zero-copy views into the mmap'd segments.
+    if (log_dir_) {
+      return log_dir_->fetch(spec.offset, spec.max_records, spec.max_bytes);
+    }
     return Status::OutOfRange("fetch offset " + std::to_string(spec.offset) +
                               " below log start " + std::to_string(start));
   }
@@ -84,6 +133,7 @@ Result<std::vector<ConsumedRecord>> PartitionLog::fetch(
 
 std::uint64_t PartitionLog::log_start_offset() const {
   MutexLock lock(mutex_);
+  if (log_dir_) return log_dir_->start_offset();
   return entries_.empty() ? next_offset_ : entries_.front().offset;
 }
 
@@ -94,11 +144,13 @@ std::uint64_t PartitionLog::end_offset() const {
 
 std::uint64_t PartitionLog::record_count() const {
   MutexLock lock(mutex_);
+  if (log_dir_) return log_dir_->record_count();
   return entries_.size();
 }
 
 std::uint64_t PartitionLog::byte_size() const {
   MutexLock lock(mutex_);
+  if (log_dir_) return log_dir_->byte_size();
   return bytes_;
 }
 
@@ -115,24 +167,48 @@ void PartitionLog::enforce_retention_locked() {
       entries_.pop_front();
     }
   }
+  std::uint64_t cutoff_ns = 0;
   if (retention_.max_age > Duration::zero()) {
     // Saturating subtraction: when the clock epoch is younger than
     // max_age, an unsigned wrap would put the cutoff in the far future
     // and age-evict the whole log down to one entry.
     const std::uint64_t now_ns = Clock::now_ns();
     const auto age_ns = static_cast<std::uint64_t>(retention_.max_age.count());
-    const std::uint64_t cutoff_ns = now_ns > age_ns ? now_ns - age_ns : 0;
+    cutoff_ns = now_ns > age_ns ? now_ns - age_ns : 0;
     while (entries_.size() > 1 &&
            entries_.front().broker_timestamp_ns < cutoff_ns) {
       bytes_ -= entries_.front().record.wire_size();
       entries_.pop_front();
     }
   }
+  if (log_dir_) {
+    // The durable tier retains at whole-segment granularity and only
+    // drops a segment once the rest of the log still satisfies the
+    // limits, so it always holds at least as much as the hot window.
+    log_dir_->apply_retention(retention_.max_records, retention_.max_bytes,
+                              cutoff_ns);
+  }
 }
 
 std::uint64_t PartitionLog::offset_for_timestamp(std::uint64_t ts_ns) const {
   MutexLock lock(mutex_);
-  // Broker timestamps are monotone in offset: binary search.
+  // The hot window answers when the target is inside it (binary search:
+  // broker timestamps are monotone in offset)...
+  if (!entries_.empty() && entries_.front().broker_timestamp_ns <= ts_ns) {
+    std::size_t lo = 0, hi = entries_.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (entries_[mid].broker_timestamp_ns < ts_ns) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo == entries_.size() ? next_offset_ : entries_[lo].offset;
+  }
+  // ...otherwise the answer is at or below the hot window's first record:
+  // ask the durable tier, which still holds the older records.
+  if (log_dir_) return log_dir_->offset_for_timestamp(ts_ns);
   std::size_t lo = 0, hi = entries_.size();
   while (lo < hi) {
     const std::size_t mid = lo + (hi - lo) / 2;
@@ -142,9 +218,7 @@ std::uint64_t PartitionLog::offset_for_timestamp(std::uint64_t ts_ns) const {
       hi = mid;
     }
   }
-  return lo == entries_.size()
-             ? next_offset_
-             : entries_[lo].offset;
+  return lo == entries_.size() ? next_offset_ : entries_[lo].offset;
 }
 
 }  // namespace pe::broker

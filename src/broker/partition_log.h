@@ -6,16 +6,28 @@
 //    optionally long-polling until data arrives;
 //  - retention trims the head; log_start_offset() moves forward, offsets
 //    are never reused.
+//
+// Two storage tiers:
+//  - in-memory deque: the hot tail, always present, serves most fetches;
+//  - optional durable tier (storage::LogDir): every append also lands in
+//    a CRC-framed segmented commit log on disk. Fetches below the hot
+//    window are served from mmap'd segments as zero-copy payload views,
+//    and the log survives a broker crash — reopening the same directory
+//    resumes the offset sequence after truncating any torn tail.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "broker/record.h"
+#include "storage/log_dir.h"
+#include "storage/storage_config.h"
 
 namespace pe::broker {
 
@@ -38,6 +50,32 @@ struct FetchSpec {
 class PartitionLog {
  public:
   explicit PartitionLog(RetentionPolicy retention = {});
+
+  /// Durable partition log: `durable_dir` is recovered (or created) as a
+  /// storage::LogDir and every append is written through to it. The
+  /// in-memory deque resumes at the recovered end offset; records already
+  /// on disk are served via the cold path.
+  PartitionLog(RetentionPolicy retention, std::string durable_dir,
+               storage::StorageConfig storage = {});
+
+  bool durable() const { return log_dir_ != nullptr; }
+  /// What recovery found when the durable tier was opened (zeros for
+  /// in-memory logs and fresh directories).
+  const storage::RecoveryReport& recovery_report() const {
+    return recovery_report_;
+  }
+  /// The durable tier (nullptr for in-memory logs). For tests/tools.
+  storage::LogDir* log_dir() { return log_dir_.get(); }
+
+  /// Forces the durable tier to fsync (no-op for in-memory logs). Offsets
+  /// below the returned value are power-loss durable.
+  Status sync();
+
+  /// Power-loss simulation on the durable tier: the fsynced prefix
+  /// survives, `keep_fraction` of unsynced tail bytes survive (possibly
+  /// mid-frame), and the log stops accepting durable writes. Reopen the
+  /// directory (new PartitionLog) to recover. No-op for in-memory logs.
+  void simulate_power_loss(double keep_fraction);
 
   /// Appends a record, stamping the broker timestamp; returns its offset.
   std::uint64_t append(Record record);
@@ -76,13 +114,19 @@ class PartitionLog {
 
   const RetentionPolicy retention_;
   // Level 2 in the broker domain: legally acquired under the Broker
-  // registry lock (level 1), never the other way around.
+  // registry lock (level 1), never the other way around. The durable
+  // tier's own mutex ranks below this one (level 4), so writing through
+  // while holding this lock is in order.
   mutable Mutex mutex_{"broker.partition_log",
                        lock_rank(kLockDomainBroker, 2)};
   mutable CondVar data_available_;
   std::deque<Entry> entries_ PE_GUARDED_BY(mutex_);
   std::uint64_t next_offset_ PE_GUARDED_BY(mutex_) = 0;
   std::uint64_t bytes_ PE_GUARDED_BY(mutex_) = 0;
+  // LogDir is internally synchronized; the pointer itself is immutable
+  // after construction.
+  std::unique_ptr<storage::LogDir> log_dir_;
+  storage::RecoveryReport recovery_report_;
 };
 
 }  // namespace pe::broker

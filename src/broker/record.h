@@ -5,14 +5,16 @@
 // consumers receive back: the record plus its log coordinates
 // (topic/partition/offset) and the broker append timestamp.
 //
-// Zero-copy data plane: the payload bytes live behind a
-// std::shared_ptr<const Bytes> (Payload) and are IMMUTABLE once a record
-// has been appended to a partition log. Copying a Record — and therefore
+// Zero-copy data plane: a Payload is an immutable byte view plus a
+// type-erased owner that keeps the backing storage alive — a heap Bytes
+// buffer for in-memory records, or an mmap'd segment region for records
+// served from the durable commit log. Copying a Record — and therefore
 // fetching it, fanning it out to N consumer groups, retrying a send, or
 // dead-lettering it — only bumps a refcount; the payload bytes are stored
 // exactly once, at append.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -26,52 +28,71 @@ namespace pe::broker {
 /// offsets, timestamps, CRC) — approximates Kafka's record header cost.
 inline constexpr std::uint64_t kRecordWireOverheadBytes = 64;
 
-/// Shared, immutable byte payload. Construction takes ownership of a Bytes
-/// buffer (one allocation, no copy of the heap storage thanks to vector
-/// move); every subsequent copy is a shared view. The implicit conversion
-/// to `const Bytes&` keeps existing readers (codec decode, serialization)
-/// source-compatible.
+/// Shared, immutable byte payload: (owner, pointer, length). Construction
+/// from a Bytes buffer takes ownership with a single move (no copy of the
+/// heap storage); every subsequent copy is a shared view. `view()` builds
+/// a payload aliasing memory owned by something else entirely — e.g. an
+/// mmap'd commit-log segment — which stays mapped for as long as any view
+/// of it is alive, even after retention unlinks the file.
 class Payload {
  public:
   Payload() = default;
-  Payload(Bytes bytes)  // NOLINT(google-explicit-constructor)
-      : data_(std::make_shared<const Bytes>(std::move(bytes))) {}
-  Payload(std::shared_ptr<const Bytes> data)  // NOLINT
-      : data_(std::move(data)) {}
+  Payload(Bytes bytes) {  // NOLINT(google-explicit-constructor)
+    auto owned = std::make_shared<const Bytes>(std::move(bytes));
+    data_ = owned->data();
+    size_ = owned->size();
+    owner_ = std::move(owned);
+  }
+  Payload(std::shared_ptr<const Bytes> bytes) {  // NOLINT
+    if (bytes) {
+      data_ = bytes->data();
+      size_ = bytes->size();
+      owner_ = std::move(bytes);
+    }
+  }
 
-  /// The underlying bytes (a shared empty buffer when unset).
-  const Bytes& bytes() const { return data_ ? *data_ : empty_bytes(); }
-  operator const Bytes&() const { return bytes(); }  // NOLINT
+  /// Aliasing view: `owner` keeps `[data, data+size)` valid.
+  static Payload view(std::shared_ptr<const void> owner,
+                      const std::uint8_t* data, std::size_t size) {
+    Payload p;
+    p.owner_ = std::move(owner);
+    p.data_ = data;
+    p.size_ = size;
+    return p;
+  }
 
-  std::size_t size() const { return data_ ? data_->size() : 0; }
-  bool empty() const { return size() == 0; }
-  const std::uint8_t* data() const { return bytes().data(); }
-  std::uint8_t operator[](std::size_t i) const { return bytes()[i]; }
-  Bytes::const_iterator begin() const { return bytes().begin(); }
-  Bytes::const_iterator end() const { return bytes().end(); }
+  ByteSpan span() const { return {data_, size_}; }
+  operator ByteSpan() const { return span(); }  // NOLINT
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const std::uint8_t* data() const { return data_; }
+  std::uint8_t operator[](std::size_t i) const { return data_[i]; }
+  const std::uint8_t* begin() const { return data_; }
+  const std::uint8_t* end() const { return data_ + size_; }
+
+  /// Materializes an owned copy (for callers that must mutate or outlive
+  /// the owner without holding it).
+  Bytes to_bytes() const { return Bytes(data_, data_ + size_); }
 
   /// The owning pointer itself — lets call sites share one payload across
-  /// many records without re-wrapping.
-  const std::shared_ptr<const Bytes>& shared() const { return data_; }
-  long use_count() const { return data_.use_count(); }
+  /// many records without re-wrapping, and tests assert aliasing.
+  const std::shared_ptr<const void>& shared() const { return owner_; }
+  long use_count() const { return owner_.use_count(); }
 
   friend bool operator==(const Payload& a, const Payload& b) {
-    return a.data_ == b.data_ || a.bytes() == b.bytes();
+    return (a.data_ == b.data_ && a.size_ == b.size_) ||
+           std::equal(a.begin(), a.end(), b.begin(), b.end());
   }
   friend bool operator==(const Payload& a, const Bytes& b) {
-    return a.bytes() == b;
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
   }
-  friend bool operator==(const Bytes& a, const Payload& b) {
-    return a == b.bytes();
-  }
+  friend bool operator==(const Bytes& a, const Payload& b) { return b == a; }
 
  private:
-  static const Bytes& empty_bytes() {
-    static const Bytes kEmpty;
-    return kEmpty;
-  }
-
-  std::shared_ptr<const Bytes> data_;
+  std::shared_ptr<const void> owner_;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
 };
 
 struct Record {

@@ -4,12 +4,19 @@
 
 namespace pe::broker {
 
-Topic::Topic(std::string name, TopicConfig config)
+Topic::Topic(std::string name, TopicConfig config, std::string durable_dir,
+             storage::StorageConfig storage)
     : name_(std::move(name)), config_(config) {
   const std::uint32_t n = config_.partitions == 0 ? 1 : config_.partitions;
   partitions_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    partitions_.push_back(std::make_unique<PartitionLog>(config_.retention));
+    if (durable_dir.empty()) {
+      partitions_.push_back(std::make_unique<PartitionLog>(config_.retention));
+    } else {
+      partitions_.push_back(std::make_unique<PartitionLog>(
+          config_.retention, durable_dir + "/p" + std::to_string(i),
+          storage));
+    }
   }
 }
 

@@ -26,7 +26,12 @@ struct TopicConfig {
 
 class Topic {
  public:
-  Topic(std::string name, TopicConfig config);
+  /// `durable_dir`, when non-empty, roots one storage::LogDir per
+  /// partition at `<durable_dir>/p<partition>`; existing directories are
+  /// recovered, so re-creating a topic after a broker restart resumes
+  /// every partition's offset sequence.
+  Topic(std::string name, TopicConfig config, std::string durable_dir = "",
+        storage::StorageConfig storage = {});
 
   const std::string& name() const { return name_; }
   std::uint32_t partition_count() const {

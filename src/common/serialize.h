@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,11 @@
 namespace pe {
 
 using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning view of immutable bytes. Decoders take this instead of
+/// `const Bytes&` so payloads backed by mmap'd storage segments (which
+/// have no vector anywhere) decode without a copy.
+using ByteSpan = std::span<const std::uint8_t>;
 
 /// Appends fixed-width little-endian values and length-prefixed blobs.
 class ByteWriter {
@@ -59,9 +65,11 @@ class ByteWriter {
 };
 
 /// Sequential reader over a byte buffer; all reads are bounds-checked.
+/// Views the input — the buffer must outlive the reader.
 class ByteReader {
  public:
-  explicit ByteReader(const Bytes& in) : in_(in) {}
+  explicit ByteReader(ByteSpan in) : in_(in) {}
+  explicit ByteReader(const Bytes& in) : in_(in.data(), in.size()) {}
 
   Status get_u8(std::uint8_t& v) {
     if (pos_ + 1 > in_.size()) return truncation();
@@ -127,7 +135,7 @@ class ByteReader {
                               std::to_string(pos_));
   }
 
-  const Bytes& in_;
+  ByteSpan in_;
   std::size_t pos_ = 0;
 };
 

@@ -31,7 +31,7 @@ struct ResultRecord {
     return out;
   }
 
-  static Result<ResultRecord> decode(const Bytes& bytes) {
+  static Result<ResultRecord> decode(ByteSpan bytes) {
     ByteReader r(bytes);
     ResultRecord record;
     if (auto s = r.get_u64(record.message_id); !s.ok()) return s;

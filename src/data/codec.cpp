@@ -28,7 +28,7 @@ std::shared_ptr<const Bytes> Codec::encode_shared(const DataBlock& block) {
   return std::make_shared<const Bytes>(encode(block));
 }
 
-Result<DataBlock> Codec::decode(const Bytes& bytes) {
+Result<DataBlock> Codec::decode(ByteSpan bytes) {
   ByteReader r(bytes);
   for (char expected : kMagic) {
     std::uint8_t c = 0;

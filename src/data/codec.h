@@ -17,7 +17,9 @@ namespace pe::data {
 class Codec {
  public:
   static Bytes encode(const DataBlock& block);
-  static Result<DataBlock> decode(const Bytes& bytes);
+  /// Accepts any contiguous byte view — an owned Bytes buffer or a
+  /// zero-copy broker::Payload backed by an mmap'd segment.
+  static Result<DataBlock> decode(ByteSpan bytes);
 
   /// Encodes straight into a shared immutable buffer — the form the broker
   /// data plane stores. Producers hand this to Record.value so the encoded

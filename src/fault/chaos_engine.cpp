@@ -181,6 +181,14 @@ Status ChaosEngine::apply(const FaultEvent& event) {
           event.target, event.partition,
           event.kind == FaultKind::kDropBrokerPartition);
     }
+    case FaultKind::kCrashBroker: {
+      if (!broker_) return Status::FailedPrecondition("no broker bound");
+      auto recovered = broker_->crash_and_recover(event.keep_fraction);
+      if (!recovered.ok()) return recovered.status();
+      PE_LOG_INFO("chaos: broker recovered — "
+                  << recovered.value().to_string());
+      return Status::Ok();
+    }
   }
   return Status::InvalidArgument("unknown fault kind");
 }

@@ -25,6 +25,7 @@ enum class FaultKind {
   kRestoreLink,              // clear any link fault
   kDropBrokerPartition,      // partition leader lost: produce/fetch fail
   kRestoreBrokerPartition,   // partition back online
+  kCrashBroker,              // durable broker: power-cut + recover from disk
 };
 
 constexpr const char* to_string(FaultKind k) {
@@ -37,6 +38,7 @@ constexpr const char* to_string(FaultKind k) {
     case FaultKind::kDropBrokerPartition: return "drop-broker-partition";
     case FaultKind::kRestoreBrokerPartition:
       return "restore-broker-partition";
+    case FaultKind::kCrashBroker: return "crash-broker";
   }
   return "?";
 }
@@ -55,6 +57,10 @@ struct FaultEvent {
   double latency_factor = 1.0;
   double bandwidth_factor = 1.0;
   std::uint32_t partition = 0;
+  /// For kCrashBroker: fraction of each log's unsynced tail bytes that
+  /// survive the power cut (0 = clean cut at the fsync boundary; values
+  /// in between produce torn frames for recovery to truncate).
+  double keep_fraction = 0.0;
   std::string reason = "chaos";
 };
 
@@ -121,6 +127,21 @@ struct FaultPlan {
     e.target = std::move(topic);
     e.partition = partition;
     e.duration = duration;
+    events.push_back(std::move(e));
+    return *this;
+  }
+
+  /// Hard-crashes the bound durable broker mid-pipeline and recovers it
+  /// from disk in place (Broker::crash_and_recover). Consumers and
+  /// producers observe the broker as if its process died and restarted.
+  FaultPlan& crash_broker(Duration at, double keep_fraction = 0.0,
+                          std::string reason = "chaos broker crash") {
+    FaultEvent e;
+    e.at = at;
+    e.kind = FaultKind::kCrashBroker;
+    e.target = "broker";
+    e.keep_fraction = keep_fraction;
+    e.reason = std::move(reason);
     events.push_back(std::move(e));
     return *this;
   }

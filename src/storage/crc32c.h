@@ -1,0 +1,44 @@
+// CRC32C (Castagnoli) checksum, the polynomial Kafka and ext4 use for
+// record framing. Software table implementation (reflected 0x82F63B78);
+// header-only so the frame codec and the recovery scanner share one
+// definition without a link dependency.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace pe::storage {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32cTable =
+    make_crc32c_table();
+
+}  // namespace detail
+
+/// One-shot CRC32C over a buffer. `seed` chains partial checksums:
+/// crc32c(ab) == crc32c(b, crc32c(a)).
+inline std::uint32_t crc32c(const void* data, std::size_t size,
+                            std::uint32_t seed = 0) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = detail::kCrc32cTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace pe::storage

@@ -1,0 +1,417 @@
+#include "storage/log_dir.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "telemetry/metrics.h"
+
+namespace pe::storage {
+
+namespace fs = std::filesystem;
+
+LogDir::LogDir(std::string dir, StorageConfig config)
+    : dir_(std::move(dir)), config_(config) {}
+
+Result<std::unique_ptr<LogDir>> LogDir::open(std::string dir,
+                                             StorageConfig config,
+                                             RecoveryReport* report) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("create_directories '" + dir +
+                            "': " + ec.message());
+  }
+  std::unique_ptr<LogDir> log(new LogDir(std::move(dir), config));
+  RecoveryReport local;
+  {
+    MutexLock lock(log->mutex_);
+    if (auto s = log->recover_locked(&local); !s.ok()) return s;
+  }
+  if (report != nullptr) *report = local;
+  if (config.flush_policy == FlushPolicy::kIntervalMs) {
+    log->flusher_ = std::thread([raw = log.get()] {
+      UniqueLock lock(raw->mutex_);
+      while (!raw->stop_flusher_) {
+        raw->flusher_cv_.wait_for(lock, raw->config_.flush_interval,
+                                  [raw]() PE_NO_THREAD_SAFETY_ANALYSIS {
+                                    return raw->stop_flusher_;
+                                  });
+        if (raw->stop_flusher_) break;
+        if (raw->writer_ && raw->writer_->dirty_records() > 0) {
+          if (auto s = raw->sync_locked(); !s.ok()) {
+            PE_LOG_WARN("storage flusher: " << s.to_string());
+          }
+        }
+      }
+    });
+  }
+  return log;
+}
+
+LogDir::~LogDir() {
+  stop_flusher();
+  MutexLock lock(mutex_);
+  if (!closed_ && writer_) writer_->close();  // clean shutdown syncs
+  writer_.reset();
+}
+
+void LogDir::stop_flusher() {
+  {
+    MutexLock lock(mutex_);
+    stop_flusher_ = true;
+  }
+  flusher_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+Status LogDir::recover_locked(RecoveryReport* report) {
+  const auto t0 = Clock::now();
+  auto& metrics = tel::MetricsRegistry::global();
+
+  // Collect segment files in base-offset order.
+  std::vector<std::pair<std::uint64_t, std::string>> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    std::uint64_t base = 0;
+    const std::string name = entry.path().filename().string();
+    if (parse_segment_file_name(name, &base)) {
+      files.emplace_back(base, entry.path().string());
+    }
+  }
+  if (ec) {
+    return Status::Internal("list '" + dir_ + "': " + ec.message());
+  }
+  std::sort(files.begin(), files.end());
+
+  segments_.clear();
+  bool tail_is_torn = false;
+  for (const auto& [base, path] : files) {
+    if (tail_is_torn ||
+        (!segments_.empty() && segments_.back()->end_offset() != base)) {
+      // Unreachable past a torn/corrupt segment or an offset gap: these
+      // records can no longer be served contiguously. Delete them — the
+      // durability contract only covers the contiguous synced prefix.
+      PE_LOG_WARN("storage recovery: deleting discontiguous segment "
+                  << path);
+      fs::remove(path, ec);
+      report->segments_deleted += 1;
+      continue;
+    }
+    auto segment = std::make_unique<Segment>(path, base,
+                                             config_.index_interval_bytes);
+    auto scanned = segment->scan();
+    if (!scanned.ok()) return scanned.status();
+    report->segments_scanned += 1;
+    report->records_recovered += segment->record_count();
+    report->bytes_recovered += scanned.value().valid_bytes;
+    if (scanned.value().torn_bytes > 0) {
+      report->torn_bytes_truncated += scanned.value().torn_bytes;
+      metrics.counter("storage.torn_bytes_truncated")
+          .add(scanned.value().torn_bytes);
+      tail_is_torn = true;  // anything after this segment is unreachable
+    }
+    if (segment->record_count() == 0 && !segments_.empty()) {
+      // Fully-torn (or empty) trailing segment: recycle the file only if
+      // it is the tail; keep scanning state consistent either way.
+      fs::remove(path, ec);
+      report->segments_deleted += 1;
+      continue;
+    }
+    segments_.push_back(std::move(segment));
+  }
+
+  if (segments_.empty()) {
+    auto segment = std::make_unique<Segment>(
+        (fs::path(dir_) / segment_file_name(0)).string(), 0,
+        config_.index_interval_bytes);
+    segments_.push_back(std::move(segment));
+    metrics.counter("storage.segments_created").add();
+  }
+
+  // The last surviving segment becomes the active one; its writer's open
+  // truncates the torn tail off the file and fsyncs the valid prefix.
+  auto writer = SegmentWriter::open(segments_.back().get());
+  if (!writer.ok()) return writer.status();
+  writer_ = std::move(writer).value();
+
+  report->start_offset = segments_.front()->base_offset();
+  report->next_offset = segments_.back()->end_offset();
+  report->elapsed = std::chrono::duration_cast<Duration>(Clock::now() - t0);
+  metrics.histogram("storage.recovery_ms")
+      .record(std::chrono::duration_cast<
+                  std::chrono::duration<double, std::milli>>(report->elapsed)
+                  .count());
+  return Status::Ok();
+}
+
+std::uint64_t LogDir::end_offset_locked() const {
+  return segments_.back()->end_offset();
+}
+
+Status LogDir::roll_locked() {
+  // Seal the active segment: everything in it becomes durable at the
+  // roll, so a sealed segment is never part of the unsynced tail.
+  if (auto s = writer_->sync(); !s.ok()) return s;
+  const std::uint64_t base = end_offset_locked();
+  auto segment = std::make_unique<Segment>(
+      (fs::path(dir_) / segment_file_name(base)).string(), base,
+      config_.index_interval_bytes);
+  auto writer = SegmentWriter::open(segment.get());
+  if (!writer.ok()) return writer.status();
+  segments_.push_back(std::move(segment));
+  writer_ = std::move(writer).value();
+  tel::MetricsRegistry::global().counter("storage.segments_created").add();
+  return Status::Ok();
+}
+
+Result<std::uint64_t> LogDir::append(const broker::Record& record,
+                                     std::uint64_t broker_timestamp_ns) {
+  MutexLock lock(mutex_);
+  if (closed_) return Status::FailedPrecondition("log dir closed (crashed)");
+  Segment* active = segments_.back().get();
+  if (active->record_count() > 0 &&
+      active->bytes() + kFrameHeaderBytes + kFrameBodyFixedBytes +
+              record.key.size() + record.value.size() >
+          config_.segment_max_bytes) {
+    if (auto s = roll_locked(); !s.ok()) return s;
+  }
+  const std::uint64_t offset = end_offset_locked();
+  if (auto s = writer_->append(record, offset, broker_timestamp_ns);
+      !s.ok()) {
+    return s;
+  }
+  switch (config_.flush_policy) {
+    case FlushPolicy::kEverySync:
+      if (auto s = sync_locked(); !s.ok()) return s;
+      break;
+    case FlushPolicy::kEveryNRecords:
+      if (writer_->dirty_records() >= config_.flush_every_n) {
+        if (auto s = sync_locked(); !s.ok()) return s;
+      }
+      break;
+    case FlushPolicy::kIntervalMs:
+    case FlushPolicy::kNever:
+      break;
+  }
+  return offset;
+}
+
+Status LogDir::sync() {
+  MutexLock lock(mutex_);
+  if (closed_) return Status::FailedPrecondition("log dir closed (crashed)");
+  return sync_locked();
+}
+
+Status LogDir::sync_locked() { return writer_->sync(); }
+
+std::size_t LogDir::segment_index_locked(std::uint64_t offset) const {
+  // Last segment whose base_offset <= offset.
+  std::size_t lo = 0, hi = segments_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (segments_[mid]->base_offset() <= offset) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo - 1;  // precondition: offset >= segments_.front()->base_offset()
+}
+
+Result<std::vector<broker::ConsumedRecord>> LogDir::fetch(
+    std::uint64_t offset, std::size_t max_records,
+    std::uint64_t max_bytes) const {
+  MutexLock lock(mutex_);
+  const std::uint64_t start = segments_.front()->base_offset();
+  const std::uint64_t end = end_offset_locked();
+  if (offset < start) {
+    return Status::OutOfRange("fetch offset " + std::to_string(offset) +
+                              " below log start " + std::to_string(start));
+  }
+  if (offset > end) {
+    return Status::OutOfRange("fetch offset " + std::to_string(offset) +
+                              " beyond end offset " + std::to_string(end));
+  }
+  std::vector<broker::ConsumedRecord> out;
+  if (offset == end) return out;
+
+  std::uint64_t bytes = 0;
+  std::size_t seg_idx = segment_index_locked(offset);
+  while (seg_idx < segments_.size() && out.size() < max_records) {
+    const Segment& segment = *segments_[seg_idx];
+    if (segment.record_count() == 0) break;  // empty active segment
+    auto mapped = segment.mapping();
+    if (!mapped.ok()) return mapped.status();
+    const std::shared_ptr<MmapRegion>& region = mapped.value();
+    const std::uint64_t from =
+        out.empty() ? offset : segment.base_offset();
+    auto pos = segment.position_of(from);
+    if (!pos.ok()) return pos.status();
+    std::uint64_t p = pos.value();
+    std::uint64_t at = from;
+    while (at < segment.end_offset() && out.size() < max_records) {
+      FrameView frame;
+      if (p >= region->size() ||
+          parse_frame(region->data() + p, region->size() - p, &frame) !=
+              FrameParse::kOk) {
+        return Status::Internal("segment '" + segment.path() +
+                                "' fetch walk hit invalid frame at byte " +
+                                std::to_string(p));
+      }
+      const std::uint64_t wire = frame.key_len + frame.value_len +
+                                 broker::kRecordWireOverheadBytes;
+      // The first record always ships, even when it alone exceeds the
+      // byte budget — a single oversized record must not stall a
+      // consumer forever.
+      if (!out.empty() && bytes + wire > max_bytes) {
+        return out;
+      }
+      broker::ConsumedRecord cr;
+      cr.offset = frame.offset;
+      cr.broker_timestamp_ns = frame.broker_timestamp_ns;
+      cr.record.key.assign(reinterpret_cast<const char*>(frame.key),
+                           frame.key_len);
+      cr.record.client_timestamp_ns = frame.client_timestamp_ns;
+      // Zero-copy: the payload aliases the mapping, which stays alive via
+      // the shared owner even after retention unlinks or remaps the file.
+      cr.record.value =
+          broker::Payload::view(region, frame.value, frame.value_len);
+      bytes += wire;
+      out.push_back(std::move(cr));
+      p += frame.frame_bytes;
+      ++at;
+    }
+    ++seg_idx;
+  }
+  return out;
+}
+
+std::uint64_t LogDir::start_offset() const {
+  MutexLock lock(mutex_);
+  return segments_.front()->base_offset();
+}
+
+std::uint64_t LogDir::end_offset() const {
+  MutexLock lock(mutex_);
+  return end_offset_locked();
+}
+
+std::uint64_t LogDir::synced_offset() const {
+  MutexLock lock(mutex_);
+  return writer_ ? writer_->synced_offset() : end_offset_locked();
+}
+
+std::uint64_t LogDir::record_count() const {
+  MutexLock lock(mutex_);
+  return end_offset_locked() - segments_.front()->base_offset();
+}
+
+std::uint64_t LogDir::byte_size() const {
+  MutexLock lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& s : segments_) total += s->bytes();
+  return total;
+}
+
+std::size_t LogDir::segment_count() const {
+  MutexLock lock(mutex_);
+  return segments_.size();
+}
+
+std::vector<SegmentInfo> LogDir::segments() const {
+  MutexLock lock(mutex_);
+  std::vector<SegmentInfo> out;
+  out.reserve(segments_.size());
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const Segment& s = *segments_[i];
+    SegmentInfo info;
+    info.base_offset = s.base_offset();
+    info.end_offset = s.end_offset();
+    info.bytes = s.bytes();
+    info.first_timestamp_ns = s.first_timestamp_ns();
+    info.last_timestamp_ns = s.last_timestamp_ns();
+    info.active = i + 1 == segments_.size();
+    out.push_back(info);
+  }
+  return out;
+}
+
+std::uint64_t LogDir::offset_for_timestamp(std::uint64_t ts_ns) const {
+  MutexLock lock(mutex_);
+  // First segment whose last timestamp is >= ts (segments are
+  // timestamp-ordered because appends are).
+  std::size_t lo = 0, hi = segments_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (segments_[mid]->record_count() > 0 &&
+        segments_[mid]->last_timestamp_ns() < ts_ns) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == segments_.size()) return end_offset_locked();
+  auto found = segments_[lo]->offset_for_timestamp(ts_ns);
+  if (!found.ok()) {
+    PE_LOG_WARN("offset_for_timestamp: " << found.status().to_string());
+    return end_offset_locked();
+  }
+  return found.value();
+}
+
+std::size_t LogDir::apply_retention(std::uint64_t max_records,
+                                    std::uint64_t max_bytes,
+                                    std::uint64_t min_timestamp_ns) {
+  MutexLock lock(mutex_);
+  std::size_t dropped = 0;
+  std::uint64_t total_records =
+      end_offset_locked() - segments_.front()->base_offset();
+  std::uint64_t total_bytes = 0;
+  for (const auto& s : segments_) total_bytes += s->bytes();
+
+  while (segments_.size() > 1) {
+    const Segment& oldest = *segments_.front();
+    const bool over_records =
+        max_records > 0 &&
+        total_records - oldest.record_count() >= max_records;
+    const bool over_bytes =
+        max_bytes > 0 && total_bytes - oldest.bytes() >= max_bytes;
+    const bool expired = min_timestamp_ns > 0 &&
+                         oldest.last_timestamp_ns() < min_timestamp_ns;
+    if (!over_records && !over_bytes && !expired) break;
+    total_records -= oldest.record_count();
+    total_bytes -= oldest.bytes();
+    std::error_code ec;
+    fs::remove(oldest.path(), ec);  // mapped views outlive the unlink
+    if (ec) {
+      PE_LOG_WARN("retention: remove '" << oldest.path()
+                                        << "': " << ec.message());
+    }
+    segments_.erase(segments_.begin());
+    dropped += 1;
+  }
+  if (dropped > 0) {
+    tel::MetricsRegistry::global()
+        .counter("storage.segments_dropped")
+        .add(dropped);
+  }
+  return dropped;
+}
+
+void LogDir::simulate_power_loss(double keep_fraction) {
+  stop_flusher();
+  MutexLock lock(mutex_);
+  if (closed_) return;
+  closed_ = true;
+  if (writer_) {
+    if (auto s = writer_->truncate_unsynced(keep_fraction); !s.ok()) {
+      PE_LOG_WARN("simulate_power_loss: " << s.to_string());
+    }
+    writer_.reset();
+  }
+}
+
+}  // namespace pe::storage

@@ -1,0 +1,121 @@
+#include "storage/segment_writer.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/clock.h"
+#include "telemetry/metrics.h"
+
+namespace pe::storage {
+
+Result<std::unique_ptr<SegmentWriter>> SegmentWriter::open(Segment* segment) {
+  std::unique_ptr<SegmentWriter> writer(new SegmentWriter(segment));
+  const int fd = ::open(segment->path().c_str(),
+                        O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Internal("open '" + segment->path() +
+                            "': " + std::strerror(errno));
+  }
+  writer->fd_ = fd;
+  // Recovery decided that the valid prefix ends at segment->bytes(): cut
+  // any torn tail off and pin the prefix to stable storage.
+  if (::ftruncate(fd, static_cast<off_t>(segment->bytes())) != 0) {
+    return Status::Internal("ftruncate '" + segment->path() +
+                            "': " + std::strerror(errno));
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    return Status::Internal("lseek '" + segment->path() +
+                            "': " + std::strerror(errno));
+  }
+  if (::fsync(fd) != 0) {
+    return Status::Internal("fsync '" + segment->path() +
+                            "': " + std::strerror(errno));
+  }
+  writer->synced_bytes_ = segment->bytes();
+  writer->synced_offset_ = segment->end_offset();
+  return writer;
+}
+
+SegmentWriter::~SegmentWriter() { close(); }
+
+Status SegmentWriter::write_all(const std::uint8_t* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd_, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("write '" + segment_->path() +
+                              "': " + std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status SegmentWriter::append(const broker::Record& record,
+                             std::uint64_t offset,
+                             std::uint64_t broker_timestamp_ns) {
+  if (fd_ < 0) return Status::FailedPrecondition("segment writer closed");
+  frame_buf_.clear();
+  encode_frame(frame_buf_, offset, broker_timestamp_ns, record);
+  const std::uint64_t pos = segment_->bytes();
+  if (auto s = write_all(frame_buf_.data(), frame_buf_.size()); !s.ok()) {
+    return s;
+  }
+  segment_->note_append(offset, broker_timestamp_ns, pos,
+                        frame_buf_.size());
+  dirty_records_ += 1;
+  return Status::Ok();
+}
+
+Status SegmentWriter::sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("segment writer closed");
+  if (dirty_records_ == 0 && synced_bytes_ == segment_->bytes()) {
+    return Status::Ok();
+  }
+  const auto t0 = Clock::now();
+  if (::fsync(fd_) != 0) {
+    return Status::Internal("fsync '" + segment_->path() +
+                            "': " + std::strerror(errno));
+  }
+  const double us =
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+          Clock::now() - t0)
+          .count();
+  tel::MetricsRegistry::global().histogram("storage.fsync_us").record(us);
+  synced_bytes_ = segment_->bytes();
+  synced_offset_ = segment_->end_offset();
+  dirty_records_ = 0;
+  return Status::Ok();
+}
+
+Status SegmentWriter::truncate_unsynced(double keep_fraction) {
+  if (fd_ < 0) return Status::FailedPrecondition("segment writer closed");
+  if (keep_fraction < 0.0) keep_fraction = 0.0;
+  if (keep_fraction > 1.0) keep_fraction = 1.0;
+  const std::uint64_t dirty_bytes = segment_->bytes() - synced_bytes_;
+  const std::uint64_t keep =
+      synced_bytes_ +
+      static_cast<std::uint64_t>(static_cast<double>(dirty_bytes) *
+                                 keep_fraction);
+  Status result = Status::Ok();
+  if (::ftruncate(fd_, static_cast<off_t>(keep)) != 0) {
+    result = Status::Internal("ftruncate '" + segment_->path() +
+                              "': " + std::strerror(errno));
+  }
+  ::close(fd_);  // deliberately no fsync: this models the power cut
+  fd_ = -1;
+  return result;
+}
+
+void SegmentWriter::close() {
+  if (fd_ < 0) return;
+  (void)sync();  // clean shutdown persists everything (Kafka does too)
+  ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace pe::storage

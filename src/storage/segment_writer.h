@@ -1,0 +1,68 @@
+// Append side of the active segment: frames records onto the file with
+// immediate write() (so readers can always map appended data) and applies
+// the configured fsync policy. One SegmentWriter exists per LogDir at a
+// time; LogDir serializes all calls under its own mutex.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "broker/record.h"
+#include "common/status.h"
+#include "storage/segment.h"
+
+namespace pe::storage {
+
+class SegmentWriter {
+ public:
+  /// Opens (creating if needed) the segment's file for appending. The file
+  /// is first truncated to the segment's valid byte count — recovery has
+  /// already decided where durable data ends — and fsynced once so the
+  /// recovered prefix is stably on disk.
+  static Result<std::unique_ptr<SegmentWriter>> open(Segment* segment);
+
+  ~SegmentWriter();
+
+  SegmentWriter(const SegmentWriter&) = delete;
+  SegmentWriter& operator=(const SegmentWriter&) = delete;
+
+  /// Frames and writes one record at `offset`. The bytes reach the OS
+  /// before this returns; they reach stable storage per the LogDir flush
+  /// policy.
+  Status append(const broker::Record& record, std::uint64_t offset,
+                std::uint64_t broker_timestamp_ns);
+
+  /// fsync. Records the latency in the "storage.fsync_us" histogram and
+  /// advances the synced marks.
+  Status sync();
+
+  /// Offset up to which (exclusive) records are power-loss durable.
+  std::uint64_t synced_offset() const { return synced_offset_; }
+  std::uint64_t synced_bytes() const { return synced_bytes_; }
+  /// Records appended since the last sync.
+  std::uint64_t dirty_records() const { return dirty_records_; }
+
+  /// Power-loss simulation: keeps the synced prefix plus `keep_fraction`
+  /// of the unsynced tail bytes (possibly cutting a frame in half — that
+  /// is the point), truncates the file there, and closes WITHOUT syncing.
+  /// The writer is unusable afterwards.
+  Status truncate_unsynced(double keep_fraction);
+
+  /// Clean close: final sync, then close the fd.
+  void close();
+
+ private:
+  explicit SegmentWriter(Segment* segment) : segment_(segment) {}
+
+  Status write_all(const std::uint8_t* data, std::size_t size);
+
+  Segment* segment_;
+  int fd_ = -1;
+  std::uint64_t synced_bytes_ = 0;
+  std::uint64_t synced_offset_ = 0;
+  std::uint64_t dirty_records_ = 0;
+  Bytes frame_buf_;
+};
+
+}  // namespace pe::storage

@@ -1,0 +1,134 @@
+// kCrashBroker chaos fault: hard power-cut + in-place recovery of a
+// durable broker while producers keep running.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "broker/broker.h"
+#include "common/clock.h"
+#include "fault/chaos_engine.h"
+
+namespace pe::fault {
+namespace {
+
+using namespace std::chrono_literals;
+namespace fs = std::filesystem;
+
+broker::Record make_record(const std::string& key) {
+  broker::Record r;
+  r.key = key;
+  r.value = Bytes(32, 0x42);
+  return r;
+}
+
+class ChaosCrashBrokerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::path(::testing::TempDir()) /
+            ("pe_chaos_" +
+             std::to_string(
+                 ::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ChaosCrashBrokerTest, CrashBrokerWithoutBrokerIsFailedPrecondition) {
+  FaultPlan plan;
+  plan.crash_broker(Duration::zero());
+  ChaosEngine engine(std::move(plan));
+  ASSERT_TRUE(engine.start().ok());
+  engine.join();
+  ASSERT_EQ(engine.records().size(), 1u);
+  EXPECT_EQ(engine.records()[0].status.code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ChaosCrashBrokerTest, CrashBrokerOnInMemoryBrokerFails) {
+  auto broker = std::make_shared<broker::Broker>("cloud");
+  FaultPlan plan;
+  plan.crash_broker(Duration::zero());
+  ChaosEngine engine(std::move(plan));
+  engine.set_broker(broker);
+  ASSERT_TRUE(engine.start().ok());
+  engine.join();
+  ASSERT_EQ(engine.records().size(), 1u);
+  EXPECT_FALSE(engine.records()[0].status.ok());
+}
+
+TEST_F(ChaosCrashBrokerTest, DurableBrokerSurvivesMidPipelineCrash) {
+  broker::BrokerOptions options;
+  options.durable_dir = dir_;
+  options.storage.flush_policy = storage::FlushPolicy::kEverySync;
+  auto broker = std::make_shared<broker::Broker>("cloud", options);
+  ASSERT_TRUE(broker->create_topic("events", {}).ok());
+  const broker::TopicPartition tp{"events", 0};
+
+  // Produce continuously while the chaos engine cuts power at +20ms.
+  FaultPlan plan;
+  plan.crash_broker(20ms, /*keep_fraction=*/0.0, "mid-pipeline power cut");
+  ChaosEngine engine(std::move(plan), /*seed=*/11);
+  engine.set_broker(broker);
+  ASSERT_TRUE(engine.start().ok());
+
+  std::uint64_t produced = 0;
+  std::uint64_t committed = 0;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(80);
+  while (Clock::now() < deadline) {
+    auto off =
+        broker->produce("events", 0,
+                        {make_record("k" + std::to_string(produced))});
+    if (off.ok()) {
+      produced = off.value() + 1;
+      if (produced % 5 == 0 &&
+          broker->coordinator().commit_offset("g", tp, produced).ok()) {
+        committed = produced;
+      }
+    }
+    Clock::sleep_exact(std::chrono::milliseconds(1));
+  }
+  engine.join();
+
+  ASSERT_EQ(engine.records().size(), 1u);
+  ASSERT_TRUE(engine.records()[0].status.ok())
+      << engine.records()[0].status.to_string();
+
+  // The broker is live again and lost nothing that was acked: every
+  // offset below the post-crash high watermark fetches back CRC-clean,
+  // and the committed offset survived if one was recorded pre-crash.
+  auto end = broker->end_offset("events", 0);
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(end.value(), produced);
+  if (end.value() > 0) {
+    broker::FetchSpec spec;
+    spec.max_records = 10000;
+    auto fetched = broker->fetch("events", 0, spec);
+    ASSERT_TRUE(fetched.ok());
+    ASSERT_EQ(fetched.value().size(), end.value());
+    for (std::size_t i = 0; i < fetched.value().size(); ++i) {
+      EXPECT_EQ(fetched.value()[i].offset, i);
+    }
+  }
+  if (committed > 0) {
+    auto restored = broker->coordinator().committed_offset("g", tp);
+    ASSERT_TRUE(restored.has_value());
+    EXPECT_GE(*restored, committed);
+  }
+  // After recovery the pipeline keeps going: a fresh produce lands at the
+  // next offset.
+  auto off = broker->produce("events", 0, {make_record("post")});
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(off.value(), produced);
+}
+
+}  // namespace
+}  // namespace pe::fault

@@ -1,0 +1,256 @@
+#include "broker/partition_log.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace pe::broker {
+namespace {
+
+namespace fs = std::filesystem;
+
+Record make_record(const std::string& key, std::size_t value_size = 10,
+                   std::uint8_t fill = 0x42) {
+  Record r;
+  r.key = key;
+  r.value = Bytes(value_size, fill);
+  return r;
+}
+
+class DurablePartitionLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::path(::testing::TempDir()) /
+            ("pe_dplog_" +
+             std::to_string(
+                 ::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(DurablePartitionLogTest, WritesThroughAndServesHotFetches) {
+  PartitionLog log({}, dir_);
+  ASSERT_TRUE(log.durable());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(log.append(make_record(std::to_string(i))),
+              static_cast<std::uint64_t>(i));
+  }
+  ASSERT_NE(log.log_dir(), nullptr);
+  EXPECT_EQ(log.log_dir()->end_offset(), 5u);
+
+  FetchSpec spec;
+  spec.offset = 2;
+  auto fetched = log.fetch(spec);
+  ASSERT_TRUE(fetched.ok());
+  ASSERT_EQ(fetched.value().size(), 3u);
+  EXPECT_EQ(fetched.value()[0].record.key, "2");
+}
+
+TEST_F(DurablePartitionLogTest, ColdFetchServesRecordsBelowHotWindow) {
+  // Hot window keeps only the last 3 records; the durable tier keeps all.
+  RetentionPolicy retention;
+  retention.max_records = 3;
+  PartitionLog log(retention, dir_);
+  for (int i = 0; i < 10; ++i) {
+    log.append(make_record("k" + std::to_string(i), 32,
+                           static_cast<std::uint8_t>(i)));
+  }
+  // In-memory-only logs would have retained offset 0 away; the durable
+  // tier still serves it (whole-segment retention has nothing to drop at
+  // this size).
+  FetchSpec spec;
+  spec.offset = 0;
+  spec.max_records = 100;
+  auto fetched = log.fetch(spec);
+  ASSERT_TRUE(fetched.ok());
+  ASSERT_EQ(fetched.value().size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(fetched.value()[i].offset, i);
+    EXPECT_EQ(fetched.value()[i].record.key, "k" + std::to_string(i));
+    ASSERT_FALSE(fetched.value()[i].record.value.empty());
+    EXPECT_EQ(fetched.value()[i].record.value[0],
+              static_cast<std::uint8_t>(i));
+  }
+}
+
+// Satellite regression: the first record must count toward max_bytes on
+// BOTH tiers — an oversized first record is returned alone, not starved.
+TEST_F(DurablePartitionLogTest, MaxBytesFirstRecordRuleHoldsOnBothTiers) {
+  RetentionPolicy retention;
+  retention.max_records = 2;  // pushes early records out of the hot window
+  PartitionLog log(retention, dir_);
+  log.append(make_record("cold-big", 4096));
+  log.append(make_record("cold-next", 16));
+  log.append(make_record("hot-big", 4096));
+  log.append(make_record("hot-next", 16));
+
+  FetchSpec spec;
+  spec.max_bytes = 10;  // smaller than any record
+  spec.offset = 0;      // cold path
+  auto cold = log.fetch(spec);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(cold.value().size(), 1u);
+  EXPECT_EQ(cold.value()[0].record.key, "cold-big");
+
+  spec.offset = 2;  // hot path
+  auto hot = log.fetch(spec);
+  ASSERT_TRUE(hot.ok());
+  ASSERT_EQ(hot.value().size(), 1u);
+  EXPECT_EQ(hot.value()[0].record.key, "hot-big");
+}
+
+TEST_F(DurablePartitionLogTest, ReopenResumesOffsetSequence) {
+  {
+    PartitionLog log({}, dir_);
+    for (int i = 0; i < 6; ++i) log.append(make_record(std::to_string(i)));
+    ASSERT_TRUE(log.sync().ok());
+  }
+  PartitionLog log({}, dir_);
+  EXPECT_EQ(log.recovery_report().records_recovered, 6u);
+  EXPECT_EQ(log.end_offset(), 6u);
+  EXPECT_EQ(log.append(make_record("six")), 6u);
+  // The pre-crash records are below the (empty) hot window: cold path.
+  FetchSpec spec;
+  spec.offset = 3;
+  auto fetched = log.fetch(spec);
+  ASSERT_TRUE(fetched.ok());
+  ASSERT_EQ(fetched.value().size(), 4u);
+  EXPECT_EQ(fetched.value()[0].record.key, "3");
+  EXPECT_EQ(fetched.value()[3].record.key, "six");
+}
+
+TEST_F(DurablePartitionLogTest, PowerLossThenReopenTruncatesTornTail) {
+  storage::StorageConfig config;
+  config.flush_policy = storage::FlushPolicy::kNever;
+  std::uint64_t synced = 0;
+  {
+    PartitionLog log({}, dir_, config);
+    for (int i = 0; i < 4; ++i) log.append(make_record("durable", 64));
+    ASSERT_TRUE(log.sync().ok());
+    synced = log.log_dir()->synced_offset();
+    ASSERT_EQ(synced, 4u);
+    for (int i = 0; i < 4; ++i) log.append(make_record("dirty", 64));
+    log.simulate_power_loss(0.3);
+  }
+  PartitionLog log({}, dir_, config);
+  const auto& report = log.recovery_report();
+  EXPECT_GE(report.records_recovered, synced);
+  EXPECT_LT(report.records_recovered, 8u);
+  EXPECT_GT(report.torn_bytes_truncated, 0u);
+  EXPECT_EQ(log.end_offset(), report.next_offset);
+  // Only whole, CRC-clean records are served — fetching the full range
+  // returns exactly the recovered prefix.
+  FetchSpec spec;
+  spec.max_records = 100;
+  auto fetched = log.fetch(spec);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched.value().size(), report.records_recovered);
+}
+
+// Satellite: offset_for_timestamp answers correctly whether the target
+// record sits in the hot deque or only in the cold segments.
+TEST_F(DurablePartitionLogTest, OffsetForTimestampSpansBothTiers) {
+  RetentionPolicy retention;
+  retention.max_records = 4;
+  PartitionLog log(retention, dir_);
+  std::vector<std::uint64_t> stamps;
+  for (int i = 0; i < 12; ++i) {
+    const std::uint64_t off = log.append(make_record("k", 16));
+    FetchSpec spec;
+    spec.offset = off;
+    auto fetched = log.fetch(spec);
+    ASSERT_TRUE(fetched.ok());
+    stamps.push_back(fetched.value()[0].broker_timestamp_ns);
+  }
+  for (std::size_t i = 1; i < stamps.size(); ++i) {
+    // Each append issues a disk write, so timestamps are strictly
+    // increasing at ns resolution; the lookups below rely on it.
+    ASSERT_LT(stamps[i - 1], stamps[i]);
+  }
+  // Hot window holds offsets [8, 12); everything earlier is cold-only.
+  EXPECT_EQ(log.offset_for_timestamp(0), 0u);
+  EXPECT_EQ(log.offset_for_timestamp(stamps[2]), 2u);    // cold tier
+  EXPECT_EQ(log.offset_for_timestamp(stamps[6] + 1), 7u);
+  EXPECT_EQ(log.offset_for_timestamp(stamps[10]), 10u);  // hot tier
+  EXPECT_EQ(log.offset_for_timestamp(stamps[11] + 1), 12u);
+}
+
+// Satellite: combined retention — all three bounds active at once; the
+// tightest bound wins and the boundary record survives.
+TEST(RetentionPolicyTest, CombinedBoundsTightestWins) {
+  RetentionPolicy retention;
+  retention.max_records = 100;        // loose
+  retention.max_bytes = 5 * (50 + kRecordWireOverheadBytes + 1);  // ~5 recs
+  retention.max_age = std::chrono::hours(24);  // loose
+  PartitionLog log(retention);
+  for (int i = 0; i < 20; ++i) {
+    log.append(make_record(std::to_string(i), 50));
+  }
+  EXPECT_LE(log.byte_size(), retention.max_bytes);
+  EXPECT_GT(log.record_count(), 0u);
+  EXPECT_EQ(log.end_offset(), 20u);
+  EXPECT_EQ(log.log_start_offset(), 20u - log.record_count());
+  // The oldest retained record is still fetchable; one below it is gone.
+  FetchSpec spec;
+  spec.offset = log.log_start_offset();
+  EXPECT_TRUE(log.fetch(spec).ok());
+  if (log.log_start_offset() > 0) {
+    spec.offset = log.log_start_offset() - 1;
+    EXPECT_FALSE(log.fetch(spec).ok());
+  }
+}
+
+TEST(RetentionPolicyTest, MaxRecordsBoundIsExact) {
+  RetentionPolicy retention;
+  retention.max_records = 3;
+  PartitionLog log(retention);
+  for (int i = 0; i < 10; ++i) log.append(make_record("k"));
+  EXPECT_EQ(log.record_count(), 3u);
+  EXPECT_EQ(log.log_start_offset(), 7u);
+}
+
+TEST(RetentionPolicyTest, ZeroMeansUnlimited) {
+  PartitionLog log;  // all bounds zero
+  for (int i = 0; i < 64; ++i) log.append(make_record("k", 128));
+  EXPECT_EQ(log.record_count(), 64u);
+  EXPECT_EQ(log.log_start_offset(), 0u);
+}
+
+// Durable retention drops whole segments only: the hot window may shrink
+// to max_records, but the cold tier keeps everything in the active
+// segment, so log_start_offset only moves at segment boundaries.
+TEST_F(DurablePartitionLogTest, DurableRetentionMovesStartBySegments) {
+  RetentionPolicy retention;
+  retention.max_records = 4;
+  storage::StorageConfig config;
+  config.segment_max_bytes = 512;
+  PartitionLog log(retention, dir_, config);
+  for (int i = 0; i < 40; ++i) log.append(make_record("k", 100));
+  const std::uint64_t start = log.log_start_offset();
+  EXPECT_GT(start, 0u);          // old segments were dropped...
+  EXPECT_EQ(log.end_offset(), 40u);
+  EXPECT_GE(log.record_count(), retention.max_records);
+  // ...and the start offset equals a retained segment's base, so every
+  // offset from start to end is fetchable with no hole.
+  FetchSpec spec;
+  spec.offset = start;
+  spec.max_records = 100;
+  auto fetched = log.fetch(spec);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched.value().size(), 40u - start);
+  spec.offset = start - 1;
+  EXPECT_FALSE(log.fetch(spec).ok());
+}
+
+}  // namespace
+}  // namespace pe::broker

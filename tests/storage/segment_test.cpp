@@ -1,0 +1,206 @@
+#include "storage/segment.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "storage/crc32c.h"
+
+namespace pe::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+broker::Record make_record(const std::string& key, std::size_t value_size,
+                           std::uint8_t fill = 0x5a) {
+  broker::Record r;
+  r.key = key;
+  r.value = Bytes(value_size, fill);
+  r.client_timestamp_ns = 7;
+  return r;
+}
+
+class SegmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("pe_segment_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string seg_path() const { return (dir_ / "seg").string(); }
+
+  /// Writes frames straight to a file, returning the raw bytes written.
+  Bytes write_frames(std::uint64_t base, int count, std::size_t value_size) {
+    Bytes all;
+    for (int i = 0; i < count; ++i) {
+      encode_frame(all, base + static_cast<std::uint64_t>(i),
+                   1000 + static_cast<std::uint64_t>(i) * 10,
+                   make_record("k" + std::to_string(i), value_size));
+    }
+    std::ofstream out(seg_path(), std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(all.data()),
+              static_cast<std::streamsize>(all.size()));
+    return all;
+  }
+
+  fs::path dir_;
+};
+
+TEST(Crc32c, KnownVectorAndSensitivity) {
+  // RFC 3720 test vector: 32 zero bytes.
+  const Bytes zeros(32, 0);
+  EXPECT_EQ(crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  Bytes flipped = zeros;
+  flipped[7] ^= 1;
+  EXPECT_NE(crc32c(flipped.data(), flipped.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32c, SeedChains) {
+  const Bytes data{1, 2, 3, 4, 5, 6};
+  const std::uint32_t whole = crc32c(data.data(), data.size());
+  const std::uint32_t first = crc32c(data.data(), 3);
+  EXPECT_EQ(crc32c(data.data() + 3, 3, first), whole);
+}
+
+TEST(Frame, EncodeParseRoundTrip) {
+  Bytes buf;
+  auto record = make_record("key", 100, 0x42);
+  encode_frame(buf, 17, 12345, record);
+
+  FrameView v;
+  ASSERT_EQ(parse_frame(buf.data(), buf.size(), &v), FrameParse::kOk);
+  EXPECT_EQ(v.offset, 17u);
+  EXPECT_EQ(v.broker_timestamp_ns, 12345u);
+  EXPECT_EQ(v.client_timestamp_ns, 7u);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(v.key), v.key_len),
+            "key");
+  ASSERT_EQ(v.value_len, 100u);
+  EXPECT_EQ(v.value[0], 0x42);
+  EXPECT_EQ(v.frame_bytes, buf.size());
+}
+
+TEST(Frame, TruncationIsTorn) {
+  Bytes buf;
+  encode_frame(buf, 0, 1, make_record("k", 64));
+  FrameView v;
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    EXPECT_EQ(parse_frame(buf.data(), cut, &v), FrameParse::kTorn)
+        << "prefix of " << cut << " bytes parsed as a whole frame";
+  }
+}
+
+TEST(Frame, BitFlipIsTorn) {
+  Bytes buf;
+  encode_frame(buf, 0, 1, make_record("k", 64));
+  for (std::size_t i = kFrameHeaderBytes; i < buf.size(); i += 13) {
+    Bytes corrupt = buf;
+    corrupt[i] ^= 0x80;
+    FrameView v;
+    EXPECT_EQ(parse_frame(corrupt.data(), corrupt.size(), &v),
+              FrameParse::kTorn)
+        << "bit flip at byte " << i << " went undetected";
+  }
+}
+
+TEST(SegmentFileName, RoundTrip) {
+  EXPECT_EQ(segment_file_name(0), "00000000000000000000.seg");
+  EXPECT_EQ(segment_file_name(1234), "00000000000000001234.seg");
+  std::uint64_t base = 99;
+  ASSERT_TRUE(parse_segment_file_name("00000000000000001234.seg", &base));
+  EXPECT_EQ(base, 1234u);
+  EXPECT_FALSE(parse_segment_file_name("1234.seg", &base));
+  EXPECT_FALSE(parse_segment_file_name("0000000000000000123x.seg", &base));
+  EXPECT_FALSE(parse_segment_file_name("00000000000000001234.log", &base));
+}
+
+TEST_F(SegmentTest, ScanRecoversAllFrames) {
+  const Bytes raw = write_frames(10, 5, 32);
+  Segment segment(seg_path(), 10, 4096);
+  auto scanned = segment.scan();
+  ASSERT_TRUE(scanned.ok()) << scanned.status().to_string();
+  EXPECT_EQ(scanned.value().valid_bytes, raw.size());
+  EXPECT_EQ(scanned.value().torn_bytes, 0u);
+  EXPECT_EQ(segment.base_offset(), 10u);
+  EXPECT_EQ(segment.end_offset(), 15u);
+  EXPECT_EQ(segment.record_count(), 5u);
+  EXPECT_EQ(segment.first_timestamp_ns(), 1000u);
+  EXPECT_EQ(segment.last_timestamp_ns(), 1040u);
+}
+
+TEST_F(SegmentTest, ScanTruncatesTornTail) {
+  const Bytes raw = write_frames(0, 4, 32);
+  // Append half a frame's worth of garbage: a crash mid-write.
+  {
+    std::ofstream out(seg_path(), std::ios::binary | std::ios::app);
+    const Bytes garbage(25, 0xee);
+    out.write(reinterpret_cast<const char*>(garbage.data()), 25);
+  }
+  Segment segment(seg_path(), 0, 4096);
+  auto scanned = segment.scan();
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(scanned.value().valid_bytes, raw.size());
+  EXPECT_EQ(scanned.value().torn_bytes, 25u);
+  EXPECT_EQ(segment.record_count(), 4u);
+}
+
+TEST_F(SegmentTest, PositionOfWalksFromSparseIndex) {
+  // Small index interval => several index entries; large => one.
+  write_frames(100, 50, 64);
+  for (std::uint64_t interval : {64u, 1u << 20}) {
+    Segment segment(seg_path(), 100, interval);
+    ASSERT_TRUE(segment.scan().ok());
+    auto mapped = segment.mapping();
+    ASSERT_TRUE(mapped.ok());
+    for (std::uint64_t off = 100; off < 150; ++off) {
+      auto pos = segment.position_of(off);
+      ASSERT_TRUE(pos.ok()) << pos.status().to_string();
+      FrameView v;
+      ASSERT_EQ(parse_frame(mapped.value()->data() + pos.value(),
+                            mapped.value()->size() - pos.value(), &v),
+                FrameParse::kOk);
+      EXPECT_EQ(v.offset, off);
+    }
+    EXPECT_FALSE(segment.position_of(99).ok());
+    EXPECT_FALSE(segment.position_of(150).ok());
+  }
+}
+
+TEST_F(SegmentTest, OffsetForTimestamp) {
+  write_frames(0, 20, 32);  // timestamps 1000, 1010, ..., 1190
+  Segment segment(seg_path(), 0, 64);
+  ASSERT_TRUE(segment.scan().ok());
+  EXPECT_EQ(segment.offset_for_timestamp(0).value(), 0u);
+  EXPECT_EQ(segment.offset_for_timestamp(1000).value(), 0u);
+  EXPECT_EQ(segment.offset_for_timestamp(1001).value(), 1u);
+  EXPECT_EQ(segment.offset_for_timestamp(1100).value(), 10u);
+  EXPECT_EQ(segment.offset_for_timestamp(1190).value(), 19u);
+  // Past the newest record: end offset.
+  EXPECT_EQ(segment.offset_for_timestamp(1191).value(), 20u);
+}
+
+TEST_F(SegmentTest, MappingSurvivesUnlink) {
+  write_frames(0, 3, 16);
+  Segment segment(seg_path(), 0, 4096);
+  ASSERT_TRUE(segment.scan().ok());
+  auto mapped = segment.mapping();
+  ASSERT_TRUE(mapped.ok());
+  std::shared_ptr<MmapRegion> region = mapped.value();
+  fs::remove(seg_path());
+  // The mapping remains readable after the file is gone (retention
+  // unlinks segments that consumers may still be reading).
+  FrameView v;
+  EXPECT_EQ(parse_frame(region->data(), region->size(), &v), FrameParse::kOk);
+  EXPECT_EQ(v.offset, 0u);
+}
+
+}  // namespace
+}  // namespace pe::storage

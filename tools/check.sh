@@ -9,6 +9,7 @@
 #   tools/check.sh undefined             # UBSan, all tests
 #   tools/check.sh thread-safety         # clang -Wthread-safety, build only
 #   tools/check.sh tidy [path-regex]     # clang-tidy over src/
+#   tools/check.sh storage-torture [rounds]  # crash/recover kill-loop
 set -euo pipefail
 
 MODE="${1:-thread}"
@@ -66,9 +67,23 @@ case "${MODE}" in
     fi
     ;;
 
+  storage-torture)
+    # Kill-loop over the storage engine: random appends/fsyncs, a power
+    # cut at a random point (possibly mid-frame), recover, verify the
+    # durability contract, repeat. FILTER is the round count.
+    ROUNDS="${FILTER:-50}"
+    BUILD_DIR="${ROOT}/build"
+    cmake -B "${BUILD_DIR}" -S "${ROOT}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "${BUILD_DIR}" -j"$(nproc)" --target storage_torture
+    for SEED in 1 2 3; do
+      "${BUILD_DIR}/tools/storage_torture" "${ROUNDS}" "${SEED}"
+    done
+    ;;
+
   *)
     echo "error: unknown mode '${MODE}'" >&2
-    echo "modes: thread | address | undefined | thread-safety | tidy" >&2
+    echo "modes: thread | address | undefined | thread-safety | tidy |" \
+         "storage-torture" >&2
     exit 2
     ;;
 esac
