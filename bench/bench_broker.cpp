@@ -5,7 +5,8 @@
 // stresses: append/fetch costs by record size and partition parallelism,
 // consumer-group overhead, and codec costs. The fan-out sweep prints one
 // machine-readable "BENCH {...}" json line per (groups x payload) case;
-// PE_BENCH_FANOUT_ONLY=1 skips the google-benchmark micro benches.
+// PE_BENCH_FANOUT_ONLY=1 runs only the fan-out sweep, and
+// PE_BENCH_CLUSTER_ONLY=1 runs only the replicated-cluster scaling sweep.
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
@@ -15,6 +16,8 @@
 #include "broker/broker.h"
 #include "broker/consumer.h"
 #include "broker/producer.h"
+#include "cluster/broker_cluster.h"
+#include "cluster/cluster_client.h"
 #include "data/codec.h"
 #include "data/generator.h"
 #include "network/fabric.h"
@@ -254,15 +257,93 @@ void run_fanout_sweep() {
   }
 }
 
+// --- replicated-cluster scaling sweep --------------------------------------
+//
+// Produce throughput at acks=quorum across broker-count x partition-count:
+// how much parallelism the partition sharding buys back against the
+// synchronous replication cost. Four producer threads spray a fixed
+// message budget round-robin over the partitions; each case prints one
+// "BENCH {...}" json line.
+
+void run_cluster_case(std::uint32_t brokers, std::uint32_t partitions) {
+  using namespace std::chrono_literals;
+  cluster::ClusterOptions options;
+  options.brokers = brokers;
+  options.replication_factor = std::min<std::uint32_t>(3, brokers);
+  options.heartbeat_interval = 1ms;
+  auto bc = std::make_shared<cluster::BrokerCluster>(options);
+  cluster::ClusterTopicConfig topic_config;
+  topic_config.partitions = partitions;
+  topic_config.retention.max_records = 4096;
+  if (!bc->create_topic("scale", topic_config).ok()) std::abort();
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kMessagesPerThread = 2000;
+  constexpr std::size_t kPayloadBytes = 512;
+  std::atomic<std::uint64_t> sent{0};
+  Stopwatch sw;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      cluster::ClusterProducer producer(bc, cluster::RetryConfig{},
+                                        cluster::AckPolicy::kQuorum);
+      for (std::size_t i = 0; i < kMessagesPerThread; ++i) {
+        const auto p =
+            static_cast<std::uint32_t>((t * kMessagesPerThread + i) %
+                                       partitions);
+        if (producer.send("scale", p, make_record(kPayloadBytes)).ok()) {
+          sent.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds = sw.elapsed_seconds();
+
+  const auto messages = static_cast<double>(sent.load());
+  tel::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("cluster_scaling");
+  w.key("brokers").value(static_cast<std::uint64_t>(brokers));
+  w.key("partitions").value(static_cast<std::uint64_t>(partitions));
+  w.key("replication_factor")
+      .value(static_cast<std::uint64_t>(options.replication_factor));
+  w.key("acks").value("quorum");
+  w.key("payload_bytes").value(static_cast<std::uint64_t>(kPayloadBytes));
+  w.key("messages").value(sent.load());
+  w.key("seconds").value(seconds);
+  w.key("msgs_per_s").value(messages / seconds);
+  w.end_object();
+  std::printf("BENCH %s\n", w.str().c_str());
+  std::fflush(stdout);
+}
+
+void run_cluster_sweep() {
+  for (std::uint32_t brokers : {1u, 3u, 5u}) {
+    for (std::uint32_t partitions : {1u, 4u, 16u}) {
+      run_cluster_case(brokers, partitions);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* fanout_only = std::getenv("PE_BENCH_FANOUT_ONLY");
+  const char* cluster_only = std::getenv("PE_BENCH_CLUSTER_ONLY");
+  if (cluster_only != nullptr && cluster_only[0] == '1') {
+    run_cluster_sweep();
+    return 0;
+  }
   if (fanout_only == nullptr || fanout_only[0] != '1') {
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
   }
   run_fanout_sweep();
+  if (fanout_only == nullptr || fanout_only[0] != '1') {
+    run_cluster_sweep();
+  }
   return 0;
 }

@@ -1,12 +1,16 @@
 // Recovery benchmark: mean time to recover (MTTR) after injected faults.
 //
-// Two scenarios, each repeated PE_BENCH_REPEATS times (default 5):
+// Three scenarios, each repeated PE_BENCH_REPEATS times (default 5):
 //   pilot-preemption  submit a cloud pilot with auto_reprovision enabled,
 //                     preempt it, and time failure -> replacement ACTIVE
 //                     (heartbeat detection + backoff + re-provisioning).
 //   worker-crash      run a task on a 2-worker cluster, crash its worker,
 //                     and time crash -> the re-dispatched execution starts
 //                     on the survivor.
+//   broker-failover   kill a partition leader in a 3-broker replicated
+//                     cluster and time kill -> the first acks=quorum
+//                     produce acknowledged by the new leader (heartbeat
+//                     expiry + election + client metadata refresh).
 // Results print as a table plus one machine-readable "BENCH {...}" json
 // line per scenario.
 #include <algorithm>
@@ -16,6 +20,8 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "cluster/broker_cluster.h"
+#include "cluster/cluster_client.h"
 #include "fault/chaos_engine.h"
 #include "resource/pilot_manager.h"
 #include "telemetry/json.h"
@@ -120,6 +126,43 @@ MttrSample bench_worker_crash(std::size_t repeats) {
   return sample;
 }
 
+MttrSample bench_broker_failover(std::size_t repeats) {
+  using namespace std::chrono_literals;
+  MttrSample sample;
+  for (std::size_t i = 0; i < repeats; ++i) {
+    cluster::ClusterOptions options;
+    options.brokers = 3;
+    options.replication_factor = 3;
+    options.heartbeat_interval = 1ms;
+    options.session_timeout = 5ms;
+    auto bc = std::make_shared<cluster::BrokerCluster>(options);
+    if (!bc->create_topic("bench").ok()) std::abort();
+    cluster::ClusterProducer producer(bc, cluster::RetryConfig{},
+                                      cluster::AckPolicy::kQuorum);
+    broker::Record warmup;
+    warmup.key = "warmup";
+    if (!producer.send("bench", 0, std::move(warmup)).ok()) std::abort();
+    const auto leader = bc->leader("bench", 0).value();
+
+    Stopwatch sw;
+    // Kill through the chaos engine's targeted member crash, then time
+    // until a produce is acked again: heartbeat expiry, election, and the
+    // client's NOT_LEADER/UNAVAILABLE retry loop all land in the sample.
+    fault::FaultPlan plan;
+    plan.crash_cluster_broker(Duration::zero(),
+                              "broker-" + std::to_string(leader));
+    fault::ChaosEngine engine(std::move(plan));
+    engine.set_broker_cluster(bc);
+    if (!engine.start().ok()) std::abort();
+    engine.join();
+    broker::Record probe;
+    probe.key = "probe";
+    if (!producer.send("bench", 0, std::move(probe)).ok()) std::abort();
+    sample.ms.push_back(emulated_ms(sw));
+  }
+  return sample;
+}
+
 void report(const char* scenario, std::size_t repeats,
             const MttrSample& sample) {
   std::printf("%-18s %7zu %12.2f %12.2f %12.2f\n", scenario, repeats,
@@ -150,5 +193,6 @@ int main() {
 
   report("pilot-preemption", repeats, bench_pilot_preemption(repeats));
   report("worker-crash", repeats, bench_worker_crash(repeats));
+  report("broker-failover", repeats, bench_broker_failover(repeats));
   return 0;
 }

@@ -406,6 +406,19 @@ Result<std::uint64_t> Broker::offset_for_timestamp(
   return log->offset_for_timestamp(ts_ns);
 }
 
+Status Broker::truncate_partition(const std::string& topic,
+                                  std::uint32_t partition,
+                                  std::uint64_t offset) {
+  auto t = find_topic(topic);
+  if (!t) return Status::NotFound("topic '" + topic + "' not found");
+  PartitionLog* log = t->partition(partition);
+  if (!log) {
+    return Status::OutOfRange("partition " + std::to_string(partition) +
+                              " out of range for topic '" + topic + "'");
+  }
+  return log->truncate_suffix(offset);
+}
+
 Status Broker::dead_letter(const std::string& origin_topic,
                            std::uint32_t origin_partition, Record record,
                            const std::string& reason) {

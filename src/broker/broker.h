@@ -101,6 +101,13 @@ class Broker {
                                              std::uint32_t partition,
                                              std::uint64_t ts_ns) const;
 
+  /// Discards every record at/above `offset` in a partition (both tiers)
+  /// and resumes the offset sequence there. Used by the cluster layer to
+  /// repair divergence: a deposed leader's un-replicated suffix is cut
+  /// before it catches up from the new leader.
+  Status truncate_partition(const std::string& topic, std::uint32_t partition,
+                            std::uint64_t offset);
+
   /// Routes a record that exhausted its processing retries to the
   /// per-topic dead-letter topic ("<origin>.dlq", created on first use
   /// with one partition). The record key is prefixed with its origin

@@ -69,6 +69,27 @@ std::uint64_t PartitionLog::append_batch(std::vector<Record> records) {
   return first_offset;
 }
 
+Status PartitionLog::truncate_suffix(std::uint64_t offset) {
+  MutexLock lock(mutex_);
+  if (offset >= next_offset_) return Status::Ok();
+  const std::uint64_t start =
+      log_dir_ ? log_dir_->start_offset()
+               : (entries_.empty() ? next_offset_ : entries_.front().offset);
+  if (offset < start) {
+    return Status::OutOfRange("truncate offset " + std::to_string(offset) +
+                              " below log start " + std::to_string(start));
+  }
+  while (!entries_.empty() && entries_.back().offset >= offset) {
+    bytes_ -= entries_.back().record.wire_size();
+    entries_.pop_back();
+  }
+  next_offset_ = offset;
+  if (log_dir_) {
+    if (auto s = log_dir_->truncate_suffix(offset); !s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
 Status PartitionLog::sync() {
   if (!log_dir_) return Status::Ok();
   return log_dir_->sync();

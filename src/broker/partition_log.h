@@ -77,6 +77,12 @@ class PartitionLog {
   /// directory (new PartitionLog) to recover. No-op for in-memory logs.
   void simulate_power_loss(double keep_fraction);
 
+  /// Discards every record with offset >= `offset` from both tiers and
+  /// resumes the offset sequence at `offset` (replication divergence
+  /// repair on a deposed leader). Offsets below the log start are
+  /// OUT_OF_RANGE; at/past the end is a no-op.
+  Status truncate_suffix(std::uint64_t offset);
+
   /// Appends a record, stamping the broker timestamp; returns its offset.
   std::uint64_t append(Record record);
 

@@ -1,0 +1,330 @@
+#include "cluster/cluster_client.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/ids.h"
+#include "common/logging.h"
+#include "cluster/shard_map.h"
+
+namespace pe::cluster {
+
+bool retryable(const RetryConfig& config, const Status& status) {
+  if (status.ok()) return false;
+  if (config.policy == exec::RetryPolicy::kAllFailures) return true;
+  return status.is_transient();
+}
+
+namespace {
+
+/// One backoff step: sleep the current delay (emulated), then double it
+/// up to the cap.
+void backoff_step(const RetryConfig& config, Duration& delay) {
+  Clock::sleep_scaled(delay);
+  delay = std::min(delay * 2, config.max_backoff);
+}
+
+}  // namespace
+
+// --- ClusterProducer -------------------------------------------------------
+
+ClusterProducer::ClusterProducer(std::shared_ptr<BrokerCluster> cluster,
+                                 RetryConfig retry,
+                                 std::optional<AckPolicy> acks)
+    : cluster_(std::move(cluster)),
+      retry_(retry),
+      acks_(acks.value_or(cluster_->options().default_acks)) {}
+
+Result<BrokerId> ClusterProducer::leader_for(const std::string& topic,
+                                             std::uint32_t partition) {
+  const broker::TopicPartition tp{topic, partition};
+  auto it = leaders_.find(tp);
+  if (it != leaders_.end()) return it->second;
+  auto leader = cluster_->leader(topic, partition);
+  if (!leader.ok()) return leader.status();
+  ++stats_.metadata_refreshes;
+  if (leader.value() == kNoBroker) {
+    return Status::Unavailable("partition " + topic + "/" +
+                               std::to_string(partition) +
+                               " is leaderless (election pending)");
+  }
+  leaders_[tp] = leader.value();
+  return leader.value();
+}
+
+Result<std::uint64_t> ClusterProducer::send(const std::string& topic,
+                                            std::uint32_t partition,
+                                            broker::Record record) {
+  std::vector<broker::Record> batch;
+  batch.push_back(std::move(record));
+  return send_batch(topic, partition, std::move(batch));
+}
+
+Result<std::uint64_t> ClusterProducer::send(const std::string& topic,
+                                            broker::Record record) {
+  const std::uint32_t partitions = cluster_->partition_count(topic);
+  if (partitions == 0) {
+    return Status::NotFound("unknown topic '" + topic + "'");
+  }
+  const std::uint32_t partition =
+      static_cast<std::uint32_t>(stable_hash(record.key) % partitions);
+  return send(topic, partition, std::move(record));
+}
+
+Result<std::uint64_t> ClusterProducer::send_batch(
+    const std::string& topic, std::uint32_t partition,
+    std::vector<broker::Record> records) {
+  const std::size_t count = records.size();
+  Duration delay = retry_.initial_backoff;
+  Status last_error = Status::Ok();
+  for (std::size_t attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      backoff_step(retry_, delay);
+    }
+    auto leader = leader_for(topic, partition);
+    if (!leader.ok()) {
+      last_error = leader.status();
+      if (!retryable(retry_, last_error)) break;
+      continue;
+    }
+    // Per-attempt copies are cheap: payload views are shared, only keys
+    // and coordinates duplicate.
+    std::vector<broker::Record> copy = records;
+    auto produced = cluster_->produce(leader.value(), topic, partition,
+                                      std::move(copy), acks_);
+    if (produced.ok()) {
+      stats_.records_sent += count;
+      return produced.value();
+    }
+    last_error = produced.status();
+    // Leadership may have moved (NOT_LEADER carries the new leader; a
+    // dead leader shows as UNAVAILABLE until the election lands): drop
+    // the cache entry so the next attempt re-resolves.
+    leaders_.erase(broker::TopicPartition{topic, partition});
+    if (!retryable(retry_, last_error)) break;
+  }
+  ++stats_.send_errors;
+  return last_error;
+}
+
+// --- ClusterConsumer -------------------------------------------------------
+
+ClusterConsumer::ClusterConsumer(std::shared_ptr<BrokerCluster> cluster,
+                                 std::string group,
+                                 ClusterConsumerConfig config,
+                                 RetryConfig retry)
+    : cluster_(std::move(cluster)),
+      group_(std::move(group)),
+      id_(next_consumer_id()),
+      config_(config),
+      retry_(retry) {}
+
+ClusterConsumer::~ClusterConsumer() {
+  if (subscribed_) {
+    if (auto s = close(); !s.ok()) {
+      PE_LOG_WARN(id_ << ": close failed: " << s.to_string());
+    }
+  }
+}
+
+Status ClusterConsumer::subscribe(std::vector<std::string> topics) {
+  topics_ = std::move(topics);
+  Status s = rejoin();
+  if (s.ok()) subscribed_ = true;
+  return s;
+}
+
+Status ClusterConsumer::rejoin() {
+  Duration delay = retry_.initial_backoff;
+  Status last_error = Status::Ok();
+  for (std::size_t attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      backoff_step(retry_, delay);
+    }
+    auto joined = cluster_->join_group(group_, id_, topics_);
+    if (joined.ok()) {
+      generation_ = joined.value().generation;
+      assignment_ = joined.value().partitions;
+      ++stats_.rebalances;
+      // Keep positions of partitions we still own; drop the rest (their
+      // new owner resumes from the committed offset).
+      std::map<broker::TopicPartition, std::uint64_t> kept;
+      for (const auto& tp : assignment_) {
+        if (auto it = positions_.find(tp); it != positions_.end()) {
+          kept.emplace(*it);
+        }
+      }
+      positions_ = std::move(kept);
+      return Status::Ok();
+    }
+    last_error = joined.status();
+    if (!retryable(retry_, last_error)) break;
+  }
+  return last_error;
+}
+
+void ClusterConsumer::maybe_rebalance() {
+  const std::uint64_t current = cluster_->group_generation(group_);
+  if (current == generation_) return;
+  // Generation moved: either the group rebalanced or the offsets leader
+  // failed over and the membership re-formed on the new coordinator.
+  auto assigned = cluster_->group_assignment(group_, id_);
+  if (assigned.ok()) {
+    generation_ = assigned.value().generation;
+    assignment_ = assigned.value().partitions;
+    ++stats_.rebalances;
+    return;
+  }
+  if (auto s = rejoin(); !s.ok()) {
+    PE_LOG_WARN(id_ << ": rejoin failed: " << s.to_string());
+  }
+}
+
+std::optional<std::uint64_t> ClusterConsumer::initial_position(
+    const broker::TopicPartition& tp) {
+  if (auto committed = cluster_->committed_offset(group_, tp)) {
+    return *committed;
+  }
+  if (config_.offset_reset == ClusterConsumerConfig::OffsetReset::kEarliest) {
+    auto start = cluster_->log_start_offset(tp.topic, tp.partition);
+    if (start.ok()) return start.value();
+    return std::nullopt;
+  }
+  auto hw = cluster_->high_watermark(tp.topic, tp.partition);
+  if (hw.ok()) return hw.value();
+  return std::nullopt;
+}
+
+void ClusterConsumer::sweep(std::vector<broker::ConsumedRecord>& out) {
+  if (assignment_.empty()) return;
+  const std::size_t n = assignment_.size();
+  for (std::size_t i = 0; i < n && out.size() < config_.max_poll_records;
+       ++i) {
+    const broker::TopicPartition& tp =
+        assignment_[(sweep_start_ + i) % n];
+    auto pos_it = positions_.find(tp);
+    if (pos_it == positions_.end()) {
+      auto pos = initial_position(tp);
+      if (!pos) continue;  // leaderless right now; next poll
+      pos_it = positions_.emplace(tp, *pos).first;
+    }
+    auto leader = cluster_->leader(tp.topic, tp.partition);
+    if (!leader.ok() || leader.value() == kNoBroker) continue;
+    broker::FetchSpec spec;
+    spec.offset = pos_it->second;
+    spec.max_records = config_.max_poll_records - out.size();
+    auto fetched =
+        cluster_->fetch(leader.value(), tp.topic, tp.partition, spec);
+    if (!fetched.ok()) {
+      if (fetched.status().code() == StatusCode::kOutOfRange) {
+        // The position fell outside the committed log (retention moved
+        // the start, or an unclean edge shrank the end): reset it.
+        positions_.erase(pos_it);
+      }
+      continue;  // NOT_LEADER/UNAVAILABLE resolve by the next sweep
+    }
+    for (auto& record : fetched.value()) {
+      pos_it->second = record.offset + 1;
+      out.push_back(std::move(record));
+    }
+  }
+  sweep_start_ = (sweep_start_ + 1) % n;
+}
+
+Result<std::vector<broker::ConsumedRecord>> ClusterConsumer::poll(
+    Duration max_wait) {
+  if (!subscribed_) {
+    return Status::FailedPrecondition("consumer is not subscribed");
+  }
+  if (config_.auto_commit) {
+    if (auto s = commit(); !s.ok()) {
+      PE_LOG_WARN(id_ << ": auto-commit failed: " << s.to_string());
+    }
+  }
+  if (auto s = cluster_->heartbeat(group_, id_);
+      !s.ok() && s.code() == StatusCode::kNotFound) {
+    // Evicted (or the coordinator moved and dropped soft state).
+    if (auto j = rejoin(); !j.ok()) return j;
+  }
+  maybe_rebalance();
+
+  std::vector<broker::ConsumedRecord> out;
+  Stopwatch sw;
+  const double budget_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          max_wait)
+          .count() /
+      Clock::time_scale();
+  while (true) {
+    sweep(out);
+    if (!out.empty() || sw.elapsed_ms() >= budget_ms) break;
+    Clock::sleep_exact(std::chrono::microseconds(200));
+  }
+  stats_.records_consumed += out.size();
+  return out;
+}
+
+Status ClusterConsumer::commit() {
+  for (const auto& [tp, pos] : positions_) {
+    if (auto it = committed_.find(tp);
+        it != committed_.end() && it->second == pos) {
+      continue;
+    }
+    Duration delay = retry_.initial_backoff;
+    Status last_error = Status::Ok();
+    bool committed = false;
+    for (std::size_t attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+      if (attempt > 0) {
+        ++stats_.retries;
+        backoff_step(retry_, delay);
+      }
+      // The epoch is re-read per attempt: after an offsets failover the
+      // first try fails NOT_LEADER (stale epoch) and the retry lands on
+      // the new leader's epoch.
+      const std::uint64_t epoch = cluster_->offsets_epoch();
+      auto s = cluster_->commit_offset(group_, tp, pos, epoch);
+      if (s.ok()) {
+        committed = true;
+        committed_[tp] = pos;
+        ++stats_.commits;
+        break;
+      }
+      last_error = s;
+      if (!retryable(retry_, last_error)) break;
+    }
+    if (!committed) return last_error;
+  }
+  return Status::Ok();
+}
+
+std::optional<std::uint64_t> ClusterConsumer::position(
+    const broker::TopicPartition& tp) const {
+  auto it = positions_.find(tp);
+  if (it == positions_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ClusterConsumer::seek(const broker::TopicPartition& tp,
+                           std::uint64_t offset) {
+  positions_[tp] = offset;
+}
+
+Status ClusterConsumer::close() {
+  if (!subscribed_) return Status::Ok();
+  subscribed_ = false;
+  Status commit_status =
+      config_.auto_commit ? commit() : Status::Ok();
+  auto left = cluster_->leave_group(group_, id_);
+  return commit_status.ok() ? left : commit_status;
+}
+
+void ClusterConsumer::crash() {
+  subscribed_ = false;
+  positions_.clear();
+  committed_.clear();
+  assignment_.clear();
+}
+
+}  // namespace pe::cluster

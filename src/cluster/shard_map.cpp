@@ -1,0 +1,31 @@
+#include "cluster/shard_map.h"
+
+namespace pe::cluster {
+
+std::uint64_t stable_hash(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+std::vector<BrokerId> assign_replicas(const std::string& topic,
+                                      std::uint32_t partition,
+                                      std::uint32_t brokers,
+                                      std::uint32_t replication_factor) {
+  std::vector<BrokerId> out;
+  if (brokers == 0) return out;
+  const std::uint32_t rf =
+      std::min(replication_factor == 0 ? 1u : replication_factor, brokers);
+  const auto anchor =
+      static_cast<std::uint32_t>((stable_hash(topic) + partition) % brokers);
+  out.reserve(rf);
+  for (std::uint32_t i = 0; i < rf; ++i) {
+    out.push_back((anchor + i) % brokers);
+  }
+  return out;
+}
+
+}  // namespace pe::cluster

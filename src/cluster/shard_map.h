@@ -1,0 +1,33 @@
+// Deterministic shard map: which brokers replicate a topic-partition.
+//
+// Assignment is a pure function of (topic, partition, broker count,
+// replication factor) — every node computes the same map with no
+// coordination, and a cluster reopened over the same durable directories
+// re-derives the layout it had before. The leader preference is spread by
+// hashing the topic so different topics anchor at different brokers, and
+// consecutive partitions rotate around the ring so one topic's leaders do
+// not pile onto one broker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_types.h"
+
+namespace pe::cluster {
+
+/// FNV-1a 64-bit over a string. Chosen over std::hash for a stable,
+/// platform-independent layout (std::hash may differ between libc++ and
+/// libstdc++, which would re-shard a durable cluster on a toolchain swap).
+std::uint64_t stable_hash(const std::string& s);
+
+/// Replica set for one partition: `replicas[0]` is the preferred leader,
+/// the rest are followers on the next ring positions. `replication_factor`
+/// is capped at `brokers`; `brokers == 0` yields an empty set.
+std::vector<BrokerId> assign_replicas(const std::string& topic,
+                                      std::uint32_t partition,
+                                      std::uint32_t brokers,
+                                      std::uint32_t replication_factor);
+
+}  // namespace pe::cluster

@@ -37,6 +37,7 @@ namespace pe::lock_order {
 inline constexpr std::uint32_t kDomainBroker = 1;    // Broker -> Log -> Coord
 inline constexpr std::uint32_t kDomainResource = 2;  // PilotManager -> Pilot
 inline constexpr std::uint32_t kDomainExec = 3;      // Scheduler -> pool queue
+inline constexpr std::uint32_t kDomainCluster = 4;   // Cluster meta -> offsets
 
 constexpr std::uint32_t rank(std::uint32_t domain, std::uint32_t level) {
   return (domain << 8) | level;

@@ -34,6 +34,7 @@ inline constexpr std::uint32_t kLockDomainBroker = lock_order::kDomainBroker;
 inline constexpr std::uint32_t kLockDomainResource =
     lock_order::kDomainResource;
 inline constexpr std::uint32_t kLockDomainExec = lock_order::kDomainExec;
+inline constexpr std::uint32_t kLockDomainCluster = lock_order::kDomainCluster;
 
 constexpr std::uint32_t lock_rank(std::uint32_t domain, std::uint32_t level) {
   return lock_order::rank(domain, level);

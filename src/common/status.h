@@ -26,6 +26,10 @@ enum class StatusCode {
   kCancelled,
   kOutOfRange,
   kInternal,
+  /// The addressed broker is not the current leader for the partition
+  /// (cluster mode). Transient: clients refresh metadata and retry
+  /// against the new leader.
+  kNotLeader,
 };
 
 /// Human-readable name of a StatusCode ("OK", "NOT_FOUND", ...).
@@ -42,6 +46,7 @@ constexpr std::string_view to_string(StatusCode code) {
     case StatusCode::kCancelled: return "CANCELLED";
     case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kNotLeader: return "NOT_LEADER";
   }
   return "UNKNOWN";
 }
@@ -64,6 +69,7 @@ class [[nodiscard]] Status {
   static Status Cancelled(std::string m) { return {StatusCode::kCancelled, std::move(m)}; }
   static Status OutOfRange(std::string m) { return {StatusCode::kOutOfRange, std::move(m)}; }
   static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+  static Status NotLeader(std::string m) { return {StatusCode::kNotLeader, std::move(m)}; }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -74,7 +80,9 @@ class [[nodiscard]] Status {
   /// Deterministic errors (INVALID_ARGUMENT, INTERNAL, ...) are not
   /// transient: retrying the same input reproduces the same failure.
   bool is_transient() const {
-    return code_ == StatusCode::kUnavailable || code_ == StatusCode::kTimeout;
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kTimeout ||
+           code_ == StatusCode::kNotLeader;
   }
 
   std::string to_string() const {

@@ -18,6 +18,9 @@ FaultKind restore_kind(FaultKind k) {
       return FaultKind::kRestoreLink;
     case FaultKind::kDropBrokerPartition:
       return FaultKind::kRestoreBrokerPartition;
+    case FaultKind::kCrashBroker:
+    case FaultKind::kIsolateBroker:
+      return FaultKind::kRestoreBroker;
     default:
       return k;
   }
@@ -25,7 +28,8 @@ FaultKind restore_kind(FaultKind k) {
 
 bool has_restore(FaultKind k) {
   return k == FaultKind::kDegradeLink || k == FaultKind::kPartitionLink ||
-         k == FaultKind::kDropBrokerPartition;
+         k == FaultKind::kDropBrokerPartition ||
+         k == FaultKind::kCrashBroker || k == FaultKind::kIsolateBroker;
 }
 
 }  // namespace
@@ -74,6 +78,11 @@ ChaosEngine& ChaosEngine::set_fabric(std::shared_ptr<net::Fabric> fabric) {
 }
 ChaosEngine& ChaosEngine::set_broker(std::shared_ptr<broker::Broker> broker) {
   broker_ = std::move(broker);
+  return *this;
+}
+ChaosEngine& ChaosEngine::set_broker_cluster(
+    std::shared_ptr<cluster::BrokerCluster> cluster) {
+  broker_cluster_ = std::move(cluster);
   return *this;
 }
 ChaosEngine& ChaosEngine::add_cluster(std::shared_ptr<exec::Cluster> cluster) {
@@ -182,12 +191,32 @@ Status ChaosEngine::apply(const FaultEvent& event) {
           event.kind == FaultKind::kDropBrokerPartition);
     }
     case FaultKind::kCrashBroker: {
+      // A named member target ("broker-2") addresses the bound cluster;
+      // the legacy "broker" target keeps the singleton-broker semantics
+      // (power-cut + immediate in-place recovery).
+      if (broker_cluster_ && !event.target.empty() &&
+          event.target != "broker") {
+        return broker_cluster_->kill_broker(event.target);
+      }
       if (!broker_) return Status::FailedPrecondition("no broker bound");
       auto recovered = broker_->crash_and_recover(event.keep_fraction);
       if (!recovered.ok()) return recovered.status();
       PE_LOG_INFO("chaos: broker recovered — "
                   << recovered.value().to_string());
       return Status::Ok();
+    }
+    case FaultKind::kIsolateBroker: {
+      if (!broker_cluster_) {
+        return Status::FailedPrecondition("no broker cluster bound");
+      }
+      return broker_cluster_->set_broker_isolated(event.target, true);
+    }
+    case FaultKind::kRestoreBroker: {
+      if (!broker_cluster_) {
+        return Status::FailedPrecondition("no broker cluster bound");
+      }
+      return broker_cluster_->restore_broker(event.target,
+                                             event.keep_fraction);
     }
   }
   return Status::InvalidArgument("unknown fault kind");

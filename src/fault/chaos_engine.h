@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "broker/broker.h"
+#include "cluster/broker_cluster.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "fault/fault_plan.h"
@@ -41,6 +42,12 @@ class ChaosEngine {
   ChaosEngine& set_pilot_manager(res::PilotManager* manager);
   ChaosEngine& set_fabric(std::shared_ptr<net::Fabric> fabric);
   ChaosEngine& set_broker(std::shared_ptr<broker::Broker> broker);
+  /// Replicated broker cluster: kCrashBroker events naming a member
+  /// ("broker-2") kill that member, kIsolateBroker / kRestoreBroker
+  /// split and heal it. Events with the legacy "broker" target keep
+  /// hitting the singleton bound via set_broker.
+  ChaosEngine& set_broker_cluster(
+      std::shared_ptr<cluster::BrokerCluster> cluster);
   /// Clusters to scan when resolving kCrashWorker targets by worker id.
   ChaosEngine& add_cluster(std::shared_ptr<exec::Cluster> cluster);
 
@@ -76,6 +83,7 @@ class ChaosEngine {
   res::PilotManager* pilot_manager_ = nullptr;
   std::shared_ptr<net::Fabric> fabric_;
   std::shared_ptr<broker::Broker> broker_;
+  std::shared_ptr<cluster::BrokerCluster> broker_cluster_;
   std::vector<std::shared_ptr<exec::Cluster>> clusters_;
 
   mutable Mutex mutex_{"fault.chaos"};

@@ -26,6 +26,9 @@ enum class FaultKind {
   kDropBrokerPartition,      // partition leader lost: produce/fetch fail
   kRestoreBrokerPartition,   // partition back online
   kCrashBroker,              // durable broker: power-cut + recover from disk
+                             // (cluster mode: kill one named member)
+  kIsolateBroker,            // cluster member unreachable (network split)
+  kRestoreBroker,            // cluster member back (recover + rejoin)
 };
 
 constexpr const char* to_string(FaultKind k) {
@@ -39,6 +42,8 @@ constexpr const char* to_string(FaultKind k) {
     case FaultKind::kRestoreBrokerPartition:
       return "restore-broker-partition";
     case FaultKind::kCrashBroker: return "crash-broker";
+    case FaultKind::kIsolateBroker: return "isolate-broker";
+    case FaultKind::kRestoreBroker: return "restore-broker";
   }
   return "?";
 }
@@ -142,6 +147,40 @@ struct FaultPlan {
     e.target = "broker";
     e.keep_fraction = keep_fraction;
     e.reason = std::move(reason);
+    events.push_back(std::move(e));
+    return *this;
+  }
+
+  /// Kills one named member of a bound BrokerCluster ("broker-2"): its
+  /// heartbeat goes stale, its partitions fail over, and — when
+  /// `duration` is non-zero — a synthesized kRestoreBroker brings it back
+  /// (durable members crash-recover from disk, keeping `keep_fraction`
+  /// of unsynced tail bytes) to rejoin as a follower.
+  FaultPlan& crash_cluster_broker(Duration at, std::string broker_name,
+                                  Duration duration = Duration::zero(),
+                                  double keep_fraction = 0.0,
+                                  std::string reason = "chaos broker crash") {
+    FaultEvent e;
+    e.at = at;
+    e.kind = FaultKind::kCrashBroker;
+    e.target = std::move(broker_name);
+    e.duration = duration;
+    e.keep_fraction = keep_fraction;
+    e.reason = std::move(reason);
+    events.push_back(std::move(e));
+    return *this;
+  }
+
+  /// Network-isolates one named cluster member for `duration` (zero =
+  /// until a kRestoreBroker): it stays up but stops heartbeating, so its
+  /// partitions fail over without any data loss on the member itself.
+  FaultPlan& isolate_broker(Duration at, std::string broker_name,
+                            Duration duration = Duration::zero()) {
+    FaultEvent e;
+    e.at = at;
+    e.kind = FaultKind::kIsolateBroker;
+    e.target = std::move(broker_name);
+    e.duration = duration;
     events.push_back(std::move(e));
     return *this;
   }

@@ -362,6 +362,57 @@ std::uint64_t LogDir::offset_for_timestamp(std::uint64_t ts_ns) const {
   return found.value();
 }
 
+Status LogDir::truncate_suffix(std::uint64_t offset) {
+  MutexLock lock(mutex_);
+  if (closed_) return Status::FailedPrecondition("log dir closed (crashed)");
+  if (offset >= end_offset_locked()) return Status::Ok();
+  if (offset < segments_.front()->base_offset()) {
+    return Status::OutOfRange(
+        "truncate offset " + std::to_string(offset) + " below log start " +
+        std::to_string(segments_.front()->base_offset()));
+  }
+  // The writer holds the active segment's fd; close it before unlinking
+  // or resizing files (a fresh writer reopens the new tail below).
+  if (writer_) writer_->close();
+  writer_.reset();
+
+  std::error_code ec;
+  while (!segments_.empty() && segments_.back()->base_offset() >= offset) {
+    fs::remove(segments_.back()->path(), ec);
+    segments_.pop_back();
+  }
+  if (segments_.empty()) {
+    // Whole log discarded: recreate an empty active segment based at the
+    // cut so the offset sequence resumes there (offsets are never reused).
+    segments_.push_back(std::make_unique<Segment>(
+        (fs::path(dir_) / segment_file_name(offset)).string(), offset,
+        config_.index_interval_bytes));
+  } else if (segments_.back()->end_offset() > offset) {
+    // Boundary segment: cut the file at the first discarded frame and
+    // rebuild the segment's metadata/index from the surviving prefix.
+    Segment* tail = segments_.back().get();
+    auto pos = tail->position_of(offset);
+    if (!pos.ok()) return pos.status();
+    fs::resize_file(tail->path(), pos.value(), ec);
+    if (ec) {
+      return Status::Internal("truncate '" + tail->path() +
+                              "': " + ec.message());
+    }
+    auto rebuilt = std::make_unique<Segment>(tail->path(),
+                                             tail->base_offset(),
+                                             config_.index_interval_bytes);
+    auto scanned = rebuilt->scan();
+    if (!scanned.ok()) return scanned.status();
+    segments_.back() = std::move(rebuilt);
+  }
+
+  auto writer = SegmentWriter::open(segments_.back().get());
+  if (!writer.ok()) return writer.status();
+  writer_ = std::move(writer).value();
+  tel::MetricsRegistry::global().counter("storage.suffix_truncations").add();
+  return sync_locked();  // the cut itself must survive a crash
+}
+
 std::size_t LogDir::apply_retention(std::uint64_t max_records,
                                     std::uint64_t max_bytes,
                                     std::uint64_t min_timestamp_ns) {

@@ -76,6 +76,15 @@ class LogDir {
   /// per-segment index.
   std::uint64_t offset_for_timestamp(std::uint64_t ts_ns) const;
 
+  /// Discards every record with offset >= `offset` (replication divergence
+  /// repair: a deposed leader truncates its un-replicated suffix before
+  /// catching up from the new leader). Whole segments past the cut are
+  /// deleted, the boundary segment is truncated at the exact frame, and
+  /// the next append resumes at `offset`. No-op when `offset` is at/past
+  /// the end; fails when `offset` lies below the log start (those records
+  /// were already retained away).
+  Status truncate_suffix(std::uint64_t offset);
+
   /// Kafka-style whole-segment retention. The oldest segment is dropped
   /// while (a) the log without it still holds >= max_records records /
   /// >= max_bytes bytes, or (b) every record in it is older than

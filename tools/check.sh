@@ -10,6 +10,7 @@
 #   tools/check.sh thread-safety         # clang -Wthread-safety, build only
 #   tools/check.sh tidy [path-regex]     # clang-tidy over src/
 #   tools/check.sh storage-torture [rounds]  # crash/recover kill-loop
+#   tools/check.sh cluster-torture [rounds]  # leader-kill failover loop
 set -euo pipefail
 
 MODE="${1:-thread}"
@@ -80,10 +81,24 @@ case "${MODE}" in
     done
     ;;
 
+  cluster-torture)
+    # Randomized leader-kill loop over the replicated broker cluster:
+    # produce at acks=quorum, commit offsets, power-cut a random member
+    # (random torn tail), fail over, verify zero committed loss and full
+    # replica convergence, restore, repeat. FILTER is the round count.
+    ROUNDS="${FILTER:-20}"
+    BUILD_DIR="${ROOT}/build"
+    cmake -B "${BUILD_DIR}" -S "${ROOT}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "${BUILD_DIR}" -j"$(nproc)" --target cluster_torture
+    for SEED in 1 2 3; do
+      "${BUILD_DIR}/tools/cluster_torture" "${ROUNDS}" "${SEED}"
+    done
+    ;;
+
   *)
     echo "error: unknown mode '${MODE}'" >&2
     echo "modes: thread | address | undefined | thread-safety | tidy |" \
-         "storage-torture" >&2
+         "storage-torture | cluster-torture" >&2
     exit 2
     ;;
 esac
