@@ -342,6 +342,29 @@ Result<std::uint64_t> Broker::produce(const std::string& topic,
   return first;
 }
 
+Result<std::uint64_t> Broker::replicate(const std::string& topic,
+                                        std::uint32_t partition,
+                                        std::vector<ConsumedRecord> records) {
+  auto t = find_topic(topic);
+  if (!t) return Status::NotFound("topic '" + topic + "' not found");
+  if (partition_offline(topic, partition)) {
+    return Status::Unavailable("partition " + topic + "/" +
+                               std::to_string(partition) + " offline");
+  }
+  PartitionLog* log = t->partition(partition);
+  if (!log) {
+    return Status::OutOfRange("partition " + std::to_string(partition) +
+                              " out of range for topic '" + topic + "'");
+  }
+  std::uint64_t bytes = 0;
+  for (const auto& cr : records) bytes += cr.record.wire_size();
+  const auto count = records.size();
+  const std::uint64_t first = log->append_replicated(std::move(records));
+  stats_.records_in.fetch_add(count, kRelaxed);
+  stats_.bytes_in.fetch_add(bytes, kRelaxed);
+  return first;
+}
+
 Result<std::uint32_t> Broker::select_partition(const std::string& topic,
                                                const Record& record) {
   auto t = find_topic(topic);

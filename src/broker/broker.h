@@ -82,6 +82,14 @@ class Broker {
                                 std::uint32_t partition,
                                 std::vector<Record> records);
 
+  /// Replication append (cluster layer): appends records fetched from a
+  /// partition leader, preserving their broker timestamps instead of
+  /// re-stamping, so the same offset carries the same timestamp on every
+  /// replica. Returns the first offset.
+  Result<std::uint64_t> replicate(const std::string& topic,
+                                  std::uint32_t partition,
+                                  std::vector<ConsumedRecord> records);
+
   /// Chooses a partition using the topic's partitioner.
   Result<std::uint32_t> select_partition(const std::string& topic,
                                          const Record& record);

@@ -69,6 +69,30 @@ std::uint64_t PartitionLog::append_batch(std::vector<Record> records) {
   return first_offset;
 }
 
+std::uint64_t PartitionLog::append_replicated(
+    std::vector<ConsumedRecord> records) {
+  std::uint64_t first_offset;
+  {
+    MutexLock lock(mutex_);
+    first_offset = next_offset_;
+    for (auto& cr : records) {
+      if (log_dir_) {
+        if (auto res = log_dir_->append(cr.record, cr.broker_timestamp_ns);
+            !res.ok()) {
+          PE_LOG_WARN("durable append failed at offset "
+                      << next_offset_ << ": " << res.status().to_string());
+        }
+      }
+      bytes_ += cr.record.wire_size();
+      entries_.push_back(Entry{next_offset_++, cr.broker_timestamp_ns,
+                               std::move(cr.record)});
+    }
+    enforce_retention_locked();
+  }
+  data_available_.notify_all();
+  return first_offset;
+}
+
 Status PartitionLog::truncate_suffix(std::uint64_t offset) {
   MutexLock lock(mutex_);
   if (offset >= next_offset_) return Status::Ok();

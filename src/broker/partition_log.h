@@ -89,6 +89,13 @@ class PartitionLog {
   /// Appends a batch atomically; returns the offset of the first record.
   std::uint64_t append_batch(std::vector<Record> records);
 
+  /// Replication append: each record keeps the broker timestamp it was
+  /// stamped with on the partition leader instead of being re-stamped
+  /// here, so a given offset carries one timestamp cluster-wide (the
+  /// records must be the leader's log in offset order — timestamps stay
+  /// append-monotonic). Returns the offset of the first record.
+  std::uint64_t append_replicated(std::vector<ConsumedRecord> records);
+
   /// Returns records with offset >= spec.offset. Blocks up to spec.max_wait
   /// if the requested offset is at the end of the log. Fetching below
   /// log_start_offset fails with OUT_OF_RANGE (the data was retained away);

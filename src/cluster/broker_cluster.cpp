@@ -1,6 +1,7 @@
 #include "cluster/broker_cluster.h"
 
 #include <algorithm>
+#include <limits>
 #include <set>
 #include <utility>
 
@@ -221,11 +222,16 @@ Result<std::uint64_t> BrokerCluster::replicated_append_locked(
       wait.required = std::max<std::size_t>(meta.isr.size(), 1);
       break;
   }
-  wait.replicas.reserve(meta.replicas.size());
+  wait.replicas = meta.replicas;  // eligibility re-checked per ack poll
+  // The leader's just-appended batch, fetched back lazily (hot-window
+  // read, shared payload views) the first time a follower needs it:
+  // replication ships the records *with the leader's broker timestamps*,
+  // so every replica carries the same timestamp per offset and
+  // offset_for_timestamp / age-based retention agree across a failover.
+  std::vector<broker::ConsumedRecord> stamped;
   for (BrokerId r : meta.replicas) {
-    Node& node = nodes_[r];
-    wait.replicas.push_back(node.broker);
     if (r == meta.leader) continue;
+    Node& node = nodes_[r];
     if (!node.alive || node.isolated) continue;
     if (ps.pending_truncate.count(r) != 0) continue;
     // Synchronous push to followers that are exactly caught up — the
@@ -233,8 +239,19 @@ Result<std::uint64_t> BrokerCluster::replicated_append_locked(
     // the caller's ack wait) instead of blocking the produce path.
     auto follower_end = node.broker->end_offset(topic, partition);
     if (!follower_end.ok() || follower_end.value() != first) continue;
-    std::vector<broker::Record> copy = records;
-    if (node.broker->produce(topic, partition, std::move(copy)).ok()) {
+    if (stamped.empty()) {
+      broker::FetchSpec spec;
+      spec.offset = first;
+      spec.max_records = records.size();
+      spec.max_bytes = std::numeric_limits<std::uint64_t>::max();
+      auto fetched = leader_node.broker->fetch(topic, partition, spec);
+      if (!fetched.ok() || fetched.value().size() != records.size()) {
+        break;  // retention raced the read-back; the pump catches up
+      }
+      stamped = std::move(fetched).value();
+    }
+    std::vector<broker::ConsumedRecord> copy = stamped;
+    if (node.broker->replicate(topic, partition, std::move(copy)).ok()) {
       ++wait.satisfied;
     }
   }
@@ -252,9 +269,23 @@ Status BrokerCluster::await_acks(const std::string& topic,
       Clock::time_scale();
   while (true) {
     std::size_t acked = 0;
-    for (const auto& b : wait.replicas) {
-      auto end = b->end_offset(topic, partition);
-      if (end.ok() && end.value() >= wait.target) ++acked;
+    {
+      ReaderLock lock(mutex_);
+      auto found = find_partition_locked(topic, partition);
+      if (!found.ok()) return found.status();
+      const PartitionState& ps = *found.value();
+      for (BrokerId r : wait.replicas) {
+        const Node& node = nodes_[r];
+        // Only a replica that can vouch for a valid copy counts: a dead
+        // durable broker loses its unsynced tail on recovery, an
+        // isolated one is unreachable, and a replica awaiting a
+        // divergence-repair truncation matches the target with garbage.
+        // Mirrors the eligibility filter on the synchronous push path.
+        if (!node.alive || node.isolated) continue;
+        if (ps.pending_truncate.count(r) != 0) continue;
+        auto end = node.broker->end_offset(topic, partition);
+        if (end.ok() && end.value() >= wait.target) ++acked;
+      }
     }
     if (acked >= wait.required) return Status::Ok();
     if (sw.elapsed_ms() >= budget_ms) {
@@ -882,14 +913,18 @@ std::vector<BrokerCluster::IsrChange> BrokerCluster::replicate_phase() {
             break;
           }
           if (batch.value().empty()) break;
-          std::vector<broker::Record> records;
-          records.reserve(batch.value().size());
-          for (auto& cr : batch.value()) {
+          for (const auto& cr : batch.value()) {
             copied_bytes += cr.record.wire_size();
-            records.push_back(std::move(cr.record));
           }
-          const std::size_t n = records.size();
-          if (!node.broker->produce(topic, p, std::move(records)).ok()) break;
+          const std::size_t n = batch.value().size();
+          // Replicate (not produce): the follower appends the leader's
+          // records with the leader's broker timestamps, keeping
+          // offset_for_timestamp and age retention consistent per offset
+          // across every replica.
+          if (!node.broker->replicate(topic, p, std::move(batch).value())
+                   .ok()) {
+            break;
+          }
           f_end += n;
           copied += n;
           tel::MetricsRegistry::global()

@@ -185,14 +185,18 @@ class BrokerCluster {
     std::vector<std::unique_ptr<PartitionState>> partitions;
   };
 
-  /// Snapshot taken on the produce path while the metadata lock is held;
-  /// awaited lock-free afterwards.
+  /// Snapshot taken on the produce path while the metadata lock is held.
+  /// `replicas` is the partition's full replica set by id — await_acks
+  /// re-checks each replica's eligibility (alive, not isolated, no
+  /// pending divergence repair) under the metadata lock on every poll,
+  /// so a dead broker's frozen end offset or a deposed leader's
+  /// divergent suffix can never satisfy an ack.
   struct AckWait {
     std::uint64_t target = 0;
     std::size_t required = 0;
     std::size_t satisfied = 0;
     AckPolicy acks = AckPolicy::kLeader;
-    std::vector<std::shared_ptr<broker::Broker>> replicas;
+    std::vector<BrokerId> replicas;
   };
 
   struct IsrChange {

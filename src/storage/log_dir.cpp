@@ -372,9 +372,19 @@ Status LogDir::truncate_suffix(std::uint64_t offset) {
         std::to_string(segments_.front()->base_offset()));
   }
   // The writer holds the active segment's fd; close it before unlinking
-  // or resizing files (a fresh writer reopens the new tail below).
+  // or resizing files (a fresh writer reopens the new tail below). From
+  // here until that reopen the log has no writer: any early error return
+  // must close the LogDir, or the next append/sync would dereference a
+  // null writer_.
   if (writer_) writer_->close();
   writer_.reset();
+  // (analysis can't follow the lambda; mutex_ is held for the whole call)
+  auto fail_closed = [this](Status s) PE_NO_THREAD_SAFETY_ANALYSIS {
+    closed_ = true;
+    PE_LOG_ERROR("truncate_suffix failed mid-cut, closing log dir '"
+                 << dir_ << "': " << s.to_string());
+    return s;
+  };
 
   std::error_code ec;
   while (!segments_.empty() && segments_.back()->base_offset() >= offset) {
@@ -392,22 +402,22 @@ Status LogDir::truncate_suffix(std::uint64_t offset) {
     // rebuild the segment's metadata/index from the surviving prefix.
     Segment* tail = segments_.back().get();
     auto pos = tail->position_of(offset);
-    if (!pos.ok()) return pos.status();
+    if (!pos.ok()) return fail_closed(pos.status());
     fs::resize_file(tail->path(), pos.value(), ec);
     if (ec) {
-      return Status::Internal("truncate '" + tail->path() +
-                              "': " + ec.message());
+      return fail_closed(Status::Internal("truncate '" + tail->path() +
+                                          "': " + ec.message()));
     }
     auto rebuilt = std::make_unique<Segment>(tail->path(),
                                              tail->base_offset(),
                                              config_.index_interval_bytes);
     auto scanned = rebuilt->scan();
-    if (!scanned.ok()) return scanned.status();
+    if (!scanned.ok()) return fail_closed(scanned.status());
     segments_.back() = std::move(rebuilt);
   }
 
   auto writer = SegmentWriter::open(segments_.back().get());
-  if (!writer.ok()) return writer.status();
+  if (!writer.ok()) return fail_closed(writer.status());
   writer_ = std::move(writer).value();
   tel::MetricsRegistry::global().counter("storage.suffix_truncations").add();
   return sync_locked();  // the cut itself must survive a crash

@@ -437,5 +437,139 @@ TEST_F(ClusterFailoverTest, DeposedLeaderTruncatesDivergentSuffix) {
   }
 }
 
+// A dead deposed leader whose divergent suffix reaches past the produce
+// target must not count toward acks=quorum: its matching end offset is
+// garbage awaiting truncation, and counting it would let "quorum-acked"
+// records exist on a single live log.
+TEST_F(ClusterFailoverTest, DeadDivergentReplicaCannotSatisfyQuorum) {
+  auto cluster = std::make_shared<BrokerCluster>(fast_options());
+  ASSERT_TRUE(cluster->create_topic("fence").ok());
+  auto meta = cluster->metadata("fence", 0);
+  ASSERT_TRUE(meta.ok());
+  const BrokerId leader = meta.value().leader;
+  std::vector<BrokerId> followers;
+  for (BrokerId r : meta.value().replicas) {
+    if (r != leader) followers.push_back(r);
+  }
+  ASSERT_EQ(followers.size(), 2u);
+
+  std::vector<broker::Record> base;
+  for (int i = 0; i < 20; ++i) {
+    base.push_back(make_record("base-" + std::to_string(i)));
+  }
+  auto produced =
+      cluster->produce(leader, "fence", 0, std::move(base), AckPolicy::kAll);
+  ASSERT_TRUE(produced.ok()) << produced.status().to_string();
+  ASSERT_TRUE(
+      wait_until([&] { return cluster->replicas_converged("fence", 0); }));
+
+  // The leader takes acks=leader orphans nobody replicates (end 25 vs the
+  // followers' 20), then dies. One follower is elected at 20; the dead
+  // deposed leader sits at a raw end of 25 with a pending truncation.
+  for (BrokerId f : followers) {
+    ASSERT_TRUE(cluster->set_broker_isolated(f, true).ok());
+  }
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(cluster
+                    ->produce(leader, "fence", 0,
+                              {make_record("lost-" + std::to_string(i))},
+                              AckPolicy::kLeader)
+                    .ok());
+  }
+  ASSERT_TRUE(cluster->kill_broker(leader).ok());
+  ASSERT_TRUE(cluster->set_broker_isolated(followers[0], false).ok());
+  ASSERT_TRUE(wait_until([&] {
+    auto l = cluster->leader("fence", 0);
+    return l.ok() && l.value() == followers[0];
+  }));
+
+  // Quorum needs 2 of 3, but the only eligible replica is the new leader:
+  // the other follower is isolated and the dead leader's 25-record log is
+  // divergent garbage. The produce must time out — even though the dead
+  // leader's raw end (25) reaches past the target (21..25).
+  auto fenced = cluster->produce(followers[0], "fence", 0,
+                                 {make_record("after-failover")},
+                                 AckPolicy::kQuorum);
+  ASSERT_FALSE(fenced.ok())
+      << "quorum satisfied by a dead divergent replica";
+  EXPECT_EQ(fenced.status().code(), StatusCode::kTimeout);
+
+  // With a real second replica back, the retried produce quorum-acks.
+  ASSERT_TRUE(cluster->set_broker_isolated(followers[1], false).ok());
+  ASSERT_TRUE(wait_until([&] {
+    return cluster
+        ->produce(followers[0], "fence", 0, {make_record("after-heal")},
+                  AckPolicy::kQuorum)
+        .ok();
+  }));
+
+  // The orphans never resurface once the deposed leader rejoins.
+  ASSERT_TRUE(cluster->restore_broker(leader).ok());
+  ASSERT_TRUE(
+      wait_until([&] { return cluster->replicas_converged("fence", 0); }));
+  const auto log = committed_log(*cluster, "fence", 0);
+  for (const auto& [offset, key] : log) {
+    EXPECT_NE(key.rfind("lost-", 0), 0u)
+        << "divergent record resurfaced at offset " << offset;
+  }
+}
+
+// Replication — both the synchronous produce-path push and the catch-up
+// pump — must preserve the leader's broker timestamps: the same offset
+// carries the same timestamp on every replica, so offset_for_timestamp
+// and age-based retention stay consistent across a failover.
+TEST_F(ClusterFailoverTest, ReplicationPreservesLeaderTimestamps) {
+  auto cluster = std::make_shared<BrokerCluster>(fast_options());
+  ASSERT_TRUE(cluster->create_topic("ts").ok());
+  auto meta = cluster->metadata("ts", 0);
+  ASSERT_TRUE(meta.ok());
+  const BrokerId leader = meta.value().leader;
+  std::vector<BrokerId> followers;
+  for (BrokerId r : meta.value().replicas) {
+    if (r != leader) followers.push_back(r);
+  }
+  ASSERT_EQ(followers.size(), 2u);
+
+  // followers[0] receives the records via the synchronous push;
+  // followers[1] is lagging and gets them from the catch-up pump later.
+  ASSERT_TRUE(cluster->set_broker_isolated(followers[1], true).ok());
+  for (int i = 0; i < 25; ++i) {
+    auto produced = cluster->produce(leader, "ts", 0,
+                                     {make_record("t" + std::to_string(i))},
+                                     AckPolicy::kQuorum);
+    ASSERT_TRUE(produced.ok()) << produced.status().to_string();
+    Clock::sleep_exact(std::chrono::microseconds(200));  // distinct stamps
+  }
+  ASSERT_TRUE(cluster->set_broker_isolated(followers[1], false).ok());
+  ASSERT_TRUE(
+      wait_until([&] { return cluster->replicas_converged("ts", 0); }));
+
+  broker::FetchSpec spec;
+  spec.offset = 0;
+  spec.max_records = 50;
+  auto on_leader = cluster->broker(leader)->fetch("ts", 0, spec);
+  ASSERT_TRUE(on_leader.ok());
+  ASSERT_EQ(on_leader.value().size(), 25u);
+  for (BrokerId f : followers) {
+    auto on_follower = cluster->broker(f)->fetch("ts", 0, spec);
+    ASSERT_TRUE(on_follower.ok()) << on_follower.status().to_string();
+    ASSERT_EQ(on_follower.value().size(), 25u) << "replica " << f;
+    for (std::size_t i = 0; i < 25; ++i) {
+      EXPECT_EQ(on_follower.value()[i].broker_timestamp_ns,
+                on_leader.value()[i].broker_timestamp_ns)
+          << "timestamp diverged on replica " << f << " at offset " << i;
+    }
+  }
+
+  // offset_for_timestamp answers identically on every replica.
+  const std::uint64_t probe =
+      on_leader.value()[12].broker_timestamp_ns;
+  for (BrokerId r : meta.value().replicas) {
+    auto off = cluster->broker(r)->offset_for_timestamp("ts", 0, probe);
+    ASSERT_TRUE(off.ok());
+    EXPECT_EQ(off.value(), 12u) << "replica " << r;
+  }
+}
+
 }  // namespace
 }  // namespace pe::cluster
