@@ -50,7 +50,7 @@ BENCHMARK(BM_PartitionLogAppend)->Arg(800)->Arg(32'000)->Arg(2'560'000);
 void BM_PartitionLogFetch(benchmark::State& state) {
   broker::PartitionLog log;
   for (int i = 0; i < 512; ++i) {
-    log.append(make_record(static_cast<std::size_t>(state.range(0))));
+    (void)log.append(make_record(static_cast<std::size_t>(state.range(0))));
   }
   std::uint64_t offset = 0;
   for (auto _ : state) {

@@ -335,11 +335,12 @@ Result<std::uint64_t> Broker::produce(const std::string& topic,
   std::uint64_t bytes = 0;
   for (const auto& r : records) bytes += r.wire_size();
   const auto count = records.size();
-  const std::uint64_t first = log->append_batch(std::move(records));
+  auto first = log->append_batch(std::move(records));
   stats_.produce_requests.fetch_add(1, kRelaxed);
+  if (!first.ok()) return first.status();  // durable failure: nothing acked
   stats_.records_in.fetch_add(count, kRelaxed);
   stats_.bytes_in.fetch_add(bytes, kRelaxed);
-  return first;
+  return first.value();
 }
 
 Result<std::uint64_t> Broker::replicate(const std::string& topic,
@@ -359,10 +360,11 @@ Result<std::uint64_t> Broker::replicate(const std::string& topic,
   std::uint64_t bytes = 0;
   for (const auto& cr : records) bytes += cr.record.wire_size();
   const auto count = records.size();
-  const std::uint64_t first = log->append_replicated(std::move(records));
+  auto first = log->append_replicated(std::move(records));
+  if (!first.ok()) return first.status();  // replica disk refused: no ack
   stats_.records_in.fetch_add(count, kRelaxed);
   stats_.bytes_in.fetch_add(bytes, kRelaxed);
-  return first;
+  return first.value();
 }
 
 Result<std::uint32_t> Broker::select_partition(const std::string& topic,

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "telemetry/metrics.h"
 
 namespace pe::broker {
 
@@ -27,18 +28,36 @@ PartitionLog::PartitionLog(RetentionPolicy retention, std::string durable_dir,
   next_offset_ = log_dir_->end_offset();
 }
 
-std::uint64_t PartitionLog::append(Record record) {
+namespace {
+
+/// A durable-append failure fails the produce with a *transient* status:
+/// the record was not acked, the producer's retry policy may try again
+/// (the disk hiccup may pass, or a cluster layer may re-route to a new
+/// leader). Already-transient codes pass through unchanged.
+Status as_produce_error(const Status& s) {
+  tel::MetricsRegistry::global().counter("storage.append_errors").add();
+  if (s.is_transient()) return s;
+  return Status::Unavailable("durable append failed: " + s.to_string());
+}
+
+}  // namespace
+
+Result<std::uint64_t> PartitionLog::append(Record record) {
   std::uint64_t offset;
   {
     MutexLock lock(mutex_);
-    offset = next_offset_++;
     const std::uint64_t now_ns = Clock::now_ns();
     if (log_dir_) {
+      // Write-through first: the offset is only consumed once the durable
+      // tier accepted the record. On failure next_offset_ stays exactly
+      // at the durable end — a failed disk append is never acked.
       if (auto r = log_dir_->append(record, now_ns); !r.ok()) {
         PE_LOG_WARN("durable append failed at offset "
-                    << offset << ": " << r.status().to_string());
+                    << next_offset_ << ": " << r.status().to_string());
+        return as_produce_error(r.status());
       }
     }
+    offset = next_offset_++;
     bytes_ += record.wire_size();
     entries_.push_back(Entry{offset, now_ns, std::move(record)});
     enforce_retention_locked();
@@ -47,49 +66,89 @@ std::uint64_t PartitionLog::append(Record record) {
   return offset;
 }
 
-std::uint64_t PartitionLog::append_batch(std::vector<Record> records) {
+Result<std::uint64_t> PartitionLog::append_batch(std::vector<Record> records) {
   std::uint64_t first_offset;
+  bool any_appended = false;
   {
     MutexLock lock(mutex_);
     first_offset = next_offset_;
     const std::uint64_t now_ns = Clock::now_ns();
-    for (auto& r : records) {
-      if (log_dir_) {
-        if (auto res = log_dir_->append(r, now_ns); !res.ok()) {
-          PE_LOG_WARN("durable append failed at offset "
-                      << next_offset_ << ": " << res.status().to_string());
-        }
+    Status durable = Status::Ok();
+    std::size_t accepted = records.size();
+    if (log_dir_) {
+      // One batched storage call: single lock acquisition, frames encoded
+      // into one write buffer per segment chunk, at most one fsync.
+      std::vector<storage::TimestampedRecord> batch;
+      batch.reserve(records.size());
+      for (const auto& r : records) batch.push_back({&r, now_ns});
+      auto appended = log_dir_->append_batch(batch);
+      if (!appended.ok()) {
+        durable = appended.status();
+        // The durably-appended prefix (possibly empty) stays: mirror it
+        // into the hot window so the deque remains dense and tier-
+        // consistent, but fail the batch — none of it is acked.
+        const std::uint64_t durable_end = log_dir_->end_offset();
+        accepted = static_cast<std::size_t>(durable_end - next_offset_);
+        PE_LOG_WARN("durable batch append failed after "
+                    << accepted << "/" << records.size() << " records: "
+                    << durable.to_string());
       }
-      bytes_ += r.wire_size();
-      entries_.push_back(Entry{next_offset_++, now_ns, std::move(r)});
     }
+    for (std::size_t i = 0; i < accepted; ++i) {
+      bytes_ += records[i].wire_size();
+      entries_.push_back(Entry{next_offset_++, now_ns,
+                               std::move(records[i])});
+    }
+    any_appended = accepted > 0;
     enforce_retention_locked();
+    if (!durable.ok()) {
+      if (any_appended) data_available_.notify_all();
+      return as_produce_error(durable);
+    }
   }
-  data_available_.notify_all();
+  if (any_appended) data_available_.notify_all();
   return first_offset;
 }
 
-std::uint64_t PartitionLog::append_replicated(
+Result<std::uint64_t> PartitionLog::append_replicated(
     std::vector<ConsumedRecord> records) {
   std::uint64_t first_offset;
+  bool any_appended = false;
   {
     MutexLock lock(mutex_);
     first_offset = next_offset_;
-    for (auto& cr : records) {
-      if (log_dir_) {
-        if (auto res = log_dir_->append(cr.record, cr.broker_timestamp_ns);
-            !res.ok()) {
-          PE_LOG_WARN("durable append failed at offset "
-                      << next_offset_ << ": " << res.status().to_string());
-        }
+    Status durable = Status::Ok();
+    std::size_t accepted = records.size();
+    if (log_dir_) {
+      std::vector<storage::TimestampedRecord> batch;
+      batch.reserve(records.size());
+      for (const auto& cr : records) {
+        batch.push_back({&cr.record, cr.broker_timestamp_ns});
       }
-      bytes_ += cr.record.wire_size();
-      entries_.push_back(Entry{next_offset_++, cr.broker_timestamp_ns,
-                               std::move(cr.record)});
+      auto appended = log_dir_->append_batch(batch);
+      if (!appended.ok()) {
+        durable = appended.status();
+        const std::uint64_t durable_end = log_dir_->end_offset();
+        accepted = static_cast<std::size_t>(durable_end - next_offset_);
+        PE_LOG_WARN("durable replicated append failed after "
+                    << accepted << "/" << records.size() << " records: "
+                    << durable.to_string());
+      }
     }
+    for (std::size_t i = 0; i < accepted; ++i) {
+      bytes_ += records[i].record.wire_size();
+      entries_.push_back(Entry{next_offset_++,
+                               records[i].broker_timestamp_ns,
+                               std::move(records[i].record)});
+    }
+    any_appended = accepted > 0;
     enforce_retention_locked();
+    if (!durable.ok()) {
+      if (any_appended) data_available_.notify_all();
+      return as_produce_error(durable);
+    }
   }
-  data_available_.notify_all();
+  if (any_appended) data_available_.notify_all();
   return first_offset;
 }
 

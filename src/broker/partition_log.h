@@ -84,17 +84,29 @@ class PartitionLog {
   Status truncate_suffix(std::uint64_t offset);
 
   /// Appends a record, stamping the broker timestamp; returns its offset.
-  std::uint64_t append(Record record);
+  /// A failed durable append FAILS the call (transient UNAVAILABLE) —
+  /// the record is not acked, not added to the hot window, and
+  /// next_offset_ does not advance past the durable end. The
+  /// "storage.append_errors" counter tracks these.
+  Result<std::uint64_t> append(Record record);
 
-  /// Appends a batch atomically; returns the offset of the first record.
-  std::uint64_t append_batch(std::vector<Record> records);
+  /// Appends a batch in one durable-tier call (one lock acquisition, one
+  /// batched write, at most one fsync); returns the offset of the first
+  /// record. On a durable failure the call fails like append() — any
+  /// durably-appended prefix of the batch stays in the log (so the hot
+  /// window and the disk agree record for record), but no record of the
+  /// batch is acked to the caller.
+  Result<std::uint64_t> append_batch(std::vector<Record> records);
 
   /// Replication append: each record keeps the broker timestamp it was
   /// stamped with on the partition leader instead of being re-stamped
   /// here, so a given offset carries one timestamp cluster-wide (the
   /// records must be the leader's log in offset order — timestamps stay
-  /// append-monotonic). Returns the offset of the first record.
-  std::uint64_t append_replicated(std::vector<ConsumedRecord> records);
+  /// append-monotonic). Returns the offset of the first record. Durable
+  /// failures propagate exactly like append_batch(), so a replica's
+  /// end_offset() (which quorum acks poll) never runs ahead of what its
+  /// disk accepted.
+  Result<std::uint64_t> append_replicated(std::vector<ConsumedRecord> records);
 
   /// Returns records with offset >= spec.offset. Blocks up to spec.max_wait
   /// if the requested offset is at the end of the log. Fetching below

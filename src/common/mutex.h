@@ -203,6 +203,14 @@ class PE_SCOPED_CAPABILITY UniqueLock {
     owns_ = false;
   }
 
+  /// Re-acquires after an explicit unlock() (group-commit style critical
+  /// sections that release the lock around a blocking syscall and then
+  /// come back to publish the result).
+  void lock() PE_ACQUIRE() {
+    mu_.lock(loc_);
+    owns_ = true;
+  }
+
   bool owns_lock() const noexcept { return owns_; }
 
  private:

@@ -1,5 +1,7 @@
 #include "data/codec.h"
 
+#include "common/buffer_pool.h"
+
 namespace pe::data {
 namespace {
 constexpr char kMagic[4] = {'P', 'E', 'B', '1'};
@@ -7,7 +9,12 @@ constexpr char kMagic[4] = {'P', 'E', 'B', '1'};
 
 Bytes Codec::encode(const DataBlock& block) {
   Bytes out;
-  out.reserve(encoded_size(block));
+  encode_into(block, out);
+  return out;
+}
+
+void Codec::encode_into(const DataBlock& block, Bytes& out) {
+  out.reserve(out.size() + encoded_size(block));
   ByteWriter w(out);
   for (char c : kMagic) w.put_u8(static_cast<std::uint8_t>(c));
   w.put_u64(block.message_id);
@@ -21,11 +28,15 @@ Bytes Codec::encode(const DataBlock& block) {
   if (has_labels) {
     for (std::uint8_t l : block.labels) w.put_u8(l);
   }
-  return out;
 }
 
 std::shared_ptr<const Bytes> Codec::encode_shared(const DataBlock& block) {
-  return std::make_shared<const Bytes>(encode(block));
+  // Pooled: the allocation behind the payload comes back to the pool once
+  // the last holder (producer retry queue, broker log, consumers) lets go.
+  auto buf = BufferPool::global().acquire_shared(
+      static_cast<std::size_t>(encoded_size(block)));
+  encode_into(block, *buf);
+  return buf;
 }
 
 Result<DataBlock> Codec::decode(ByteSpan bytes) {

@@ -17,6 +17,10 @@ namespace pe::data {
 class Codec {
  public:
   static Bytes encode(const DataBlock& block);
+  /// Encodes into a caller-provided buffer (appended; callers clear() for
+  /// a fresh encode). Lets pooled or reused buffers skip the per-message
+  /// allocation that encode() pays.
+  static void encode_into(const DataBlock& block, Bytes& out);
   /// Accepts any contiguous byte view — an owned Bytes buffer or a
   /// zero-copy broker::Payload backed by an mmap'd segment.
   static Result<DataBlock> decode(ByteSpan bytes);
@@ -24,7 +28,9 @@ class Codec {
   /// Encodes straight into a shared immutable buffer — the form the broker
   /// data plane stores. Producers hand this to Record.value so the encoded
   /// bytes are allocated once and never copied again (append, fetch,
-  /// fan-out, and send retries all share the same buffer).
+  /// fan-out, and send retries all share the same buffer). The buffer
+  /// comes from BufferPool::global() and returns to it when the last
+  /// reference drops, so steady-state encoding recycles its allocations.
   static std::shared_ptr<const Bytes> encode_shared(const DataBlock& block);
 
   /// Serialized size without encoding (for capacity planning / tests).

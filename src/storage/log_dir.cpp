@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <filesystem>
 #include <system_error>
+#include <thread>
 
+#include "common/buffer_pool.h"
 #include "common/clock.h"
 #include "common/logging.h"
 #include "telemetry/metrics.h"
@@ -11,6 +13,19 @@
 namespace pe::storage {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+std::uint64_t frame_size_of(const broker::Record& record) {
+  return kFrameHeaderBytes + kFrameBodyFixedBytes + record.key.size() +
+         record.value.size();
+}
+
+/// How many consecutive covering fsyncs one group-commit leader runs for
+/// bytes that are not its own before handing leadership to a waiter.
+constexpr int kLeaderChoreBudget = 8;
+
+}  // namespace
 
 LogDir::LogDir(std::string dir, StorageConfig config)
     : dir_(std::move(dir)), config_(config) {}
@@ -41,7 +56,9 @@ Result<std::unique_ptr<LogDir>> LogDir::open(std::string dir,
                                   });
         if (raw->stop_flusher_) break;
         if (raw->writer_ && raw->writer_->dirty_records() > 0) {
-          if (auto s = raw->sync_locked(); !s.ok()) {
+          // Group sync: the fsync runs with the mutex released, so the
+          // interval flusher no longer stalls concurrent appenders.
+          if (auto s = raw->group_sync_locked(lock); !s.ok()) {
             PE_LOG_WARN("storage flusher: " << s.to_string());
           }
         }
@@ -53,7 +70,8 @@ Result<std::unique_ptr<LogDir>> LogDir::open(std::string dir,
 
 LogDir::~LogDir() {
   stop_flusher();
-  MutexLock lock(mutex_);
+  UniqueLock lock(mutex_);
+  wait_sync_idle_locked(lock);
   if (!closed_ && writer_) writer_->close();  // clean shutdown syncs
   writer_.reset();
 }
@@ -96,7 +114,12 @@ Status LogDir::recover_locked(RecoveryReport* report) {
       // durability contract only covers the contiguous synced prefix.
       PE_LOG_WARN("storage recovery: deleting discontiguous segment "
                   << path);
-      fs::remove(path, ec);
+      std::error_code rm_ec;
+      fs::remove(path, rm_ec);
+      if (rm_ec) {
+        return Status::Internal("recovery: remove discontiguous segment '" +
+                                path + "': " + rm_ec.message());
+      }
       report->segments_deleted += 1;
       continue;
     }
@@ -113,14 +136,30 @@ Status LogDir::recover_locked(RecoveryReport* report) {
           .add(scanned.value().torn_bytes);
       tail_is_torn = true;  // anything after this segment is unreachable
     }
-    if (segment->record_count() == 0 && !segments_.empty()) {
-      // Fully-torn (or empty) trailing segment: recycle the file only if
-      // it is the tail; keep scanning state consistent either way.
-      fs::remove(path, ec);
-      report->segments_deleted += 1;
-      continue;
-    }
+    // Empty (fully-torn or rolled-but-never-written) segments stay in the
+    // list for now; only *trailing* empties are recycled, below. Deleting
+    // one mid-scan would silently splice the list and let a later segment
+    // pass the contiguity check it should fail.
     segments_.push_back(std::move(segment));
+  }
+
+  // Recycle empty segments only from the tail: a crash can leave a
+  // rolled-but-never-appended (or fully-torn) trailing file, and the next
+  // roll recreates it at the same base offset. At least one segment
+  // always survives to carry the offset sequence.
+  while (segments_.size() > 1 && segments_.back()->record_count() == 0) {
+    std::error_code rm_ec;
+    fs::remove(segments_.back()->path(), rm_ec);
+    if (rm_ec) {
+      // Not fatal: keep it as the active segment instead — the writer
+      // open below truncates the file to its zero valid bytes.
+      PE_LOG_WARN("storage recovery: cannot recycle empty tail segment '"
+                  << segments_.back()->path() << "': " << rm_ec.message()
+                  << "; keeping it as the active segment");
+      break;
+    }
+    report->segments_deleted += 1;
+    segments_.pop_back();
   }
 
   if (segments_.empty()) {
@@ -151,7 +190,109 @@ std::uint64_t LogDir::end_offset_locked() const {
   return segments_.back()->end_offset();
 }
 
-Status LogDir::roll_locked() {
+void LogDir::wait_sync_idle_locked(UniqueLock& lock) {
+  sync_cv_.wait(lock, [this]() PE_NO_THREAD_SAFETY_ANALYSIS {
+    return !sync_in_flight_;
+  });
+}
+
+Status LogDir::group_sync_locked(UniqueLock& lock) {
+  // What this caller needs covered: everything appended to the active
+  // segment so far. Identified by base offset, not pointer — base offsets
+  // are monotone and never reused, so the check survives rolls, retention
+  // and truncation without dangling.
+  const std::uint64_t base = segments_.back()->base_offset();
+  const std::uint64_t target = segments_.back()->bytes();
+  for (;;) {
+    if (closed_) {
+      return Status::FailedPrecondition("log dir closed (crashed)");
+    }
+    if (segments_.back()->base_offset() != base) {
+      // The log rolled past our segment while we waited. Rolling seals
+      // (syncs) the outgoing segment, so our bytes are already durable.
+      return Status::Ok();
+    }
+    if (writer_->synced_bytes() >= target) return Status::Ok();
+    if (!sync_in_flight_) break;
+    // A leader is fsyncing right now with the mutex released; wait for
+    // its result — it may already cover our bytes. Wake on ANY progress
+    // (coverage, roll, close), not just on the sync slot going idle: a
+    // covered waiter that kept sleeping until idle would snooze through
+    // the next leader's whole fsync and never contribute its next record
+    // to that leader's group.
+    sync_cv_.wait(lock, [&]() PE_NO_THREAD_SAFETY_ANALYSIS {
+      return closed_ || segments_.back()->base_offset() != base ||
+             writer_->synced_bytes() >= target || !sync_in_flight_;
+    });
+  }
+  // Become the sync leader: snapshot what the fsync will cover, run it
+  // with the mutex released (concurrent appenders keep writing and park
+  // behind sync_in_flight_), publish the marks, wake the covered
+  // waiters — then DRAIN: if new bytes landed while the fsync ran, loop
+  // and cover them too instead of handing leadership off. A handoff per
+  // group costs a cv wake + mutex convoy + snapshot latency per fsync;
+  // the drain loop keeps the disk continuously busy with zero handoffs,
+  // which is where the group-commit throughput actually comes from. The
+  // chore budget bounds how long one caller does chores for everyone
+  // else's bytes before a parked waiter takes over.
+  sync_in_flight_ = true;
+  Status my_sync = Status::Ok();
+  for (int chores = 0;; ++chores) {
+    // Group window: one scheduling quantum with the lock dropped (flag
+    // already set, so the writer cannot be replaced) lets appenders that
+    // are mid-wakeup land their bytes in the buffer and ride THIS fsync
+    // instead of the next one. Uncontended, the yield is ~a microsecond.
+    lock.unlock();
+    std::this_thread::yield();
+    lock.lock();
+    SegmentWriter* writer = writer_.get();
+    const SegmentWriter::SyncMark mark = writer->begin_sync();
+    lock.unlock();
+    const Status synced = writer->sync_file_only();
+    lock.lock();
+    // The fsync that covers THIS caller's bytes is the first one; chore
+    // rounds only sync bytes of waiters who will re-check on wake and
+    // re-lead (re-reporting any persistent error to their own callers).
+    if (chores == 0) my_sync = synced;
+    if (!synced.ok()) break;
+    writer->note_synced(mark);
+    sync_cv_.notify_all();  // covered waiters return immediately
+    if (closed_) break;
+    if (segments_.back()->bytes() <= writer->synced_bytes()) break;
+    if (chores + 1 >= kLeaderChoreBudget) break;
+  }
+  sync_in_flight_ = false;
+  sync_cv_.notify_all();
+  return my_sync;
+}
+
+Status LogDir::policy_sync_locked(UniqueLock& lock) {
+  switch (config_.flush_policy) {
+    case FlushPolicy::kEverySync:
+      return group_sync_locked(lock);
+    case FlushPolicy::kEveryNRecords:
+      if (writer_->dirty_records() >= config_.flush_every_n) {
+        return group_sync_locked(lock);
+      }
+      return Status::Ok();
+    case FlushPolicy::kIntervalMs:
+    case FlushPolicy::kNever:
+      return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+Status LogDir::roll_locked(UniqueLock& lock) {
+  const std::uint64_t active_base = segments_.back()->base_offset();
+  // The writer is about to be replaced: no group sync may be fsyncing
+  // through it. Waiting can release the lock, so re-check the world.
+  wait_sync_idle_locked(lock);
+  if (closed_) {
+    return Status::FailedPrecondition("log dir closed (crashed)");
+  }
+  if (segments_.back()->base_offset() != active_base) {
+    return Status::Ok();  // another appender rolled while we waited
+  }
   // Seal the active segment: everything in it becomes durable at the
   // roll, so a sealed segment is never part of the unsynced tail.
   if (auto s = writer_->sync(); !s.ok()) return s;
@@ -169,43 +310,113 @@ Status LogDir::roll_locked() {
 
 Result<std::uint64_t> LogDir::append(const broker::Record& record,
                                      std::uint64_t broker_timestamp_ns) {
-  MutexLock lock(mutex_);
+  UniqueLock lock(mutex_);
   if (closed_) return Status::FailedPrecondition("log dir closed (crashed)");
-  Segment* active = segments_.back().get();
-  if (active->record_count() > 0 &&
-      active->bytes() + kFrameHeaderBytes + kFrameBodyFixedBytes +
-              record.key.size() + record.value.size() >
+  if (inject_append_failures_ > 0) {
+    --inject_append_failures_;
+    return Status::Unavailable("injected append failure");
+  }
+  if (segments_.back()->record_count() > 0 &&
+      segments_.back()->bytes() + frame_size_of(record) >
           config_.segment_max_bytes) {
-    if (auto s = roll_locked(); !s.ok()) return s;
+    if (auto s = roll_locked(lock); !s.ok()) return s;
   }
   const std::uint64_t offset = end_offset_locked();
   if (auto s = writer_->append(record, offset, broker_timestamp_ns);
       !s.ok()) {
     return s;
   }
-  switch (config_.flush_policy) {
-    case FlushPolicy::kEverySync:
-      if (auto s = sync_locked(); !s.ok()) return s;
-      break;
-    case FlushPolicy::kEveryNRecords:
-      if (writer_->dirty_records() >= config_.flush_every_n) {
-        if (auto s = sync_locked(); !s.ok()) return s;
-      }
-      break;
-    case FlushPolicy::kIntervalMs:
-    case FlushPolicy::kNever:
-      break;
-  }
+  if (auto s = policy_sync_locked(lock); !s.ok()) return s;
   return offset;
 }
 
-Status LogDir::sync() {
-  MutexLock lock(mutex_);
+Result<std::uint64_t> LogDir::append_batch(
+    const std::vector<TimestampedRecord>& records) {
+  UniqueLock lock(mutex_);
   if (closed_) return Status::FailedPrecondition("log dir closed (crashed)");
-  return sync_locked();
+  if (inject_append_failures_ > 0) {
+    --inject_append_failures_;
+    return Status::Unavailable("injected append failure");
+  }
+  if (records.empty()) return end_offset_locked();
+
+  std::uint64_t batch_bytes = 0;
+  for (const TimestampedRecord& tr : records) {
+    batch_bytes += frame_size_of(*tr.record);
+  }
+  // One pooled encode buffer per segment chunk (usually one per batch):
+  // all frames of a chunk are encoded back to back and hit the file in a
+  // single write().
+  Bytes buf = BufferPool::global().acquire(static_cast<std::size_t>(
+      std::min<std::uint64_t>(batch_bytes, config_.segment_max_bytes)));
+  std::vector<FrameMeta> frames;
+  frames.reserve(records.size());
+
+  bool have_first = false;
+  std::uint64_t first = 0;
+  Status failed = Status::Ok();
+  std::size_t i = 0;
+  while (i < records.size()) {
+    if (segments_.back()->record_count() > 0 &&
+        segments_.back()->bytes() + frame_size_of(*records[i].record) >
+            config_.segment_max_bytes) {
+      if (auto s = roll_locked(lock); !s.ok()) {
+        failed = s;
+        break;
+      }
+    }
+    // Chunk: the consecutive run of frames that fits the active segment.
+    buf.clear();
+    frames.clear();
+    std::uint64_t seg_bytes = segments_.back()->bytes();
+    std::uint64_t seg_records = segments_.back()->record_count();
+    std::uint64_t offset = end_offset_locked();
+    while (i < records.size()) {
+      const broker::Record& record = *records[i].record;
+      const std::uint64_t frame_size = frame_size_of(record);
+      if ((seg_records > 0 || !frames.empty()) &&
+          seg_bytes + frame_size > config_.segment_max_bytes) {
+        break;  // next chunk after a roll
+      }
+      FrameMeta meta;
+      meta.offset = offset;
+      meta.broker_timestamp_ns = records[i].broker_timestamp_ns;
+      meta.buf_pos = buf.size();
+      encode_frame(buf, offset, meta.broker_timestamp_ns, record);
+      meta.frame_bytes = buf.size() - meta.buf_pos;
+      frames.push_back(meta);
+      seg_bytes += meta.frame_bytes;
+      ++seg_records;
+      ++offset;
+      ++i;
+    }
+    if (!frames.empty() && !have_first) {
+      have_first = true;
+      first = frames.front().offset;
+    }
+    if (auto s = writer_->append_encoded(buf, frames); !s.ok()) {
+      failed = s;
+      break;
+    }
+  }
+  BufferPool::global().release(std::move(buf));
+  if (!failed.ok()) return failed;
+  // At most one policy sync covers the whole batch (rolls mid-batch seal
+  // their outgoing segment with their own sync, as every roll does).
+  if (auto s = policy_sync_locked(lock); !s.ok()) return s;
+  return first;
 }
 
-Status LogDir::sync_locked() { return writer_->sync(); }
+Status LogDir::sync() {
+  UniqueLock lock(mutex_);
+  if (closed_) return Status::FailedPrecondition("log dir closed (crashed)");
+  return group_sync_locked(lock);
+}
+
+void LogDir::inject_append_failures(std::uint64_t n) {
+  MutexLock lock(mutex_);
+  inject_append_failures_ = n;
+}
 
 std::size_t LogDir::segment_index_locked(std::uint64_t offset) const {
   // Last segment whose base_offset <= offset.
@@ -341,12 +552,16 @@ std::vector<SegmentInfo> LogDir::segments() const {
 
 std::uint64_t LogDir::offset_for_timestamp(std::uint64_t ts_ns) const {
   MutexLock lock(mutex_);
-  // First segment whose last timestamp is >= ts (segments are
-  // timestamp-ordered because appends are).
+  // First non-empty segment whose last timestamp is >= ts (segments are
+  // timestamp-ordered because appends are). Empty segments — a fresh log,
+  // or an active segment right after a boundary truncation — hold no
+  // candidate records, so they are ordered as "older than everything":
+  // without this the binary search can land on the empty active segment
+  // and fall through to the error path below.
   std::size_t lo = 0, hi = segments_.size();
   while (lo < hi) {
     const std::size_t mid = lo + (hi - lo) / 2;
-    if (segments_[mid]->record_count() > 0 &&
+    if (segments_[mid]->record_count() == 0 ||
         segments_[mid]->last_timestamp_ns() < ts_ns) {
       lo = mid + 1;
     } else {
@@ -363,7 +578,7 @@ std::uint64_t LogDir::offset_for_timestamp(std::uint64_t ts_ns) const {
 }
 
 Status LogDir::truncate_suffix(std::uint64_t offset) {
-  MutexLock lock(mutex_);
+  UniqueLock lock(mutex_);
   if (closed_) return Status::FailedPrecondition("log dir closed (crashed)");
   if (offset >= end_offset_locked()) return Status::Ok();
   if (offset < segments_.front()->base_offset()) {
@@ -371,6 +586,12 @@ Status LogDir::truncate_suffix(std::uint64_t offset) {
         "truncate offset " + std::to_string(offset) + " below log start " +
         std::to_string(segments_.front()->base_offset()));
   }
+  // The writer (and possibly files) are about to be mutated: wait out any
+  // in-flight group fsync first, then re-validate — the wait can release
+  // the lock.
+  wait_sync_idle_locked(lock);
+  if (closed_) return Status::FailedPrecondition("log dir closed (crashed)");
+  if (offset >= end_offset_locked()) return Status::Ok();
   // The writer holds the active segment's fd; close it before unlinking
   // or resizing files (a fresh writer reopens the new tail below). From
   // here until that reopen the log has no writer: any early error return
@@ -420,7 +641,7 @@ Status LogDir::truncate_suffix(std::uint64_t offset) {
   if (!writer.ok()) return fail_closed(writer.status());
   writer_ = std::move(writer).value();
   tel::MetricsRegistry::global().counter("storage.suffix_truncations").add();
-  return sync_locked();  // the cut itself must survive a crash
+  return group_sync_locked(lock);  // the cut itself must survive a crash
 }
 
 std::size_t LogDir::apply_retention(std::uint64_t max_records,
@@ -464,9 +685,15 @@ std::size_t LogDir::apply_retention(std::uint64_t max_records,
 
 void LogDir::simulate_power_loss(double keep_fraction) {
   stop_flusher();
-  MutexLock lock(mutex_);
+  UniqueLock lock(mutex_);
   if (closed_) return;
+  // Close FIRST, then drain: new appenders and parked group-sync waiters
+  // observe closed_ and bail immediately, so only the one in-flight
+  // leader (if any) is left to finish. Draining before closing would let
+  // a steady stream of appenders start fresh syncs and starve the cut.
   closed_ = true;
+  sync_cv_.notify_all();
+  wait_sync_idle_locked(lock);
   if (writer_) {
     if (auto s = writer_->truncate_unsynced(keep_fraction); !s.ok()) {
       PE_LOG_WARN("simulate_power_loss: " << s.to_string());

@@ -10,6 +10,12 @@
 // broker::Payload views. Retention removes whole segments, never parts
 // of one.
 //
+// Sync is group-committed: under kEverySync, concurrent appenders do not
+// serialize one fsync each — the first becomes the sync leader, releases
+// the mutex around the fsync, and every appender whose bytes that fsync
+// covered returns on it (Kafka-style group commit). Appenders keep
+// writing while a sync is in flight and queue up behind the next one.
+//
 // Thread-safe. The internal mutex ranks below the broker's partition-log
 // and coordinator locks so it can be taken while those are held.
 #pragma once
@@ -29,6 +35,15 @@
 
 namespace pe::storage {
 
+/// One record of a batched append, with the broker timestamp it must be
+/// framed with (replication preserves the leader's per-record stamps; a
+/// fresh produce stamps the whole batch with one now). The pointed-at
+/// record must stay alive for the duration of the append_batch call.
+struct TimestampedRecord {
+  const broker::Record* record = nullptr;
+  std::uint64_t broker_timestamp_ns = 0;
+};
+
 class LogDir {
  public:
   /// Opens (creating directories as needed) and recovers `dir`. `report`,
@@ -46,11 +61,29 @@ class LogDir {
   LogDir& operator=(const LogDir&) = delete;
 
   /// Appends one record at the next offset and returns that offset. The
-  /// record is durable per the flush policy when this returns.
+  /// record is durable per the flush policy when this returns. Fails
+  /// without consuming an offset: on error the log ends exactly where it
+  /// ended before the call.
   Result<std::uint64_t> append(const broker::Record& record,
                                std::uint64_t broker_timestamp_ns);
 
-  /// Forces an fsync of the active segment.
+  /// Appends a whole batch under one lock acquisition: frames are encoded
+  /// into a single pooled write buffer per segment chunk, written with
+  /// one write() call, indexed with one bookkeeping walk, and covered by
+  /// at most one policy sync for the entire batch. Returns the offset of
+  /// the first appended record (end_offset() for an empty batch).
+  ///
+  /// On failure the durably-appended prefix of the batch stays in the log
+  /// (end_offset() tells how far it got); the failing record and
+  /// everything after it are not appended. A batch occupies a dense
+  /// offset range when batches are externally serialized (the broker's
+  /// partition lock does); direct concurrent appenders can interleave
+  /// only at segment-roll boundaries.
+  Result<std::uint64_t> append_batch(
+      const std::vector<TimestampedRecord>& records);
+
+  /// Forces an fsync of the active segment (group-committed: concurrent
+  /// callers share one fsync when it covers them).
   Status sync();
 
   /// Records with offset >= `offset`, bounded by max_records/max_bytes
@@ -73,7 +106,8 @@ class LogDir {
 
   /// First offset with broker timestamp >= ts_ns (end_offset() when all
   /// retained records are older). Binary search over segments + sparse
-  /// per-segment index.
+  /// per-segment index; empty segments (a fresh log, or an active segment
+  /// right after a boundary truncation) are skipped.
   std::uint64_t offset_for_timestamp(std::uint64_t ts_ns) const;
 
   /// Discards every record with offset >= `offset` (replication divergence
@@ -100,6 +134,12 @@ class LogDir {
   /// directory to recover.
   void simulate_power_loss(double keep_fraction);
 
+  /// Test hook: the next `n` append/append_batch calls fail with a
+  /// transient UNAVAILABLE before writing any bytes — models a disk that
+  /// rejects writes. A batched append consumes one injected failure for
+  /// the whole call.
+  void inject_append_failures(std::uint64_t n);
+
   const std::string& dir() const { return dir_; }
   const StorageConfig& config() const { return config_; }
 
@@ -107,8 +147,19 @@ class LogDir {
   LogDir(std::string dir, StorageConfig config);
 
   Status recover_locked(RecoveryReport* report) PE_REQUIRES(mutex_);
-  Status roll_locked() PE_REQUIRES(mutex_);
-  Status sync_locked() PE_REQUIRES(mutex_);
+  /// May release and re-acquire `lock` while waiting for an in-flight
+  /// group sync to finish; re-checks the roll race and closed_ after.
+  Status roll_locked(UniqueLock& lock) PE_REQUIRES(mutex_);
+  /// Group-commit sync: returns once a sync covering the active segment's
+  /// current bytes has completed. The leader fsyncs with the mutex
+  /// released; waiters piggyback. Releases and re-acquires `lock`.
+  Status group_sync_locked(UniqueLock& lock) PE_REQUIRES(mutex_);
+  /// The at-most-one policy sync for an append/append_batch call.
+  Status policy_sync_locked(UniqueLock& lock) PE_REQUIRES(mutex_);
+  /// Blocks until no group sync is in flight. Required before any writer_
+  /// mutation (roll, truncate, power loss, close): the leader fsyncs
+  /// through the writer with the mutex released.
+  void wait_sync_idle_locked(UniqueLock& lock) PE_REQUIRES(mutex_);
   std::uint64_t end_offset_locked() const PE_REQUIRES(mutex_);
   /// Index of the segment containing `offset` (segments are sorted).
   std::size_t segment_index_locked(std::uint64_t offset) const
@@ -121,10 +172,15 @@ class LogDir {
   // registry (1), a partition log (2), or the group coordinator (3).
   mutable Mutex mutex_{"storage.log_dir", lock_rank(kLockDomainBroker, 4)};
   mutable CondVar flusher_cv_;
+  /// Signaled when an in-flight group sync finishes (leader done).
+  mutable CondVar sync_cv_;
   std::vector<std::unique_ptr<Segment>> segments_ PE_GUARDED_BY(mutex_);
   std::unique_ptr<SegmentWriter> writer_ PE_GUARDED_BY(mutex_);
   bool closed_ PE_GUARDED_BY(mutex_) = false;
   bool stop_flusher_ PE_GUARDED_BY(mutex_) = false;
+  /// True while a sync leader is fsyncing with the mutex released.
+  bool sync_in_flight_ PE_GUARDED_BY(mutex_) = false;
+  std::uint64_t inject_append_failures_ PE_GUARDED_BY(mutex_) = 0;
   std::thread flusher_;
 };
 

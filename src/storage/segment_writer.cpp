@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/clock.h"
+#include "common/logging.h"
 #include "telemetry/metrics.h"
 
 namespace pe::storage {
@@ -55,6 +56,23 @@ Status SegmentWriter::write_all(const std::uint8_t* data, std::size_t size) {
   return Status::Ok();
 }
 
+void SegmentWriter::restore_tail() {
+  // A failed write may have landed a partial frame past the last valid
+  // one; the segment metadata still ends at the last full frame, so cut
+  // the file back there. Without this the *next* append would write after
+  // the garbage and permanently desynchronize file and metadata.
+  if (::ftruncate(fd_, static_cast<off_t>(segment_->bytes())) == 0 &&
+      ::lseek(fd_, 0, SEEK_END) >= 0) {
+    return;
+  }
+  PE_LOG_ERROR("segment '" << segment_->path()
+                           << "': cannot restore tail after failed write ("
+                           << std::strerror(errno)
+                           << "), closing the writer");
+  ::close(fd_);
+  fd_ = -1;
+}
+
 Status SegmentWriter::append(const broker::Record& record,
                              std::uint64_t offset,
                              std::uint64_t broker_timestamp_ns) {
@@ -63,32 +81,77 @@ Status SegmentWriter::append(const broker::Record& record,
   encode_frame(frame_buf_, offset, broker_timestamp_ns, record);
   const std::uint64_t pos = segment_->bytes();
   if (auto s = write_all(frame_buf_.data(), frame_buf_.size()); !s.ok()) {
+    restore_tail();
     return s;
   }
   segment_->note_append(offset, broker_timestamp_ns, pos,
                         frame_buf_.size());
-  dirty_records_ += 1;
+  appended_records_ += 1;
   return Status::Ok();
 }
 
-Status SegmentWriter::sync() {
+Status SegmentWriter::append_encoded(const Bytes& buf,
+                                     const std::vector<FrameMeta>& frames) {
   if (fd_ < 0) return Status::FailedPrecondition("segment writer closed");
-  if (dirty_records_ == 0 && synced_bytes_ == segment_->bytes()) {
-    return Status::Ok();
+  if (frames.empty()) return Status::Ok();
+  const std::uint64_t base = segment_->bytes();
+  if (auto s = write_all(buf.data(), buf.size()); !s.ok()) {
+    restore_tail();
+    return s;
   }
+  for (const FrameMeta& f : frames) {
+    segment_->note_append(f.offset, f.broker_timestamp_ns,
+                          base + f.buf_pos, f.frame_bytes);
+  }
+  appended_records_ += frames.size();
+  return Status::Ok();
+}
+
+SegmentWriter::SyncMark SegmentWriter::begin_sync() const {
+  SyncMark mark;
+  mark.bytes = segment_->bytes();
+  mark.offset = segment_->end_offset();
+  mark.appended_records_total = appended_records_;
+  return mark;
+}
+
+Status SegmentWriter::sync_file_only() {
+  if (fd_ < 0) return Status::FailedPrecondition("segment writer closed");
   const auto t0 = Clock::now();
-  if (::fsync(fd_) != 0) {
-    return Status::Internal("fsync '" + segment_->path() +
+  // fdatasync, not fsync: POSIX requires it to flush all metadata needed
+  // to retrieve the written data — which includes the file size for
+  // appends — while skipping timestamp-only inode updates. Same crash
+  // guarantee for a commit log, measurably cheaper per group commit.
+  if (::fdatasync(fd_) != 0) {
+    return Status::Internal("fdatasync '" + segment_->path() +
                             "': " + std::strerror(errno));
   }
   const double us =
       std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
           Clock::now() - t0)
           .count();
-  tel::MetricsRegistry::global().histogram("storage.fsync_us").record(us);
-  synced_bytes_ = segment_->bytes();
-  synced_offset_ = segment_->end_offset();
-  dirty_records_ = 0;
+  auto& metrics = tel::MetricsRegistry::global();
+  metrics.histogram("storage.fsync_us").record(us);
+  metrics.counter("storage.fsyncs").add();
+  return Status::Ok();
+}
+
+void SegmentWriter::note_synced(const SyncMark& mark) {
+  if (mark.bytes > synced_bytes_) synced_bytes_ = mark.bytes;
+  if (mark.offset > synced_offset_) synced_offset_ = mark.offset;
+  if (mark.appended_records_total > synced_records_) {
+    synced_records_ = mark.appended_records_total;
+  }
+}
+
+Status SegmentWriter::sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("segment writer closed");
+  if (dirty_records() == 0 && synced_bytes_ == segment_->bytes()) {
+    return Status::Ok();
+  }
+  const SyncMark mark = begin_sync();
+  if (auto s = sync_file_only(); !s.ok()) return s;
+  note_synced(mark);
   return Status::Ok();
 }
 

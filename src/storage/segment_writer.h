@@ -1,12 +1,15 @@
 // Append side of the active segment: frames records onto the file with
 // immediate write() (so readers can always map appended data) and applies
 // the configured fsync policy. One SegmentWriter exists per LogDir at a
-// time; LogDir serializes all calls under its own mutex.
+// time; LogDir serializes all calls under its own mutex — except
+// sync_file_only(), which LogDir's group-commit leader calls with the
+// mutex released (the begin_sync/sync_file_only/note_synced split below).
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "broker/record.h"
 #include "common/status.h"
@@ -14,8 +17,29 @@
 
 namespace pe::storage {
 
+/// Placement of one encoded frame inside a batch write buffer, so a
+/// batched append can run one write() and then replay the per-record
+/// segment bookkeeping.
+struct FrameMeta {
+  std::uint64_t offset = 0;
+  std::uint64_t broker_timestamp_ns = 0;
+  /// Byte position of the frame within the batch buffer.
+  std::uint64_t buf_pos = 0;
+  std::uint64_t frame_bytes = 0;
+};
+
 class SegmentWriter {
  public:
+  /// Snapshot of the append marks at the moment a sync started. Taken
+  /// under the LogDir lock; applied (note_synced) under the lock after
+  /// the fsync ran outside it. The sync covers at least these marks —
+  /// bytes appended while the fsync was in flight stay dirty.
+  struct SyncMark {
+    std::uint64_t bytes = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t appended_records_total = 0;
+  };
+
   /// Opens (creating if needed) the segment's file for appending. The file
   /// is first truncated to the segment's valid byte count — recovery has
   /// already decided where durable data ends — and fsynced once so the
@@ -29,19 +53,43 @@ class SegmentWriter {
 
   /// Frames and writes one record at `offset`. The bytes reach the OS
   /// before this returns; they reach stable storage per the LogDir flush
-  /// policy.
+  /// policy. On a failed or short write the file is restored to the last
+  /// valid frame boundary, so the segment never carries a partial frame
+  /// ahead of its metadata.
   Status append(const broker::Record& record, std::uint64_t offset,
                 std::uint64_t broker_timestamp_ns);
 
-  /// fsync. Records the latency in the "storage.fsync_us" histogram and
-  /// advances the synced marks.
+  /// Batched append: `buf` holds `frames.size()` pre-encoded frames laid
+  /// out per `frames`. One write() call, then the per-frame bookkeeping.
+  /// Same tail-restore guarantee as append() on failure: either every
+  /// frame in the buffer is on file, or none are.
+  Status append_encoded(const Bytes& buf,
+                        const std::vector<FrameMeta>& frames);
+
+  /// fsync. Records the latency in the "storage.fsync_us" histogram,
+  /// bumps "storage.fsyncs", and advances the synced marks. Composes
+  /// begin_sync + sync_file_only + note_synced for callers that hold the
+  /// LogDir lock across the whole thing (close, roll).
   Status sync();
+
+  /// Group-commit split of sync(): capture the marks this sync will cover
+  /// (call under the LogDir lock)...
+  SyncMark begin_sync() const;
+  /// ...run the fsync itself — touches only the fd, safe with the LogDir
+  /// lock released as long as the writer is not mutated concurrently
+  /// (LogDir guarantees that via its sync-in-flight gate)...
+  Status sync_file_only();
+  /// ...and publish the covered marks (under the lock again). Records
+  /// appended while the fsync ran remain dirty.
+  void note_synced(const SyncMark& mark);
 
   /// Offset up to which (exclusive) records are power-loss durable.
   std::uint64_t synced_offset() const { return synced_offset_; }
   std::uint64_t synced_bytes() const { return synced_bytes_; }
   /// Records appended since the last sync.
-  std::uint64_t dirty_records() const { return dirty_records_; }
+  std::uint64_t dirty_records() const {
+    return appended_records_ - synced_records_;
+  }
 
   /// Power-loss simulation: keeps the synced prefix plus `keep_fraction`
   /// of the unsynced tail bytes (possibly cutting a frame in half — that
@@ -56,12 +104,22 @@ class SegmentWriter {
   explicit SegmentWriter(Segment* segment) : segment_(segment) {}
 
   Status write_all(const std::uint8_t* data, std::size_t size);
+  /// After a failed/short write: cut the file back to the segment's valid
+  /// byte count and reposition at the end, so the next append starts at a
+  /// frame boundary. Poisons the writer (closes the fd) when even the
+  /// restore fails — appends after that fail loudly instead of
+  /// interleaving garbage.
+  void restore_tail();
 
   Segment* segment_;
   int fd_ = -1;
   std::uint64_t synced_bytes_ = 0;
   std::uint64_t synced_offset_ = 0;
-  std::uint64_t dirty_records_ = 0;
+  /// Monotone counters; dirty_records() is their difference. Cumulative
+  /// (rather than a resettable dirty count) so a group-commit sync can
+  /// publish exactly what it covered via SyncMark.
+  std::uint64_t appended_records_ = 0;
+  std::uint64_t synced_records_ = 0;
   Bytes frame_buf_;
 };
 

@@ -20,9 +20,9 @@ TEST(TimeRetentionTest, OldRecordsAgeOut) {
   RetentionPolicy retention;
   retention.max_age = std::chrono::milliseconds(30);
   PartitionLog log(retention);
-  log.append(make_record("old"));
+  (void)log.append(make_record("old"));
   Clock::sleep_exact(std::chrono::milliseconds(40));
-  log.append(make_record("new"));  // retention enforced on append
+  (void)log.append(make_record("new"));  // retention enforced on append
   EXPECT_EQ(log.record_count(), 1u);
   EXPECT_EQ(log.log_start_offset(), 1u);
   FetchSpec spec;
@@ -34,21 +34,21 @@ TEST(TimeRetentionTest, LastRecordNeverAgedOut) {
   RetentionPolicy retention;
   retention.max_age = std::chrono::milliseconds(5);
   PartitionLog log(retention);
-  log.append(make_record("only"));
+  (void)log.append(make_record("only"));
   Clock::sleep_exact(std::chrono::milliseconds(10));
-  log.append(make_record("second"));
+  (void)log.append(make_record("second"));
   // The newest record survives even if technically old at next append.
   EXPECT_GE(log.record_count(), 1u);
 }
 
 TEST(OffsetForTimestampTest, FindsFirstAtOrAfter) {
   PartitionLog log;
-  log.append(make_record("a"));
+  (void)log.append(make_record("a"));
   Clock::sleep_exact(std::chrono::milliseconds(5));
   const std::uint64_t mid_ns = Clock::now_ns();
   Clock::sleep_exact(std::chrono::milliseconds(5));
-  log.append(make_record("b"));
-  log.append(make_record("c"));
+  (void)log.append(make_record("b"));
+  (void)log.append(make_record("c"));
 
   EXPECT_EQ(log.offset_for_timestamp(0), 0u);
   EXPECT_EQ(log.offset_for_timestamp(mid_ns), 1u);

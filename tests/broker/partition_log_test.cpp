@@ -16,9 +16,9 @@ Record make_record(const std::string& key, std::size_t value_size = 10) {
 
 TEST(PartitionLogTest, AppendAssignsDenseOffsets) {
   PartitionLog log;
-  EXPECT_EQ(log.append(make_record("a")), 0u);
-  EXPECT_EQ(log.append(make_record("b")), 1u);
-  EXPECT_EQ(log.append(make_record("c")), 2u);
+  EXPECT_EQ(log.append(make_record("a")).value(), 0u);
+  EXPECT_EQ(log.append(make_record("b")).value(), 1u);
+  EXPECT_EQ(log.append(make_record("c")).value(), 2u);
   EXPECT_EQ(log.end_offset(), 3u);
   EXPECT_EQ(log.log_start_offset(), 0u);
   EXPECT_EQ(log.record_count(), 3u);
@@ -26,15 +26,15 @@ TEST(PartitionLogTest, AppendAssignsDenseOffsets) {
 
 TEST(PartitionLogTest, AppendBatchReturnsFirstOffset) {
   PartitionLog log;
-  log.append(make_record("x"));
+  (void)log.append(make_record("x"));
   std::vector<Record> batch = {make_record("a"), make_record("b")};
-  EXPECT_EQ(log.append_batch(std::move(batch)), 1u);
+  EXPECT_EQ(log.append_batch(std::move(batch)).value(), 1u);
   EXPECT_EQ(log.end_offset(), 3u);
 }
 
 TEST(PartitionLogTest, FetchReturnsFromOffset) {
   PartitionLog log;
-  for (int i = 0; i < 5; ++i) log.append(make_record(std::to_string(i)));
+  for (int i = 0; i < 5; ++i) (void)log.append(make_record(std::to_string(i)));
   FetchSpec spec;
   spec.offset = 2;
   auto result = log.fetch(spec);
@@ -47,7 +47,7 @@ TEST(PartitionLogTest, FetchReturnsFromOffset) {
 
 TEST(PartitionLogTest, FetchRespectsMaxRecords) {
   PartitionLog log;
-  for (int i = 0; i < 10; ++i) log.append(make_record("k"));
+  for (int i = 0; i < 10; ++i) (void)log.append(make_record("k"));
   FetchSpec spec;
   spec.max_records = 4;
   auto result = log.fetch(spec);
@@ -57,8 +57,8 @@ TEST(PartitionLogTest, FetchRespectsMaxRecords) {
 
 TEST(PartitionLogTest, FetchRespectsMaxBytesButReturnsAtLeastOne) {
   PartitionLog log;
-  log.append(make_record("a", 1000));
-  log.append(make_record("b", 1000));
+  (void)log.append(make_record("a", 1000));
+  (void)log.append(make_record("b", 1000));
   FetchSpec spec;
   spec.max_bytes = 10;  // smaller than a single record
   auto result = log.fetch(spec);
@@ -68,7 +68,7 @@ TEST(PartitionLogTest, FetchRespectsMaxBytesButReturnsAtLeastOne) {
 
 TEST(PartitionLogTest, FetchAtEndReturnsEmptyNonBlocking) {
   PartitionLog log;
-  log.append(make_record("a"));
+  (void)log.append(make_record("a"));
   FetchSpec spec;
   spec.offset = 1;
   auto result = log.fetch(spec);
@@ -91,7 +91,7 @@ TEST(PartitionLogTest, LongPollWakesOnAppend) {
 
   std::thread appender([&log] {
     std::this_thread::sleep_for(std::chrono::milliseconds(30));
-    log.append(make_record("late"));
+    (void)log.append(make_record("late"));
   });
   Stopwatch sw;
   auto result = log.fetch(spec);
@@ -114,7 +114,7 @@ TEST(PartitionLogTest, LongPollTimesOutEmpty) {
 
 TEST(PartitionLogTest, RetentionByRecordsTrimsHead) {
   PartitionLog log(RetentionPolicy{.max_records = 3, .max_bytes = 0});
-  for (int i = 0; i < 5; ++i) log.append(make_record(std::to_string(i)));
+  for (int i = 0; i < 5; ++i) (void)log.append(make_record(std::to_string(i)));
   EXPECT_EQ(log.record_count(), 3u);
   EXPECT_EQ(log.log_start_offset(), 2u);
   EXPECT_EQ(log.end_offset(), 5u);
@@ -130,9 +130,9 @@ TEST(PartitionLogTest, RetentionByRecordsTrimsHead) {
 
 TEST(PartitionLogTest, RetentionByBytesKeepsAtLeastOneRecord) {
   PartitionLog log(RetentionPolicy{.max_records = 0, .max_bytes = 50});
-  log.append(make_record("big", 500));
+  (void)log.append(make_record("big", 500));
   EXPECT_EQ(log.record_count(), 1u);  // single record always retained
-  log.append(make_record("big2", 500));
+  (void)log.append(make_record("big2", 500));
   EXPECT_EQ(log.record_count(), 1u);
   EXPECT_EQ(log.log_start_offset(), 1u);
 }
@@ -143,7 +143,7 @@ TEST(PartitionLogTest, YoungLogWithLargeMaxAgeRetainsEverything) {
   // entry but the newest. The subtraction must saturate at zero instead.
   PartitionLog log(RetentionPolicy{
       .max_records = 0, .max_bytes = 0, .max_age = Duration::max()});
-  for (int i = 0; i < 5; ++i) log.append(make_record(std::to_string(i)));
+  for (int i = 0; i < 5; ++i) (void)log.append(make_record(std::to_string(i)));
   EXPECT_EQ(log.record_count(), 5u);
   EXPECT_EQ(log.log_start_offset(), 0u);
 }
@@ -152,7 +152,7 @@ TEST(PartitionLogTest, FetchReturnsSharedPayloadViews) {
   // Zero-copy data plane: every fetch of the same offset hands out a view
   // of the one payload buffer stored at append time, not a fresh copy.
   PartitionLog log;
-  log.append(make_record("a", 100));
+  (void)log.append(make_record("a", 100));
   FetchSpec spec;
   auto first = log.fetch(spec);
   auto second = log.fetch(spec);
@@ -170,7 +170,7 @@ TEST(PartitionLogTest, FetchReturnsSharedPayloadViews) {
 
 TEST(PartitionLogTest, ByteSizeTracksWireSize) {
   PartitionLog log;
-  log.append(make_record("ab", 100));  // 2 + 100 + overhead
+  (void)log.append(make_record("ab", 100));  // 2 + 100 + overhead
   EXPECT_EQ(log.byte_size(), 102u + kRecordWireOverheadBytes);
 }
 
@@ -180,7 +180,7 @@ TEST(PartitionLogTest, ConcurrentAppendsKeepOffsetsUnique) {
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&log] {
-      for (int i = 0; i < kPer; ++i) log.append(make_record("k"));
+      for (int i = 0; i < kPer; ++i) (void)log.append(make_record("k"));
     });
   }
   for (auto& t : threads) t.join();

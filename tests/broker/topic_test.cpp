@@ -65,9 +65,9 @@ TEST(TopicTest, TotalsAggregateAcrossPartitions) {
   Topic topic("t", TopicConfig{.partitions = 2});
   Record r;
   r.value = Bytes(10, 1);
-  topic.partition(0)->append(r);
-  topic.partition(1)->append(r);
-  topic.partition(1)->append(r);
+  (void)topic.partition(0)->append(r);
+  (void)topic.partition(1)->append(r);
+  (void)topic.partition(1)->append(r);
   EXPECT_EQ(topic.total_records(), 3u);
   EXPECT_EQ(topic.total_bytes(), 3 * (10 + kRecordWireOverheadBytes));
 }

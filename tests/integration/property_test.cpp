@@ -77,7 +77,7 @@ TEST_P(SeededProperty, PartitionLogOffsetsAreDenseAndOrdered) {
     broker::Record r;
     r.key = std::to_string(i);
     r.value = Bytes(static_cast<std::size_t>(rng.uniform_int(0, 64)), 1);
-    ASSERT_EQ(log.append(std::move(r)), expected);
+    ASSERT_EQ(log.append(std::move(r)).value(), expected);
     expected += 1;
   }
   for (int i = 0; i < 30; ++i) {
@@ -104,7 +104,7 @@ TEST_P(SeededProperty, RetentionWindowAlwaysReadable) {
   for (int i = 0; i < 500; ++i) {
     broker::Record r;
     r.value = Bytes(8, 2);
-    log.append(std::move(r));
+    (void)log.append(std::move(r));
     if (rng.bernoulli(0.1)) {
       const auto start = log.log_start_offset();
       const auto end = log.end_offset();

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/metrics.h"
+
 namespace pe::broker {
 namespace {
 
@@ -42,7 +44,7 @@ TEST_F(DurablePartitionLogTest, WritesThroughAndServesHotFetches) {
   PartitionLog log({}, dir_);
   ASSERT_TRUE(log.durable());
   for (int i = 0; i < 5; ++i) {
-    EXPECT_EQ(log.append(make_record(std::to_string(i))),
+    EXPECT_EQ(log.append(make_record(std::to_string(i))).value(),
               static_cast<std::uint64_t>(i));
   }
   ASSERT_NE(log.log_dir(), nullptr);
@@ -62,7 +64,7 @@ TEST_F(DurablePartitionLogTest, ColdFetchServesRecordsBelowHotWindow) {
   retention.max_records = 3;
   PartitionLog log(retention, dir_);
   for (int i = 0; i < 10; ++i) {
-    log.append(make_record("k" + std::to_string(i), 32,
+    (void)log.append(make_record("k" + std::to_string(i), 32,
                            static_cast<std::uint8_t>(i)));
   }
   // In-memory-only logs would have retained offset 0 away; the durable
@@ -89,10 +91,10 @@ TEST_F(DurablePartitionLogTest, MaxBytesFirstRecordRuleHoldsOnBothTiers) {
   RetentionPolicy retention;
   retention.max_records = 2;  // pushes early records out of the hot window
   PartitionLog log(retention, dir_);
-  log.append(make_record("cold-big", 4096));
-  log.append(make_record("cold-next", 16));
-  log.append(make_record("hot-big", 4096));
-  log.append(make_record("hot-next", 16));
+  (void)log.append(make_record("cold-big", 4096));
+  (void)log.append(make_record("cold-next", 16));
+  (void)log.append(make_record("hot-big", 4096));
+  (void)log.append(make_record("hot-next", 16));
 
   FetchSpec spec;
   spec.max_bytes = 10;  // smaller than any record
@@ -112,13 +114,13 @@ TEST_F(DurablePartitionLogTest, MaxBytesFirstRecordRuleHoldsOnBothTiers) {
 TEST_F(DurablePartitionLogTest, ReopenResumesOffsetSequence) {
   {
     PartitionLog log({}, dir_);
-    for (int i = 0; i < 6; ++i) log.append(make_record(std::to_string(i)));
+    for (int i = 0; i < 6; ++i) (void)log.append(make_record(std::to_string(i)));
     ASSERT_TRUE(log.sync().ok());
   }
   PartitionLog log({}, dir_);
   EXPECT_EQ(log.recovery_report().records_recovered, 6u);
   EXPECT_EQ(log.end_offset(), 6u);
-  EXPECT_EQ(log.append(make_record("six")), 6u);
+  EXPECT_EQ(log.append(make_record("six")).value(), 6u);
   // The pre-crash records are below the (empty) hot window: cold path.
   FetchSpec spec;
   spec.offset = 3;
@@ -135,11 +137,11 @@ TEST_F(DurablePartitionLogTest, PowerLossThenReopenTruncatesTornTail) {
   std::uint64_t synced = 0;
   {
     PartitionLog log({}, dir_, config);
-    for (int i = 0; i < 4; ++i) log.append(make_record("durable", 64));
+    for (int i = 0; i < 4; ++i) (void)log.append(make_record("durable", 64));
     ASSERT_TRUE(log.sync().ok());
     synced = log.log_dir()->synced_offset();
     ASSERT_EQ(synced, 4u);
-    for (int i = 0; i < 4; ++i) log.append(make_record("dirty", 64));
+    for (int i = 0; i < 4; ++i) (void)log.append(make_record("dirty", 64));
     log.simulate_power_loss(0.3);
   }
   PartitionLog log({}, dir_, config);
@@ -165,7 +167,7 @@ TEST_F(DurablePartitionLogTest, OffsetForTimestampSpansBothTiers) {
   PartitionLog log(retention, dir_);
   std::vector<std::uint64_t> stamps;
   for (int i = 0; i < 12; ++i) {
-    const std::uint64_t off = log.append(make_record("k", 16));
+    const std::uint64_t off = log.append(make_record("k", 16)).value();
     FetchSpec spec;
     spec.offset = off;
     auto fetched = log.fetch(spec);
@@ -194,7 +196,7 @@ TEST(RetentionPolicyTest, CombinedBoundsTightestWins) {
   retention.max_age = std::chrono::hours(24);  // loose
   PartitionLog log(retention);
   for (int i = 0; i < 20; ++i) {
-    log.append(make_record(std::to_string(i), 50));
+    (void)log.append(make_record(std::to_string(i), 50));
   }
   EXPECT_LE(log.byte_size(), retention.max_bytes);
   EXPECT_GT(log.record_count(), 0u);
@@ -214,16 +216,81 @@ TEST(RetentionPolicyTest, MaxRecordsBoundIsExact) {
   RetentionPolicy retention;
   retention.max_records = 3;
   PartitionLog log(retention);
-  for (int i = 0; i < 10; ++i) log.append(make_record("k"));
+  for (int i = 0; i < 10; ++i) (void)log.append(make_record("k"));
   EXPECT_EQ(log.record_count(), 3u);
   EXPECT_EQ(log.log_start_offset(), 7u);
 }
 
 TEST(RetentionPolicyTest, ZeroMeansUnlimited) {
   PartitionLog log;  // all bounds zero
-  for (int i = 0; i < 64; ++i) log.append(make_record("k", 128));
+  for (int i = 0; i < 64; ++i) (void)log.append(make_record("k", 128));
   EXPECT_EQ(log.record_count(), 64u);
   EXPECT_EQ(log.log_start_offset(), 0u);
+}
+
+// Regression (PR 7 tentpole satellite): a failed durable append must
+// surface to the producer as a transient error and must NOT advance the
+// offset sequence past what is actually on disk. Before the fix, the
+// failure was WARN-logged and the record acked from memory — a silent
+// durability hole.
+TEST_F(DurablePartitionLogTest, FailedDurableAppendIsNeverAcked) {
+  PartitionLog log({}, dir_);
+  ASSERT_TRUE(log.append(make_record("ok")).ok());
+  auto& errors =
+      tel::MetricsRegistry::global().counter("storage.append_errors");
+  const std::uint64_t errors_before = errors.value();
+
+  log.log_dir()->inject_append_failures(1);
+  auto failed = log.append(make_record("lost"));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().is_transient());  // producer may retry
+  EXPECT_EQ(errors.value(), errors_before + 1);
+  // Neither tier moved: the in-memory end matches the durable end.
+  EXPECT_EQ(log.end_offset(), 1u);
+  EXPECT_EQ(log.log_dir()->end_offset(), 1u);
+
+  // The retry lands on the very offset the failure did not burn, and the
+  // consumer-visible sequence stays dense.
+  auto retried = log.append(make_record("retried"));
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(retried.value(), 1u);
+  FetchSpec spec;
+  spec.max_records = 100;
+  auto fetched = log.fetch(spec);
+  ASSERT_TRUE(fetched.ok());
+  ASSERT_EQ(fetched.value().size(), 2u);
+  EXPECT_EQ(fetched.value()[0].record.key, "ok");
+  EXPECT_EQ(fetched.value()[1].record.key, "retried");
+}
+
+TEST_F(DurablePartitionLogTest, FailedBatchAppendKeepsTiersAligned) {
+  PartitionLog log({}, dir_);
+  std::vector<Record> warmup = {make_record("w0"), make_record("w1")};
+  ASSERT_TRUE(log.append_batch(std::move(warmup)).ok());
+
+  log.log_dir()->inject_append_failures(1);
+  std::vector<Record> doomed = {make_record("d0"), make_record("d1"),
+                                make_record("d2")};
+  auto failed = log.append_batch(std::move(doomed));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().is_transient());
+  // The whole batch was rejected before any frame hit the buffer, so no
+  // partial prefix exists and both tiers agree.
+  EXPECT_EQ(log.end_offset(), log.log_dir()->end_offset());
+
+  std::vector<Record> retry = {make_record("r0"), make_record("r1")};
+  auto retried = log.append_batch(std::move(retry));
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(log.end_offset(), log.log_dir()->end_offset());
+  // Dense, gap-free consumer view across warmup + retry.
+  FetchSpec spec;
+  spec.max_records = 100;
+  auto fetched = log.fetch(spec);
+  ASSERT_TRUE(fetched.ok());
+  ASSERT_EQ(fetched.value().size(), log.end_offset());
+  for (std::size_t i = 0; i < fetched.value().size(); ++i) {
+    EXPECT_EQ(fetched.value()[i].offset, i);
+  }
 }
 
 // Durable retention drops whole segments only: the hot window may shrink
@@ -235,7 +302,7 @@ TEST_F(DurablePartitionLogTest, DurableRetentionMovesStartBySegments) {
   storage::StorageConfig config;
   config.segment_max_bytes = 512;
   PartitionLog log(retention, dir_, config);
-  for (int i = 0; i < 40; ++i) log.append(make_record("k", 100));
+  for (int i = 0; i < 40; ++i) (void)log.append(make_record("k", 100));
   const std::uint64_t start = log.log_start_offset();
   EXPECT_GT(start, 0u);          // old segments were dropped...
   EXPECT_EQ(log.end_offset(), 40u);

@@ -2,11 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "telemetry/metrics.h"
 
 namespace pe::storage {
 namespace {
@@ -313,6 +317,221 @@ TEST_F(LogDirTest, IntervalFlusherSyncsInBackground) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
   EXPECT_EQ(log->synced_offset(), 1u);
+}
+
+// --- group commit ---
+
+TEST_F(LogDirTest, GroupCommitEverySyncAppendersReturnDurable) {
+  // The kEverySync contract under concurrency: when append() returns, the
+  // record is fsynced — even though most appenders never run an fsync
+  // themselves (they piggyback on the group leader's). TSan runs of this
+  // test double as the data-race check on the leader/waiter handoff.
+  StorageConfig config;
+  config.flush_policy = FlushPolicy::kEverySync;
+  auto log = open(config);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  std::vector<std::thread> threads;
+  std::atomic<int> violations{0};
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto appended = log->append(
+            make_record("t" + std::to_string(t) + "_" + std::to_string(i),
+                        64),
+            1 + static_cast<std::uint64_t>(i));
+        if (!appended.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        // Exclusive synced_offset must already cover our offset.
+        if (appended.value() >= log->synced_offset()) {
+          violations.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(log->end_offset(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(log->synced_offset(), log->end_offset());
+}
+
+TEST_F(LogDirTest, GroupCommitSharesFsyncsAcrossAppenders) {
+  StorageConfig config;
+  config.flush_policy = FlushPolicy::kEverySync;
+  auto log = open(config);
+  auto& fsyncs = tel::MetricsRegistry::global().counter("storage.fsyncs");
+  const std::uint64_t before = fsyncs.value();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(log->append(make_record("k", 64), 1).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Serialized per-append fsyncs would cost exactly kThreads*kPerThread;
+  // group commit must do strictly better once appenders overlap. (Worst
+  // case — zero overlap — equals it, but 4 racing threads always share.)
+  EXPECT_LE(fsyncs.value() - before,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(log->synced_offset(), log->end_offset());
+}
+
+// --- batched appends ---
+
+TEST_F(LogDirTest, AppendBatchRoundTripAndPerRecordTimestamps) {
+  auto log = open();
+  std::vector<broker::Record> records;
+  std::vector<TimestampedRecord> batch;
+  for (int i = 0; i < 10; ++i) {
+    records.push_back(make_record("k" + std::to_string(i), 32,
+                                  static_cast<std::uint8_t>(i)));
+  }
+  for (int i = 0; i < 10; ++i) {
+    batch.push_back({&records[i], 1000 + static_cast<std::uint64_t>(i)});
+  }
+  auto first = log->append_batch(batch);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value(), 0u);
+  EXPECT_EQ(log->end_offset(), 10u);
+  auto fetched = log->fetch(0, 100, kNoByteLimit);
+  ASSERT_TRUE(fetched.ok());
+  ASSERT_EQ(fetched.value().size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    const auto& cr = fetched.value()[static_cast<std::size_t>(i)];
+    EXPECT_EQ(cr.offset, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(cr.broker_timestamp_ns, 1000 + static_cast<std::uint64_t>(i));
+    EXPECT_EQ(cr.record.key, "k" + std::to_string(i));
+    EXPECT_EQ(cr.record.value, records[static_cast<std::size_t>(i)].value);
+  }
+  EXPECT_EQ(log->offset_for_timestamp(1005), 5u);
+}
+
+TEST_F(LogDirTest, AppendBatchDoesAtMostOneFsyncUnderEverySync) {
+  StorageConfig config;
+  config.flush_policy = FlushPolicy::kEverySync;
+  auto log = open(config);
+  std::vector<broker::Record> records;
+  for (int i = 0; i < 100; ++i) records.push_back(make_record("k", 128));
+  std::vector<TimestampedRecord> batch;
+  for (const auto& r : records) batch.push_back({&r, 7});
+  auto& fsyncs = tel::MetricsRegistry::global().counter("storage.fsyncs");
+  const std::uint64_t before = fsyncs.value();
+  ASSERT_TRUE(log->append_batch(batch).ok());
+  EXPECT_LE(fsyncs.value() - before, 1u);
+  EXPECT_EQ(log->end_offset(), 100u);
+  EXPECT_EQ(log->synced_offset(), 100u);
+}
+
+TEST_F(LogDirTest, AppendBatchRollsSegmentsMidBatch) {
+  StorageConfig config;
+  config.segment_max_bytes = 1024;
+  auto log = open(config);
+  std::vector<broker::Record> records;
+  for (int i = 0; i < 20; ++i) {
+    records.push_back(make_record("k" + std::to_string(i), 200,
+                                  static_cast<std::uint8_t>(i)));
+  }
+  std::vector<TimestampedRecord> batch;
+  for (const auto& r : records) batch.push_back({&r, 5});
+  ASSERT_TRUE(log->append_batch(batch).ok());
+  EXPECT_EQ(log->end_offset(), 20u);
+  EXPECT_GT(log->segment_count(), 1u);
+  auto fetched = log->fetch(0, 100, kNoByteLimit);
+  ASSERT_TRUE(fetched.ok());
+  ASSERT_EQ(fetched.value().size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(fetched.value()[static_cast<std::size_t>(i)].record.key,
+              "k" + std::to_string(i));
+  }
+}
+
+// --- injected append failures ---
+
+TEST_F(LogDirTest, InjectedAppendFailureConsumesNoOffset) {
+  StorageConfig config;
+  config.flush_policy = FlushPolicy::kEverySync;
+  auto log = open(config);
+  ASSERT_TRUE(log->append(make_record("a", 16), 1).ok());
+  log->inject_append_failures(1);
+  auto failed = log->append(make_record("b", 16), 2);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().is_transient());
+  EXPECT_EQ(log->end_offset(), 1u);  // the failed append left no trace
+  auto retried = log->append(make_record("b", 16), 2);
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(retried.value(), 1u);  // same offset the failure did not burn
+}
+
+// --- recovery: tail-only empty-segment recycling ---
+
+TEST_F(LogDirTest, RecoveryRecyclesEmptyTailSegment) {
+  StorageConfig config;
+  {
+    auto log = open(config);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(log->append(make_record("k" + std::to_string(i), 32),
+                              1 + static_cast<std::uint64_t>(i))
+                      .ok());
+    }
+  }  // clean close
+  // A crash between roll's file creation and the first append leaves an
+  // empty tail segment; model it directly.
+  { std::ofstream(fs::path(dir_) / segment_file_name(5)); }
+  RecoveryReport report;
+  auto log = open(config, &report);
+  EXPECT_EQ(report.segments_deleted, 1u);
+  EXPECT_FALSE(fs::exists(fs::path(dir_) / segment_file_name(5)));
+  EXPECT_EQ(log->end_offset(), 5u);
+  // The offset sequence resumes exactly where the data ends.
+  auto appended = log->append(make_record("next", 32), 10);
+  ASSERT_TRUE(appended.ok());
+  EXPECT_EQ(appended.value(), 5u);
+}
+
+TEST_F(LogDirTest, RecoveryKeepsLoneEmptySegment) {
+  // A brand-new log that crashed before its first append: the only
+  // segment is empty and must NOT be recycled — it carries the offset
+  // sequence base.
+  { std::ofstream(fs::path(dir_) / segment_file_name(0)); }
+  RecoveryReport report;
+  auto log = open({}, &report);
+  EXPECT_EQ(report.segments_deleted, 0u);
+  EXPECT_EQ(log->end_offset(), 0u);
+  ASSERT_TRUE(log->append(make_record("first", 16), 1).ok());
+  EXPECT_EQ(log->end_offset(), 1u);
+}
+
+// --- offset_for_timestamp: empty active segment ---
+
+TEST_F(LogDirTest, OffsetForTimestampOnEmptyLog) {
+  auto log = open();
+  EXPECT_EQ(log->offset_for_timestamp(0), 0u);
+  EXPECT_EQ(log->offset_for_timestamp(12345), 0u);
+}
+
+TEST_F(LogDirTest, OffsetForTimestampWithEmptyActiveSegmentAfterTruncate) {
+  auto log = open();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(log->append(make_record("k", 32),
+                            1000 + static_cast<std::uint64_t>(i))
+                    .ok());
+  }
+  // Truncating at the log start leaves a single, empty active segment —
+  // the binary search must not land on it and fall into the error path.
+  ASSERT_TRUE(log->truncate_suffix(0).ok());
+  EXPECT_EQ(log->end_offset(), 0u);
+  EXPECT_EQ(log->offset_for_timestamp(500), 0u);
+  EXPECT_EQ(log->offset_for_timestamp(1003), 0u);
+  EXPECT_EQ(log->offset_for_timestamp(99999), 0u);
 }
 
 }  // namespace
