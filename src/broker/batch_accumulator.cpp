@@ -1,0 +1,182 @@
+#include "broker/batch_accumulator.h"
+
+#include <algorithm>
+
+namespace pe::broker {
+namespace {
+
+/// Wall-clock duration for an emulated linger (same contract as
+/// Clock::sleep_scaled: emulated / time_scale).
+Duration wall_linger(Duration linger) {
+  const double scale = Clock::time_scale();
+  if (scale <= 0.0) return linger;
+  return std::chrono::duration_cast<Duration>(linger / scale);
+}
+
+// The flusher re-checks deadlines at least this often even when nothing
+// new is armed, so a time-scale change mid-linger cannot stall a batch
+// for more than one slice.
+constexpr auto kMaxFlusherSlice = std::chrono::milliseconds(50);
+
+}  // namespace
+
+BatchAccumulator::BatchAccumulator(BatchConfig config, FlushFn flush)
+    : config_(config), flush_(std::move(flush)) {
+  if (config_.linger > Duration::zero()) {
+    flusher_ = std::thread([this] { flusher_loop(); });
+  }
+}
+
+BatchAccumulator::~BatchAccumulator() {
+  // Destructor flush: errors already landed in stats_/last_error_.
+  (void)close();
+}
+
+Status BatchAccumulator::add(const std::string& topic, std::uint32_t partition,
+                             Record record) {
+  Key key{topic, partition};
+  std::vector<Record> due;
+  {
+    MutexLock lock(mutex_);
+    if (closed_) {
+      return Status::FailedPrecondition("batch accumulator is closed");
+    }
+    auto& pending = pending_[key];
+    if (pending.records.empty()) {
+      pending.deadline = Clock::now() + wall_linger(config_.linger);
+      ++arm_epoch_;
+      wake_.notify_all();
+    }
+    pending.bytes += record.wire_size();
+    pending.records.push_back(std::move(record));
+    ++stats_.records_enqueued;
+    if (config_.linger <= Duration::zero() ||
+        pending.bytes >= config_.batch_max_bytes) {
+      due = std::move(pending.records);
+      pending_.erase(key);
+    }
+  }
+  if (due.empty()) return Status::Ok();
+  return flush_batch(key, std::move(due), Trigger::kSize);
+}
+
+Status BatchAccumulator::flush() {
+  std::vector<Due> all;
+  {
+    MutexLock lock(mutex_);
+    all = take_all_locked();
+  }
+  Status first = Status::Ok();
+  for (auto& d : all) {
+    auto s = flush_batch(d.key, std::move(d.records), Trigger::kManual);
+    if (first.ok() && !s.ok()) first = s;
+  }
+  return first;
+}
+
+Status BatchAccumulator::close() {
+  std::vector<Due> all;
+  bool join = false;
+  {
+    MutexLock lock(mutex_);
+    if (!closed_) {
+      closed_ = true;
+      stop_ = true;
+      join = true;
+      wake_.notify_all();
+    }
+    all = take_all_locked();
+  }
+  if (join && flusher_.joinable()) flusher_.join();
+  Status first = Status::Ok();
+  for (auto& d : all) {
+    auto s = flush_batch(d.key, std::move(d.records), Trigger::kClose);
+    if (first.ok() && !s.ok()) first = s;
+  }
+  return first;
+}
+
+BatchAccumulatorStats BatchAccumulator::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+Status BatchAccumulator::last_error() const {
+  MutexLock lock(mutex_);
+  return last_error_;
+}
+
+void BatchAccumulator::flusher_loop() {
+  while (true) {
+    std::vector<Due> due;
+    {
+      UniqueLock lock(mutex_);
+      if (stop_) return;
+      const auto now = Clock::now();
+      auto next = TimePoint::max();
+      for (const auto& [key, pending] : pending_) {
+        next = std::min(next, pending.deadline);
+      }
+      if (next > now) {
+        Duration wait = pending_.empty()
+                            ? Duration(kMaxFlusherSlice)
+                            : std::min<Duration>(next - now, kMaxFlusherSlice);
+        const std::uint64_t epoch = arm_epoch_;
+        wake_.wait_for(lock, wait,
+                       [&] { return stop_ || arm_epoch_ != epoch; });
+        continue;  // re-plan: stop, new arm, or deadline reached
+      }
+      for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->second.deadline <= now) {
+          due.push_back(Due{it->first, std::move(it->second.records)});
+          it = pending_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (auto& d : due) {
+      // Linger-triggered flush has no caller to return to: the outcome is
+      // recorded in stats_/last_error_ by flush_batch.
+      (void)flush_batch(d.key, std::move(d.records), Trigger::kTime);
+    }
+  }
+}
+
+Status BatchAccumulator::flush_batch(const Key& key,
+                                     std::vector<Record> records,
+                                     Trigger trigger) {
+  if (records.empty()) return Status::Ok();
+  const auto count = static_cast<std::uint64_t>(records.size());
+  Status s = flush_(key.first, key.second, std::move(records));
+  MutexLock lock(mutex_);
+  ++stats_.batches_flushed;
+  switch (trigger) {
+    case Trigger::kSize: ++stats_.flushes_on_size; break;
+    case Trigger::kTime: ++stats_.flushes_on_time; break;
+    case Trigger::kClose: ++stats_.flushes_on_close; break;
+    case Trigger::kManual: ++stats_.flushes_manual; break;
+  }
+  if (s.ok()) {
+    stats_.records_flushed += count;
+  } else {
+    ++stats_.flush_errors;
+    stats_.records_dropped += count;
+    last_error_ = s;
+  }
+  return s;
+}
+
+std::vector<BatchAccumulator::Due> BatchAccumulator::take_all_locked() {
+  std::vector<Due> all;
+  all.reserve(pending_.size());
+  for (auto& [key, pending] : pending_) {
+    if (!pending.records.empty()) {
+      all.push_back(Due{key, std::move(pending.records)});
+    }
+  }
+  pending_.clear();
+  return all;
+}
+
+}  // namespace pe::broker

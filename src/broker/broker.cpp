@@ -16,7 +16,9 @@ constexpr auto kRelaxed = std::memory_order_relaxed;
 // --- durable record formats ---
 // Topic intent (key = topic name):
 //   u8 op (1 create / 2 delete) | u32 partitions | u64 max_records |
-//   u64 max_bytes | u64 max_age_ns | u8 partitioner
+//   u64 max_bytes | u64 max_age_ns | u8 partitioner | u64 hot_max_bytes
+// The trailing hot_max_bytes is absent in logs written before the
+// admission-control change; the decoder treats a short read there as 0.
 // Committed offset (key = group id):
 //   string topic | u32 partition | u64 offset
 
@@ -29,6 +31,7 @@ Bytes encode_topic_intent(bool create, const TopicConfig& config) {
   w.put_u64(config.retention.max_bytes);
   w.put_u64(static_cast<std::uint64_t>(config.retention.max_age.count()));
   w.put_u8(static_cast<std::uint8_t>(config.partitioner));
+  w.put_u64(config.retention.hot_max_bytes);
   return out;
 }
 
@@ -41,6 +44,9 @@ bool decode_topic_intent(ByteSpan bytes, bool* create, TopicConfig* config) {
       !r.get_u64(config->retention.max_bytes).ok() ||
       !r.get_u64(max_age_ns).ok() || !r.get_u8(partitioner).ok()) {
     return false;
+  }
+  if (!r.get_u64(config->retention.hot_max_bytes).ok()) {
+    config->retention.hot_max_bytes = 0;  // pre-admission-control intent
   }
   config->retention.max_age = Duration(max_age_ns);
   config->partitioner = static_cast<PartitionerKind>(partitioner);
@@ -102,7 +108,8 @@ Broker::Broker(net::SiteId site, BrokerOptions options, std::string name)
       options_(std::move(options)),
       coordinator_([this](const std::string& topic) {
         return partition_count(topic);
-      }) {
+      }),
+      admission_(options_.admission) {
   if (!durable()) return;
   {
     WriterLock lock(mutex_);
@@ -156,6 +163,7 @@ Status Broker::recover_locked(storage::RecoveryReport* report) {
       auto topic = std::make_shared<Topic>(tname, intent.config,
                                            topic_dir(tname),
                                            options_.storage);
+      topic->set_hot_bytes_counter(admission_.hot_bytes_counter());
       for (std::uint32_t p = 0; p < topic->partition_count(); ++p) {
         merge_report(report, topic->partition(p)->recovery_report());
       }
@@ -263,10 +271,11 @@ Status Broker::create_topic(const std::string& name, TopicConfig config) {
       !s.ok()) {
     PE_LOG_WARN("topic intent not persisted: " << s.to_string());
   }
-  topics_.emplace(name, std::make_shared<Topic>(
-                            name, config,
-                            durable() ? topic_dir(name) : std::string(),
-                            options_.storage));
+  auto topic = std::make_shared<Topic>(
+      name, config, durable() ? topic_dir(name) : std::string(),
+      options_.storage);
+  topic->set_hot_bytes_counter(admission_.hot_bytes_counter());
+  topics_.emplace(name, std::move(topic));
   return Status::Ok();
 }
 
@@ -320,7 +329,8 @@ std::shared_ptr<Topic> Broker::find_topic(const std::string& name) const {
 
 Result<std::uint64_t> Broker::produce(const std::string& topic,
                                       std::uint32_t partition,
-                                      std::vector<Record> records) {
+                                      std::vector<Record> records,
+                                      const std::string& client_id) {
   auto t = find_topic(topic);
   if (!t) return Status::NotFound("topic '" + topic + "' not found");
   if (partition_offline(topic, partition)) {
@@ -335,12 +345,66 @@ Result<std::uint64_t> Broker::produce(const std::string& topic,
   std::uint64_t bytes = 0;
   for (const auto& r : records) bytes += r.wire_size();
   const auto count = records.size();
-  auto first = log->append_batch(std::move(records));
   stats_.produce_requests.fetch_add(1, kRelaxed);
+
+  // Admission: quota gate first (cheap bucket math), then the hot-window
+  // reservation. Both reject with a transient throttle, never a drop.
+  if (auto s = admission_.admit(client_id, count, bytes); !s.ok()) {
+    stats_.throttled.fetch_add(1, kRelaxed);
+    stats_.quota_rejections.fetch_add(1, kRelaxed);
+    tel::MetricsRegistry::global().counter("broker.throttled").add();
+    tel::MetricsRegistry::global().counter("broker.quota_rejections").add();
+    return s;
+  }
+  auto reserved = admission_.reserve_hot(bytes);
+  if (!reserved.ok()) {
+    // One forced retention/hot-trim pass on the target partition may free
+    // enough hot memory to admit without waiting out the throttle.
+    log->enforce_retention();
+    reserved = admission_.reserve_hot(bytes);
+  }
+  if (!reserved.ok()) {
+    // The cap is broker-wide but the trim above is per-partition: the
+    // memory may be parked in OTHER partitions, each individually under
+    // its hot_max_bytes... or not trimmable at all. Sweep every partition
+    // once — without this, a broker whose hot memory is spread across
+    // partitions throttles forever (no append ever succeeds, so no
+    // append-path retention ever runs: a livelock, not backpressure).
+    trim_hot_windows();
+    reserved = admission_.reserve_hot(bytes);
+  }
+  if (!reserved.ok()) {
+    stats_.throttled.fetch_add(1, kRelaxed);
+    tel::MetricsRegistry::global().counter("broker.throttled").add();
+    return reserved;
+  }
+
+  auto first = log->append_batch(std::move(records));
+  // The appended bytes are now carried by the hot counter itself (and any
+  // rejected remainder was never appended): drop the reservation.
+  admission_.release_hot(bytes);
   if (!first.ok()) return first.status();  // durable failure: nothing acked
   stats_.records_in.fetch_add(count, kRelaxed);
   stats_.bytes_in.fetch_add(bytes, kRelaxed);
   return first.value();
+}
+
+void Broker::trim_hot_windows() {
+  std::vector<std::shared_ptr<Topic>> topics;
+  {
+    ReaderLock lock(mutex_);
+    topics.reserve(topics_.size());
+    for (const auto& [_, t] : topics_) topics.push_back(t);
+  }
+  for (const auto& t : topics) {
+    for (std::uint32_t p = 0; p < t->partition_count(); ++p) {
+      if (auto* log = t->partition(p)) log->enforce_retention();
+    }
+  }
+}
+
+void Broker::set_client_quota(const std::string& client, ClientQuota quota) {
+  admission_.set_quota(client, quota);
 }
 
 Result<std::uint64_t> Broker::replicate(const std::string& topic,
@@ -500,6 +564,8 @@ BrokerStats Broker::stats() const {
   out.produce_requests = stats_.produce_requests.load(kRelaxed);
   out.fetch_requests = stats_.fetch_requests.load(kRelaxed);
   out.records_dead_lettered = stats_.records_dead_lettered.load(kRelaxed);
+  out.throttled = stats_.throttled.load(kRelaxed);
+  out.quota_rejections = stats_.quota_rejections.load(kRelaxed);
   return out;
 }
 

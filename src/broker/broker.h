@@ -17,6 +17,7 @@
 
 #include "common/mutex.h"
 #include "common/status.h"
+#include "broker/admission.h"
 #include "broker/group_coordinator.h"
 #include "broker/topic.h"
 #include "network/site.h"
@@ -38,6 +39,8 @@ namespace pe::broker {
 struct BrokerOptions {
   std::string durable_dir;
   storage::StorageConfig storage;
+  /// Edge admission control: per-client quotas + hot-window memory cap.
+  AdmissionConfig admission;
 };
 
 /// Aggregate broker-side counters (exported to telemetry).
@@ -49,6 +52,10 @@ struct BrokerStats {
   std::uint64_t produce_requests = 0;
   std::uint64_t fetch_requests = 0;
   std::uint64_t records_dead_lettered = 0;
+  /// Produces rejected with a transient throttle (quota or hot-window
+  /// cap). quota_rejections counts the per-client-quota subset.
+  std::uint64_t throttled = 0;
+  std::uint64_t quota_rejections = 0;
 };
 
 /// Name of the dead-letter topic shadowing `topic` (Kafka convention).
@@ -78,9 +85,17 @@ class Broker {
 
   // --- data plane (used by Producer/Consumer clients) ---
   /// Appends records to a specific partition; returns the first offset.
+  ///
+  /// `client_id` identifies the producing client for admission control: a
+  /// client over its quota (explicit set_client_quota entry, or the
+  /// default quota) is rejected with Status::Throttled — transient, carry
+  /// the retry-after hint, retry and it succeeds. Empty = internal caller
+  /// (dead-letter routing, tests), quota-exempt. The hot-window byte cap
+  /// applies regardless of client id.
   Result<std::uint64_t> produce(const std::string& topic,
                                 std::uint32_t partition,
-                                std::vector<Record> records);
+                                std::vector<Record> records,
+                                const std::string& client_id = {});
 
   /// Replication append (cluster layer): appends records fetched from a
   /// partition leader, preserving their broker timestamps instead of
@@ -151,8 +166,24 @@ class Broker {
   /// Total bytes currently retained across all topics.
   std::uint64_t retained_bytes() const;
 
+  // --- admission control ---
+  /// Installs an explicit quota for a client id (overrides the default).
+  void set_client_quota(const std::string& client, ClientQuota quota);
+  /// Sum of all partitions' in-memory hot-window bytes right now.
+  std::uint64_t hot_window_bytes() const {
+    return admission_.hot_window_bytes();
+  }
+  const AdmissionConfig& admission_config() const {
+    return admission_.config();
+  }
+
  private:
   std::shared_ptr<Topic> find_topic(const std::string& name) const;
+
+  /// Forces one retention/hot-trim pass over every partition. Run when a
+  /// hot-window reservation fails: the broker-wide cap may be held up by
+  /// partitions other than the produce target.
+  void trim_hot_windows();
 
   /// Opens (or reopens) the meta/offsets logs and replays them: topic
   /// intents rebuild the registry (each topic recovering its partition
@@ -181,6 +212,8 @@ class Broker {
     std::atomic<std::uint64_t> produce_requests{0};
     std::atomic<std::uint64_t> fetch_requests{0};
     std::atomic<std::uint64_t> records_dead_lettered{0};
+    std::atomic<std::uint64_t> throttled{0};
+    std::atomic<std::uint64_t> quota_rejections{0};
   };
 
   const net::SiteId site_;
@@ -205,6 +238,9 @@ class Broker {
   std::unique_ptr<storage::LogDir> offsets_log_ PE_GUARDED_BY(mutex_);
   GroupCoordinator coordinator_;
   AtomicStats stats_;
+  // Internally synchronized; shared hot-bytes counter is wired into every
+  // topic at creation/recovery.
+  AdmissionController admission_;
 };
 
 }  // namespace pe::broker

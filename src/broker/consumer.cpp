@@ -123,16 +123,24 @@ std::vector<ConsumedRecord> Consumer::poll(Duration timeout) {
   const auto deadline =
       Clock::now() +
       std::chrono::duration_cast<Duration>(timeout / Clock::time_scale());
+  // fetch_max_bytes bounds the whole poll, not each partition: one shared
+  // budget decrements as partitions fill it. (Per Kafka fetch semantics a
+  // partition always delivers at least one record when the remaining
+  // budget is smaller than it, so the response can overshoot by at most
+  // one record per partition — but never by a full per-partition budget,
+  // which is what handing every partition the full fetch_max_bytes did.)
+  std::uint64_t byte_budget = config_.fetch_max_bytes;
   while (true) {
     // One round-robin sweep over assigned partitions, non-blocking.
     for (std::size_t i = 0; i < assignment_.size(); ++i) {
+      if (byte_budget == 0) break;
       const auto& tp =
           assignment_[(next_partition_index_ + i) % assignment_.size()];
       if (paused_.count(tp) > 0) continue;
       FetchSpec spec;
       spec.offset = positions_[tp];
       spec.max_records = config_.max_poll_records - out.size();
-      spec.max_bytes = config_.fetch_max_bytes;
+      spec.max_bytes = byte_budget;
       spec.max_wait = Duration::zero();
       auto fetched = broker_->fetch(tp.topic, tp.partition, spec);
       if (!fetched.ok()) {
@@ -157,6 +165,7 @@ std::vector<ConsumedRecord> Consumer::poll(Duration timeout) {
       positions_[tp] = records.back().offset + 1;
       stats_.records_received += records.size();
       stats_.bytes_received += bytes;
+      byte_budget -= std::min(byte_budget, bytes);
       // Move the fetched records out: payloads are shared views, so the
       // whole handover is pointer-sized per record.
       out.insert(out.end(), std::make_move_iterator(records.begin()),

@@ -11,6 +11,39 @@ namespace pe::broker {
 PartitionLog::PartitionLog(RetentionPolicy retention)
     : retention_(retention) {}
 
+PartitionLog::~PartitionLog() {
+  // The broker-wide hot-bytes counter outlives individual logs (topics
+  // get deleted, crash_and_recover rebuilds the registry): hand back this
+  // log's contribution so the aggregate stays exact.
+  MutexLock lock(mutex_);
+  if (hot_counter_ && bytes_ > 0) {
+    hot_counter_->fetch_sub(static_cast<std::int64_t>(bytes_),
+                            std::memory_order_relaxed);
+  }
+}
+
+void PartitionLog::set_hot_bytes_counter(
+    std::shared_ptr<std::atomic<std::int64_t>> c) {
+  MutexLock lock(mutex_);
+  if (hot_counter_ && bytes_ > 0) {
+    hot_counter_->fetch_sub(static_cast<std::int64_t>(bytes_),
+                            std::memory_order_relaxed);
+  }
+  hot_counter_ = std::move(c);
+  if (hot_counter_ && bytes_ > 0) {
+    hot_counter_->fetch_add(static_cast<std::int64_t>(bytes_),
+                            std::memory_order_relaxed);
+  }
+}
+
+void PartitionLog::add_hot_bytes_locked(std::int64_t delta) {
+  bytes_ = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(bytes_) + delta);
+  if (hot_counter_) {
+    hot_counter_->fetch_add(delta, std::memory_order_relaxed);
+  }
+}
+
 PartitionLog::PartitionLog(RetentionPolicy retention, std::string durable_dir,
                            storage::StorageConfig storage)
     : retention_(retention) {
@@ -58,7 +91,7 @@ Result<std::uint64_t> PartitionLog::append(Record record) {
       }
     }
     offset = next_offset_++;
-    bytes_ += record.wire_size();
+    add_hot_bytes_locked(static_cast<std::int64_t>(record.wire_size()));
     entries_.push_back(Entry{offset, now_ns, std::move(record)});
     enforce_retention_locked();
   }
@@ -95,7 +128,7 @@ Result<std::uint64_t> PartitionLog::append_batch(std::vector<Record> records) {
       }
     }
     for (std::size_t i = 0; i < accepted; ++i) {
-      bytes_ += records[i].wire_size();
+      add_hot_bytes_locked(static_cast<std::int64_t>(records[i].wire_size()));
       entries_.push_back(Entry{next_offset_++, now_ns,
                                std::move(records[i])});
     }
@@ -136,7 +169,8 @@ Result<std::uint64_t> PartitionLog::append_replicated(
       }
     }
     for (std::size_t i = 0; i < accepted; ++i) {
-      bytes_ += records[i].record.wire_size();
+      add_hot_bytes_locked(
+          static_cast<std::int64_t>(records[i].record.wire_size()));
       entries_.push_back(Entry{next_offset_++,
                                records[i].broker_timestamp_ns,
                                std::move(records[i].record)});
@@ -163,7 +197,8 @@ Status PartitionLog::truncate_suffix(std::uint64_t offset) {
                               " below log start " + std::to_string(start));
   }
   while (!entries_.empty() && entries_.back().offset >= offset) {
-    bytes_ -= entries_.back().record.wire_size();
+    add_hot_bytes_locked(
+        -static_cast<std::int64_t>(entries_.back().record.wire_size()));
     entries_.pop_back();
   }
   next_offset_ = offset;
@@ -258,16 +293,30 @@ std::uint64_t PartitionLog::byte_size() const {
   return bytes_;
 }
 
+std::uint64_t PartitionLog::hot_window_bytes() const {
+  MutexLock lock(mutex_);
+  return bytes_;
+}
+
+void PartitionLog::enforce_retention() {
+  {
+    MutexLock lock(mutex_);
+    enforce_retention_locked();
+  }
+}
+
 void PartitionLog::enforce_retention_locked() {
   if (retention_.max_records > 0) {
     while (entries_.size() > retention_.max_records) {
-      bytes_ -= entries_.front().record.wire_size();
+      add_hot_bytes_locked(
+          -static_cast<std::int64_t>(entries_.front().record.wire_size()));
       entries_.pop_front();
     }
   }
   if (retention_.max_bytes > 0) {
     while (entries_.size() > 1 && bytes_ > retention_.max_bytes) {
-      bytes_ -= entries_.front().record.wire_size();
+      add_hot_bytes_locked(
+          -static_cast<std::int64_t>(entries_.front().record.wire_size()));
       entries_.pop_front();
     }
   }
@@ -281,7 +330,18 @@ void PartitionLog::enforce_retention_locked() {
     cutoff_ns = now_ns > age_ns ? now_ns - age_ns : 0;
     while (entries_.size() > 1 &&
            entries_.front().broker_timestamp_ns < cutoff_ns) {
-      bytes_ -= entries_.front().record.wire_size();
+      add_hot_bytes_locked(
+          -static_cast<std::int64_t>(entries_.front().record.wire_size()));
+      entries_.pop_front();
+    }
+  }
+  // Hot-window cache bound (durable logs only): trim the deque without
+  // touching the durable tier — the records stay on disk and cold fetches
+  // serve them, so this frees memory without losing data.
+  if (log_dir_ && retention_.hot_max_bytes > 0) {
+    while (entries_.size() > 1 && bytes_ > retention_.hot_max_bytes) {
+      add_hot_bytes_locked(
+          -static_cast<std::int64_t>(entries_.front().record.wire_size()));
       entries_.pop_front();
     }
   }

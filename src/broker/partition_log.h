@@ -16,6 +16,7 @@
 //    resumes the offset sequence after truncating any torn tail.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -37,6 +38,13 @@ struct RetentionPolicy {
   std::uint64_t max_bytes = 0;
   /// Records older than this (by broker timestamp) are trimmed on append.
   Duration max_age = Duration::zero();
+  /// Cap on the in-memory hot window of a *durable* partition: the deque
+  /// is trimmed down to this many bytes without touching the durable tier
+  /// (trimmed records stay on disk and are served by the cold fetch
+  /// path). Bounds broker memory independently of how much the log
+  /// retains. Ignored for in-memory logs — trimming those would lose
+  /// data, which is retention's job, not a cache bound's.
+  std::uint64_t hot_max_bytes = 0;
 };
 
 /// Bounds for a fetch call.
@@ -50,6 +58,7 @@ struct FetchSpec {
 class PartitionLog {
  public:
   explicit PartitionLog(RetentionPolicy retention = {});
+  ~PartitionLog();
 
   /// Durable partition log: `durable_dir` is recovered (or created) as a
   /// storage::LogDir and every append is written through to it. The
@@ -128,6 +137,23 @@ class PartitionLog {
   std::uint64_t record_count() const;
   std::uint64_t byte_size() const;
 
+  /// Bytes currently held by the in-memory hot window (<= byte_size();
+  /// for a durable log byte_size() reports the on-disk tier instead).
+  std::uint64_t hot_window_bytes() const;
+
+  /// Runs the retention + hot-window trim pass outside an append. The
+  /// broker calls this when a produce hits the hot-window cap: trimming
+  /// first may free enough memory to admit the batch without waiting for
+  /// the next append on some other partition to trim it incidentally.
+  void enforce_retention();
+
+  /// Mirrors every hot-window byte-count change into `counter` (the
+  /// broker's admission controller aggregates one counter across all
+  /// partitions). Must be installed before the log serves traffic; the
+  /// current hot bytes are transferred into the counter on installation
+  /// and removed on destruction.
+  void set_hot_bytes_counter(std::shared_ptr<std::atomic<std::int64_t>> c);
+
  private:
   struct Entry {
     std::uint64_t offset;
@@ -136,6 +162,9 @@ class PartitionLog {
   };
 
   void enforce_retention_locked() PE_REQUIRES(mutex_);
+  /// Single mutation point for bytes_: keeps the shared hot-bytes counter
+  /// exactly in sync with the deque.
+  void add_hot_bytes_locked(std::int64_t delta) PE_REQUIRES(mutex_);
 
   const RetentionPolicy retention_;
   // Level 2 in the broker domain: legally acquired under the Broker
@@ -148,6 +177,8 @@ class PartitionLog {
   std::deque<Entry> entries_ PE_GUARDED_BY(mutex_);
   std::uint64_t next_offset_ PE_GUARDED_BY(mutex_) = 0;
   std::uint64_t bytes_ PE_GUARDED_BY(mutex_) = 0;
+  std::shared_ptr<std::atomic<std::int64_t>> hot_counter_
+      PE_GUARDED_BY(mutex_);
   // LogDir is internally synchronized; the pointer itself is immutable
   // after construction.
   std::unique_ptr<storage::LogDir> log_dir_;

@@ -53,4 +53,9 @@ std::uint64_t Topic::total_bytes() const {
   return total;
 }
 
+void Topic::set_hot_bytes_counter(
+    std::shared_ptr<std::atomic<std::int64_t>> c) {
+  for (const auto& p : partitions_) p->set_hot_bytes_counter(c);
+}
+
 }  // namespace pe::broker

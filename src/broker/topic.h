@@ -50,6 +50,10 @@ class Topic {
   std::uint64_t total_records() const;
   std::uint64_t total_bytes() const;
 
+  /// Installs the broker-wide hot-bytes counter on every partition (see
+  /// PartitionLog::set_hot_bytes_counter).
+  void set_hot_bytes_counter(std::shared_ptr<std::atomic<std::int64_t>> c);
+
  private:
   const std::string name_;
   const TopicConfig config_;

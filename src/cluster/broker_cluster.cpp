@@ -38,15 +38,13 @@ BrokerCluster::BrokerCluster(ClusterOptions options)
   nodes_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     const std::string name = broker_name_for(i);
-    std::shared_ptr<broker::Broker> b;
-    if (options_.durable_root.empty()) {
-      b = std::make_shared<broker::Broker>(name, name);
-    } else {
-      broker::BrokerOptions bo;
+    broker::BrokerOptions bo;
+    bo.admission = options_.admission;
+    if (!options_.durable_root.empty()) {
       bo.durable_dir = options_.durable_root + "/" + name;
       bo.storage = options_.storage;
-      b = std::make_shared<broker::Broker>(name, bo, name);
     }
+    auto b = std::make_shared<broker::Broker>(name, bo, name);
     nodes_.push_back(Node{std::move(b), true, false, Clock::now()});
   }
 
@@ -201,13 +199,18 @@ Result<BrokerId> BrokerCluster::leader(const std::string& topic,
 Result<std::uint64_t> BrokerCluster::replicated_append_locked(
     const std::string& topic, std::uint32_t partition, PartitionState& ps,
     const PartitionMeta& meta, const std::vector<broker::Record>& records,
-    AckPolicy acks, AckWait& wait) {
+    AckPolicy acks, const std::string& client_id, AckWait& wait) {
   Node& leader_node = nodes_[meta.leader];
   // Records carry shared payload views, so these per-replica copies
   // duplicate only the key strings and coordinates, never the payloads.
+  // Admission (quota + hot-window cap) is enforced once, at the leader;
+  // follower appends go through Broker::replicate, which is
+  // admission-exempt — replication must always drain, and the leader's
+  // admission bounds the replicas transitively.
   std::vector<broker::Record> leader_copy = records;
-  auto appended =
-      leader_node.broker->produce(topic, partition, std::move(leader_copy));
+  auto appended = leader_node.broker->produce(topic, partition,
+                                              std::move(leader_copy),
+                                              client_id);
   if (!appended.ok()) return appended.status();
   const std::uint64_t first = appended.value();
 
@@ -296,7 +299,11 @@ Status BrokerCluster::await_acks(const std::string& topic,
           std::to_string(wait.required) +
           " replicas caught up within the ack timeout");
     }
-    Clock::sleep_exact(std::chrono::microseconds(100));
+    // Scaled poll interval: the wall budget above shrinks with the time
+    // scale, so the polling granularity must shrink with it — a fixed
+    // 100us wall sleep would eat the whole budget in a handful of polls
+    // at high speed-up.
+    Clock::sleep_scaled(std::chrono::microseconds(100));
   }
 }
 
@@ -309,7 +316,8 @@ Result<std::uint64_t> BrokerCluster::produce(
 
 Result<std::uint64_t> BrokerCluster::produce(
     BrokerId via, const std::string& topic, std::uint32_t partition,
-    std::vector<broker::Record> records, AckPolicy acks) {
+    std::vector<broker::Record> records, AckPolicy acks,
+    const std::string& client_id) {
   if (records.empty()) return Status::InvalidArgument("empty produce batch");
   std::uint64_t first = 0;
   AckWait wait;
@@ -344,7 +352,7 @@ Result<std::uint64_t> BrokerCluster::produce(
     }
     MutexLock append_lock(ps.append_mutex);
     auto appended = replicated_append_locked(topic, partition, ps, meta,
-                                             records, acks, wait);
+                                             records, acks, client_id, wait);
     if (!appended.ok()) return appended.status();
     first = appended.value();
   }
@@ -544,7 +552,7 @@ Status BrokerCluster::commit_offset(const std::string& group,
     rec.value = broker::Payload(encode_offset_commit(tp, offset));
     auto appended = replicated_append_locked(
         kOffsetsTopic, 0, ps, meta, {std::move(rec)}, AckPolicy::kQuorum,
-        wait);
+        /*client_id=*/{}, wait);
     if (!appended.ok()) return appended.status();
     leader_node.broker->coordinator().restore_offset(group, tp, offset);
   }

@@ -83,10 +83,15 @@ class BrokerCluster {
   /// offset once the ack policy is satisfied; TIMEOUT if the required
   /// replicas did not catch up within `ack_timeout` (the batch may still
   /// replicate afterwards: retrying can duplicate — at-least-once).
+  ///
+  /// `client_id` feeds the leader broker's admission control (see
+  /// Broker::produce); an over-quota client gets a transient
+  /// Status::Throttled with a retry-after hint. Empty = internal caller.
   Result<std::uint64_t> produce(BrokerId via, const std::string& topic,
                                 std::uint32_t partition,
                                 std::vector<broker::Record> records,
-                                AckPolicy acks);
+                                AckPolicy acks,
+                                const std::string& client_id = {});
   Result<std::uint64_t> produce(BrokerId via, const std::string& topic,
                                 std::uint32_t partition,
                                 std::vector<broker::Record> records);
@@ -240,7 +245,8 @@ class BrokerCluster {
   Result<std::uint64_t> replicated_append_locked(
       const std::string& topic, std::uint32_t partition, PartitionState& ps,
       const PartitionMeta& meta, const std::vector<broker::Record>& records,
-      AckPolicy acks, AckWait& wait) PE_REQUIRES_SHARED(mutex_);
+      AckPolicy acks, const std::string& client_id, AckWait& wait)
+      PE_REQUIRES_SHARED(mutex_);
   Status await_acks(const std::string& topic, std::uint32_t partition,
                     const AckWait& wait) const;
 

@@ -33,15 +33,66 @@ ClusterProducer::ClusterProducer(std::shared_ptr<BrokerCluster> cluster,
                                  std::optional<AckPolicy> acks)
     : cluster_(std::move(cluster)),
       retry_(retry),
-      acks_(acks.value_or(cluster_->options().default_acks)) {}
+      acks_(acks.value_or(cluster_->options().default_acks)),
+      id_(next_producer_id()) {}
+
+ClusterProducer::~ClusterProducer() {
+  if (accumulator_) (void)accumulator_->close();
+}
+
+void ClusterProducer::enable_batching(broker::BatchConfig config) {
+  accumulator_ = std::make_unique<broker::BatchAccumulator>(
+      config, [this](const std::string& topic, std::uint32_t partition,
+                     std::vector<broker::Record> records) {
+        return send_batch(topic, partition, std::move(records)).status();
+      });
+}
+
+Status ClusterProducer::enqueue(const std::string& topic,
+                                std::uint32_t partition,
+                                broker::Record record) {
+  if (!accumulator_) {
+    return Status::FailedPrecondition("batching not enabled");
+  }
+  return accumulator_->add(topic, partition, std::move(record));
+}
+
+Status ClusterProducer::flush() {
+  if (!accumulator_) return Status::Ok();
+  return accumulator_->flush();
+}
+
+Status ClusterProducer::close() {
+  if (!accumulator_) return Status::Ok();
+  return accumulator_->close();
+}
+
+ClusterProducerStats ClusterProducer::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+broker::BatchAccumulatorStats ClusterProducer::batch_stats() const {
+  if (!accumulator_) return {};
+  return accumulator_->stats();
+}
+
+Status ClusterProducer::last_batch_error() const {
+  if (!accumulator_) return Status::Ok();
+  return accumulator_->last_error();
+}
 
 Result<BrokerId> ClusterProducer::leader_for(const std::string& topic,
                                              std::uint32_t partition) {
   const broker::TopicPartition tp{topic, partition};
-  auto it = leaders_.find(tp);
-  if (it != leaders_.end()) return it->second;
+  {
+    MutexLock lock(mutex_);
+    auto it = leaders_.find(tp);
+    if (it != leaders_.end()) return it->second;
+  }
   auto leader = cluster_->leader(topic, partition);
   if (!leader.ok()) return leader.status();
+  MutexLock lock(mutex_);
   ++stats_.metadata_refreshes;
   if (leader.value() == kNoBroker) {
     return Status::Unavailable("partition " + topic + "/" +
@@ -79,8 +130,19 @@ Result<std::uint64_t> ClusterProducer::send_batch(
   Status last_error = Status::Ok();
   for (std::size_t attempt = 0; attempt < retry_.max_attempts; ++attempt) {
     if (attempt > 0) {
-      ++stats_.retries;
-      backoff_step(retry_, delay);
+      {
+        MutexLock lock(mutex_);
+        ++stats_.retries;
+        if (last_error.retry_after() > Duration::zero()) {
+          ++stats_.throttle_waits;
+        }
+      }
+      // A throttled attempt (quota / hot-window cap) carries the broker's
+      // retry-after hint: honor it as the backoff floor so a herd of
+      // producers does not hammer an over-budget broker faster than its
+      // bucket refills.
+      Clock::sleep_scaled(std::max(delay, last_error.retry_after()));
+      delay = std::min(delay * 2, retry_.max_backoff);
     }
     auto leader = leader_for(topic, partition);
     if (!leader.ok()) {
@@ -92,8 +154,9 @@ Result<std::uint64_t> ClusterProducer::send_batch(
     // and coordinates duplicate.
     std::vector<broker::Record> copy = records;
     auto produced = cluster_->produce(leader.value(), topic, partition,
-                                      std::move(copy), acks_);
+                                      std::move(copy), acks_, id_);
     if (produced.ok()) {
+      MutexLock lock(mutex_);
       stats_.records_sent += count;
       return produced.value();
     }
@@ -101,9 +164,13 @@ Result<std::uint64_t> ClusterProducer::send_batch(
     // Leadership may have moved (NOT_LEADER carries the new leader; a
     // dead leader shows as UNAVAILABLE until the election lands): drop
     // the cache entry so the next attempt re-resolves.
-    leaders_.erase(broker::TopicPartition{topic, partition});
+    {
+      MutexLock lock(mutex_);
+      leaders_.erase(broker::TopicPartition{topic, partition});
+    }
     if (!retryable(retry_, last_error)) break;
   }
+  MutexLock lock(mutex_);
   ++stats_.send_errors;
   return last_error;
 }
@@ -260,7 +327,10 @@ Result<std::vector<broker::ConsumedRecord>> ClusterConsumer::poll(
   while (true) {
     sweep(out);
     if (!out.empty() || sw.elapsed_ms() >= budget_ms) break;
-    Clock::sleep_exact(std::chrono::microseconds(200));
+    // Scaled: the wall budget above shrank by the time scale, so a fixed
+    // 200us wall sleep would consume it in a handful of sweeps at high
+    // speed-up (and make an empty poll overshoot max_wait badly).
+    Clock::sleep_scaled(std::chrono::microseconds(200));
   }
   stats_.records_consumed += out.size();
   return out;

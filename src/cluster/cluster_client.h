@@ -21,7 +21,9 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "broker/batch_accumulator.h"
 #include "broker/record.h"
 #include "cluster/broker_cluster.h"
 #include "cluster/cluster_types.h"
@@ -47,6 +49,9 @@ struct ClusterProducerStats {
   std::uint64_t send_errors = 0;
   std::uint64_t retries = 0;
   std::uint64_t metadata_refreshes = 0;
+  /// Retries caused specifically by a broker throttle (quota or
+  /// hot-window cap) — the backpressure made visible to the client.
+  std::uint64_t throttle_waits = 0;
 };
 
 class ClusterProducer {
@@ -54,18 +59,35 @@ class ClusterProducer {
   explicit ClusterProducer(std::shared_ptr<BrokerCluster> cluster,
                            RetryConfig retry = {},
                            std::optional<AckPolicy> acks = std::nullopt);
+  ~ClusterProducer();
 
   /// Appends one record; returns its offset once acked.
   Result<std::uint64_t> send(const std::string& topic, std::uint32_t partition,
                              broker::Record record);
   /// Key-hash partition selection (stable across processes).
   Result<std::uint64_t> send(const std::string& topic, broker::Record record);
-  /// Appends a batch; returns the first offset once acked.
+  /// Appends a batch; returns the first offset once acked. A throttled
+  /// attempt (transient ResourceExhausted) backs off by at least the
+  /// broker's retry-after hint before retrying.
   Result<std::uint64_t> send_batch(const std::string& topic,
                                    std::uint32_t partition,
                                    std::vector<broker::Record> records);
 
-  const ClusterProducerStats& stats() const { return stats_; }
+  // --- batching path (mirrors broker::Producer) ---
+  /// Installs a batching accumulator feeding send_batch. Once enabled the
+  /// producer is safe to share between the enqueueing thread and the
+  /// accumulator's flusher.
+  void enable_batching(broker::BatchConfig config);
+  Status enqueue(const std::string& topic, std::uint32_t partition,
+                 broker::Record record);
+  Status flush();
+  Status close();
+
+  /// Client id presented to the leader broker's admission control.
+  const std::string& id() const { return id_; }
+  ClusterProducerStats stats() const;
+  broker::BatchAccumulatorStats batch_stats() const;
+  Status last_batch_error() const;
 
  private:
   Result<BrokerId> leader_for(const std::string& topic,
@@ -74,8 +96,14 @@ class ClusterProducer {
   std::shared_ptr<BrokerCluster> cluster_;
   RetryConfig retry_;
   AckPolicy acks_;
-  std::map<broker::TopicPartition, BrokerId> leaders_;
-  ClusterProducerStats stats_;
+  const std::string id_;
+  // Guards the leader cache and stats: with batching enabled, send_batch
+  // runs on both the caller's thread and the accumulator flusher. Held
+  // only around cache/stats access, never across a cluster call.
+  mutable Mutex mutex_{"cluster.producer"};
+  std::map<broker::TopicPartition, BrokerId> leaders_ PE_GUARDED_BY(mutex_);
+  ClusterProducerStats stats_ PE_GUARDED_BY(mutex_);
+  std::unique_ptr<broker::BatchAccumulator> accumulator_;
 };
 
 struct ClusterConsumerConfig {

@@ -14,6 +14,7 @@
 #include "common/clock.h"
 #include "common/serialize.h"
 #include "common/status.h"
+#include "broker/admission.h"
 #include "broker/group_coordinator.h"
 #include "storage/storage_config.h"
 
@@ -97,6 +98,10 @@ struct ClusterOptions {
   /// `<durable_root>/broker-<i>`, and a killed broker recovers from disk.
   std::string durable_root;
   storage::StorageConfig storage;
+  /// Edge admission control applied by every member broker (per-client
+  /// quotas + hot-window memory cap). Quotas only bite at the partition
+  /// leader — replication is admission-exempt.
+  broker::AdmissionConfig admission;
 };
 
 /// Wire format of one `__offsets` record body (the record key is the group

@@ -23,11 +23,13 @@ struct TaskIdTag {};
 struct MessageIdTag {};
 struct PipelineIdTag {};
 struct ConsumerIdTag {};
+struct ProducerIdTag {};
 
 inline std::string next_pilot_id() { return "pilot-" + std::to_string(IdSequence<PilotIdTag>::next()); }
 inline std::string next_task_id() { return "task-" + std::to_string(IdSequence<TaskIdTag>::next()); }
 inline std::uint64_t next_message_id() { return IdSequence<MessageIdTag>::next(); }
 inline std::string next_pipeline_id() { return "pipeline-" + std::to_string(IdSequence<PipelineIdTag>::next()); }
 inline std::string next_consumer_id() { return "consumer-" + std::to_string(IdSequence<ConsumerIdTag>::next()); }
+inline std::string next_producer_id() { return "producer-" + std::to_string(IdSequence<ProducerIdTag>::next()); }
 
 }  // namespace pe

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cassert>
+#include <chrono>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -71,18 +72,36 @@ class [[nodiscard]] Status {
   static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
   static Status NotLeader(std::string m) { return {StatusCode::kNotLeader, std::move(m)}; }
 
+  /// Admission-control throttle: RESOURCE_EXHAUSTED carrying a retry-after
+  /// hint. The hint is what makes the status *transient* — the broker is
+  /// telling the client when capacity returns, as opposed to a plain
+  /// RESOURCE_EXHAUSTED ("no such VM flavor") that retrying cannot fix.
+  static Status Throttled(std::string m, std::chrono::nanoseconds retry_after) {
+    Status s{StatusCode::kResourceExhausted, std::move(m)};
+    s.retry_after_ = retry_after;
+    return s;
+  }
+
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Server-suggested wait (emulated time) before retrying; zero when the
+  /// server gave no hint. Only throttle statuses carry one.
+  std::chrono::nanoseconds retry_after() const { return retry_after_; }
+
   /// True for failures that may succeed if simply tried again (a lost
-  /// resource that can be re-provisioned, a request that ran out of time).
-  /// Deterministic errors (INVALID_ARGUMENT, INTERNAL, ...) are not
-  /// transient: retrying the same input reproduces the same failure.
+  /// resource that can be re-provisioned, a request that ran out of time,
+  /// a quota throttle with a retry-after hint). Deterministic errors
+  /// (INVALID_ARGUMENT, INTERNAL, plain RESOURCE_EXHAUSTED capacity
+  /// errors, ...) are not transient: retrying the same input reproduces
+  /// the same failure.
   bool is_transient() const {
     return code_ == StatusCode::kUnavailable ||
            code_ == StatusCode::kTimeout ||
-           code_ == StatusCode::kNotLeader;
+           code_ == StatusCode::kNotLeader ||
+           (code_ == StatusCode::kResourceExhausted &&
+            retry_after_ > std::chrono::nanoseconds::zero());
   }
 
   std::string to_string() const {
@@ -97,6 +116,7 @@ class [[nodiscard]] Status {
  private:
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
+  std::chrono::nanoseconds retry_after_{0};
 };
 
 /// Outcome of an operation that produces a T on success.

@@ -1,0 +1,210 @@
+// BatchAccumulator coverage: size/linger/close/manual triggers, sink
+// error accounting, per-partition separation, and the linger==0
+// flush-per-add mode.
+#include "broker/batch_accumulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace pe::broker {
+namespace {
+
+using namespace std::chrono_literals;
+
+Record make_record(const std::string& key, std::size_t value_size = 16) {
+  Record r;
+  r.key = key;
+  r.value = Bytes(value_size, 0x11);
+  return r;
+}
+
+/// Thread-safe sink capturing every flushed batch (the flusher thread and
+/// the add() caller may both flush).
+struct SinkCapture {
+  struct Batch {
+    std::string topic;
+    std::uint32_t partition;
+    std::vector<Record> records;
+  };
+
+  BatchAccumulator::FlushFn fn() {
+    return [this](const std::string& topic, std::uint32_t partition,
+                  std::vector<Record> records) {
+      std::lock_guard<std::mutex> lock(mu);
+      batches.push_back({topic, partition, std::move(records)});
+      return result;
+    };
+  }
+
+  std::size_t batch_count() {
+    std::lock_guard<std::mutex> lock(mu);
+    return batches.size();
+  }
+
+  std::size_t record_count() {
+    std::lock_guard<std::mutex> lock(mu);
+    std::size_t n = 0;
+    for (const auto& b : batches) n += b.records.size();
+    return n;
+  }
+
+  std::mutex mu;
+  std::vector<Batch> batches;
+  Status result = Status::Ok();
+};
+
+/// Wall-bounded wait for an asynchronous (flusher-thread) effect.
+template <typename Pred>
+bool wait_until(Pred pred, std::chrono::milliseconds wall_budget = 2000ms) {
+  Stopwatch sw;
+  while (sw.elapsed_ms() < static_cast<double>(wall_budget.count())) {
+    if (pred()) return true;
+    Clock::sleep_exact(1ms);
+  }
+  return pred();
+}
+
+TEST(BatchAccumulatorTest, SizeTriggerFlushesSynchronously) {
+  SinkCapture capture;
+  BatchConfig config;
+  config.linger = std::chrono::seconds(60);  // never fires here
+  config.batch_max_bytes = 3 * make_record("k").wire_size();
+  BatchAccumulator acc(config, capture.fn());
+
+  ASSERT_TRUE(acc.add("t", 0, make_record("k")).ok());
+  ASSERT_TRUE(acc.add("t", 0, make_record("k")).ok());
+  EXPECT_EQ(capture.batch_count(), 0u);  // below the size threshold
+  ASSERT_TRUE(acc.add("t", 0, make_record("k")).ok());  // trips the size
+
+  EXPECT_EQ(capture.batch_count(), 1u);
+  EXPECT_EQ(capture.record_count(), 3u);
+  const auto stats = acc.stats();
+  EXPECT_EQ(stats.records_enqueued, 3u);
+  EXPECT_EQ(stats.records_flushed, 3u);
+  EXPECT_EQ(stats.batches_flushed, 1u);
+  EXPECT_EQ(stats.flushes_on_size, 1u);
+  EXPECT_EQ(stats.flushes_on_time, 0u);
+}
+
+TEST(BatchAccumulatorTest, LingerTriggerFlushesFromBackgroundThread) {
+  // 200ms emulated linger at 100x = 2ms wall: the flusher fires without
+  // any further add() calls.
+  ScopedTimeScale scale(100.0);
+  SinkCapture capture;
+  BatchConfig config;
+  config.linger = std::chrono::milliseconds(200);
+  config.batch_max_bytes = 1ull << 20;
+  BatchAccumulator acc(config, capture.fn());
+
+  ASSERT_TRUE(acc.add("t", 0, make_record("k")).ok());
+  ASSERT_TRUE(wait_until([&] { return capture.batch_count() >= 1; }));
+  EXPECT_EQ(capture.record_count(), 1u);
+  const auto stats = acc.stats();
+  EXPECT_EQ(stats.flushes_on_time, 1u);
+  EXPECT_EQ(stats.flushes_on_size, 0u);
+}
+
+TEST(BatchAccumulatorTest, CloseFlushesPendingAndRejectsFurtherAdds) {
+  SinkCapture capture;
+  BatchConfig config;
+  config.linger = std::chrono::seconds(60);
+  config.batch_max_bytes = 1ull << 20;
+  BatchAccumulator acc(config, capture.fn());
+
+  ASSERT_TRUE(acc.add("t", 0, make_record("a")).ok());
+  ASSERT_TRUE(acc.add("t", 0, make_record("b")).ok());
+  ASSERT_TRUE(acc.close().ok());
+
+  EXPECT_EQ(capture.batch_count(), 1u);
+  EXPECT_EQ(capture.record_count(), 2u);
+  EXPECT_EQ(acc.stats().flushes_on_close, 1u);
+
+  EXPECT_EQ(acc.add("t", 0, make_record("c")).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(acc.close().ok());  // idempotent
+}
+
+TEST(BatchAccumulatorTest, ManualFlushDrainsPending) {
+  SinkCapture capture;
+  BatchConfig config;
+  config.linger = std::chrono::seconds(60);
+  BatchAccumulator acc(config, capture.fn());
+
+  ASSERT_TRUE(acc.add("t", 0, make_record("a")).ok());
+  ASSERT_TRUE(acc.flush().ok());
+  EXPECT_EQ(capture.batch_count(), 1u);
+  EXPECT_EQ(acc.stats().flushes_manual, 1u);
+  // Nothing pending: flushing again is a no-op, not an error.
+  ASSERT_TRUE(acc.flush().ok());
+  EXPECT_EQ(capture.batch_count(), 1u);
+}
+
+TEST(BatchAccumulatorTest, SinkErrorsAreCountedAndSurfaced) {
+  SinkCapture capture;
+  capture.result = Status::Unavailable("broker down");
+  BatchConfig config;
+  config.linger = std::chrono::seconds(60);
+  config.batch_max_bytes = 2 * make_record("k").wire_size();
+  BatchAccumulator acc(config, capture.fn());
+
+  ASSERT_TRUE(acc.add("t", 0, make_record("k")).ok());
+  // The size-triggered flush returns the sink's error to the caller.
+  EXPECT_EQ(acc.add("t", 0, make_record("k")).code(),
+            StatusCode::kUnavailable);
+
+  const auto stats = acc.stats();
+  EXPECT_EQ(stats.flush_errors, 1u);
+  EXPECT_EQ(stats.records_dropped, 2u);  // the sink owns any retries
+  EXPECT_EQ(acc.last_error().code(), StatusCode::kUnavailable);
+}
+
+TEST(BatchAccumulatorTest, PartitionsBatchIndependently) {
+  SinkCapture capture;
+  BatchConfig config;
+  config.linger = std::chrono::seconds(60);
+  BatchAccumulator acc(config, capture.fn());
+
+  ASSERT_TRUE(acc.add("t", 0, make_record("a")).ok());
+  ASSERT_TRUE(acc.add("t", 0, make_record("b")).ok());
+  ASSERT_TRUE(acc.add("t", 1, make_record("c")).ok());
+  ASSERT_TRUE(acc.add("u", 0, make_record("d")).ok());
+  ASSERT_TRUE(acc.flush().ok());
+
+  ASSERT_EQ(capture.batch_count(), 3u);
+  std::size_t t0 = 0, t1 = 0, u0 = 0;
+  {
+    std::lock_guard<std::mutex> lock(capture.mu);
+    for (const auto& b : capture.batches) {
+      if (b.topic == "t" && b.partition == 0) t0 = b.records.size();
+      if (b.topic == "t" && b.partition == 1) t1 = b.records.size();
+      if (b.topic == "u" && b.partition == 0) u0 = b.records.size();
+    }
+  }
+  EXPECT_EQ(t0, 2u);
+  EXPECT_EQ(t1, 1u);
+  EXPECT_EQ(u0, 1u);
+}
+
+TEST(BatchAccumulatorTest, ZeroLingerFlushesEveryAdd) {
+  SinkCapture capture;
+  BatchConfig config;
+  config.linger = Duration::zero();
+  BatchAccumulator acc(config, capture.fn());
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(acc.add("t", 0, make_record("k")).ok());
+  }
+  EXPECT_EQ(capture.batch_count(), 3u);
+  EXPECT_EQ(acc.stats().batches_flushed, 3u);
+  EXPECT_EQ(acc.stats().records_flushed, 3u);
+}
+
+}  // namespace
+}  // namespace pe::broker

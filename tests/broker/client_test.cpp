@@ -337,5 +337,69 @@ TEST_F(ClientTest, FetchChargesDownlink) {
   EXPECT_GT(stats.at("cloud->edge").bytes, 1000u);
 }
 
+// Regression: fetch_max_bytes bounds the whole poll, not each partition.
+// The old code handed every partition the full budget, so a wide
+// assignment returned partitions x budget bytes per poll.
+TEST_F(ClientTest, PollSharesFetchMaxBytesAcrossPartitions) {
+  ASSERT_TRUE(
+      broker_->create_topic("wide", TopicConfig{.partitions = 3}).ok());
+  Producer producer(broker_, fabric_, "edge");
+  const std::uint64_t wire = make_record("k", 1024).wire_size();
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(producer.send("wide", p, make_record("k", 1024)).ok());
+    }
+  }
+
+  ConsumerConfig config;
+  config.fetch_max_bytes = 2 * wire + wire / 2;  // ~2.5 records
+  Consumer consumer(broker_, fabric_, "cloud", "g-budget", config);
+  ASSERT_TRUE(consumer.assign({{"wide", 0}, {"wide", 1}, {"wide", 2}}).ok());
+
+  auto first = consumer.poll(std::chrono::milliseconds(100));
+  ASSERT_FALSE(first.empty());
+  std::uint64_t bytes = 0;
+  for (const auto& r : first) bytes += r.record.wire_size();
+  // Shared budget: at most ~budget bytes plus one record of overshoot
+  // where the residual budget was smaller than a record — never the old
+  // 3 x 2.5 records.
+  EXPECT_LE(bytes, config.fetch_max_bytes + wire);
+  EXPECT_LT(first.size(), 6u);
+
+  // The budget resets per poll, so subsequent polls drain the rest.
+  std::size_t total = first.size();
+  for (int i = 0; i < 50 && total < 12; ++i) {
+    total += consumer.poll(std::chrono::milliseconds(20)).size();
+  }
+  EXPECT_EQ(total, 12u);
+}
+
+// Producer-side batching: enqueued records coalesce into one transfer and
+// one broker produce per flush.
+TEST_F(ClientTest, BatchingProducerCoalescesEnqueues) {
+  Producer producer(broker_, fabric_, "edge");
+  BatchConfig config;
+  config.linger = std::chrono::seconds(60);  // only explicit flushes
+  config.batch_max_bytes = 1ull << 20;
+  producer.enable_batching(config);
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(producer.enqueue("t", 0, make_record("k")).ok());
+  }
+  const auto before = fabric_->link_stats().at("edge->cloud").transfers;
+  ASSERT_TRUE(producer.flush().ok());
+  const auto after = fabric_->link_stats().at("edge->cloud").transfers;
+  EXPECT_EQ(after - before, 1u);  // 10 records, one wire transfer
+  EXPECT_EQ(producer.stats().records_sent, 10u);
+  EXPECT_EQ(producer.batch_stats().records_flushed, 10u);
+
+  Consumer consumer(broker_, fabric_, "cloud", "g-batch");
+  ASSERT_TRUE(consumer.assign({{"t", 0}}).ok());
+  EXPECT_EQ(consumer.poll(std::chrono::milliseconds(100)).size(), 10u);
+  ASSERT_TRUE(producer.close().ok());
+  EXPECT_EQ(producer.enqueue("t", 0, make_record("k")).code(),
+            StatusCode::kFailedPrecondition);
+}
+
 }  // namespace
 }  // namespace pe::broker

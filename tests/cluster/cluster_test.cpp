@@ -292,5 +292,47 @@ TEST(ClusterClientTest, ConsumerGroupEndToEnd) {
   EXPECT_TRUE(consumer.close().ok());
 }
 
+TEST(ClusterClientTest, ThrottledProduceIsRetriedTransparently) {
+  // Quota buckets refill in emulated time (wall x scale): speed up the
+  // wait-out-the-hint half. Declared first so the scale is restored only
+  // after the cluster (and its background threads) shut down.
+  ScopedTimeScale scale(10.0);
+  auto options = fast_options();
+  options.admission.default_quota.bytes_per_sec = 20'000.0;
+  options.admission.default_quota.burst_seconds = 1.0;
+  auto cluster = std::make_shared<BrokerCluster>(options);
+  ClusterTopicConfig one;
+  one.partitions = 1;
+  ASSERT_TRUE(cluster->create_topic("metrics", one).ok());
+
+  RetryConfig retry;
+  retry.max_attempts = 16;
+  ClusterProducer producer(cluster, retry);
+
+  // The first batch is larger than the whole burst depth: admitted
+  // against the full bucket, leaving the client's quota in debt...
+  std::vector<broker::Record> big;
+  for (int i = 0; i < 250; ++i) {
+    big.push_back(make_record("k" + std::to_string(i)));
+  }
+  ASSERT_TRUE(producer.send_batch("metrics", 0, std::move(big)).ok());
+
+  // ...so the next send is throttled at the leader. The throttle is
+  // transient: the producer backs off by at least the broker's
+  // retry-after hint and succeeds — the caller never sees an error.
+  ASSERT_TRUE(producer.send("metrics", 0, make_record("tail")).ok());
+  const auto stats = producer.stats();
+  EXPECT_EQ(stats.send_errors, 0u);
+  EXPECT_GE(stats.retries, 1u);
+  EXPECT_GE(stats.throttle_waits, 1u);
+  EXPECT_EQ(stats.records_sent, 251u);
+
+  // Quotas gate clients only; replication is exempt, so the throttled
+  // records still replicate to a full quorum.
+  ASSERT_TRUE(wait_until([&] {
+    return cluster->replicas_converged("metrics", 0);
+  }));
+}
+
 }  // namespace
 }  // namespace pe::cluster

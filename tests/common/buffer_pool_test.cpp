@@ -102,6 +102,28 @@ TEST(BufferPoolTest, ConcurrentAcquireReleaseSmoke) {
   EXPECT_LE(pool.free_count(), static_cast<std::size_t>(kThreads));
 }
 
+TEST(BufferPoolTest, SharedAcquireRecyclesAcrossCycles) {
+  // Regression: acquire_shared must hand the SAME underlying allocation
+  // back cycle after cycle (the custom deleter returns it to the pool),
+  // not allocate fresh storage per acquire.
+  BufferPool pool;
+  const Bytes::value_type* data = nullptr;
+  constexpr int kCycles = 100;
+  for (int i = 0; i < kCycles; ++i) {
+    std::shared_ptr<Bytes> buf = pool.acquire_shared(512);
+    buf->assign(128, static_cast<std::uint8_t>(i));
+    if (data == nullptr) {
+      data = buf->data();
+    } else {
+      EXPECT_EQ(buf->data(), data) << "cycle " << i << " reallocated";
+    }
+  }
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.misses, 1u);  // only the very first acquire allocated
+  EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kCycles - 1));
+  EXPECT_EQ(pool.free_count(), 1u);  // no growth: one buffer in steady state
+}
+
 TEST(BufferPoolTest, GlobalPoolIsSingleInstance) {
   EXPECT_EQ(&BufferPool::global(), &BufferPool::global());
 }

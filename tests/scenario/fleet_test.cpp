@@ -1,0 +1,91 @@
+// FleetGenerator smoke tests: a small fleet drains completely (consumed
+// == acked, zero drops) and a capped durable broker never exceeds its
+// hot-window byte cap while still losing nothing.
+#include "scenario/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "common/clock.h"
+#include "broker/broker.h"
+
+namespace pe::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+FleetConfig small_config() {
+  FleetConfig config;
+  config.devices = 2000;
+  config.sender_threads = 2;
+  config.partitions = 4;
+  config.mean_rate_hz = 2.0;
+  config.duration = std::chrono::milliseconds(300);
+  config.tick = std::chrono::milliseconds(10);
+  // Real fsync/compute stretches wall time, which the emulated drain
+  // budget must absorb at high time scales: be generous.
+  config.drain_timeout = std::chrono::seconds(120);
+  return config;
+}
+
+TEST(FleetGeneratorTest, SmallFleetDrainsCompletely) {
+  ScopedTimeScale scale(100.0);
+  auto broker = std::make_shared<broker::Broker>("edge-hub");
+  FleetGenerator fleet(small_config(), broker);
+  auto report = fleet.run();
+  ASSERT_TRUE(report.ok());
+  const auto& r = report.value();
+  EXPECT_GT(r.records_generated, 0u);
+  // In-memory broker, no quotas: everything is acked first try and every
+  // acked record is read back by the drain.
+  EXPECT_EQ(r.records_acked, r.records_generated);
+  EXPECT_EQ(r.dropped_records, 0u);
+  EXPECT_EQ(r.records_consumed, r.records_acked);
+  EXPECT_EQ(r.final_lag, 0u);
+  EXPECT_GT(r.batches_sent, 0u);
+}
+
+TEST(FleetGeneratorTest, CappedDurableBrokerHoldsCapWithZeroLoss) {
+  ScopedTimeScale scale(100.0);
+  const auto dir =
+      fs::path(::testing::TempDir()) /
+      ("pe_fleet_capped_" +
+       std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+  fs::remove_all(dir);
+  constexpr std::uint64_t kCap = 256 * 1024;
+
+  broker::BrokerOptions options;
+  options.durable_dir = dir.string();
+  options.admission.max_hot_window_bytes = kCap;
+  auto broker = std::make_shared<broker::Broker>("edge-hub", options);
+
+  auto config = small_config();
+  // Per-partition hot bound sized so the fleet's steady state sits well
+  // under the broker-wide cap (same rule as bench_fleet).
+  config.retention.hot_max_bytes = kCap / (2ull * config.partitions);
+  FleetGenerator fleet(config, broker);
+  auto report = fleet.run();
+  ASSERT_TRUE(report.ok());
+  const auto& r = report.value();
+  EXPECT_EQ(r.dropped_records, 0u);
+  EXPECT_EQ(r.records_consumed, r.records_acked);
+  EXPECT_EQ(r.final_lag, 0u);
+  EXPECT_LE(r.max_hot_window_bytes, kCap);
+  EXPECT_LE(broker->hot_window_bytes(), kCap);
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
+TEST(FleetGeneratorTest, RejectsEmptyFleet) {
+  auto broker = std::make_shared<broker::Broker>("edge-hub");
+  FleetConfig config;
+  config.devices = 0;
+  FleetGenerator fleet(config, broker);
+  EXPECT_FALSE(fleet.run().ok());
+}
+
+}  // namespace
+}  // namespace pe::scenario

@@ -11,6 +11,8 @@
 #   tools/check.sh tidy [path-regex]     # clang-tidy over src/
 #   tools/check.sh storage-torture [rounds]  # crash/recover kill-loop
 #   tools/check.sh cluster-torture [rounds]  # leader-kill failover loop
+#   tools/check.sh fleet-smoke [devices]     # 100k-device fleet, capped broker
+#   tools/check.sh quota-storm [devices]     # fleet under a tight quota
 set -euo pipefail
 
 MODE="${1:-thread}"
@@ -95,10 +97,44 @@ case "${MODE}" in
     done
     ;;
 
+  fleet-smoke)
+    # Fleet-scale admission run: 100k simulated devices against one
+    # durable broker with an 8 MiB hot-window cap. bench_fleet exits
+    # non-zero on any acked-record loss, dropped records, or a cap
+    # breach; the greps additionally pin the zero-loss line in the json.
+    DEVICES="${FILTER:-100000}"
+    BUILD_DIR="${ROOT}/build"
+    cmake -B "${BUILD_DIR}" -S "${ROOT}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "${BUILD_DIR}" -j"$(nproc)" --target bench_fleet
+    OUT="$(PE_FLEET_DEVICES="${DEVICES}" "${BUILD_DIR}/bench/bench_fleet")"
+    echo "${OUT}"
+    echo "${OUT}" | grep '"bench":"fleet"' | grep -q '"acked_record_loss":0'
+    echo "${OUT}" | grep -q '"cap_respected":true'
+    ;;
+
+  quota-storm)
+    # Same fleet squeezed through a deliberately tiny per-client quota
+    # (0.05 MB/s): the point is that throttles fire AND every throttled
+    # producer retries to success — backpressure, zero loss.
+    DEVICES="${FILTER:-100000}"
+    BUILD_DIR="${ROOT}/build"
+    cmake -B "${BUILD_DIR}" -S "${ROOT}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "${BUILD_DIR}" -j"$(nproc)" --target bench_fleet
+    OUT="$(PE_FLEET_DEVICES="${DEVICES}" PE_FLEET_QUOTA_MBPS=0.05 \
+           "${BUILD_DIR}/bench/bench_fleet")"
+    echo "${OUT}"
+    echo "${OUT}" | grep '"bench":"fleet"' | grep -q '"acked_record_loss":0'
+    echo "${OUT}" | grep -q '"cap_respected":true'
+    if echo "${OUT}" | grep -q '"throttled_sends":0,'; then
+      echo "error: quota storm produced no throttles — quota not biting" >&2
+      exit 1
+    fi
+    ;;
+
   *)
     echo "error: unknown mode '${MODE}'" >&2
     echo "modes: thread | address | undefined | thread-safety | tidy |" \
-         "storage-torture | cluster-torture" >&2
+         "storage-torture | cluster-torture | fleet-smoke | quota-storm" >&2
     exit 2
     ;;
 esac
