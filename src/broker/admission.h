@@ -97,6 +97,14 @@ struct AdmissionConfig {
   /// replication) carry no client id and bypass quotas — they must drain
   /// — but never the hot-window cap accounting.
   ClientQuota default_quota;
+  /// Fetch-side mirror of `default_quota`: applied to every identified
+  /// consumer client without an explicit set_fetch_quota entry. Fetch
+  /// sizes are unknown until served, so the gate is debt-based: a fetch
+  /// is admitted while the client's buckets are non-negative, then
+  /// charged for what it actually carried (possibly overdrawing into
+  /// debt, which blocks subsequent fetches until the debt refills —
+  /// Kafka's consumer byte-rate quotas work the same way).
+  ClientQuota default_fetch_quota;
   /// Cap on the sum of all partitions' hot-window (in-memory deque)
   /// bytes. 0 = unbounded. When a produce would overshoot, it is
   /// throttled (after one retention pass) instead of appended.
@@ -115,12 +123,26 @@ class AdmissionController {
   /// Installs (or replaces) an explicit quota for a client id.
   void set_quota(const std::string& client, ClientQuota quota);
 
+  /// Installs (or replaces) an explicit fetch quota for a client id.
+  void set_fetch_quota(const std::string& client, ClientQuota quota);
+
   /// Quota gate. Consumes from the client's byte and record buckets
   /// atomically (neither is charged when either refuses). Empty client
   /// ids are exempt. Refusals are Status::Throttled with a retry-after
   /// hint, i.e. transient.
   Status admit(const std::string& client, std::size_t records,
                std::uint64_t bytes);
+
+  /// Fetch-side quota gate (debt model): refuses with Status::Throttled
+  /// while the client's fetch buckets are in debt from previous charges.
+  /// Empty client ids are exempt (internal fetches: replication,
+  /// long-poll wait probes).
+  Status admit_fetch(const std::string& client);
+
+  /// Charges a served fetch against the client's fetch buckets. May
+  /// overdraw; admit_fetch gates until the debt refills.
+  void charge_fetch(const std::string& client, std::size_t records,
+                    std::uint64_t bytes);
 
   /// Hot-window reservation: returns OK when `bytes` fit under the cap
   /// given the current hot bytes plus all in-flight reservations — the
@@ -146,6 +168,10 @@ class AdmissionController {
   struct ClientState {
     std::optional<TokenBucket> bytes;
     std::optional<TokenBucket> records;
+    /// Fetch-side buckets (consumer byte/record rates), charged after the
+    /// fetch is served.
+    std::optional<TokenBucket> fetch_bytes;
+    std::optional<TokenBucket> fetch_records;
     /// Emulated clock for this client's buckets, advanced by wall elapsed
     /// time x Clock::time_scale at each admit.
     std::uint64_t emulated_ns = 0;
@@ -153,6 +179,11 @@ class AdmissionController {
   };
 
   ClientState make_state(const ClientQuota& quota) const;
+  /// Installs the fetch-side buckets of `quota` into an existing state.
+  static void apply_fetch_quota(ClientState& state, const ClientQuota& quota);
+  /// Finds or creates the state for a client, seeding missing buckets
+  /// from the config defaults.
+  ClientState& state_for(const std::string& client) PE_REQUIRES(mutex_);
   /// Advances the client's emulated clock to now.
   static std::uint64_t advance_clock(ClientState& state);
 

@@ -407,6 +407,11 @@ void Broker::set_client_quota(const std::string& client, ClientQuota quota) {
   admission_.set_quota(client, quota);
 }
 
+void Broker::set_client_fetch_quota(const std::string& client,
+                                    ClientQuota quota) {
+  admission_.set_fetch_quota(client, quota);
+}
+
 Result<std::uint64_t> Broker::replicate(const std::string& topic,
                                         std::uint32_t partition,
                                         std::vector<ConsumedRecord> records) {
@@ -438,9 +443,16 @@ Result<std::uint32_t> Broker::select_partition(const std::string& topic,
   return t->select_partition(record);
 }
 
-Result<std::vector<ConsumedRecord>> Broker::fetch(const std::string& topic,
-                                                  std::uint32_t partition,
-                                                  const FetchSpec& spec) {
+Result<std::vector<ConsumedRecord>> Broker::fetch(
+    const std::string& topic, std::uint32_t partition, const FetchSpec& spec,
+    const std::string& client_id) {
+  // Fetch admission (debt gate) runs before the log is touched, so a
+  // throttled consumer costs the broker nothing but the bucket math.
+  if (auto s = admission_.admit_fetch(client_id); !s.ok()) {
+    stats_.throttled.fetch_add(1, kRelaxed);
+    stats_.fetch_throttled.fetch_add(1, kRelaxed);
+    return s;
+  }
   auto t = find_topic(topic);
   if (!t) return Status::NotFound("topic '" + topic + "' not found");
   if (partition_offline(topic, partition)) {
@@ -464,6 +476,11 @@ Result<std::vector<ConsumedRecord>> Broker::fetch(const std::string& topic,
   stats_.fetch_requests.fetch_add(1, kRelaxed);
   stats_.records_out.fetch_add(records.size(), kRelaxed);
   stats_.bytes_out.fetch_add(bytes, kRelaxed);
+  // Charge-after: the served size is only known now; an overdraw parks
+  // the client's buckets in debt and admit_fetch throttles the next poll.
+  if (!records.empty()) {
+    admission_.charge_fetch(client_id, records.size(), bytes);
+  }
   return records;
 }
 
@@ -566,6 +583,7 @@ BrokerStats Broker::stats() const {
   out.records_dead_lettered = stats_.records_dead_lettered.load(kRelaxed);
   out.throttled = stats_.throttled.load(kRelaxed);
   out.quota_rejections = stats_.quota_rejections.load(kRelaxed);
+  out.fetch_throttled = stats_.fetch_throttled.load(kRelaxed);
   return out;
 }
 

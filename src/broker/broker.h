@@ -56,6 +56,8 @@ struct BrokerStats {
   /// cap). quota_rejections counts the per-client-quota subset.
   std::uint64_t throttled = 0;
   std::uint64_t quota_rejections = 0;
+  /// Fetches refused because the client's fetch buckets were in debt.
+  std::uint64_t fetch_throttled = 0;
 };
 
 /// Name of the dead-letter topic shadowing `topic` (Kafka convention).
@@ -109,9 +111,16 @@ class Broker {
   Result<std::uint32_t> select_partition(const std::string& topic,
                                          const Record& record);
 
+  /// `client_id` identifies the fetching client for fetch-side admission
+  /// control (mirror of the produce path): a client whose fetch buckets
+  /// are in debt is refused with Status::Throttled + retry-after hint,
+  /// and a served fetch is charged for the bytes/records it actually
+  /// carried. Empty = internal caller (replication, long-poll wait
+  /// probes), quota-exempt.
   Result<std::vector<ConsumedRecord>> fetch(const std::string& topic,
                                             std::uint32_t partition,
-                                            const FetchSpec& spec);
+                                            const FetchSpec& spec,
+                                            const std::string& client_id = {});
 
   /// Next offset to be written in a partition ("high watermark").
   Result<std::uint64_t> end_offset(const std::string& topic,
@@ -169,6 +178,8 @@ class Broker {
   // --- admission control ---
   /// Installs an explicit quota for a client id (overrides the default).
   void set_client_quota(const std::string& client, ClientQuota quota);
+  /// Installs an explicit fetch-side quota for a client id.
+  void set_client_fetch_quota(const std::string& client, ClientQuota quota);
   /// Sum of all partitions' in-memory hot-window bytes right now.
   std::uint64_t hot_window_bytes() const {
     return admission_.hot_window_bytes();
@@ -214,6 +225,7 @@ class Broker {
     std::atomic<std::uint64_t> records_dead_lettered{0};
     std::atomic<std::uint64_t> throttled{0};
     std::atomic<std::uint64_t> quota_rejections{0};
+    std::atomic<std::uint64_t> fetch_throttled{0};
   };
 
   const net::SiteId site_;

@@ -97,6 +97,12 @@ void Consumer::maybe_rebalance() {
 }
 
 std::vector<ConsumedRecord> Consumer::poll(Duration timeout) {
+  return poll(timeout, nullptr);
+}
+
+std::vector<ConsumedRecord> Consumer::poll(Duration timeout,
+                                           Status* throttle) {
+  if (throttle != nullptr) *throttle = Status::Ok();
   // At-least-once auto-commit (Kafka semantics): what the PREVIOUS poll
   // delivered is committed now — the application has had the records in
   // hand since then, so a crash between polls redelivers instead of
@@ -142,11 +148,19 @@ std::vector<ConsumedRecord> Consumer::poll(Duration timeout) {
       spec.max_records = config_.max_poll_records - out.size();
       spec.max_bytes = byte_budget;
       spec.max_wait = Duration::zero();
-      auto fetched = broker_->fetch(tp.topic, tp.partition, spec);
+      auto fetched = broker_->fetch(tp.topic, tp.partition, spec, id_);
       if (!fetched.ok()) {
         if (fetched.status().code() == StatusCode::kOutOfRange) {
           // Retained away or stale position: jump to a valid offset.
           positions_[tp] = initial_position(tp);
+        } else if (fetched.status().retry_after() > Duration::zero()) {
+          // Fetch quota in debt: every partition would get the same
+          // refusal, so surface the throttle (with the broker's
+          // retry-after hint) and end the poll with what we have.
+          if (throttle != nullptr) *throttle = fetched.status();
+          stats_.throttled_polls += 1;
+          if (!out.empty()) uncommitted_delivery_ = true;
+          return out;
         } else {
           PE_LOG_WARN("poll fetch failed: " << fetched.status().to_string());
         }

@@ -42,6 +42,8 @@ struct ConsumerStats {
   std::uint64_t bytes_received = 0;
   std::uint64_t polls = 0;
   std::uint64_t rebalances = 0;
+  /// Polls cut short by a broker-side fetch throttle.
+  std::uint64_t throttled_polls = 0;
 };
 
 class Consumer {
@@ -65,6 +67,13 @@ class Consumer {
   /// Fetches up to config.max_poll_records across assigned partitions,
   /// waiting up to `timeout` for data. Returns an empty vector on timeout.
   std::vector<ConsumedRecord> poll(Duration timeout);
+
+  /// Like poll(), additionally reporting fetch-side throttling: when the
+  /// broker refused a fetch because this client's fetch quota is in debt,
+  /// `*throttle` is the Status::Throttled (carrying the broker's
+  /// retry-after hint) and the poll returns early instead of burning the
+  /// timeout against a broker that already said no. OK otherwise.
+  std::vector<ConsumedRecord> poll(Duration timeout, Status* throttle);
 
   /// Current assignment (after any pending rebalance is applied on poll).
   std::vector<TopicPartition> assignment() const;

@@ -1,6 +1,12 @@
 #include "fault/chaos_engine.h"
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 #include "common/clock.h"
@@ -217,6 +223,29 @@ Status ChaosEngine::apply(const FaultEvent& event) {
       }
       return broker_cluster_->restore_broker(event.target,
                                              event.keep_fraction);
+    }
+    case FaultKind::kKillPeerProcess: {
+      // Real process kill (transport smoke harness): the target is a
+      // decimal pid of a peer the harness spawned. Guarded against
+      // killing ourselves or anything we cannot plausibly own.
+      char* end = nullptr;
+      const long pid = std::strtol(event.target.c_str(), &end, 10);
+      if (end == event.target.c_str() || *end != '\0' || pid <= 1) {
+        return Status::InvalidArgument("kill-peer-process target must be a "
+                                       "pid > 1, got '" +
+                                       event.target + "'");
+      }
+      if (pid == static_cast<long>(::getpid())) {
+        return Status::InvalidArgument("refusing to SIGKILL self");
+      }
+      if (::kill(static_cast<pid_t>(pid), SIGKILL) != 0) {
+        return Status::NotFound("kill(" + event.target +
+                                "): " + std::strerror(errno));
+      }
+      tel::MetricsRegistry::global()
+          .counter("transport.peer_kills")
+          .add();
+      return Status::Ok();
     }
   }
   return Status::InvalidArgument("unknown fault kind");

@@ -29,6 +29,8 @@ enum class FaultKind {
                              // (cluster mode: kill one named member)
   kIsolateBroker,            // cluster member unreachable (network split)
   kRestoreBroker,            // cluster member back (recover + rejoin)
+  kKillPeerProcess,          // SIGKILL a real peer OS process (target =
+                             // decimal pid; transport smoke harness)
 };
 
 constexpr const char* to_string(FaultKind k) {
@@ -44,6 +46,7 @@ constexpr const char* to_string(FaultKind k) {
     case FaultKind::kCrashBroker: return "crash-broker";
     case FaultKind::kIsolateBroker: return "isolate-broker";
     case FaultKind::kRestoreBroker: return "restore-broker";
+    case FaultKind::kKillPeerProcess: return "kill-peer-process";
   }
   return "?";
 }
@@ -166,6 +169,21 @@ struct FaultPlan {
     e.target = std::move(broker_name);
     e.duration = duration;
     e.keep_fraction = keep_fraction;
+    e.reason = std::move(reason);
+    events.push_back(std::move(e));
+    return *this;
+  }
+
+  /// SIGKILLs a real peer OS process by pid — the transport smoke
+  /// harness's mid-run producer kill. Unlike every other fault this one
+  /// is not emulated: the target process actually dies, and recovery is
+  /// the control plane's heartbeat GC, not any bound subsystem.
+  FaultPlan& kill_peer_process(Duration at, std::uint64_t pid,
+                               std::string reason = "chaos peer kill") {
+    FaultEvent e;
+    e.at = at;
+    e.kind = FaultKind::kKillPeerProcess;
+    e.target = std::to_string(pid);
     e.reason = std::move(reason);
     events.push_back(std::move(e));
     return *this;

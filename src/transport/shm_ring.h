@@ -1,0 +1,165 @@
+// ShmRing: a fixed-capacity shared-memory ring buffer for same-host
+// producer -> consumer record delivery across PROCESS boundaries.
+//
+// This is the data plane of the transport layer (DESIGN.md §12): the
+// broker's control plane only hands the ring's shm name to the consumer;
+// every payload byte then moves through the mapping directly, never
+// through a socket or the broker. Layout:
+//
+//   [ header page (4 KiB) | data region (capacity bytes, multiple of 8) ]
+//
+// The header carries three cache-line-separated atomics:
+//   - `tail`: the producer's commit cursor. Written ONLY by the producer
+//     (release), read by the consumer (acquire). The release/acquire pair
+//     is what publishes the record bytes written before the store.
+//   - `head`: the consumer's read cursor. Written ONLY by the consumer
+//     (release, in commit()), read by the producer (acquire) to compute
+//     free space. Publishing head is what allows the producer to overwrite
+//     consumed bytes — which is why commit() is separate from pop():
+//     zero-copy views handed out by pop() have stable CONTENT until the
+//     consumer commits past them.
+//   - `heartbeat_ns` + `producer_pid`: producer liveness, read by the
+//     control plane's dead-producer GC (CLOCK_MONOTONIC is system-wide on
+//     Linux, so ages computed in another process are meaningful).
+//
+// Cursors are absolute byte positions (monotonically increasing u64);
+// `pos % capacity` is the physical offset. Records are CRC-framed:
+//
+//   u32 length | u32 crc32c(payload) | payload | pad to 8 bytes
+//
+// A frame never straddles the end of the data region: when the contiguous
+// space at the end is too small, the producer writes a 4-byte wrap marker
+// (length == 0xFFFFFFFF) and skips to offset 0; the consumer does the
+// same skip on reading the marker. Contiguity is what makes zero-copy
+// consumer views possible (broker::Payload::view straight into the
+// mapping — no reassembly).
+//
+// Exactly one producer and one consumer process (SPSC). The control
+// plane may additionally open the ring as a monitor: it reads header
+// fields but never pushes or pops.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "broker/record.h"
+#include "common/clock.h"
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace pe::transport {
+
+/// Per-handle transfer counters (local to this process's handle).
+struct ShmRingStats {
+  std::uint64_t records_pushed = 0;
+  std::uint64_t bytes_pushed = 0;
+  std::uint64_t records_popped = 0;
+  std::uint64_t bytes_popped = 0;
+  /// Push found the ring full and had to wait (or give up).
+  std::uint64_t full_waits = 0;
+  std::uint64_t wraps = 0;
+  std::uint64_t crc_errors = 0;
+};
+
+class ShmRing {
+ public:
+  /// Frame length value reserved as the wrap marker.
+  static constexpr std::uint32_t kWrapMarker = 0xFFFFFFFFu;
+  /// Frame header bytes (length + crc) ahead of every payload.
+  static constexpr std::uint64_t kFrameHeaderBytes = 8;
+
+  enum class Role { kProducer, kConsumer, kMonitor };
+
+  /// Creates the shared-memory object (shm_open O_CREAT|O_EXCL) and
+  /// returns the producer handle. `capacity_bytes` is rounded up to a
+  /// multiple of 8; `name` must start with '/' (POSIX shm name).
+  static Result<std::unique_ptr<ShmRing>> create(const std::string& name,
+                                                 std::uint64_t capacity_bytes);
+
+  /// Opens an existing ring as the (single) consumer.
+  static Result<std::unique_ptr<ShmRing>> open(const std::string& name);
+
+  /// Opens an existing ring for header inspection only (control-plane
+  /// heartbeat checks). Never pushes or pops.
+  static Result<std::unique_ptr<ShmRing>> open_monitor(
+      const std::string& name);
+
+  /// Removes the shm name. Existing mappings (and Payload views into
+  /// them) stay valid until the last handle unmaps.
+  static Status unlink(const std::string& name);
+
+  ~ShmRing();
+  ShmRing(const ShmRing&) = delete;
+  ShmRing& operator=(const ShmRing&) = delete;
+
+  const std::string& name() const { return name_; }
+  Role role() const { return role_; }
+  std::uint64_t capacity() const;
+
+  // --- producer side ---
+  /// Appends one record. While the ring is full, sleeps in short slices
+  /// up to `timeout` (zero = non-blocking). A full-ring give-up returns
+  /// transient TIMEOUT (backpressure, not loss: the caller retries).
+  /// Payloads larger than capacity - 16 are INVALID_ARGUMENT.
+  Status push(ByteSpan payload, Duration timeout = Duration::zero());
+
+  /// Stamps the producer heartbeat slot with the current monotonic time.
+  void heartbeat();
+
+  /// Marks the stream cleanly finished (consumer sees closed() once the
+  /// ring is drained). Idempotent.
+  void close_producer();
+
+  // --- consumer side ---
+  /// Pops the next record as a zero-copy view into the mapping (the
+  /// Payload's owner keeps the mapping alive). NOT_FOUND when the ring is
+  /// empty; INTERNAL on a CRC mismatch (corrupted frame — the ring is
+  /// poisoned and should be abandoned). The view's bytes are stable until
+  /// commit() advances the shared head past them; after that the producer
+  /// may overwrite the content (the memory itself stays mapped).
+  Result<broker::Payload> pop();
+
+  /// Publishes the local read position to the producer, releasing the
+  /// space held by every record popped so far.
+  void commit();
+
+  /// True once the producer closed the stream AND every record has been
+  /// popped.
+  bool drained_and_closed() const;
+
+  // --- shared / monitor side ---
+  bool producer_closed() const;
+  std::uint64_t producer_pid() const;
+  /// Nanoseconds since the last producer heartbeat (monotonic clock).
+  std::uint64_t heartbeat_age_ns() const;
+  /// Bytes currently committed but unread (tail - head).
+  std::uint64_t backlog_bytes() const;
+
+  const ShmRingStats& stats() const { return stats_; }
+
+ private:
+  struct Header;
+  struct Mapping;
+
+  ShmRing(std::string name, Role role, std::shared_ptr<Mapping> mapping);
+
+  static Result<std::unique_ptr<ShmRing>> open_role(const std::string& name,
+                                                    Role role);
+
+  Status try_push_once(ByteSpan payload);
+
+  const std::string name_;
+  const Role role_;
+  std::shared_ptr<Mapping> mapping_;
+  Header* hdr_ = nullptr;       // into the mapping
+  std::uint8_t* data_ = nullptr;
+  // Producer-private cache of the consumer's head (refreshed on demand)
+  // and consumer-private read cursor (published by commit()).
+  std::uint64_t cached_head_ = 0;
+  std::uint64_t read_pos_ = 0;
+  ShmRingStats stats_;
+};
+
+}  // namespace pe::transport

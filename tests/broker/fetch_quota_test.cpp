@@ -1,0 +1,185 @@
+// Fetch-side admission quotas (the consume mirror of the produce path):
+// debt-based token buckets that admit while non-negative and are charged
+// for what a fetch actually carried, Kafka consumer-quota style. Covers
+// the controller gate, the broker fetch() integration, and the
+// Consumer::poll overload that surfaces the throttle to callers.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/admission.h"
+#include "broker/broker.h"
+#include "broker/consumer.h"
+#include "broker/producer.h"
+#include "common/clock.h"
+#include "network/fabric.h"
+
+namespace pe::broker {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(FetchQuotaControllerTest, AdmitsUntilDebtThenThrottlesWithHint) {
+  AdmissionConfig config;
+  config.default_fetch_quota.bytes_per_sec = 10e6;  // 10 MB/s, 10 MB burst
+  AdmissionController controller(config);
+
+  // Buckets start full: admitted.
+  ASSERT_TRUE(controller.admit_fetch("worker-1").ok());
+  // A fetch twice the burst lands the client ~10 MB in debt...
+  controller.charge_fetch("worker-1", 100, 20'000'000);
+  auto throttled = controller.admit_fetch("worker-1");
+  ASSERT_FALSE(throttled.ok());
+  EXPECT_EQ(throttled.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(throttled.is_transient());
+  // ...which refills in about a second.
+  EXPECT_GE(throttled.retry_after(), 100ms);
+  EXPECT_LE(throttled.retry_after(), 5s);
+
+  // Other clients and anonymous (internal) fetches are unaffected.
+  EXPECT_TRUE(controller.admit_fetch("worker-2").ok());
+  EXPECT_TRUE(controller.admit_fetch("").ok());
+}
+
+TEST(FetchQuotaControllerTest, DebtRefillsAndAdmitsAgain) {
+  AdmissionConfig config;
+  config.default_fetch_quota.bytes_per_sec = 50e6;  // 50 MB/s
+  AdmissionController controller(config);
+  ASSERT_TRUE(controller.admit_fetch("w").ok());
+  // ~5 MB of debt refills in ~100 ms of real time.
+  controller.charge_fetch("w", 10, 55'000'000);
+  ASSERT_FALSE(controller.admit_fetch("w").ok());
+
+  const auto deadline = Clock::now() + 5s;
+  bool admitted = false;
+  while (Clock::now() < deadline) {
+    if (controller.admit_fetch("w").ok()) {
+      admitted = true;
+      break;
+    }
+    Clock::sleep_exact(10ms);
+  }
+  EXPECT_TRUE(admitted) << "fetch debt never refilled";
+}
+
+TEST(FetchQuotaControllerTest, FetchAndProduceQuotasAreIndependent) {
+  AdmissionConfig config;
+  config.default_quota.bytes_per_sec = 10e6;
+  config.default_fetch_quota.bytes_per_sec = 10e6;
+  AdmissionController controller(config);
+
+  // Drown the fetch side in debt; the produce side must be untouched.
+  controller.charge_fetch("c", 1000, 100'000'000);
+  ASSERT_FALSE(controller.admit_fetch("c").ok());
+  EXPECT_TRUE(controller.admit("c", 10, 1000).ok());
+
+  // Replacing the produce quota must NOT reset the fetch debt (the two
+  // live in one ClientState; set_quota swaps only its own buckets).
+  controller.set_quota("c", ClientQuota{.bytes_per_sec = 1e6});
+  EXPECT_FALSE(controller.admit_fetch("c").ok());
+}
+
+TEST(FetchQuotaControllerTest, RecordRateDimensionAlsoGates) {
+  AdmissionConfig config;
+  config.default_fetch_quota.records_per_sec = 1000;  // no byte limit
+  AdmissionController controller(config);
+  ASSERT_TRUE(controller.admit_fetch("w").ok());
+  controller.charge_fetch("w", 5000, 0);
+  auto throttled = controller.admit_fetch("w");
+  EXPECT_EQ(throttled.code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(throttled.retry_after(), Duration::zero());
+}
+
+TEST(FetchQuotaBrokerTest, FetchGateCountsAndExemptsAnonymous) {
+  BrokerOptions options;
+  options.admission.default_fetch_quota.bytes_per_sec = 1000;  // tiny
+  auto broker = std::make_shared<Broker>("cloud", options);
+  ASSERT_TRUE(broker->create_topic("t", TopicConfig{}).ok());
+  for (int i = 0; i < 50; ++i) {
+    Record r;
+    r.key = "k";
+    r.value = Bytes(256, 0x1);
+    std::vector<Record> batch;
+    batch.push_back(std::move(r));
+    ASSERT_TRUE(broker->produce("t", 0, std::move(batch)).ok());
+  }
+
+  FetchSpec spec;
+  spec.offset = 0;
+  // First identified fetch is admitted (full bucket), then charged far
+  // past the 1 kB/s quota.
+  auto first = broker->fetch("t", 0, spec, "hungry");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().size(), 50u);
+
+  auto second = broker->fetch("t", 0, spec, "hungry");
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(second.status().is_transient());
+  EXPECT_EQ(broker->stats().fetch_throttled, 1u);
+
+  // Anonymous (internal) fetches bypass the gate entirely.
+  EXPECT_TRUE(broker->fetch("t", 0, spec).ok());
+  // And an explicit per-client override beats the default quota.
+  broker->set_client_fetch_quota("vip", ClientQuota{});  // unlimited
+  EXPECT_TRUE(broker->fetch("t", 0, spec, "vip").ok());
+  EXPECT_TRUE(broker->fetch("t", 0, spec, "vip").ok());
+}
+
+TEST(FetchQuotaConsumerTest, PollSurfacesThrottleAndRecovers) {
+  BrokerOptions options;
+  // 1 MB/s with a 10 kB burst, against 256 kB fetches: every admitted
+  // fetch leaves ~0.25 s of debt, so the next poll is reliably refused.
+  options.admission.default_fetch_quota.bytes_per_sec = 1e6;
+  options.admission.default_fetch_quota.burst_seconds = 0.01;
+  auto broker = std::make_shared<Broker>("cloud", options);
+  auto fabric = std::make_shared<net::Fabric>();
+  ASSERT_TRUE(fabric->add_site({.id = "cloud"}).ok());
+  ASSERT_TRUE(broker->create_topic("t", TopicConfig{}).ok());
+  for (int i = 0; i < 100; ++i) {
+    Record r;
+    r.key = "k" + std::to_string(i);
+    r.value = Bytes(20 * 1024, 0x2);
+    std::vector<Record> batch;
+    batch.push_back(std::move(r));
+    ASSERT_TRUE(broker->produce("t", 0, std::move(batch)).ok());
+  }
+
+  ConsumerConfig config;
+  config.max_poll_records = 1000;
+  // Cap each fetch well under the backlog so draining takes several
+  // fetches — the quota gate must refuse at least one of them.
+  config.fetch_max_bytes = 256 * 1024;
+  Consumer consumer(broker, fabric, "cloud", "g", config);
+  ASSERT_TRUE(consumer.subscribe({"t"}).ok());
+
+  Status throttle;
+  auto first = consumer.poll(1s, &throttle);
+  ASSERT_TRUE(throttle.ok()) << throttle.to_string();
+  ASSERT_FALSE(first.empty());
+
+  std::size_t total = first.size();
+  bool saw_throttle = false;
+  const auto deadline = Clock::now() + 10s;
+  while (total < 100 && Clock::now() < deadline) {
+    auto out = consumer.poll(50ms, &throttle);
+    total += out.size();
+    if (!throttle.ok()) {
+      saw_throttle = true;
+      EXPECT_EQ(throttle.code(), StatusCode::kResourceExhausted);
+      EXPECT_GT(throttle.retry_after(), Duration::zero());
+      // Back off as the broker asked instead of hammering it.
+      Clock::sleep_exact(std::min<Duration>(throttle.retry_after(), 500ms));
+    }
+  }
+  // The quota slowed the consumer down but lost nothing.
+  EXPECT_EQ(total, 100u);
+  EXPECT_TRUE(saw_throttle);
+  EXPECT_GE(consumer.stats().throttled_polls, 1u);
+  EXPECT_GE(broker->stats().fetch_throttled, 1u);
+}
+
+}  // namespace
+}  // namespace pe::broker

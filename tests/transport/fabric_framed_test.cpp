@@ -1,0 +1,175 @@
+// WAN emulation through the REAL socket path: a framed socket with a
+// net::Fabric attached charges every outgoing frame to the emulated
+// link, so a partition surfaces as transient UNAVAILABLE (retryable,
+// never a hang) and degradation as added latency — satellite coverage
+// for the transport layer's error model, plus the kill-peer-process
+// chaos fault against a real child process.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/clock.h"
+#include "fault/chaos_engine.h"
+#include "fault/fault_plan.h"
+#include "network/fabric.h"
+#include "taskexec/task.h"
+#include "transport/framed_socket.h"
+#include "transport/wire.h"
+
+namespace pe::transport {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::shared_ptr<net::Fabric> make_two_site_fabric() {
+  auto fabric = std::make_shared<net::Fabric>();
+  EXPECT_TRUE(fabric->add_site({.id = "edge", .kind = net::SiteKind::kEdge})
+                  .ok());
+  EXPECT_TRUE(fabric->add_site({.id = "cloud", .kind = net::SiteKind::kCloud})
+                  .ok());
+  net::LinkSpec spec;
+  spec.from = "edge";
+  spec.to = "cloud";
+  spec.latency_min = spec.latency_max = std::chrono::microseconds(100);
+  spec.bandwidth_min_bps = spec.bandwidth_max_bps = 1e9;
+  EXPECT_TRUE(fabric->add_bidirectional_link(spec).ok());
+  return fabric;
+}
+
+struct Pair {
+  FramedSocket client;
+  FramedSocket server;
+};
+
+Pair make_pair(FramedListener& listener) {
+  auto client = FramedSocket::connect_loopback(listener.port(), 1s);
+  EXPECT_TRUE(client.ok());
+  auto server = listener.accept(1s);
+  EXPECT_TRUE(server.ok());
+  return Pair{std::move(client.value()), std::move(server.value())};
+}
+
+TEST(FabricFramedTest, PartitionedLinkFailsSendsTransiently) {
+  auto fabric = make_two_site_fabric();
+  auto listener = FramedListener::listen_loopback();
+  ASSERT_TRUE(listener.ok());
+  auto pair = make_pair(listener.value());
+  pair.client.set_fabric(fabric, "edge", "cloud");
+
+  const Bytes payload(128, 0x42);
+  ASSERT_TRUE(pair.client.send_frame(kFrameBinary, payload).ok());
+  ASSERT_TRUE(pair.server.recv_frame(1s).ok());
+
+  // Partition the emulated link: the next send must fail UNAVAILABLE
+  // BEFORE any byte reaches the socket — the peer sees nothing.
+  net::LinkFault fault;
+  fault.partitioned = true;
+  ASSERT_TRUE(fabric->inject_link_fault("edge", "cloud", fault).ok());
+  auto status = pair.client.send_frame(kFrameBinary, payload);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(status.is_transient());
+  EXPECT_EQ(pair.server.recv_frame(50ms).status().code(),
+            StatusCode::kTimeout);
+
+  // kTransientOnly retry discipline: UNAVAILABLE is retryable, so a
+  // bounded retry loop recovers as soon as the partition heals — and
+  // never hangs, because each attempt fails fast.
+  std::thread healer([&] {
+    Clock::sleep_exact(50ms);
+    ASSERT_TRUE(fabric->clear_link_fault("edge", "cloud").ok());
+  });
+  Status sent;
+  int attempts = 0;
+  for (; attempts < 100; ++attempts) {
+    sent = pair.client.send_frame(kFrameBinary, payload);
+    if (sent.ok()) break;
+    ASSERT_TRUE(sent.is_transient())
+        << "non-transient failure would abort a kTransientOnly retry: "
+        << sent.to_string();
+    Clock::sleep_exact(5ms);
+  }
+  healer.join();
+  ASSERT_TRUE(sent.ok()) << "partition healed but sends kept failing";
+  EXPECT_GT(attempts, 0);  // at least one refusal happened
+  auto frame = pair.server.recv_frame(1s);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame.value().payload.size(), payload.size());
+}
+
+TEST(FabricFramedTest, DegradedLinkAddsLatencyButDelivers) {
+  auto fabric = make_two_site_fabric();
+  auto listener = FramedListener::listen_loopback();
+  ASSERT_TRUE(listener.ok());
+  auto pair = make_pair(listener.value());
+  pair.client.set_fabric(fabric, "edge", "cloud");
+
+  const Bytes payload(64, 0x01);
+  const auto fast_start = Clock::now();
+  ASSERT_TRUE(pair.client.send_frame(kFrameBinary, payload).ok());
+  const auto fast = Clock::now() - fast_start;
+
+  net::LinkFault fault;
+  fault.latency_factor = 200.0;  // 100us nominal -> 20ms
+  ASSERT_TRUE(fabric->inject_link_fault("edge", "cloud", fault).ok());
+  const auto slow_start = Clock::now();
+  ASSERT_TRUE(pair.client.send_frame(kFrameBinary, payload).ok());
+  const auto slow = Clock::now() - slow_start;
+
+  EXPECT_GT(slow, fast);
+  EXPECT_GE(slow, 10ms);  // well over the nominal 100us
+  // Both frames actually arrived — degradation delays, never drops.
+  ASSERT_TRUE(pair.server.recv_frame(1s).ok());
+  ASSERT_TRUE(pair.server.recv_frame(1s).ok());
+}
+
+TEST(FabricFramedTest, ChaosKillPeerProcessDeliversSigkill) {
+  // A real child that would sleep forever; the chaos engine must SIGKILL
+  // it (the fault the transport smoke test injects mid-pipeline).
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    for (;;) ::pause();
+  }
+
+  fault::FaultPlan plan;
+  plan.kill_peer_process(1ms, static_cast<std::uint64_t>(child),
+                         "transport chaos");
+  fault::ChaosEngine engine(std::move(plan));
+  ASSERT_TRUE(engine.start().ok());
+  engine.join();
+
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+  EXPECT_EQ(WTERMSIG(wstatus), SIGKILL);
+
+  const auto records = engine.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].status.ok()) << records[0].status.to_string();
+}
+
+TEST(FabricFramedTest, ChaosKillPeerRejectsInvalidTargets) {
+  // pid 1 and non-numeric targets must be refused, and the engine must
+  // never kill its own process.
+  fault::FaultPlan plan;
+  plan.kill_peer_process(1ms, 1, "init is off-limits");
+  plan.kill_peer_process(2ms, static_cast<std::uint64_t>(::getpid()),
+                         "self-kill refused");
+  fault::ChaosEngine engine(std::move(plan));
+  ASSERT_TRUE(engine.start().ok());
+  engine.join();
+
+  const auto records = engine.records();
+  ASSERT_EQ(records.size(), 2u);
+  for (const auto& record : records) {
+    EXPECT_FALSE(record.status.ok());
+  }
+}
+
+}  // namespace
+}  // namespace pe::transport

@@ -13,6 +13,7 @@
 #   tools/check.sh cluster-torture [rounds]  # leader-kill failover loop
 #   tools/check.sh fleet-smoke [devices]     # 100k-device fleet, capped broker
 #   tools/check.sh quota-storm [devices]     # fleet under a tight quota
+#   tools/check.sh transport-smoke [records] # 3-process shm pipeline + kill -9
 set -euo pipefail
 
 MODE="${1:-thread}"
@@ -131,10 +132,80 @@ case "${MODE}" in
     fi
     ;;
 
+  transport-smoke)
+    # Multi-process transport pipeline, twice:
+    #   1. happy path — brokerd + producer + worker as three real OS
+    #      processes, FILTER records through the shared-memory ring, the
+    #      worker asserting a dense (zero-loss, in-order) sequence.
+    #   2. chaos path — a paced producer is SIGKILLed mid-stream; the
+    #      broker's heartbeat GC must declare the channel dead and unlink
+    #      the ring, and the worker must still drain a dense prefix of
+    #      everything push() completed (zero acked loss).
+    RECORDS="${FILTER:-1000000}"
+    BUILD_DIR="${ROOT}/build"
+    cmake -B "${BUILD_DIR}" -S "${ROOT}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "${BUILD_DIR}" -j"$(nproc)" \
+      --target pe_brokerd pe_edge_producer pe_worker
+    TMP="$(mktemp -d)"
+    trap 'kill "${BROKER_PID:-0}" 2>/dev/null || true; rm -rf "${TMP}"' EXIT
+
+    "${BUILD_DIR}/tools/pe_brokerd" --port 0 \
+      --heartbeat-timeout-ms 300 --gc-interval-ms 50 \
+      > "${TMP}/brokerd.log" 2>&1 &
+    BROKER_PID=$!
+    for _ in $(seq 1 100); do
+      grep -q "BROKERD ready" "${TMP}/brokerd.log" && break
+      sleep 0.1
+    done
+    PORT="$(grep -o 'port=[0-9]*' "${TMP}/brokerd.log" | head -1 | cut -d= -f2)"
+    [[ -n "${PORT}" ]] || { echo "error: brokerd never came up" >&2; exit 1; }
+    echo "transport-smoke: brokerd pid=${BROKER_PID} port=${PORT}"
+
+    # --- run 1: happy path, RECORDS records, clean EOF ---
+    "${BUILD_DIR}/tools/pe_worker" --port "${PORT}" --channel smoke \
+      > "${TMP}/worker.log" 2>&1 &
+    WORKER_PID=$!
+    "${BUILD_DIR}/tools/pe_edge_producer" --port "${PORT}" --channel smoke \
+      --records "${RECORDS}" --payload-bytes 64 > "${TMP}/producer.log" 2>&1
+    wait "${WORKER_PID}"
+    cat "${TMP}/producer.log" "${TMP}/worker.log"
+    grep -q "PRODUCER done pushed=${RECORDS} " "${TMP}/producer.log"
+    grep -q "WORKER done consumed=${RECORDS} dense=1 eof=1" "${TMP}/worker.log"
+
+    # --- run 2: kill -9 the producer mid-stream, assert GC + dense drain ---
+    "${BUILD_DIR}/tools/pe_worker" --port "${PORT}" --channel victim \
+      > "${TMP}/worker2.log" 2>&1 &
+    WORKER_PID=$!
+    "${BUILD_DIR}/tools/pe_edge_producer" --port "${PORT}" --channel victim \
+      --records "${RECORDS}" --pace-us 50 > "${TMP}/producer2.log" 2>&1 &
+    VICTIM_PID=$!
+    sleep 2
+    kill -9 "${VICTIM_PID}"
+    echo "transport-smoke: SIGKILLed producer pid=${VICTIM_PID}"
+    wait "${WORKER_PID}"
+    cat "${TMP}/worker2.log"
+    # Dense prefix, ended by producer death (not EOF), zero acked loss.
+    grep -q "WORKER done consumed=[0-9]* dense=1 eof=0 dead=1" \
+      "${TMP}/worker2.log"
+
+    kill -TERM "${BROKER_PID}"
+    wait "${BROKER_PID}" || true
+    cat "${TMP}/brokerd.log"
+    # The GC saw the dead producer and collected exactly its ring.
+    grep -q "dead_producer_gcs=1" "${TMP}/brokerd.log"
+    # The victim's shm object is gone from /dev/shm (unlinked by GC).
+    if ls /dev/shm/pe_ring_victim_* 2>/dev/null; then
+      echo "error: dead producer's ring was not unlinked" >&2
+      exit 1
+    fi
+    echo "transport-smoke: OK (${RECORDS} records, kill -9 recovery clean)"
+    ;;
+
   *)
     echo "error: unknown mode '${MODE}'" >&2
     echo "modes: thread | address | undefined | thread-safety | tidy |" \
-         "storage-torture | cluster-torture | fleet-smoke | quota-storm" >&2
+         "storage-torture | cluster-torture | fleet-smoke | quota-storm |" \
+         "transport-smoke" >&2
     exit 2
     ;;
 esac

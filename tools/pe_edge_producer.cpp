@@ -1,0 +1,119 @@
+// pe_edge_producer: edge-side producer process.
+//
+// Registers a named channel with pe_brokerd over the control socket,
+// then streams sequenced records through a shared-memory ring — the
+// broker never sees a payload byte. Each record is:
+//
+//   u64 sequence (LE) | filler bytes (seq & 0xFF) to --payload-bytes
+//
+// so the consuming worker can assert a dense, uncorrupted prefix. The
+// ring's producer heartbeat is stamped on every push; a mid-run SIGKILL
+// of this process is the transport smoke test's fault — the broker's GC
+// must then collect the ring and the worker must still drain every
+// record that push() had completed.
+//
+// Usage: pe_edge_producer --port N --channel NAME [--topic T]
+//        [--records N] [--payload-bytes B] [--ring-bytes B] [--pace-us U]
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/clock.h"
+#include "transport/control_client.h"
+#include "transport/shm_ring.h"
+
+namespace {
+
+std::uint64_t arg_u64(int argc, char** argv, const char* flag,
+                      std::uint64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+std::string arg_str(int argc, char** argv, const char* flag,
+                    std::string fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+[[noreturn]] void die(const std::string& what) {
+  std::fprintf(stderr, "producer: %s\n", what.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pe;
+
+  const auto port = static_cast<std::uint16_t>(arg_u64(argc, argv, "--port", 0));
+  const std::string channel = arg_str(argc, argv, "--channel", "sensors");
+  const std::string topic = arg_str(argc, argv, "--topic", "telemetry");
+  const std::uint64_t records = arg_u64(argc, argv, "--records", 1'000'000);
+  const std::uint64_t payload_bytes =
+      arg_u64(argc, argv, "--payload-bytes", 32);
+  const std::uint64_t ring_bytes =
+      arg_u64(argc, argv, "--ring-bytes", 4ull << 20);
+  const std::uint64_t pace_us = arg_u64(argc, argv, "--pace-us", 0);
+  if (port == 0) die("--port is required");
+
+  auto client = transport::ControlClient::connect(port);
+  if (!client.ok()) die(client.status().to_string());
+
+  const std::string shm_name =
+      "/pe_ring_" + channel + "_" + std::to_string(::getpid());
+  auto ring = transport::ShmRing::create(shm_name, ring_bytes);
+  if (!ring.ok()) die(ring.status().to_string());
+
+  if (auto s = client.value().register_ring(channel, shm_name,
+                                            ring.value()->capacity(), topic,
+                                            /*partition=*/0);
+      !s.ok()) {
+    die("register_ring: " + s.to_string());
+  }
+  std::printf("PRODUCER ready channel=%s shm=%s pid=%d\n", channel.c_str(),
+              shm_name.c_str(), static_cast<int>(::getpid()));
+  std::fflush(stdout);
+
+  Bytes payload(payload_bytes < 8 ? 8 : payload_bytes);
+  auto last_control_hb = Clock::now();
+  std::uint64_t pushed = 0;
+  for (std::uint64_t seq = 0; seq < records; ++seq) {
+    std::memcpy(payload.data(), &seq, sizeof(seq));
+    std::memset(payload.data() + 8, static_cast<int>(seq & 0xFF),
+                payload.size() - 8);
+    // Full ring = backpressure, not loss: retry until the worker drains.
+    while (true) {
+      auto s = ring.value()->push(payload, std::chrono::milliseconds(100));
+      ring.value()->heartbeat();
+      if (s.ok()) break;
+      if (!s.is_transient()) die("push: " + s.to_string());
+    }
+    pushed += 1;
+    if (pace_us > 0) Clock::sleep_exact(std::chrono::microseconds(pace_us));
+    if (Clock::now() - last_control_hb > std::chrono::milliseconds(100)) {
+      (void)client.value().heartbeat(channel);
+      last_control_hb = Clock::now();
+    }
+  }
+
+  ring.value()->close_producer();
+  (void)client.value().unregister(channel);
+  const auto& stats = ring.value()->stats();
+  std::printf("PRODUCER done pushed=%llu bytes=%llu full_waits=%llu "
+              "wraps=%llu\n",
+              static_cast<unsigned long long>(pushed),
+              static_cast<unsigned long long>(stats.bytes_pushed),
+              static_cast<unsigned long long>(stats.full_waits),
+              static_cast<unsigned long long>(stats.wraps));
+  return 0;
+}

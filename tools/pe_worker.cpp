@@ -1,0 +1,154 @@
+// pe_worker: consumer-side worker process.
+//
+// Looks a channel up at pe_brokerd, maps the producer's shared-memory
+// ring, and consumes records as zero-copy views straight out of the
+// mapping — validating that sequences form a dense prefix (the zero
+// acked-record loss invariant) — while committing its position back
+// through the broker's group coordinator over the control socket.
+//
+// Exit conditions:
+//   - producer closed the stream and the ring is drained   -> eof=1
+//   - producer process died (channel GC'd dead): drain what
+//     push() completed, then leave                         -> dead=1
+//
+// Prints one verdict line:
+//   WORKER done consumed=N dense=0|1 eof=0|1 dead=0|1 committed=N
+//
+// Usage: pe_worker --port N --channel NAME [--group G] [--commit-every N]
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/clock.h"
+#include "transport/control_client.h"
+#include "transport/shm_ring.h"
+
+namespace {
+
+std::uint64_t arg_u64(int argc, char** argv, const char* flag,
+                      std::uint64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+std::string arg_str(int argc, char** argv, const char* flag,
+                    std::string fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+[[noreturn]] void die(const std::string& what) {
+  std::fprintf(stderr, "worker: %s\n", what.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pe;
+
+  const auto port = static_cast<std::uint16_t>(arg_u64(argc, argv, "--port", 0));
+  const std::string channel = arg_str(argc, argv, "--channel", "sensors");
+  const std::string group = arg_str(argc, argv, "--group", "workers");
+  const std::uint64_t commit_every = arg_u64(argc, argv, "--commit-every", 4096);
+  if (port == 0) die("--port is required");
+
+  auto client = transport::ControlClient::connect(port);
+  if (!client.ok()) die(client.status().to_string());
+
+  // The producer may not have registered yet: retry the lookup (transient
+  // NOT_FOUND) for a few seconds.
+  transport::ChannelLocation loc;
+  const auto lookup_deadline = Clock::now() + std::chrono::seconds(10);
+  while (true) {
+    auto found = client.value().lookup(channel);
+    if (found.ok()) {
+      loc = found.value();
+      break;
+    }
+    if (Clock::now() >= lookup_deadline) {
+      die("lookup: " + found.status().to_string());
+    }
+    Clock::sleep_exact(std::chrono::milliseconds(10));
+  }
+
+  auto ring = transport::ShmRing::open(loc.shm_name);
+  if (!ring.ok()) die("open ring: " + ring.status().to_string());
+  std::printf("WORKER ready channel=%s shm=%s pid=%d\n", channel.c_str(),
+              loc.shm_name.c_str(), static_cast<int>(::getpid()));
+  std::fflush(stdout);
+
+  std::uint64_t consumed = 0;
+  std::uint64_t committed = 0;
+  bool dense = true;
+  bool eof = false;
+  bool dead = false;
+  auto last_liveness_check = Clock::now();
+
+  auto commit_position = [&]() {
+    ring.value()->commit();
+    if (auto s = client.value().commit(group, loc.topic, loc.partition,
+                                       consumed);
+        s.ok()) {
+      committed = consumed;
+    }
+  };
+
+  while (true) {
+    auto popped = ring.value()->pop();
+    if (popped.ok()) {
+      const auto& payload = popped.value();
+      if (payload.size() >= 8) {
+        std::uint64_t seq = 0;
+        std::memcpy(&seq, payload.data(), sizeof(seq));
+        if (seq != consumed) {
+          dense = false;
+          std::fprintf(stderr, "worker: gap: expected seq %llu got %llu\n",
+                       static_cast<unsigned long long>(consumed),
+                       static_cast<unsigned long long>(seq));
+        }
+      }
+      consumed += 1;
+      if (consumed % commit_every == 0) commit_position();
+      continue;
+    }
+    if (popped.status().code() != StatusCode::kNotFound) {
+      die("pop: " + popped.status().to_string());  // CRC mismatch etc.
+    }
+    if (ring.value()->drained_and_closed()) {
+      eof = true;
+      break;
+    }
+    if (dead) break;  // producer gone and the ring is now empty
+    // Empty but not closed: is the producer still alive? Ask the broker
+    // every 100 ms (its GC is the liveness authority).
+    if (Clock::now() - last_liveness_check > std::chrono::milliseconds(100)) {
+      last_liveness_check = Clock::now();
+      auto state = client.value().lookup(channel);
+      if (state.ok() && state.value().state == "dead") {
+        // Keep draining: everything push() completed is still in the
+        // mapping (the GC unlinked the name, not our mapping).
+        dead = true;
+      }
+    }
+    Clock::sleep_exact(std::chrono::microseconds(200));
+  }
+
+  commit_position();
+  std::printf("WORKER done consumed=%llu dense=%d eof=%d dead=%d "
+              "committed=%llu crc_errors=%llu\n",
+              static_cast<unsigned long long>(consumed), dense ? 1 : 0,
+              eof ? 1 : 0, dead ? 1 : 0,
+              static_cast<unsigned long long>(committed),
+              static_cast<unsigned long long>(ring.value()->stats().crc_errors));
+  return dense ? 0 : 1;
+}
